@@ -1,0 +1,46 @@
+# spectrebench — reproduce "Performance Evolution of Mitigating Transient
+# Execution Attacks" (EuroSys '22). Targets mirror the workflow in README.md.
+
+GO ?= go
+
+.PHONY: all build test test-short bench experiments examples vet cover clean
+
+all: vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# Regenerate every table and figure as testing.B benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Run the full experiment registry through the CLI.
+experiments:
+	$(GO) run ./cmd/spectrebench run all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/attribution
+	$(GO) run ./examples/js-sandbox
+	$(GO) run ./examples/spectre-poc
+	$(GO) run ./examples/vm-boundary
+
+cover:
+	$(GO) test -cover ./internal/...
+
+# Reproduce the artifacts the repository ships with.
+test_output.txt bench_output.txt:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+clean:
+	$(GO) clean ./...

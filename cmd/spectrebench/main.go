@@ -1,0 +1,100 @@
+// Command spectrebench reproduces the tables and figures of
+// "Performance Evolution of Mitigating Transient Execution Attacks"
+// (Behrens, Belay, Kaashoek — EuroSys 2022) on the repository's
+// simulated CPUs.
+//
+// Usage:
+//
+//	spectrebench list                 list available experiments
+//	spectrebench run <id> [...]      run one or more experiments
+//	spectrebench run all             run everything
+//	spectrebench -csv run <id>       CSV output instead of text tables
+//
+// Example:
+//
+//	spectrebench run table3 fig2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"spectrebench/internal/harness"
+)
+
+func main() {
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	flag.Usage = usage
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "list":
+		list()
+	case "run":
+		if len(args) < 2 {
+			fmt.Fprintln(os.Stderr, "run: need at least one experiment id (or 'all')")
+			os.Exit(2)
+		}
+		if err := run(args[1:], *csv); err != nil {
+			fmt.Fprintln(os.Stderr, "spectrebench:", err)
+			os.Exit(1)
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `spectrebench — reproduce "Performance Evolution of Mitigating Transient Execution Attacks"
+
+usage:
+  spectrebench list
+  spectrebench [-csv] run <experiment-id>... | all
+
+experiments:
+`)
+	for _, e := range harness.All() {
+		fmt.Fprintf(os.Stderr, "  %-16s %-12s %s\n", e.ID, e.Paper, e.Title)
+	}
+}
+
+func list() {
+	for _, e := range harness.All() {
+		fmt.Printf("%-16s %-12s %s\n", e.ID, e.Paper, e.Title)
+	}
+}
+
+func run(ids []string, csv bool) error {
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = nil
+		for _, e := range harness.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		e, ok := harness.Lookup(id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try 'spectrebench list')", id)
+		}
+		start := time.Now()
+		tbl, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if csv {
+			fmt.Print(tbl.CSV())
+		} else {
+			fmt.Print(tbl.Render())
+			fmt.Printf("(%s, %.1fs)\n\n", e.Paper, time.Since(start).Seconds())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+// Attribution: reproduce the heart of the paper — decompose the LEBench
+// mitigation overhead into per-mitigation shares across CPU generations
+// (Figure 2), using the §4.1 adaptive-confidence-interval methodology.
+//
+//	go run ./examples/attribution
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spectrebench/internal/core"
+	"spectrebench/internal/kernel"
+	"spectrebench/internal/model"
+	"spectrebench/internal/stats"
+	"spectrebench/internal/workloads/lebench"
+)
+
+func main() {
+	// The workload: LEBench's geometric mean (the paper's OS-boundary
+	// metric).
+	wl := func(m *model.CPU, mit kernel.Mitigations) (float64, error) {
+		res, err := lebench.Run(m, mit)
+		if err != nil {
+			return 0, err
+		}
+		vals := make([]float64, len(res))
+		for i, r := range res {
+			vals[i] = r.Cycles
+		}
+		return stats.GeoMean(vals), nil
+	}
+
+	// Measurement config: inject ±2% run-to-run noise (the variability
+	// the paper fought) and sample until the 95% CI is within 1%.
+	cfg := core.Config{
+		MinRuns: 3, MaxRuns: 40, RelCI: 0.01,
+		Noise: stats.NewNoise(42, 0.02),
+	}
+
+	fmt.Println("LEBench mitigation overhead, attributed (fraction of unmitigated time):")
+	fmt.Printf("%-16s %8s %8s %10s %10s %7s %8s\n",
+		"CPU", "MDS", "PTI", "SpectreV2", "SpectreV1", "other", "TOTAL")
+	for _, m := range model.All() {
+		attr, err := core.Attribute(m, wl, core.OSLadder(), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s", attr.CPU)
+		for _, p := range attr.Parts {
+			fmt.Printf(" %7.1f%%", p.Overhead*100)
+		}
+		fmt.Printf(" %7.1f%%\n", attr.Total*100)
+	}
+	fmt.Println("\nThe paper's conclusion, visible above: OS-boundary overhead collapsed")
+	fmt.Println("from >30% on pre-Spectre Intel parts to a few percent on parts with")
+	fmt.Println("hardware fixes — because PTI and the MDS clear are simply no longer")
+	fmt.Println("needed, not because any mitigation got faster.")
+}

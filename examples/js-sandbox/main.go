@@ -1,0 +1,126 @@
+// JS sandbox: run a JavaScript program through the engine's JIT on a
+// simulated CPU and measure what each browser Spectre mitigation costs —
+// the paper's Figure 3 in miniature.
+//
+//	go run ./examples/js-sandbox
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spectrebench/internal/js"
+	"spectrebench/internal/kernel"
+	"spectrebench/internal/model"
+)
+
+// A bank-account "site": property-heavy objects plus array traffic, the
+// shape of code Octane rewards.
+const script = `
+function interest(acct) {
+	return acct.balance * acct.rate / 10000;
+}
+
+var accounts = new Array(64);
+for (var i = 0; i < accounts.length; i = i + 1) {
+	accounts[i] = {balance: 1000 + i * 17, rate: 300 + i % 7, id: i};
+}
+var total = 0;
+for (var round = 0; round < 20; round = round + 1) {
+	for (var i = 0; i < accounts.length; i = i + 1) {
+		var a = accounts[i];
+		a.balance = a.balance + interest(a);
+		total = total + a.balance;
+	}
+}
+report(total % 1000000007);
+`
+
+func main() {
+	m := model.IceLakeServer()
+	fmt.Printf("CPU: %v\n\n", m)
+
+	configs := []struct {
+		name string
+		mit  js.Mitigations
+	}{
+		{"no JIT hardening", js.Mitigations{}},
+		{"+ index masking", js.Mitigations{IndexMasking: true}},
+		{"+ object guards", js.Mitigations{IndexMasking: true, ObjectGuards: true}},
+		{"+ pointer poisoning & coarse timers", js.AllMitigations()},
+	}
+
+	var baseline uint64
+	for _, cfg := range configs {
+		// The engine sandboxes itself with seccomp at startup; on the
+		// paper-era kernel default that also enables SSBD for it.
+		e := js.NewEngine(m, kernel.Defaults(m), cfg.mit)
+		res, err := e.Run(script, 80_000_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if baseline == 0 {
+			baseline = res.Cycles
+		}
+		fmt.Printf("%-38s %9d cycles  (+%4.1f%%)  result=%d\n",
+			cfg.name, res.Cycles,
+			100*float64(res.Cycles-baseline)/float64(baseline),
+			res.Reports[0])
+	}
+
+	fmt.Println("\nEvery configuration computes the same result; the JIT just pays")
+	fmt.Println("for the cmov guards it weaves into array and property accesses.")
+	fmt.Println("This browser-side tax has not moved to hardware on any CPU — the")
+	fmt.Println("paper finds roughly 20 percent, persisting on every generation (§4.3).")
+
+	// And this is what the tax buys: Spectre V1, written in the sandboxed
+	// language itself, reading past its own array bounds.
+	fmt.Println("\n== Spectre V1 from inside the sandbox (secret byte = 83) ==")
+	for _, cfg := range []struct {
+		name string
+		mit  js.Mitigations
+	}{
+		{"no hardening, precise timer", js.Mitigations{}},
+		{"index masking only", js.Mitigations{IndexMasking: true}},
+		{"coarse timer only", js.Mitigations{ReducedTimer: true}},
+		{"full hardening", js.AllMitigations()},
+	} {
+		e := js.NewEngine(m, kernel.Defaults(m), cfg.mit)
+		res, err := e.Run(sandboxSpectre, 200_000_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "BLOCKED"
+		if res.Reports[0] == 83 {
+			verdict = "LEAKED"
+		}
+		fmt.Printf("  %-30s recovered %3d  → %s\n", cfg.name, res.Reports[0], verdict)
+	}
+}
+
+// sandboxSpectre is the classic bounds-check-bypass attack written in
+// the engine's own language: train the check, evict the probe array,
+// read out of bounds transiently, then time the probe lines.
+const sandboxSpectre = `
+function gadget(a, p, i) {
+	return p[(a[i] % 256) * 8];
+}
+var arr = [1, 2, 3, 4];
+var secretHolder = [83];      // heap neighbour: arr[5] transiently
+var probe = new Array(2048);
+var evict = new Array(8192);
+var junk = 0;
+for (var it = 0; it < 32; it = it + 1) { junk = junk + gadget(arr, probe, it % 4); }
+for (var i = 0; i < evict.length; i = i + 1) { junk = junk + evict[i]; }
+junk = junk + gadget(arr, probe, 5);
+var best = 0 - 1;
+var bestLat = 1000000;
+for (var v = 0; v < 256; v = v + 1) {
+	var t0 = clock();
+	junk = junk + probe[v * 8];
+	var t1 = clock();
+	if (t1 - t0 < bestLat) { bestLat = t1 - t0; best = v; }
+}
+report(best);
+report(junk % 2);
+`

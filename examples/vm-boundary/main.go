@@ -1,0 +1,43 @@
+// VM boundary: boot a guest VM, run the LFS smallfile benchmark against
+// an emulated disk, and watch the host's per-entry mitigations (the L1TF
+// cache flush and the MDS buffer clear) price themselves into the VM
+// exits — the paper's §4.4 experiment.
+//
+//	go run ./examples/vm-boundary
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spectrebench/internal/kernel"
+	"spectrebench/internal/model"
+	"spectrebench/internal/workloads/lfs"
+)
+
+func main() {
+	fmt.Println("LFS smallfile inside a VM, host mitigations off vs on:")
+	fmt.Printf("%-16s %12s %12s %9s %9s\n", "CPU", "cycles(off)", "cycles(on)", "VM exits", "overhead")
+	for _, m := range model.All() {
+		guest := kernel.Defaults(m)
+		hostOff := kernel.BootParams{MitigationsOff: true}.Apply(m, kernel.Defaults(m))
+		base, err := lfs.Run(m, hostOff, guest, lfs.Smallfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		with, err := lfs.Run(m, kernel.Defaults(m), guest, lfs.Smallfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s %12.0f %12.0f %9d %8.2f%%\n",
+			m.Uarch, base.Cycles, with.Cycles, with.VMExits,
+			100*(with.Cycles-base.Cycles)/base.Cycles)
+	}
+	fmt.Println(`
+Every file create/sync costs block writes, each a VM exit into the host's
+device model. On L1TF-vulnerable hosts (Broadwell, Skylake) the host
+flushes the L1 and clears µarch buffers before every re-entry — yet the
+exits themselves are so expensive that the paper (and this model) finds
+the median overhead stays in the low single digits. On fixed hardware
+the boundary work vanishes entirely.`)
+}

@@ -1,0 +1,3 @@
+module spectrebench
+
+go 1.22

@@ -1,0 +1,276 @@
+package attacks
+
+import (
+	"testing"
+
+	"spectrebench/internal/model"
+)
+
+// --- Spectre V1: everyone is vulnerable; lfence and masking stop it. ----
+
+func TestSpectreV1Matrix(t *testing.T) {
+	for _, m := range model.All() {
+		_, leaked, err := SpectreV1(m, V1None)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Uarch, err)
+		}
+		if !leaked {
+			t.Errorf("%s: Spectre V1 must leak unmitigated", m.Uarch)
+		}
+		for _, mit := range []SpectreV1Mitigation{V1Lfence, V1IndexMask} {
+			_, leaked, err := SpectreV1(m, mit)
+			if err != nil {
+				t.Fatalf("%s: %v", m.Uarch, err)
+			}
+			if leaked {
+				t.Errorf("%s: Spectre V1 leaked despite mitigation %d", m.Uarch, mit)
+			}
+		}
+	}
+}
+
+// --- Meltdown: Broadwell/Skylake only; PTI stops it. --------------------
+
+func TestMeltdownMatrix(t *testing.T) {
+	for _, m := range model.All() {
+		_, leaked, err := Meltdown(m, MeltdownConfig{})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Uarch, err)
+		}
+		if leaked != m.Vulns.Meltdown {
+			t.Errorf("%s: Meltdown leak = %v, vulnerability = %v", m.Uarch, leaked, m.Vulns.Meltdown)
+		}
+		if m.Vulns.Meltdown {
+			_, leaked, err := Meltdown(m, MeltdownConfig{PTIUnmapped: true})
+			if err != nil {
+				t.Fatalf("%s: %v", m.Uarch, err)
+			}
+			if leaked {
+				t.Errorf("%s: Meltdown leaked despite PTI", m.Uarch)
+			}
+		}
+	}
+}
+
+// --- MDS: Broadwell/Skylake/Cascade Lake; verw stops it. ----------------
+
+func TestMDSMatrix(t *testing.T) {
+	for _, m := range model.All() {
+		_, leaked, err := MDS(m, MDSConfig{})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Uarch, err)
+		}
+		if leaked != m.Vulns.MDS {
+			t.Errorf("%s: MDS leak = %v, vulnerability = %v", m.Uarch, leaked, m.Vulns.MDS)
+		}
+		if m.Vulns.MDS {
+			_, leaked, err := MDS(m, MDSConfig{VerwBeforeAttack: true})
+			if err != nil {
+				t.Fatalf("%s: %v", m.Uarch, err)
+			}
+			if leaked {
+				t.Errorf("%s: MDS leaked despite verw", m.Uarch)
+			}
+		}
+	}
+}
+
+func TestMDSCrossSMT(t *testing.T) {
+	m := model.SkylakeClient()
+	_, leaked, err := MDS(m, MDSConfig{CrossSMT: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !leaked {
+		t.Error("cross-hyperthread MDS should leak on Skylake with SMT on")
+	}
+}
+
+// --- SSB: everyone; SSBD stops it. ---------------------------------------
+
+func TestSSBMatrix(t *testing.T) {
+	for _, m := range model.All() {
+		_, leaked, err := SSB(m, false)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Uarch, err)
+		}
+		if !leaked {
+			t.Errorf("%s: SSB must leak without SSBD", m.Uarch)
+		}
+		_, leaked, err = SSB(m, true)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Uarch, err)
+		}
+		if leaked {
+			t.Errorf("%s: SSB leaked despite SSBD", m.Uarch)
+		}
+	}
+}
+
+// --- L1TF: Broadwell/Skylake; PTE inversion stops it. --------------------
+
+func TestL1TFMatrix(t *testing.T) {
+	for _, m := range model.All() {
+		_, leaked, err := L1TF(m, false)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Uarch, err)
+		}
+		if leaked != m.Vulns.L1TF {
+			t.Errorf("%s: L1TF leak = %v, vulnerability = %v", m.Uarch, leaked, m.Vulns.L1TF)
+		}
+		if m.Vulns.L1TF {
+			_, leaked, err := L1TF(m, true)
+			if err != nil {
+				t.Fatalf("%s: %v", m.Uarch, err)
+			}
+			if leaked {
+				t.Errorf("%s: L1TF leaked despite PTE inversion", m.Uarch)
+			}
+		}
+	}
+}
+
+// --- LazyFP: pre-fix Intel; eager FPU stops it. --------------------------
+
+func TestLazyFPMatrix(t *testing.T) {
+	for _, m := range model.All() {
+		_, leaked, err := LazyFP(m, false)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Uarch, err)
+		}
+		if leaked != m.Vulns.LazyFPLeak {
+			t.Errorf("%s: LazyFP leak = %v, hw leak = %v", m.Uarch, leaked, m.Vulns.LazyFPLeak)
+		}
+		_, leaked, err = LazyFP(m, true)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Uarch, err)
+		}
+		if leaked {
+			t.Errorf("%s: LazyFP leaked despite eager FPU", m.Uarch)
+		}
+	}
+}
+
+// --- Spectre V2 PoC -------------------------------------------------------
+
+func TestSpectreV2HijackAndIBPB(t *testing.T) {
+	m := model.Broadwell()
+	hit, err := SpectreV2(m, SpectreV2Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("Spectre V2 should hijack on Broadwell")
+	}
+	hit, err = SpectreV2(m, SpectreV2Config{IBPBBeforeVictim: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("IBPB should stop the hijack")
+	}
+	hit, err = SpectreV2(m, SpectreV2Config{IBRS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("legacy IBRS should stop speculation entirely on Broadwell")
+	}
+	if _, err := SpectreV2(model.Zen(), SpectreV2Config{IBRS: true}); err == nil {
+		t.Error("IBRS on Zen must report unsupported")
+	}
+}
+
+// --- §6 probe: Tables 9 and 10 --------------------------------------------
+
+// table9Expected is the paper's Table 9 (IBRS disabled).
+var table9Expected = map[string][numScenarios]bool{
+	"Broadwell":       {true, true, true, true, true},
+	"Skylake Client":  {true, true, true, true, true},
+	"Cascade Lake":    {false, true, true, true, true},
+	"Ice Lake Client": {false, true, true, true, true},
+	"Ice Lake Server": {false, true, true, true, true},
+	"Zen":             {true, true, true, true, true},
+	"Zen 2":           {true, true, true, true, true},
+	"Zen 3":           {false, false, false, false, false},
+}
+
+// table10Expected is the paper's Table 10 (IBRS enabled). Zen is absent
+// (no IBRS support).
+var table10Expected = map[string][numScenarios]bool{
+	"Broadwell":       {false, false, false, false, false},
+	"Skylake Client":  {false, false, false, false, false},
+	"Cascade Lake":    {false, true, true, true, true},
+	"Ice Lake Client": {false, true, false, true, false},
+	"Ice Lake Server": {false, true, true, true, true},
+	"Zen 2":           {false, false, false, false, false},
+	"Zen 3":           {false, false, false, false, false},
+}
+
+func TestProbeTable9(t *testing.T) {
+	for _, m := range model.All() {
+		res, err := RunProbe(m, false)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Uarch, err)
+		}
+		want := table9Expected[m.Uarch]
+		for s := Scenario(0); s < numScenarios; s++ {
+			if res.Speculated[s] != want[s] {
+				t.Errorf("%s %v: speculated = %v, paper says %v", m.Uarch, s, res.Speculated[s], want[s])
+			}
+		}
+	}
+}
+
+func TestProbeTable10(t *testing.T) {
+	for _, m := range model.All() {
+		res, err := RunProbe(m, true)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Uarch, err)
+		}
+		if m.Uarch == "Zen" {
+			if res.Supported {
+				t.Error("Zen must report IBRS unsupported")
+			}
+			continue
+		}
+		want := table10Expected[m.Uarch]
+		for s := Scenario(0); s < numScenarios; s++ {
+			if res.Speculated[s] != want[s] {
+				t.Errorf("%s %v: speculated = %v, paper says %v", m.Uarch, s, res.Speculated[s], want[s])
+			}
+		}
+	}
+}
+
+func TestScenarioStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for s := Scenario(0); s < numScenarios; s++ {
+		str := s.String()
+		if str == "" || seen[str] {
+			t.Errorf("scenario %d: bad name %q", s, str)
+		}
+		seen[str] = true
+	}
+}
+
+// --- SpectreRSB -----------------------------------------------------------
+
+func TestSpectreRSBAndStuffing(t *testing.T) {
+	for _, m := range []*model.CPU{model.Broadwell(), model.Zen3()} {
+		hit, err := SpectreRSB(m, false)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Uarch, err)
+		}
+		if !hit {
+			t.Errorf("%s: SpectreRSB did not steer speculation", m.Uarch)
+		}
+		hit, err = SpectreRSB(m, true)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Uarch, err)
+		}
+		if hit {
+			t.Errorf("%s: RSB stuffing failed to stop SpectreRSB", m.Uarch)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package attacks
+
+import (
+	"fmt"
+	"testing"
+
+	"spectrebench/internal/cpu"
+	"spectrebench/internal/isa"
+	"spectrebench/internal/kernel"
+	"spectrebench/internal/model"
+)
+
+// buildSurvivalProgram: train a kernel-mode indirect branch via SYS_KMOD,
+// perform n intervening getpid syscalls, then measure (again in kernel
+// mode) whether the trained prediction survived.
+func buildSurvivalProgram(n int) *isa.Program {
+	a := isa.NewAsm()
+	a.Jmp("driver")
+
+	a.Label("branch_site")
+	a.MovI(isa.R12, 64)
+	a.Label("fill")
+	a.SubI(isa.R12, 1)
+	a.CmpI(isa.R12, 0)
+	a.Jne("fill")
+	a.CallInd(isa.R11)
+	a.JmpInd(isa.R13)
+
+	a.Label("victim_target")
+	a.MovI(isa.R1, 12345)
+	a.MovI(isa.R2, 6789)
+	a.Div(isa.R1, isa.R2)
+	a.Ret()
+	a.Label("nop_target")
+	a.Ret()
+
+	a.Label("ktrain")
+	a.Mov(isa.R6, isa.R10)
+	a.MovI(isa.R9, 32)
+	a.Label("tloop")
+	a.MovLabel(isa.R11, "victim_target")
+	a.MovLabel(isa.R13, "tnext")
+	a.Jmp("branch_site")
+	a.Label("tnext")
+	a.SubI(isa.R9, 1)
+	a.CmpI(isa.R9, 0)
+	a.Jne("tloop")
+	a.JmpInd(isa.R6)
+
+	a.Label("kmeasure")
+	a.Mov(isa.R6, isa.R10)
+	a.MovLabel(isa.R11, "nop_target")
+	a.MovLabel(isa.R13, "mdone")
+	a.Rdpmc(isa.R8, 2)
+	a.Jmp("branch_site")
+	a.Label("mdone")
+	a.Rdpmc(isa.R9, 2)
+	a.Sub(isa.R9, isa.R8)
+	a.MovI(isa.R12, kernel.UserDataBase+0x3e00)
+	a.Store(isa.R12, 0, isa.R9)
+	a.JmpInd(isa.R6)
+
+	a.Label("driver")
+	a.MovLabel(isa.R2, "ktrain")
+	a.MovI(isa.R7, kernel.SysKMod)
+	a.Syscall()
+	for i := 0; i < n; i++ {
+		a.MovI(isa.R7, kernel.SysGetPID)
+		a.Syscall()
+	}
+	a.MovLabel(isa.R2, "kmeasure")
+	a.MovI(isa.R7, kernel.SysKMod)
+	a.Syscall()
+	a.MovI(isa.R1, 0)
+	a.MovI(isa.R7, kernel.SysExit)
+	a.Syscall()
+	return a.MustAssemble(kernel.UserCodeBase)
+}
+
+// trainingSurvives reports whether the kernel-mode BTB entry trained via
+// one syscall still predicts after n intervening getpid syscalls.
+func trainingSurvives(t *testing.T, m *model.CPU, n int) bool {
+	t.Helper()
+	c := cpu.New(m)
+	k := kernel.New(c, kernel.Defaults(m))
+	p := k.NewProcess(fmt.Sprintf("survival-%d", n), buildSurvivalProgram(n))
+	if err := k.RunProcessToCompletion(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return c.Phys.Read64((uint64(p.PID)<<32)+kernel.UserDataBase+0x3e00) > 0
+}
+
+// The paper's §6.2.2 observation: with eIBRS enabled, roughly one in
+// every 8-20 kernel entries is "slow" and scrubs kernel-mode BTB state;
+// training survives an intervening syscall only when its entry was fast.
+func TestEIBRSBimodalScrubsKernelBTB(t *testing.T) {
+	m := model.CascadeLake() // eIBRS default, bimodal period 12
+	survived, scrubbed := 0, 0
+	for n := 0; n < 2*m.Spec.EIBRSBimodalPeriod; n++ {
+		if trainingSurvives(t, m, n) {
+			survived++
+		} else {
+			scrubbed++
+		}
+	}
+	if survived == 0 {
+		t.Error("training never survived: scrubbing should be periodic, not constant")
+	}
+	if scrubbed == 0 {
+		t.Error("training always survived: no slow entries observed")
+	}
+	t.Logf("Cascade Lake: survived=%d scrubbed=%d over %d spacings",
+		survived, scrubbed, 2*m.Spec.EIBRSBimodalPeriod)
+
+	// Pre-eIBRS hardware has no bimodal scrub: under its default
+	// (retpoline) configuration, kernel-mode training always survives.
+	bw := model.Broadwell()
+	for n := 0; n < 6; n++ {
+		if !trainingSurvives(t, bw, n) {
+			t.Errorf("Broadwell: training scrubbed at n=%d without eIBRS", n)
+		}
+	}
+}

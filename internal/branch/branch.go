@@ -1,0 +1,346 @@
+// Package branch models the branch-prediction structures that Spectre
+// V2 and its mitigations revolve around: the Branch Target Buffer (BTB),
+// the Branch History Buffer (BHB) that indexes it, the Return Stack
+// Buffer (RSB), and a gshare-style conditional predictor for Spectre V1.
+//
+// Two properties of real hardware are modelled explicitly because the
+// paper's Tables 9 and 10 depend on them:
+//
+//   - Mode tagging: eIBRS-capable parts (Cascade Lake, Ice Lake) tag BTB
+//     entries with the privilege mode they were trained in and only
+//     predict from same-mode entries, even when the IBRS MSR bit is off.
+//
+//   - BHB depth: the BTB index mixes in the last D branches. A small D is
+//     erased by the classic 128-branch history-filling loop, so cross
+//     training works; Zen 3's much deeper history scheme is why the
+//     paper could not poison its BTB at all (§6.2) — with D larger than
+//     the fill loop, the branches executed *inside* the previous
+//     architectural target still differ between training and measurement,
+//     so the trained entry is never found.
+package branch
+
+// Mode is the privilege mode a BTB entry was trained in.
+type Mode uint8
+
+// Privilege modes for BTB tagging.
+const (
+	ModeUser Mode = iota
+	ModeKernel
+)
+
+func (m Mode) String() string {
+	if m == ModeUser {
+		return "user"
+	}
+	return "kernel"
+}
+
+// BHB is the branch history buffer: a ring of recent taken-branch
+// fingerprints. Predict-time BTB indexing folds the most recent Depth
+// entries into a hash.
+type BHB struct {
+	ring [512]uint64
+	pos  int
+}
+
+// Record notes a taken branch from pc to target.
+func (b *BHB) Record(pc, target uint64) {
+	b.ring[b.pos] = pc*0x9e3779b97f4a7c15 ^ target
+	b.pos = (b.pos + 1) % len(b.ring)
+}
+
+// Hash folds the most recent depth entries into a single value. depth is
+// clamped to the ring size.
+func (b *BHB) Hash(depth int) uint64 {
+	if depth > len(b.ring) {
+		depth = len(b.ring)
+	}
+	var h uint64 = 0xcbf29ce484222325
+	idx := b.pos
+	for i := 0; i < depth; i++ {
+		idx--
+		if idx < 0 {
+			idx = len(b.ring) - 1
+		}
+		h = (h ^ b.ring[idx]) * 0x100000001b3
+	}
+	return h
+}
+
+// Clear zeroes the history (used on IBPB in some implementations).
+func (b *BHB) Clear() {
+	b.ring = [512]uint64{}
+	b.pos = 0
+}
+
+// BTBConfig describes a model's branch target buffer behaviour.
+type BTBConfig struct {
+	Sets int
+	Ways int
+	// TagMode makes prediction require that the entry was trained in the
+	// current privilege mode (the eIBRS partitioning behaviour).
+	TagMode bool
+	// HistoryDepth is how many recent branches the index hash folds in.
+	HistoryDepth int
+}
+
+type btbEntry struct {
+	valid  bool
+	tag    uint64
+	target uint64
+	mode   Mode
+	used   uint64
+}
+
+// BTB is the branch target buffer.
+type BTB struct {
+	cfg   BTBConfig
+	lines []btbEntry
+	clock uint64
+
+	// Stats.
+	Predictions, Mispredicts, Flushes uint64
+}
+
+// NewBTB returns a BTB with the given configuration.
+func NewBTB(cfg BTBConfig) *BTB {
+	if cfg.Sets <= 0 {
+		cfg.Sets = 512
+	}
+	if cfg.Ways <= 0 {
+		cfg.Ways = 4
+	}
+	if cfg.HistoryDepth <= 0 {
+		cfg.HistoryDepth = 16
+	}
+	return &BTB{cfg: cfg, lines: make([]btbEntry, cfg.Sets*cfg.Ways)}
+}
+
+// Config returns the active configuration.
+func (b *BTB) Config() BTBConfig { return b.cfg }
+
+func (b *BTB) index(pc uint64, bhb *BHB) (setBase int, tag uint64) {
+	h := pc
+	if bhb != nil {
+		h ^= bhb.Hash(b.cfg.HistoryDepth)
+	}
+	set := int(h % uint64(b.cfg.Sets))
+	return set * b.cfg.Ways, h
+}
+
+// Predict returns the predicted target for the indirect branch at pc
+// given the current history and privilege mode. ok is false when there
+// is no usable entry (no speculation happens).
+func (b *BTB) Predict(pc uint64, bhb *BHB, mode Mode) (target uint64, ok bool) {
+	base, tag := b.index(pc, bhb)
+	set := b.lines[base : base+b.cfg.Ways]
+	for i := range set {
+		e := &set[i]
+		if !e.valid || e.tag != tag {
+			continue
+		}
+		if b.cfg.TagMode && e.mode != mode {
+			continue
+		}
+		b.clock++
+		e.used = b.clock
+		return e.target, true
+	}
+	return 0, false
+}
+
+// Update installs or refreshes the entry for pc after the branch
+// resolves to target in the given mode.
+func (b *BTB) Update(pc uint64, bhb *BHB, mode Mode, target uint64) {
+	base, tag := b.index(pc, bhb)
+	set := b.lines[base : base+b.cfg.Ways]
+	victim := &set[0]
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.tag == tag && (!b.cfg.TagMode || e.mode == mode) {
+			victim = e
+			break
+		}
+		if !e.valid {
+			victim = e
+			break
+		}
+		if e.used < victim.used {
+			victim = e
+		}
+	}
+	b.clock++
+	*victim = btbEntry{valid: true, tag: tag, target: target, mode: mode, used: b.clock}
+}
+
+// FlushAll implements IBPB: every entry is invalidated. (The paper
+// observes IBPB may actually redirect entries to a harmless gadget; the
+// observable effect — subsequent indirect branches mispredict — is the
+// same.)
+func (b *BTB) FlushAll() {
+	b.Flushes++
+	for i := range b.lines {
+		b.lines[i].valid = false
+	}
+}
+
+// FlushMode invalidates only entries trained in the given mode. Used to
+// model the periodic kernel-entry BTB scrub the paper observed on eIBRS
+// parts (§6.2.2).
+func (b *BTB) FlushMode(mode Mode) {
+	b.Flushes++
+	for i := range b.lines {
+		if b.lines[i].valid && b.lines[i].mode == mode {
+			b.lines[i].valid = false
+		}
+	}
+}
+
+// Valid returns the number of valid entries (for tests).
+func (b *BTB) Valid() int {
+	n := 0
+	for i := range b.lines {
+		if b.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// RSB is the return stack buffer: a fixed-depth circular stack of
+// predicted return addresses.
+type RSB struct {
+	entries []uint64
+	valid   []bool
+	top     int // next push slot
+	depth   int
+}
+
+// NewRSB returns an RSB of the given depth (16 or 32 on real parts).
+func NewRSB(depth int) *RSB {
+	if depth <= 0 {
+		depth = 16
+	}
+	return &RSB{entries: make([]uint64, depth), valid: make([]bool, depth), depth: depth}
+}
+
+// Depth returns the RSB capacity.
+func (r *RSB) Depth() int { return r.depth }
+
+// Push records a call's return address.
+func (r *RSB) Push(ret uint64) {
+	r.entries[r.top] = ret
+	r.valid[r.top] = true
+	r.top = (r.top + 1) % r.depth
+}
+
+// Pop predicts the target of a ret. ok is false on underflow (no valid
+// entry), in which case no return-address speculation happens.
+func (r *RSB) Pop() (uint64, bool) {
+	r.top--
+	if r.top < 0 {
+		r.top = r.depth - 1
+	}
+	if !r.valid[r.top] {
+		return 0, false
+	}
+	r.valid[r.top] = false
+	return r.entries[r.top], true
+}
+
+// Fill stuffs the entire RSB with the given benign address — the
+// RSB-stuffing mitigation Linux performs on context switches so that an
+// interrupted retpoline cannot speculatively return into a Spectre
+// gadget (§5.3, Table 7).
+func (r *RSB) Fill(benign uint64) {
+	for i := range r.entries {
+		r.entries[i] = benign
+		r.valid[i] = true
+	}
+	r.top = 0
+}
+
+// Clear invalidates all entries.
+func (r *RSB) Clear() {
+	for i := range r.valid {
+		r.valid[i] = false
+	}
+	r.top = 0
+}
+
+// Live returns the number of valid entries (for tests).
+func (r *RSB) Live() int {
+	n := 0
+	for _, v := range r.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// CondPredictor is a bimodal conditional branch predictor: a table of
+// 2-bit saturating counters indexed by PC. (A global-history gshare
+// index adds aliasing that none of the paper's experiments depend on,
+// while making trained-branch behaviour dependent on unrelated code —
+// real attacks pin history explicitly; the bimodal table captures the
+// train-then-mispredict behaviour Spectre V1 needs.)
+type CondPredictor struct {
+	counters []uint8
+	history  uint64 // retained for statistics/debugging
+	mask     uint64
+
+	Predictions, Mispredicts uint64
+}
+
+// NewCondPredictor returns a predictor with 2^bits counters.
+func NewCondPredictor(bits int) *CondPredictor {
+	if bits <= 0 {
+		bits = 12
+	}
+	n := 1 << bits
+	p := &CondPredictor{counters: make([]uint8, n), mask: uint64(n - 1)}
+	// Initialise to weakly-taken so loops train fast.
+	for i := range p.counters {
+		p.counters[i] = 2
+	}
+	return p
+}
+
+func (p *CondPredictor) idx(pc uint64) uint64 {
+	return (pc >> 2) & p.mask
+}
+
+// Predict returns the predicted direction for the branch at pc.
+func (p *CondPredictor) Predict(pc uint64) bool {
+	return p.counters[p.idx(pc)] >= 2
+}
+
+// Update trains the predictor with the resolved direction and reports
+// whether the earlier prediction was correct.
+func (p *CondPredictor) Update(pc uint64, taken bool) (predicted bool) {
+	i := p.idx(pc)
+	predicted = p.counters[i] >= 2
+	if taken {
+		if p.counters[i] < 3 {
+			p.counters[i]++
+		}
+	} else {
+		if p.counters[i] > 0 {
+			p.counters[i]--
+		}
+	}
+	p.history = p.history<<1 | b2u(taken)
+	p.Predictions++
+	if predicted != taken {
+		p.Mispredicts++
+	}
+	return predicted
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,322 @@
+package branch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func fillBHB(b *BHB, n int, seed uint64) {
+	for i := 0; i < n; i++ {
+		b.Record(seed+uint64(i)*4, seed+uint64(i)*4+16)
+	}
+}
+
+func TestBTBTrainPredict(t *testing.T) {
+	btb := NewBTB(BTBConfig{Sets: 64, Ways: 4, HistoryDepth: 8})
+	bhb := &BHB{}
+	fillBHB(bhb, 20, 0x1000)
+	btb.Update(0x4000, bhb, ModeUser, 0x8000)
+	target, ok := btb.Predict(0x4000, bhb, ModeUser)
+	if !ok || target != 0x8000 {
+		t.Fatalf("predict = %#x/%v, want 0x8000", target, ok)
+	}
+	// Unknown pc: no prediction.
+	if _, ok := btb.Predict(0x5000, bhb, ModeUser); ok {
+		t.Error("predicted untrained branch")
+	}
+}
+
+func TestBTBModeTagging(t *testing.T) {
+	// eIBRS-style part: entries trained in user mode must not steer
+	// kernel-mode branches (Table 9: user→kernel blocked on Cascade
+	// Lake / Ice Lake even with IBRS off).
+	btb := NewBTB(BTBConfig{Sets: 64, Ways: 4, TagMode: true, HistoryDepth: 8})
+	bhb := &BHB{}
+	fillBHB(bhb, 20, 0x1000)
+	btb.Update(0x4000, bhb, ModeUser, 0xbad0)
+	if _, ok := btb.Predict(0x4000, bhb, ModeKernel); ok {
+		t.Error("user-trained entry predicted in kernel mode with TagMode")
+	}
+	if tgt, ok := btb.Predict(0x4000, bhb, ModeUser); !ok || tgt != 0xbad0 {
+		t.Error("same-mode prediction should work")
+	}
+
+	// Pre-Spectre part: no tagging, cross-mode poisoning works.
+	old := NewBTB(BTBConfig{Sets: 64, Ways: 4, TagMode: false, HistoryDepth: 8})
+	old.Update(0x4000, bhb, ModeUser, 0xbad0)
+	if tgt, ok := old.Predict(0x4000, bhb, ModeKernel); !ok || tgt != 0xbad0 {
+		t.Error("untagged BTB should allow user→kernel poisoning")
+	}
+}
+
+func TestBTBHistoryDepthFoilsCrossTraining(t *testing.T) {
+	// The Zen 3 behaviour: with a history depth deeper than the
+	// attacker's history-filling loop, the residual differing history
+	// changes the index and the trained entry is never found.
+	shallow := NewBTB(BTBConfig{Sets: 256, Ways: 4, HistoryDepth: 16})
+	deep := NewBTB(BTBConfig{Sets: 256, Ways: 4, HistoryDepth: 300})
+
+	train := &BHB{}
+	fillBHB(train, 40, 0xaaaa) // "victim function" branches differ...
+	fillBHB(train, 128, 0x77)  // ...then the 128-branch fill loop
+	measure := &BHB{}
+	fillBHB(measure, 40, 0xbbbb)
+	fillBHB(measure, 128, 0x77)
+
+	shallow.Update(0x4000, train, ModeUser, 0xdead)
+	if _, ok := shallow.Predict(0x4000, measure, ModeUser); !ok {
+		t.Error("shallow history: fill loop should erase differences")
+	}
+	deep.Update(0x4000, train, ModeUser, 0xdead)
+	if _, ok := deep.Predict(0x4000, measure, ModeUser); ok {
+		t.Error("deep history: training should not transfer")
+	}
+	// Identical full history still predicts even with deep depth.
+	deep.Update(0x4000, measure, ModeUser, 0xbeef)
+	if tgt, ok := deep.Predict(0x4000, measure, ModeUser); !ok || tgt != 0xbeef {
+		t.Error("deep history with identical history should predict")
+	}
+}
+
+func TestBTBFlushAll(t *testing.T) {
+	btb := NewBTB(BTBConfig{Sets: 16, Ways: 2, HistoryDepth: 4})
+	bhb := &BHB{}
+	for i := uint64(0); i < 10; i++ {
+		btb.Update(0x1000+i*4, bhb, ModeUser, 0x2000+i*4)
+	}
+	if btb.Valid() == 0 {
+		t.Fatal("nothing installed")
+	}
+	btb.FlushAll()
+	if btb.Valid() != 0 {
+		t.Error("entries survived IBPB flush")
+	}
+	if _, ok := btb.Predict(0x1000, bhb, ModeUser); ok {
+		t.Error("prediction after flush")
+	}
+	if btb.Flushes != 1 {
+		t.Errorf("flush count = %d", btb.Flushes)
+	}
+}
+
+func TestBTBUpdateReplacesSameTag(t *testing.T) {
+	btb := NewBTB(BTBConfig{Sets: 16, Ways: 2, HistoryDepth: 4})
+	bhb := &BHB{}
+	btb.Update(0x4000, bhb, ModeUser, 0x1111)
+	btb.Update(0x4000, bhb, ModeUser, 0x2222)
+	tgt, ok := btb.Predict(0x4000, bhb, ModeUser)
+	if !ok || tgt != 0x2222 {
+		t.Fatalf("predict = %#x/%v, want 0x2222", tgt, ok)
+	}
+	if btb.Valid() != 1 {
+		t.Errorf("valid = %d, want 1 (update must replace)", btb.Valid())
+	}
+}
+
+func TestRSBPushPop(t *testing.T) {
+	r := NewRSB(4)
+	r.Push(0x100)
+	r.Push(0x200)
+	if got, ok := r.Pop(); !ok || got != 0x200 {
+		t.Fatalf("pop = %#x/%v", got, ok)
+	}
+	if got, ok := r.Pop(); !ok || got != 0x100 {
+		t.Fatalf("pop = %#x/%v", got, ok)
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("pop on empty RSB should report underflow")
+	}
+}
+
+func TestRSBOverflowWraps(t *testing.T) {
+	r := NewRSB(2)
+	r.Push(1)
+	r.Push(2)
+	r.Push(3) // overwrites 1
+	if got, _ := r.Pop(); got != 3 {
+		t.Errorf("pop = %d, want 3", got)
+	}
+	if got, _ := r.Pop(); got != 2 {
+		t.Errorf("pop = %d, want 2", got)
+	}
+	// Entry 1 was overwritten; this slot was consumed by the pop of 3.
+	if _, ok := r.Pop(); ok {
+		t.Error("expected underflow after depth pops")
+	}
+}
+
+func TestRSBFill(t *testing.T) {
+	r := NewRSB(16)
+	r.Push(0xbad)
+	r.Fill(0x5afe)
+	if r.Live() != 16 {
+		t.Fatalf("live = %d, want 16", r.Live())
+	}
+	for i := 0; i < 16; i++ {
+		got, ok := r.Pop()
+		if !ok || got != 0x5afe {
+			t.Fatalf("pop %d = %#x/%v, want benign", i, got, ok)
+		}
+	}
+}
+
+func TestRSBClear(t *testing.T) {
+	r := NewRSB(8)
+	r.Push(1)
+	r.Push(2)
+	r.Clear()
+	if r.Live() != 0 {
+		t.Error("entries survive Clear")
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("pop after clear")
+	}
+}
+
+func TestCondPredictorTrainsOnLoop(t *testing.T) {
+	p := NewCondPredictor(10)
+	pc := uint64(0x4000)
+	// A loop branch taken 100 times trains to predict taken.
+	for i := 0; i < 100; i++ {
+		p.Update(pc, true)
+	}
+	if !p.Predict(pc) {
+		t.Error("predictor did not learn taken loop")
+	}
+	// The loop exit (not taken) mispredicts: this is the Spectre V1 window.
+	if predicted := p.Update(pc, false); predicted != true {
+		t.Error("loop exit should have been (mis)predicted taken")
+	}
+	if p.Mispredicts == 0 {
+		t.Error("mispredict not counted")
+	}
+}
+
+func TestCondPredictorLearnsNotTaken(t *testing.T) {
+	p := NewCondPredictor(10)
+	pc := uint64(0x8000)
+	for i := 0; i < 10; i++ {
+		p.Update(pc, false)
+	}
+	if p.Predict(pc) {
+		t.Error("did not learn not-taken")
+	}
+}
+
+func TestBHBHashDeterministicAndDepthSensitive(t *testing.T) {
+	a, b := &BHB{}, &BHB{}
+	fillBHB(a, 50, 7)
+	fillBHB(b, 50, 7)
+	if a.Hash(16) != b.Hash(16) {
+		t.Error("identical histories hash differently")
+	}
+	c := &BHB{}
+	fillBHB(c, 50, 9)
+	if a.Hash(16) == c.Hash(16) {
+		t.Error("different histories collide (improbable)")
+	}
+	if a.Hash(4) == a.Hash(32) {
+		t.Error("depth should matter (improbable collision)")
+	}
+}
+
+func TestBHBClear(t *testing.T) {
+	a := &BHB{}
+	fillBHB(a, 10, 3)
+	h := a.Hash(16)
+	a.Clear()
+	if a.Hash(16) == h {
+		t.Error("clear did not change hash")
+	}
+	b := &BHB{}
+	if a.Hash(16) != b.Hash(16) {
+		t.Error("cleared BHB should equal fresh BHB")
+	}
+}
+
+// Property: a BTB update under any (pc, mode) is immediately predictable
+// under the same history/mode.
+func TestBTBUpdatePredictProperty(t *testing.T) {
+	btb := NewBTB(BTBConfig{Sets: 128, Ways: 4, HistoryDepth: 8})
+	bhb := &BHB{}
+	f := func(pc, target uint64, kernel bool) bool {
+		mode := ModeUser
+		if kernel {
+			mode = ModeKernel
+		}
+		bhb.Record(pc, target) // evolve history arbitrarily
+		btb.Update(pc, bhb, mode, target)
+		got, ok := btb.Predict(pc, bhb, mode)
+		return ok && got == target
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBTBFlushMode(t *testing.T) {
+	btb := NewBTB(BTBConfig{Sets: 32, Ways: 2, TagMode: true, HistoryDepth: 4})
+	bhb := &BHB{}
+	fillBHB(bhb, 10, 1)
+	btb.Update(0x1000, bhb, ModeUser, 0xa)
+	btb.Update(0x2000, bhb, ModeKernel, 0xb)
+	btb.FlushMode(ModeKernel)
+	if _, ok := btb.Predict(0x2000, bhb, ModeKernel); ok {
+		t.Error("kernel entry survived FlushMode(kernel)")
+	}
+	if _, ok := btb.Predict(0x1000, bhb, ModeUser); !ok {
+		t.Error("user entry lost to FlushMode(kernel)")
+	}
+}
+
+func TestBTBConfigDefaultsAndAccessor(t *testing.T) {
+	btb := NewBTB(BTBConfig{})
+	cfg := btb.Config()
+	if cfg.Sets == 0 || cfg.Ways == 0 || cfg.HistoryDepth == 0 {
+		t.Errorf("zero-config defaults not applied: %+v", cfg)
+	}
+}
+
+func TestBTBEvictionLRU(t *testing.T) {
+	// One set, two ways: force eviction and check LRU ordering.
+	btb := NewBTB(BTBConfig{Sets: 1, Ways: 2, HistoryDepth: 1})
+	bhb := &BHB{}
+	btb.Update(0x10, bhb, ModeUser, 0x100)
+	btb.Update(0x20, bhb, ModeUser, 0x200)
+	btb.Predict(0x10, bhb, ModeUser) // 0x10 becomes MRU
+	btb.Update(0x30, bhb, ModeUser, 0x300)
+	if _, ok := btb.Predict(0x10, bhb, ModeUser); !ok {
+		t.Error("MRU entry evicted")
+	}
+	if _, ok := btb.Predict(0x20, bhb, ModeUser); ok {
+		t.Error("LRU entry survived")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeUser.String() != "user" || ModeKernel.String() != "kernel" {
+		t.Error("mode strings")
+	}
+}
+
+func TestRSBDepthDefaultAndAccessor(t *testing.T) {
+	r := NewRSB(0)
+	if r.Depth() != 16 {
+		t.Errorf("default depth = %d", r.Depth())
+	}
+}
+
+func TestCondPredictorPredictMatchesUpdate(t *testing.T) {
+	p := NewCondPredictor(0) // default size
+	pc := uint64(0x4000)
+	for i := 0; i < 5; i++ {
+		want := p.Predict(pc)
+		got := p.Update(pc, i%2 == 0)
+		if want != got {
+			t.Fatalf("iteration %d: Predict %v != Update's reported prediction %v", i, want, got)
+		}
+	}
+	if p.Predictions != 5 {
+		t.Errorf("predictions = %d", p.Predictions)
+	}
+}

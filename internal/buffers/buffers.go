@@ -1,0 +1,146 @@
+// Package buffers models the microarchitectural buffers behind two attack
+// families:
+//
+//   - The store buffer, whose store-to-load forwarding can be
+//     speculatively bypassed (Speculative Store Bypass) and whose
+//     mitigation, SSBD, disables the bypass at a forwarding-stall cost.
+//
+//   - The fill buffers / load ports, whose stale contents leak under
+//     Microarchitectural Data Sampling (MDS) and are cleared by the
+//     microcode-extended VERW instruction.
+package buffers
+
+// StoreEntry is one in-flight store.
+type StoreEntry struct {
+	Addr  uint64 // 8-byte-aligned effective physical address
+	Value uint64
+	// Prev is the memory value the store overwrote. A load that
+	// speculatively bypasses this store (Speculative Store Bypass)
+	// transiently observes Prev instead of Value.
+	Prev uint64
+	Age  int // instructions since issue; drains at DrainAge
+}
+
+// StoreBuffer holds in-flight stores awaiting retirement. While an entry
+// is young (Age < bypass window), a dependent load's address
+// disambiguation may not have completed, which is the Speculative Store
+// Bypass window.
+type StoreBuffer struct {
+	entries  []StoreEntry
+	capacity int
+	drainAge int
+
+	// Forwards counts store-to-load forwarding events (for tests and
+	// SSBD cost accounting).
+	Forwards uint64
+}
+
+// NewStoreBuffer returns a store buffer with the given capacity and the
+// number of retired instructions after which an entry drains to memory.
+func NewStoreBuffer(capacity, drainAge int) *StoreBuffer {
+	if capacity <= 0 {
+		capacity = 42
+	}
+	if drainAge <= 0 {
+		drainAge = 8
+	}
+	return &StoreBuffer{capacity: capacity, drainAge: drainAge}
+}
+
+// Insert records a store. The memory write itself is performed by the
+// core; the buffer only tracks forwarding state. prev is the memory
+// value being overwritten (the value a bypassing load would observe).
+func (s *StoreBuffer) Insert(addr, value, prev uint64) {
+	if len(s.entries) == s.capacity {
+		s.entries = s.entries[1:]
+	}
+	s.entries = append(s.entries, StoreEntry{Addr: addr, Value: value, Prev: prev})
+}
+
+// Tick ages all entries by one retired instruction and drains old ones.
+func (s *StoreBuffer) Tick() {
+	w := 0
+	for i := range s.entries {
+		s.entries[i].Age++
+		if s.entries[i].Age < s.drainAge {
+			s.entries[w] = s.entries[i]
+			w++
+		}
+	}
+	s.entries = s.entries[:w]
+}
+
+// Lookup returns the youngest in-flight store to addr, if any. ok=true
+// means a subsequent load would be satisfied by forwarding.
+func (s *StoreBuffer) Lookup(addr uint64) (StoreEntry, bool) {
+	for i := len(s.entries) - 1; i >= 0; i-- {
+		if s.entries[i].Addr == addr {
+			s.Forwards++
+			return s.entries[i], true
+		}
+	}
+	return StoreEntry{}, false
+}
+
+// Drain empties the buffer (sfence / serialising events).
+func (s *StoreBuffer) Drain() { s.entries = s.entries[:0] }
+
+// Len returns the number of in-flight stores.
+func (s *StoreBuffer) Len() int { return len(s.entries) }
+
+// DrainAge exposes the configured drain age (the SSB window length).
+func (s *StoreBuffer) DrainAge() int { return s.drainAge }
+
+// FillBuffer models the line-fill buffers and load ports that MDS-class
+// attacks sample. Every load or store that moves data through the core
+// deposits its value here; on MDS-vulnerable parts a faulting load can
+// transiently observe a stale slot belonging to another privilege domain
+// or the sibling hyperthread.
+type FillBuffer struct {
+	slots []uint64
+	pos   int
+
+	// Clears counts VERW-style clears (for mitigation accounting).
+	Clears uint64
+}
+
+// NewFillBuffer returns a fill buffer with n slots (12 LFBs on Skylake).
+func NewFillBuffer(n int) *FillBuffer {
+	if n <= 0 {
+		n = 12
+	}
+	return &FillBuffer{slots: make([]uint64, n)}
+}
+
+// Deposit records a value moving through the buffers.
+func (f *FillBuffer) Deposit(v uint64) {
+	f.slots[f.pos] = v
+	f.pos = (f.pos + 1) % len(f.slots)
+}
+
+// Sample returns the most recently deposited value — what a faulting
+// load transiently observes on an MDS-vulnerable part.
+func (f *FillBuffer) Sample() uint64 {
+	idx := f.pos - 1
+	if idx < 0 {
+		idx = len(f.slots) - 1
+	}
+	return f.slots[idx]
+}
+
+// SampleAt returns slot i mod size (different MDS variants sample
+// different ports; tests use this to check clearing is complete).
+func (f *FillBuffer) SampleAt(i int) uint64 {
+	return f.slots[i%len(f.slots)]
+}
+
+// Clear zeroes every slot — the VERW microcode behaviour.
+func (f *FillBuffer) Clear() {
+	f.Clears++
+	for i := range f.slots {
+		f.slots[i] = 0
+	}
+}
+
+// Size returns the slot count.
+func (f *FillBuffer) Size() int { return len(f.slots) }

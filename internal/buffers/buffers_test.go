@@ -1,0 +1,157 @@
+package buffers
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStoreBufferForwarding(t *testing.T) {
+	sb := NewStoreBuffer(8, 4)
+	sb.Insert(0x100, 42, 0)
+	e, ok := sb.Lookup(0x100)
+	if !ok || e.Value != 42 {
+		t.Fatalf("lookup = %+v/%v", e, ok)
+	}
+	if sb.Forwards != 1 {
+		t.Errorf("forwards = %d", sb.Forwards)
+	}
+	if _, ok := sb.Lookup(0x108); ok {
+		t.Error("forwarded from wrong address")
+	}
+}
+
+func TestStoreBufferYoungestWins(t *testing.T) {
+	sb := NewStoreBuffer(8, 10)
+	sb.Insert(0x100, 1, 0)
+	sb.Insert(0x100, 2, 1)
+	e, ok := sb.Lookup(0x100)
+	if !ok || e.Value != 2 {
+		t.Fatalf("lookup = %+v, want youngest store (2)", e)
+	}
+}
+
+func TestStoreBufferDrainsWithAge(t *testing.T) {
+	sb := NewStoreBuffer(8, 3)
+	sb.Insert(0x100, 7, 0)
+	sb.Tick()
+	sb.Tick()
+	if _, ok := sb.Lookup(0x100); !ok {
+		t.Fatal("entry drained too early")
+	}
+	sb.Tick()
+	if _, ok := sb.Lookup(0x100); ok {
+		t.Error("entry survived past drain age")
+	}
+	if sb.Len() != 0 {
+		t.Errorf("len = %d after drain", sb.Len())
+	}
+}
+
+func TestStoreBufferCapacity(t *testing.T) {
+	sb := NewStoreBuffer(2, 100)
+	sb.Insert(0x100, 1, 0)
+	sb.Insert(0x108, 2, 0)
+	sb.Insert(0x110, 3, 0) // evicts oldest
+	if sb.Len() != 2 {
+		t.Fatalf("len = %d, want 2", sb.Len())
+	}
+	if _, ok := sb.Lookup(0x100); ok {
+		t.Error("oldest entry should have been displaced")
+	}
+	if _, ok := sb.Lookup(0x110); !ok {
+		t.Error("newest entry missing")
+	}
+}
+
+func TestStoreBufferExplicitDrain(t *testing.T) {
+	sb := NewStoreBuffer(8, 100)
+	sb.Insert(0x1, 1, 0)
+	sb.Insert(0x2, 2, 0)
+	sb.Drain()
+	if sb.Len() != 0 {
+		t.Error("drain left entries")
+	}
+}
+
+func TestFillBufferSample(t *testing.T) {
+	fb := NewFillBuffer(4)
+	fb.Deposit(0x11)
+	fb.Deposit(0x22)
+	if got := fb.Sample(); got != 0x22 {
+		t.Errorf("sample = %#x, want most recent", got)
+	}
+}
+
+func TestFillBufferClearIsComplete(t *testing.T) {
+	fb := NewFillBuffer(6)
+	for i := 0; i < 10; i++ {
+		fb.Deposit(uint64(0x1000 + i))
+	}
+	fb.Clear()
+	for i := 0; i < fb.Size(); i++ {
+		if fb.SampleAt(i) != 0 {
+			t.Fatalf("slot %d survived VERW clear", i)
+		}
+	}
+	if fb.Clears != 1 {
+		t.Errorf("clears = %d", fb.Clears)
+	}
+}
+
+func TestFillBufferWrapsRing(t *testing.T) {
+	fb := NewFillBuffer(3)
+	for i := 1; i <= 7; i++ {
+		fb.Deposit(uint64(i))
+	}
+	if fb.Sample() != 7 {
+		t.Errorf("sample = %d, want 7", fb.Sample())
+	}
+}
+
+// Property: Insert then Lookup at the same address always forwards the
+// inserted value (until aged out).
+func TestStoreBufferInsertLookupProperty(t *testing.T) {
+	f := func(addr, val uint64) bool {
+		sb := NewStoreBuffer(16, 8)
+		sb.Insert(addr, val, ^val)
+		e, ok := sb.Lookup(addr)
+		return ok && e.Value == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after Clear, every slot samples zero regardless of deposits.
+func TestFillBufferClearProperty(t *testing.T) {
+	f := func(vals []uint64) bool {
+		fb := NewFillBuffer(12)
+		for _, v := range vals {
+			fb.Deposit(v)
+		}
+		fb.Clear()
+		return fb.Sample() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStoreBufferPrevValue(t *testing.T) {
+	// Prev carries what a bypassing load would transiently observe: the
+	// overwritten memory value, chained through successive stores.
+	sb := NewStoreBuffer(8, 8)
+	sb.Insert(0x100, 10, 99) // overwrote 99
+	e, ok := sb.Lookup(0x100)
+	if !ok || e.Prev != 99 {
+		t.Fatalf("prev = %d/%v, want 99", e.Prev, ok)
+	}
+	sb.Insert(0x100, 20, 10) // the second store overwrote the first's value
+	e, _ = sb.Lookup(0x100)
+	if e.Value != 20 || e.Prev != 10 {
+		t.Errorf("youngest entry = %+v", e)
+	}
+	if sb.DrainAge() != 8 {
+		t.Errorf("drain age accessor = %d", sb.DrainAge())
+	}
+}

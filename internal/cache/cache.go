@@ -1,0 +1,208 @@
+// Package cache models a set-associative cache hierarchy with cycle
+// accounting. Caches track tags only; data always lives in physical
+// memory. Tag state is all that transient-execution side channels need:
+// FLUSH+RELOAD observes hit/miss latency, and the L1TF attack leaks
+// whatever physical line currently resides in the L1.
+package cache
+
+import "fmt"
+
+// LineSize is the cache line size in bytes.
+const LineSize = 64
+
+// LineShift is log2(LineSize).
+const LineShift = 6
+
+// LineBase returns the line-aligned base of a physical address.
+func LineBase(pa uint64) uint64 { return pa &^ uint64(LineSize-1) }
+
+// Cache is one level of a physically-tagged set-associative cache with
+// LRU replacement. Levels are chained through Next; the last level's
+// misses cost MemLatency.
+type Cache struct {
+	Name       string
+	HitLatency uint64 // cycles for a hit at this level
+	MemLatency uint64 // cycles for a miss past the last level (only used when Next == nil)
+	Next       *Cache
+
+	sets  int
+	ways  int
+	lines []cacheLine // sets*ways entries
+
+	// Statistics.
+	Hits, Misses uint64
+
+	clock uint64 // LRU timestamp source
+}
+
+type cacheLine struct {
+	valid bool
+	tag   uint64 // line base physical address
+	used  uint64 // LRU timestamp
+}
+
+// Config describes one cache level.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	Ways       int
+	HitLatency uint64
+}
+
+// New builds a cache hierarchy from outermost-first configs (L1 first).
+// memLatency is the cost of missing all levels.
+func New(memLatency uint64, levels ...Config) *Cache {
+	var first, prev *Cache
+	for _, cfg := range levels {
+		sets := cfg.SizeBytes / LineSize / cfg.Ways
+		if sets < 1 {
+			panic(fmt.Sprintf("cache %s: invalid geometry", cfg.Name))
+		}
+		c := &Cache{
+			Name:       cfg.Name,
+			HitLatency: cfg.HitLatency,
+			sets:       sets,
+			ways:       cfg.Ways,
+			lines:      make([]cacheLine, sets*cfg.Ways),
+		}
+		if prev != nil {
+			prev.Next = c
+		} else {
+			first = c
+		}
+		prev = c
+	}
+	if prev != nil {
+		prev.MemLatency = memLatency
+	}
+	return first
+}
+
+func (c *Cache) set(pa uint64) []cacheLine {
+	idx := int((pa >> LineShift) % uint64(c.sets))
+	return c.lines[idx*c.ways : (idx+1)*c.ways]
+}
+
+// lookup returns the way holding pa's line, or nil.
+func (c *Cache) lookup(pa uint64) *cacheLine {
+	tag := LineBase(pa)
+	set := c.set(pa)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// insert fills pa's line, evicting LRU if needed.
+func (c *Cache) insert(pa uint64) {
+	tag := LineBase(pa)
+	set := c.set(pa)
+	victim := &set[0]
+	for i := range set {
+		if !set[i].valid {
+			victim = &set[i]
+			break
+		}
+		if set[i].used < victim.used {
+			victim = &set[i]
+		}
+	}
+	c.clock++
+	*victim = cacheLine{valid: true, tag: tag, used: c.clock}
+}
+
+// Access simulates a load or store of the line containing pa and returns
+// the access latency in cycles. On a miss the line is filled at this and
+// all inner levels (inclusive hierarchy).
+func (c *Cache) Access(pa uint64) uint64 {
+	if line := c.lookup(pa); line != nil {
+		c.clock++
+		line.used = c.clock
+		c.Hits++
+		return c.HitLatency
+	}
+	c.Misses++
+	var lat uint64
+	if c.Next != nil {
+		lat = c.HitLatency + c.Next.Access(pa)
+	} else {
+		lat = c.HitLatency + c.MemLatency
+	}
+	c.insert(pa)
+	return lat
+}
+
+// Probe reports whether pa's line is present at this level, without
+// disturbing LRU or statistics. This is the simulator-internal primitive
+// behind timing probes and the L1TF leak.
+func (c *Cache) Probe(pa uint64) bool { return c.lookup(pa) != nil }
+
+// Touch fills pa's line at this level and all inner levels without
+// charging latency (used for prefetch-style fills during transient
+// execution, where the committed instruction stream never waits).
+func (c *Cache) Touch(pa uint64) {
+	if c.lookup(pa) == nil {
+		c.insert(pa)
+	}
+	if c.Next != nil {
+		c.Next.Touch(pa)
+	}
+}
+
+// Flush evicts pa's line from this level and all inner levels (clflush).
+func (c *Cache) Flush(pa uint64) {
+	tag := LineBase(pa)
+	set := c.set(pa)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].valid = false
+		}
+	}
+	if c.Next != nil {
+		c.Next.Flush(pa)
+	}
+}
+
+// FlushAll invalidates every line at this level only (the L1TF mitigation
+// flushes just the L1).
+func (c *Cache) FlushAll() {
+	for i := range c.lines {
+		c.lines[i].valid = false
+	}
+}
+
+// FlushAllLevels invalidates this and all inner levels.
+func (c *Cache) FlushAllLevels() {
+	c.FlushAll()
+	if c.Next != nil {
+		c.Next.FlushAllLevels()
+	}
+}
+
+// Contents returns the line-base addresses currently valid at this level.
+// Used by the L1TF leak model and by tests.
+func (c *Cache) Contents() []uint64 {
+	var out []uint64
+	for i := range c.lines {
+		if c.lines[i].valid {
+			out = append(out, c.lines[i].tag)
+		}
+	}
+	return out
+}
+
+// ResetStats zeroes hit/miss counters at this and inner levels.
+func (c *Cache) ResetStats() {
+	c.Hits, c.Misses = 0, 0
+	if c.Next != nil {
+		c.Next.ResetStats()
+	}
+}
+
+// Sets returns the number of sets (for tests).
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity (for tests).
+func (c *Cache) Ways() int { return c.ways }

@@ -1,0 +1,40 @@
+package core_test
+
+import (
+	"fmt"
+
+	"spectrebench/internal/core"
+	"spectrebench/internal/kernel"
+	"spectrebench/internal/model"
+)
+
+// Attribute decomposes a workload's mitigation overhead. This example
+// uses a synthetic workload whose costs are known exactly; real use
+// passes a LEBench or Octane measurement function.
+func ExampleAttribute() {
+	workload := func(m *model.CPU, mit kernel.Mitigations) (float64, error) {
+		cost := 1000.0
+		if mit.PTI {
+			cost += 150 // page-table isolation tax
+		}
+		if mit.MDSClear {
+			cost += 100 // verw tax
+		}
+		return cost, nil
+	}
+
+	attr, err := core.Attribute(model.Broadwell(), workload, core.OSLadder(),
+		core.Config{MinRuns: 2, MaxRuns: 2, RelCI: 0.1})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("total overhead: %.0f%%\n", attr.Total*100)
+	for _, p := range attr.Parts[:2] {
+		fmt.Printf("%s: %.0f%%\n", p.Name, p.Overhead*100)
+	}
+	// Output:
+	// total overhead: 25%
+	// MDS (verw): 10%
+	// Meltdown (PTI): 15%
+}

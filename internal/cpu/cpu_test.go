@@ -1,0 +1,895 @@
+package cpu
+
+import (
+	"errors"
+	"testing"
+
+	"spectrebench/internal/isa"
+	"spectrebench/internal/mem"
+	"spectrebench/internal/model"
+	"spectrebench/internal/pmc"
+)
+
+// Test address-space layout.
+const (
+	codeBase  = 0x40_0000
+	dataBase  = 0x80_0000 // user rw
+	probeBase = 0x90_0000 // user rw, used for flush+reload
+	stackTop  = 0xa0_0000 // user rw, grows down
+	kernBase  = 0xc0_0000 // supervisor page (meltdown target)
+)
+
+// newUserCore builds a core running user code with a simple layout.
+func newUserCore(t *testing.T, m *model.CPU) *Core {
+	t.Helper()
+	c := New(m)
+	pt := c.PTs.NewTable(1)
+	pt.MapRange(codeBase, codeBase, 16, false, true, false, false)
+	pt.MapRange(dataBase, dataBase, 64, true, true, true, false)
+	pt.MapRange(probeBase, probeBase, 64, true, true, true, false)
+	pt.MapRange(stackTop-16*mem.PageSize, stackTop-16*mem.PageSize, 16, true, true, true, false)
+	// Kernel page: present, supervisor-only.
+	pt.MapRange(kernBase, kernBase, 4, true, false, true, true)
+	c.SetPageTable(pt)
+	c.Regs[isa.SP] = stackTop
+	return c
+}
+
+func run(t *testing.T, c *Core, p *isa.Program) {
+	t.Helper()
+	c.LoadProgram(p)
+	c.PC = p.Base
+	if err := c.RunUntilHalt(1_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestArithmeticAndFlags(t *testing.T) {
+	c := newUserCore(t, model.Broadwell())
+	a := isa.NewAsm()
+	a.MovI(isa.R1, 10)
+	a.MovI(isa.R2, 3)
+	a.Mov(isa.R3, isa.R1)
+	a.Add(isa.R3, isa.R2) // 13
+	a.Mul(isa.R3, isa.R2) // 39
+	a.Div(isa.R3, isa.R2) // 13
+	a.SubI(isa.R3, 3)     // 10
+	a.CmpI(isa.R3, 10)    // EQ
+	a.MovI(isa.R4, 1)
+	a.MovI(isa.R5, 0)
+	a.CmovEq(isa.R5, isa.R4) // r5 = 1
+	a.Hlt()
+	run(t, c, a.MustAssemble(codeBase))
+	if c.Regs[isa.R3] != 10 || c.Regs[isa.R5] != 1 {
+		t.Errorf("r3 = %d, r5 = %d", c.Regs[isa.R3], c.Regs[isa.R5])
+	}
+	if c.Cycles == 0 || c.Instret != 12 {
+		t.Errorf("cycles = %d, instret = %d", c.Cycles, c.Instret)
+	}
+}
+
+func TestLoopExecution(t *testing.T) {
+	c := newUserCore(t, model.Zen2())
+	a := isa.NewAsm()
+	a.MovI(isa.R1, 0)   // sum
+	a.MovI(isa.R2, 100) // counter
+	a.Label("loop")
+	a.Add(isa.R1, isa.R2)
+	a.SubI(isa.R2, 1)
+	a.CmpI(isa.R2, 0)
+	a.Jne("loop")
+	a.Hlt()
+	run(t, c, a.MustAssemble(codeBase))
+	if c.Regs[isa.R1] != 5050 {
+		t.Errorf("sum = %d, want 5050", c.Regs[isa.R1])
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	c := newUserCore(t, model.Broadwell())
+	a := isa.NewAsm()
+	a.MovI(isa.R1, dataBase)
+	a.MovI(isa.R2, 0xabcdef)
+	a.Store(isa.R1, 16, isa.R2)
+	a.Load(isa.R3, isa.R1, 16)
+	a.Hlt()
+	run(t, c, a.MustAssemble(codeBase))
+	if c.Regs[isa.R3] != 0xabcdef {
+		t.Errorf("r3 = %#x", c.Regs[isa.R3])
+	}
+	if c.Phys.Read64(dataBase+16) != 0xabcdef {
+		t.Error("store did not reach memory")
+	}
+}
+
+func TestCallRetWithStack(t *testing.T) {
+	c := newUserCore(t, model.IceLakeServer())
+	a := isa.NewAsm()
+	a.MovI(isa.R1, 5)
+	a.Call("double")
+	a.Call("double")
+	a.Hlt()
+	a.Label("double")
+	a.Add(isa.R1, isa.R1)
+	a.Ret()
+	run(t, c, a.MustAssemble(codeBase))
+	if c.Regs[isa.R1] != 20 {
+		t.Errorf("r1 = %d, want 20", c.Regs[isa.R1])
+	}
+	if c.Regs[isa.SP] != stackTop {
+		t.Errorf("stack imbalance: sp = %#x", c.Regs[isa.SP])
+	}
+}
+
+func TestPageFaultTrapHook(t *testing.T) {
+	c := newUserCore(t, model.Broadwell())
+	var got Fault
+	c.OnTrap = func(_ *Core, f Fault) TrapAction {
+		got = f
+		return TrapSkip
+	}
+	a := isa.NewAsm()
+	a.MovI(isa.R1, 0xdead0000)
+	a.Load(isa.R2, isa.R1, 0) // unmapped
+	a.MovI(isa.R3, 77)
+	a.Hlt()
+	run(t, c, a.MustAssemble(codeBase))
+	if got.Kind != FaultPage || got.VA != 0xdead0000 {
+		t.Errorf("fault = %+v", got)
+	}
+	if c.Regs[isa.R3] != 77 {
+		t.Error("TrapSkip did not resume after the faulting instruction")
+	}
+}
+
+func TestTrapKillStopsExecution(t *testing.T) {
+	c := newUserCore(t, model.Zen())
+	c.OnTrap = func(_ *Core, _ Fault) TrapAction { return TrapKill }
+	a := isa.NewAsm()
+	a.Ud()
+	a.Hlt()
+	c.LoadProgram(a.MustAssemble(codeBase))
+	c.PC = codeBase
+	err := c.Run(10)
+	var f Fault
+	if !errors.As(err, &f) || f.Kind != FaultInvalidOp {
+		t.Fatalf("err = %v, want invalid-opcode fault", err)
+	}
+	if !c.Halted() {
+		t.Error("core should halt after kill")
+	}
+}
+
+func TestUserCannotTouchPrivilegedState(t *testing.T) {
+	for _, mk := range []func(*isa.Asm){
+		func(a *isa.Asm) { a.Wrmsr(MSRSpecCtrl, isa.R1) },
+		func(a *isa.Asm) { a.Rdmsr(isa.R1, MSRSpecCtrl) },
+		func(a *isa.Asm) { a.MovCR3(isa.R1) },
+		func(a *isa.Asm) { a.Swapgs() },
+		func(a *isa.Asm) { a.Invpcid(isa.R1, 2) },
+		func(a *isa.Asm) { a.Sysret() },
+	} {
+		c := newUserCore(t, model.Broadwell())
+		var kinds []FaultKind
+		c.OnTrap = func(_ *Core, f Fault) TrapAction {
+			kinds = append(kinds, f.Kind)
+			return TrapSkip
+		}
+		a := isa.NewAsm()
+		mk(a)
+		a.Hlt()
+		run(t, c, a.MustAssemble(codeBase))
+		if len(kinds) != 1 || kinds[0] != FaultGP {
+			t.Errorf("privileged op in user mode: faults = %v, want one #GP", kinds)
+		}
+	}
+}
+
+func TestSyscallGoHook(t *testing.T) {
+	c := newUserCore(t, model.CascadeLake())
+	var sawNr uint64
+	var sawPriv Priv
+	c.OnSyscall = func(cc *Core) {
+		sawNr = cc.Regs[isa.R7]
+		sawPriv = cc.Priv
+		cc.Regs[isa.R0] = 42
+	}
+	a := isa.NewAsm()
+	a.MovI(isa.R7, 39) // getpid-ish
+	a.Syscall()
+	a.Hlt()
+	run(t, c, a.MustAssemble(codeBase))
+	if sawNr != 39 || sawPriv != PrivKernel {
+		t.Errorf("hook saw nr=%d priv=%v", sawNr, sawPriv)
+	}
+	if c.Regs[isa.R0] != 42 {
+		t.Error("syscall return value lost")
+	}
+	if c.Priv != PrivUser {
+		t.Error("did not return to user mode")
+	}
+}
+
+func TestSyscallLStarStubAndThunk(t *testing.T) {
+	c := newUserCore(t, model.Broadwell())
+	// Kernel stub at a supervisor-executable page.
+	kstub := uint64(0xd0_0000)
+	pt := c.PageTable()
+	pt.MapRange(kstub, kstub, 1, false, false, false, true)
+	dispatch := kstub + 0x800
+	var handled bool
+	c.Thunks[dispatch] = func(cc *Core) {
+		handled = true
+		cc.Regs[isa.R0] = 7
+		cc.PC = kstub + 2*isa.InstrBytes // to the sysret
+	}
+	a := isa.NewAsm()
+	a.Swapgs()
+	a.Jmp("dispatch_pad") // placeholder: real stubs jump to the thunk address
+	a.Swapgs()
+	a.Sysret()
+	a.Label("dispatch_pad")
+	a.Hlt()
+	stub := a.MustAssemble(kstub)
+	// Patch the jmp to land exactly on the thunk address.
+	stub.Code[1].Target = dispatch
+	c.LoadProgram(stub)
+	c.SetMSR(MSRLStar, kstub)
+	// The thunk jumps to kstub+8 (the second swapgs? no: index 2 = swapgs).
+
+	u := isa.NewAsm()
+	u.Syscall()
+	u.Hlt()
+	run(t, c, u.MustAssemble(codeBase))
+	if !handled {
+		t.Fatal("thunk dispatch did not run")
+	}
+	if c.Regs[isa.R0] != 7 || c.Priv != PrivUser {
+		t.Errorf("r0 = %d, priv = %v", c.Regs[isa.R0], c.Priv)
+	}
+	if c.GSSwapped {
+		t.Error("unbalanced swapgs")
+	}
+}
+
+func TestRdtscAdvances(t *testing.T) {
+	c := newUserCore(t, model.Zen3())
+	a := isa.NewAsm()
+	a.Rdtsc(isa.R1)
+	a.MovI(isa.R3, dataBase)
+	a.Load(isa.R4, isa.R3, 0) // some work
+	a.Rdtsc(isa.R2)
+	a.Hlt()
+	run(t, c, a.MustAssemble(codeBase))
+	if c.Regs[isa.R2] <= c.Regs[isa.R1] {
+		t.Errorf("tsc did not advance: %d -> %d", c.Regs[isa.R1], c.Regs[isa.R2])
+	}
+}
+
+// --- Spectre V1 ---------------------------------------------------------
+
+// spectreV1Program builds the classic bounds-check-bypass victim.
+// r1 = index (attacker controlled), probe lines indexed by loaded value.
+func spectreV1Program(mitigation string) *isa.Program {
+	a := isa.NewAsm()
+	a.MovI(isa.R2, dataBase)  // array base
+	a.MovI(isa.R3, 16)        // array length (elements)
+	a.MovI(isa.R4, probeBase) // probe array
+	a.MovI(isa.R9, 0)         // zero, for index masking
+	a.Cmp(isa.R1, isa.R3)
+	a.Jge("out_of_bounds")
+	switch mitigation {
+	case "lfence":
+		a.Lfence()
+	case "mask":
+		// cmp idx,len ; cmovge idx,zero — SpiderMonkey's index masking.
+		a.Cmp(isa.R1, isa.R3)
+		a.CmovGe(isa.R1, isa.R9)
+	}
+	a.Mov(isa.R5, isa.R1)
+	a.ShlI(isa.R5, 3)
+	a.Add(isa.R5, isa.R2)
+	a.Load(isa.R6, isa.R5, 0) // array[idx] — OOB reads the secret
+	a.ShlI(isa.R6, 6)         // × line size
+	a.Add(isa.R6, isa.R4)
+	a.Load(isa.R7, isa.R6, 0) // probe touch
+	a.Label("out_of_bounds")
+	a.Hlt()
+	return a.MustAssemble(codeBase)
+}
+
+// runSpectreV1 trains the predictor in-bounds, flushes the probe array,
+// then runs one out-of-bounds access. Returns which probe line is hot.
+func runSpectreV1(t *testing.T, c *Core, p *isa.Program, secretIdx uint64) (hot []uint64) {
+	t.Helper()
+	c.LoadProgram(p)
+	// Train: in-bounds indices, branch resolves not-taken.
+	for i := 0; i < 16; i++ {
+		c.Reset()
+		c.Regs[isa.SP] = stackTop
+		c.Regs[isa.R1] = uint64(i % 8)
+		c.PC = p.Base
+		if err := c.RunUntilHalt(10000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Flush all probe lines.
+	for v := uint64(0); v < 256; v++ {
+		c.L1.Flush(probeBase + v*64)
+	}
+	// Attack run.
+	c.Reset()
+	c.Regs[isa.SP] = stackTop
+	c.Regs[isa.R1] = secretIdx
+	c.PC = p.Base
+	if err := c.RunUntilHalt(10000); err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(0); v < 256; v++ {
+		if c.L1.Probe(probeBase + v*64) {
+			hot = append(hot, v)
+		}
+	}
+	return hot
+}
+
+func TestSpectreV1LeaksWithoutMitigation(t *testing.T) {
+	c := newUserCore(t, model.Broadwell())
+	secret := uint64(123)
+	// The "secret" lives past the array bounds, still user-readable.
+	secretOff := uint64(100)
+	c.Phys.Write64(dataBase+secretOff*8, secret)
+	hot := runSpectreV1(t, c, spectreV1Program("none"), secretOff)
+	found := false
+	for _, v := range hot {
+		if v == secret {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Spectre V1 did not leak: hot lines = %v", hot)
+	}
+}
+
+func TestSpectreV1BlockedByLfence(t *testing.T) {
+	c := newUserCore(t, model.Broadwell())
+	secret := uint64(123)
+	c.Phys.Write64(dataBase+100*8, secret)
+	hot := runSpectreV1(t, c, spectreV1Program("lfence"), 100)
+	for _, v := range hot {
+		if v == secret {
+			t.Errorf("secret line hot despite lfence: %v", hot)
+		}
+	}
+}
+
+func TestSpectreV1BlockedByIndexMasking(t *testing.T) {
+	c := newUserCore(t, model.Broadwell())
+	secret := uint64(123)
+	c.Phys.Write64(dataBase+100*8, secret)
+	hot := runSpectreV1(t, c, spectreV1Program("mask"), 100)
+	for _, v := range hot {
+		if v == secret {
+			t.Errorf("secret line hot despite index masking: %v", hot)
+		}
+	}
+}
+
+func TestSpectreV1NoLeakWithSpeculationDisabled(t *testing.T) {
+	c := newUserCore(t, model.Broadwell())
+	c.SpecEnabled = false
+	secret := uint64(123)
+	c.Phys.Write64(dataBase+100*8, secret)
+	hot := runSpectreV1(t, c, spectreV1Program("none"), 100)
+	for _, v := range hot {
+		if v == secret {
+			t.Error("leak with speculation disabled")
+		}
+	}
+}
+
+// --- Spectre V2 ---------------------------------------------------------
+
+// spectreV2Setup builds: an indirect call site, a victim target
+// containing a divide, and a nop target. Returns the program.
+func spectreV2Program() *isa.Program {
+	a := isa.NewAsm()
+	a.CallInd(isa.R11)
+	a.Hlt()
+	a.Label("victim_target")
+	a.MovI(isa.R1, 12345)
+	a.MovI(isa.R2, 6789)
+	a.Div(isa.R1, isa.R2) // divider-active signal
+	a.Ret()
+	a.Label("nop_target")
+	a.Ret()
+	return a.MustAssemble(codeBase)
+}
+
+func trainBTB(t *testing.T, c *Core, p *isa.Program, target uint64, times int) {
+	t.Helper()
+	for i := 0; i < times; i++ {
+		c.Reset()
+		c.Regs[isa.SP] = stackTop
+		c.Regs[isa.R11] = target
+		c.PC = p.Base
+		if err := c.RunUntilHalt(1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSpectreV2PoisonsBTB(t *testing.T) {
+	c := newUserCore(t, model.Broadwell())
+	p := spectreV2Program()
+	c.LoadProgram(p)
+	victim := p.LabelAddr("victim_target")
+	nop := p.LabelAddr("nop_target")
+
+	trainBTB(t, c, p, victim, 16)
+	before := c.PMC.Read(pmc.ArithDividerActive)
+	// Misdirected run: actual target is nop, prediction is victim.
+	trainBTB(t, c, p, nop, 1)
+	after := c.PMC.Read(pmc.ArithDividerActive)
+	if after <= before {
+		t.Error("victim gadget did not run transiently (no divider activity)")
+	}
+}
+
+func TestIBPBBlocksSpectreV2(t *testing.T) {
+	c := newUserCore(t, model.Broadwell())
+	p := spectreV2Program()
+	c.LoadProgram(p)
+	victim := p.LabelAddr("victim_target")
+	nop := p.LabelAddr("nop_target")
+
+	trainBTB(t, c, p, victim, 16)
+	// IBPB between training and victim run.
+	c.SetMSR(MSRPredCmd, 1)
+	before := c.PMC.Read(pmc.ArithDividerActive)
+	trainBTB(t, c, p, nop, 1)
+	after := c.PMC.Read(pmc.ArithDividerActive)
+	if after != before {
+		t.Error("gadget ran transiently despite IBPB")
+	}
+}
+
+func TestIBRSBlocksPredictionOnLegacyParts(t *testing.T) {
+	c := newUserCore(t, model.Broadwell()) // IBRSBlocksAllIndirect
+	p := spectreV2Program()
+	c.LoadProgram(p)
+	victim := p.LabelAddr("victim_target")
+	nop := p.LabelAddr("nop_target")
+
+	trainBTB(t, c, p, victim, 16)
+	c.SetMSR(MSRSpecCtrl, SpecCtrlIBRS)
+	before := c.PMC.Read(pmc.ArithDividerActive)
+	trainBTB(t, c, p, nop, 1)
+	after := c.PMC.Read(pmc.ArithDividerActive)
+	if after != before {
+		t.Error("legacy IBRS should disable all indirect speculation")
+	}
+}
+
+func TestRetpolineGenericCapturesSpeculation(t *testing.T) {
+	// The generic retpoline: call to a sequence that overwrites the
+	// return address with the real target. The RSB predicts a return to
+	// the capture loop (pause;lfence;jmp), never the Spectre gadget.
+	c := newUserCore(t, model.Broadwell())
+	a := isa.NewAsm()
+	// r11 = branch target
+	a.Call("retp")
+	a.Hlt()
+	a.Label("capture") // speculation lands here (RSB predicts it)
+	a.Pause()
+	a.Lfence()
+	a.Jmp("capture")
+	a.Label("retp")
+	a.Store(isa.SP, 0, isa.R11) // overwrite saved return address
+	a.Ret()                     // architecturally jumps to r11 target
+	a.Label("real_target")
+	a.MovI(isa.R5, 99)
+	a.Hlt()
+	p := a.MustAssemble(codeBase)
+	c.LoadProgram(p)
+	c.Regs[isa.SP] = stackTop
+	c.Regs[isa.R11] = p.LabelAddr("real_target")
+	c.PC = p.Base
+	divBefore := c.PMC.Read(pmc.ArithDividerActive)
+	if err := c.RunUntilHalt(1000); err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[isa.R5] != 99 {
+		t.Error("retpoline did not architecturally reach the target")
+	}
+	// The RET mispredicted into the capture loop: branch mispredict
+	// recorded, and nothing dangerous executed transiently.
+	if c.PMC.Read(pmc.BranchMispredicts) == 0 {
+		t.Error("retpoline ret should mispredict into the capture loop")
+	}
+	if c.PMC.Read(pmc.ArithDividerActive) != divBefore {
+		t.Error("unexpected divider activity")
+	}
+}
+
+// --- Meltdown -----------------------------------------------------------
+
+func meltdownProgram() *isa.Program {
+	a := isa.NewAsm()
+	a.MovI(isa.R1, kernBase)
+	a.MovI(isa.R4, probeBase)
+	a.Load(isa.R2, isa.R1, 0) // faults; transiently returns kernel data
+	a.ShlI(isa.R2, 6)
+	a.Add(isa.R2, isa.R4)
+	a.Load(isa.R3, isa.R2, 0) // probe touch
+	a.Hlt()
+	return a.MustAssemble(codeBase)
+}
+
+func runMeltdown(t *testing.T, c *Core) []uint64 {
+	t.Helper()
+	c.OnTrap = func(_ *Core, _ Fault) TrapAction { return TrapSkip }
+	p := meltdownProgram()
+	c.LoadProgram(p)
+	for v := uint64(0); v < 256; v++ {
+		c.L1.Flush(probeBase + v*64)
+	}
+	c.PC = p.Base
+	if err := c.RunUntilHalt(1000); err != nil {
+		t.Fatal(err)
+	}
+	var hot []uint64
+	for v := uint64(0); v < 256; v++ {
+		if c.L1.Probe(probeBase + v*64) {
+			hot = append(hot, v)
+		}
+	}
+	return hot
+}
+
+func TestMeltdownLeaksOnVulnerableCPU(t *testing.T) {
+	c := newUserCore(t, model.Broadwell())
+	c.Phys.Write64(kernBase, 0x5e) // kernel secret byte
+	hot := runMeltdown(t, c)
+	found := false
+	for _, v := range hot {
+		if v == 0x5e {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Meltdown did not leak on Broadwell: %v", hot)
+	}
+}
+
+func TestMeltdownFixedOnIceLake(t *testing.T) {
+	c := newUserCore(t, model.IceLakeServer())
+	c.Phys.Write64(kernBase, 0x5e)
+	hot := runMeltdown(t, c)
+	for _, v := range hot {
+		if v == 0x5e {
+			t.Error("Ice Lake Server must not be Meltdown vulnerable")
+		}
+	}
+}
+
+func TestMeltdownBlockedByUnmappingKernel(t *testing.T) {
+	// PTI in miniature: remove the kernel mapping from the user table.
+	c := newUserCore(t, model.Broadwell())
+	c.Phys.Write64(kernBase, 0x5e)
+	pt := c.PageTable()
+	for i := uint64(0); i < 4; i++ {
+		pt.Unmap(mem.VPN(kernBase) + i)
+	}
+	hot := runMeltdown(t, c)
+	for _, v := range hot {
+		if v == 0x5e {
+			t.Error("PTI-style unmapping failed to stop Meltdown")
+		}
+	}
+}
+
+// --- MDS ----------------------------------------------------------------
+
+func mdsProgram() *isa.Program {
+	a := isa.NewAsm()
+	a.MovI(isa.R1, 0x7fff_0000) // unmapped: faulting load samples buffers
+	a.MovI(isa.R4, probeBase)
+	a.Load(isa.R2, isa.R1, 0)
+	a.AndI(isa.R2, 0xff)
+	a.ShlI(isa.R2, 6)
+	a.Add(isa.R2, isa.R4)
+	a.Load(isa.R3, isa.R2, 0)
+	a.Hlt()
+	return a.MustAssemble(codeBase)
+}
+
+func TestMDSSamplesFillBuffer(t *testing.T) {
+	c := newUserCore(t, model.SkylakeClient())
+	c.OnTrap = func(_ *Core, _ Fault) TrapAction { return TrapSkip }
+	// Victim activity leaves a value in the fill buffers.
+	c.FB.Deposit(0x77)
+	p := mdsProgram()
+	c.LoadProgram(p)
+	for v := uint64(0); v < 256; v++ {
+		c.L1.Flush(probeBase + v*64)
+	}
+	c.PC = p.Base
+	if err := c.RunUntilHalt(1000); err != nil {
+		t.Fatal(err)
+	}
+	if !c.L1.Probe(probeBase + 0x77*64) {
+		t.Error("MDS did not sample the fill buffer")
+	}
+}
+
+func TestVERWClearsBuffersOnVulnerableParts(t *testing.T) {
+	c := newUserCore(t, model.SkylakeClient())
+	c.OnTrap = func(_ *Core, _ Fault) TrapAction { return TrapSkip }
+	c.FB.Deposit(0x77)
+	a := isa.NewAsm()
+	a.Verw() // user-mode verw is fine architecturally
+	a.MovI(isa.R1, 0x7fff_0000)
+	a.MovI(isa.R4, probeBase)
+	a.Load(isa.R2, isa.R1, 0)
+	a.ShlI(isa.R2, 6)
+	a.Add(isa.R2, isa.R4)
+	a.Load(isa.R3, isa.R2, 0)
+	a.Hlt()
+	p := a.MustAssemble(codeBase)
+	c.LoadProgram(p)
+	for v := uint64(0); v < 256; v++ {
+		c.L1.Flush(probeBase + v*64)
+	}
+	c.PC = p.Base
+	if err := c.RunUntilHalt(1000); err != nil {
+		t.Fatal(err)
+	}
+	if c.L1.Probe(probeBase + 0x77*64) {
+		t.Error("verw did not clear the sampled value")
+	}
+	if c.FB.Clears == 0 {
+		t.Error("verw clear not recorded")
+	}
+}
+
+func TestMDSNotPresentOnZen(t *testing.T) {
+	c := newUserCore(t, model.Zen2())
+	c.OnTrap = func(_ *Core, _ Fault) TrapAction { return TrapSkip }
+	c.FB.Deposit(0x77)
+	p := mdsProgram()
+	c.LoadProgram(p)
+	for v := uint64(0); v < 256; v++ {
+		c.L1.Flush(probeBase + v*64)
+	}
+	c.PC = p.Base
+	if err := c.RunUntilHalt(1000); err != nil {
+		t.Fatal(err)
+	}
+	if c.L1.Probe(probeBase + 0x77*64) {
+		t.Error("Zen 2 must not sample fill buffers")
+	}
+}
+
+// --- Speculative Store Bypass --------------------------------------------
+
+func ssbProgram() *isa.Program {
+	a := isa.NewAsm()
+	a.MovI(isa.R1, dataBase+0x100)
+	a.MovI(isa.R2, 0) // overwrite value
+	a.MovI(isa.R4, probeBase)
+	a.Store(isa.R1, 0, isa.R2) // store zero over the secret
+	a.Load(isa.R3, isa.R1, 0)  // bypass: transiently sees the secret
+	a.ShlI(isa.R3, 6)
+	a.Add(isa.R3, isa.R4)
+	a.Load(isa.R5, isa.R3, 0)
+	a.Hlt()
+	return a.MustAssemble(codeBase)
+}
+
+func TestSSBLeaksStaleValue(t *testing.T) {
+	c := newUserCore(t, model.Zen3())
+	c.Phys.Write64(dataBase+0x100, 0x42) // the secret about to be overwritten
+	p := ssbProgram()
+	c.LoadProgram(p)
+	for v := uint64(0); v < 256; v++ {
+		c.L1.Flush(probeBase + v*64)
+	}
+	c.PC = p.Base
+	if err := c.RunUntilHalt(1000); err != nil {
+		t.Fatal(err)
+	}
+	if !c.L1.Probe(probeBase + 0x42*64) {
+		t.Error("SSB did not leak the stale value")
+	}
+	if c.PMC.Read(pmc.MachineClears) == 0 {
+		t.Error("machine clear not recorded")
+	}
+	// Architecturally the load sees the new value.
+	if got := c.Phys.Read64(dataBase + 0x100); got != 0 {
+		t.Errorf("memory = %#x, want 0", got)
+	}
+}
+
+func TestSSBDBlocksBypass(t *testing.T) {
+	c := newUserCore(t, model.Zen3())
+	c.SetMSR(MSRSpecCtrl, SpecCtrlSSBD)
+	c.Phys.Write64(dataBase+0x100, 0x42)
+	p := ssbProgram()
+	c.LoadProgram(p)
+	for v := uint64(0); v < 256; v++ {
+		c.L1.Flush(probeBase + v*64)
+	}
+	c.PC = p.Base
+	if err := c.RunUntilHalt(1000); err != nil {
+		t.Fatal(err)
+	}
+	if c.L1.Probe(probeBase + 0x42*64) {
+		t.Error("SSBD failed to block the bypass")
+	}
+}
+
+func TestSSBDCostsMoreOnForwarding(t *testing.T) {
+	mkRun := func(ssbd bool) uint64 {
+		c := newUserCore(t, model.IceLakeServer())
+		if ssbd {
+			c.SetMSR(MSRSpecCtrl, SpecCtrlSSBD)
+		}
+		a := isa.NewAsm()
+		a.MovI(isa.R1, dataBase)
+		a.MovI(isa.R2, 1)
+		a.MovI(isa.R6, 200)
+		a.Label("loop")
+		a.Store(isa.R1, 0, isa.R2)
+		a.Load(isa.R3, isa.R1, 0) // forwarded every iteration
+		a.SubI(isa.R6, 1)
+		a.CmpI(isa.R6, 0)
+		a.Jne("loop")
+		a.Hlt()
+		run(t, c, a.MustAssemble(codeBase))
+		return c.Cycles
+	}
+	off := mkRun(false)
+	on := mkRun(true)
+	if on <= off {
+		t.Errorf("SSBD run (%d cycles) should be slower than baseline (%d)", on, off)
+	}
+}
+
+// --- LazyFP --------------------------------------------------------------
+
+func TestLazyFPTransientLeak(t *testing.T) {
+	c := newUserCore(t, model.SkylakeClient())
+	// Previous process's FPU value is still in the registers; FPU
+	// disabled pending a lazy restore.
+	c.FRegs[2] = 0x31 // stale secret (integral so FTOI is exact)
+	c.FPUEnabled = false
+	trapped := false
+	c.OnTrap = func(cc *Core, f Fault) TrapAction {
+		if f.Kind == FaultFPUDisabled {
+			trapped = true
+			// Lazy restore: enable FPU with the *current* process's state.
+			cc.FPUEnabled = true
+			cc.FRegs[2] = 0
+			return TrapRetry
+		}
+		return TrapKill
+	}
+	a := isa.NewAsm()
+	a.MovI(isa.R4, probeBase)
+	a.FToI(isa.R2, 2) // traps; transiently computes with the stale f2
+	a.ShlI(isa.R2, 6)
+	a.Add(isa.R2, isa.R4)
+	a.Load(isa.R3, isa.R2, 0)
+	a.Hlt()
+	p := a.MustAssemble(codeBase)
+	c.LoadProgram(p)
+	for v := uint64(0); v < 256; v++ {
+		c.L1.Flush(probeBase + v*64)
+	}
+	c.PC = p.Base
+	if err := c.RunUntilHalt(1000); err != nil {
+		t.Fatal(err)
+	}
+	if !trapped {
+		t.Fatal("no #NM trap")
+	}
+	if !c.L1.Probe(probeBase + 0x31*64) {
+		t.Error("stale FPU value did not leak transiently")
+	}
+	// Architectural result uses the restored (zero) register.
+	if c.Regs[isa.R2] != probeBase {
+		t.Errorf("architectural r2 = %#x, want probeBase (zero value path)", c.Regs[isa.R2])
+	}
+}
+
+func TestEagerFPUNoTrapNoLeak(t *testing.T) {
+	c := newUserCore(t, model.SkylakeClient())
+	// Eager switching: FPU always enabled with correct state.
+	c.FRegs[2] = 0
+	c.FPUEnabled = true
+	trapped := false
+	c.OnTrap = func(_ *Core, _ Fault) TrapAction { trapped = true; return TrapKill }
+	a := isa.NewAsm()
+	a.MovI(isa.R4, probeBase)
+	a.FToI(isa.R2, 2)
+	a.Hlt()
+	run(t, c, a.MustAssemble(codeBase))
+	if trapped {
+		t.Error("eager FPU must not trap")
+	}
+}
+
+// --- Costs ----------------------------------------------------------------
+
+func TestVerwCostsMatchModel(t *testing.T) {
+	for _, m := range []*model.CPU{model.Broadwell(), model.Zen3()} {
+		c := newUserCore(t, m)
+		a := isa.NewAsm()
+		a.Verw()
+		a.Hlt()
+		run(t, c, a.MustAssemble(codeBase))
+		want := m.Costs.VerwLegacy
+		if m.Vulns.MDS {
+			want = m.Costs.VerwClear
+		}
+		// First instruction fetch takes one TLB miss; then verw + hlt.
+		want += m.Costs.TLBMiss + 1
+		if c.Cycles != want {
+			t.Errorf("%s: verw+hlt = %d cycles, want %d", m.Uarch, c.Cycles, want)
+		}
+	}
+}
+
+func TestEIBRSBimodalKernelEntries(t *testing.T) {
+	m := model.CascadeLake()
+	c := newUserCore(t, m)
+	c.SetMSR(MSRSpecCtrl, SpecCtrlIBRS) // eIBRS on
+	c.OnSyscall = func(cc *Core) {}
+	a := isa.NewAsm()
+	a.Syscall()
+	a.Hlt()
+	p := a.MustAssemble(codeBase)
+	c.LoadProgram(p)
+
+	// Warm up: the first run pays fetch TLB misses.
+	c.PC = p.Base
+	if err := c.RunUntilHalt(100); err != nil {
+		t.Fatal(err)
+	}
+
+	var costs []uint64
+	for i := 0; i < 3*m.Spec.EIBRSBimodalPeriod; i++ {
+		start := c.Cycles
+		c.Reset()
+		c.PC = p.Base
+		if err := c.RunUntilHalt(100); err != nil {
+			t.Fatal(err)
+		}
+		costs = append(costs, c.Cycles-start)
+	}
+	slow := 0
+	for _, cost := range costs {
+		if cost > m.Costs.Syscall+1 {
+			slow++
+		}
+	}
+	if slow != 3 {
+		t.Errorf("slow entries = %d over %d syscalls, want 3 (period %d)", slow, len(costs), m.Spec.EIBRSBimodalPeriod)
+	}
+}
+
+func TestSMTSiblingSharesFillBuffer(t *testing.T) {
+	c := newUserCore(t, model.SkylakeClient())
+	s := NewSMTSibling(c)
+	if s.FB != c.FB || s.L1 != c.L1 {
+		t.Fatal("siblings must share FB and L1")
+	}
+	if s.SB == c.SB || s.RSB == c.RSB {
+		t.Fatal("siblings must not share store buffer or RSB")
+	}
+	c.FB.Deposit(0x99)
+	if s.FB.Sample() != 0x99 {
+		t.Error("fill buffer value not visible to sibling")
+	}
+}

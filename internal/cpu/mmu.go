@@ -1,0 +1,187 @@
+package cpu
+
+import (
+	"spectrebench/internal/mem"
+	"spectrebench/internal/pmc"
+)
+
+// xlate translates a virtual address for the given access, charging TLB
+// and page-walk costs when charge is true (architectural accesses).
+// Transient lookups pass charge=false: speculation does not stall the
+// committed stream, but it does install TLB entries and leave the PTE
+// visible to the leak models.
+func (c *Core) xlate(va uint64, acc mem.Access, charge bool) (pa uint64, pte mem.PTE, fault mem.FaultKind) {
+	pt := c.PageTable()
+	if pt == nil {
+		return 0, mem.PTE{}, mem.FaultNotPresent
+	}
+	vpn := mem.VPN(va)
+	pcid := mem.CR3PCID(c.CR3)
+	user := c.Priv == PrivUser
+
+	if cached, ok := c.TLB.Lookup(vpn, pcid); ok {
+		pte = cached
+		fault = checkPTE(pte, acc, user)
+		if fault != mem.FaultNone {
+			return 0, pte, fault
+		}
+		return pte.Phys | (va & mem.PageMask), pte, mem.FaultNone
+	}
+
+	// TLB miss: walk the page table.
+	if charge {
+		c.charge(c.Model.Costs.TLBMiss)
+		c.PMC.Add(pmc.TLBMisses, 1)
+	}
+	pa, pte, fault = pt.Translate(va, acc, user)
+	if fault != mem.FaultNone {
+		return 0, pte, fault
+	}
+	// Nested translation when running as a guest.
+	if c.Guest && c.Nested != nil {
+		hpa, nfault := c.Nested.Translate(pa, acc)
+		if nfault != mem.FaultNone {
+			return 0, pte, nfault
+		}
+		pa = hpa
+		pte.Phys = mem.PageBase(hpa)
+	}
+	c.TLB.Insert(vpn, pcid, pte)
+	return pa, pte, mem.FaultNone
+}
+
+func checkPTE(pte mem.PTE, acc mem.Access, user bool) mem.FaultKind {
+	if !pte.Present {
+		return mem.FaultNotPresent
+	}
+	if user && !pte.User {
+		return mem.FaultProtection
+	}
+	if acc == mem.AccessWrite && !pte.Writable {
+		return mem.FaultWrite
+	}
+	if acc == mem.AccessFetch && pte.NX {
+		return mem.FaultNX
+	}
+	return mem.FaultNone
+}
+
+// load performs an architectural 8-byte load, charging cache latency and
+// modelling store-to-load forwarding. When the load forwards from an
+// in-flight store on an SSB-vulnerable part with SSBD off, ssbStale
+// returns the stale pre-store value the disambiguation hardware would
+// transiently expose; the executor runs the transient window with it.
+func (c *Core) load(va uint64) (v uint64, ssbStale *uint64, fault *Fault) {
+	c.lastLoadRet = c.Instret
+	pa, pte, mf := c.xlate(va, mem.AccessRead, true)
+	if mf != mem.FaultNone {
+		// A faulting architectural load is the trigger point for the
+		// Meltdown family. The transient continuation runs before the
+		// fault is delivered; the executor calls faultingLoadLeak with
+		// the destination register context.
+		c.pendingLeak = pendingLeak{va: va, pte: pte, kind: mf, valid: true}
+		return 0, nil, &Fault{Kind: FaultPage, VA: va, Access: mem.AccessRead, PC: c.PC}
+	}
+
+	if e, hit := c.SB.Lookup(pa); hit {
+		// Store-to-load forwarding.
+		if c.SSBDActive() && e.Age < 2 {
+			// SSBD: a load aliasing a just-issued store (whose address
+			// may still be unresolved) must wait for disambiguation
+			// instead of forwarding optimistically (§5.5). Older
+			// in-flight stores have resolved and forward normally.
+			c.charge(c.Model.Costs.SSBDForwardStall)
+		} else {
+			c.charge(c.Model.Costs.StoreForwardCycle)
+			if !c.SSBDActive() && c.SpecEnabled && c.Model.Vulns.SSB && e.Prev != e.Value {
+				// Speculative Store Bypass: memory disambiguation
+				// speculates the load does not alias the in-flight
+				// store, transiently using the stale memory value. The
+				// executor consults the disambiguation predictor before
+				// actually opening the window; SSBD suppresses the
+				// bypass entirely.
+				stale := e.Prev
+				ssbStale = &stale
+			}
+		}
+		c.FB.Deposit(e.Value)
+		return e.Value, ssbStale, nil
+	}
+
+	missesBefore := c.L1.Misses
+	c.charge(c.L1.Access(pa))
+	if c.L1.Misses > missesBefore {
+		c.PMC.Add(pmc.L1Misses, 1)
+	}
+	v = c.Phys.Read64(pa)
+	c.FB.Deposit(v)
+	return v, nil, nil
+}
+
+// store performs an architectural 8-byte store. The value is written
+// through to physical memory immediately (architectural state is always
+// current); the store buffer entry models the forwarding window.
+func (c *Core) store(va uint64, v uint64) *Fault {
+	pa, _, mf := c.xlate(va, mem.AccessWrite, true)
+	if mf != mem.FaultNone {
+		return &Fault{Kind: FaultPage, VA: va, Access: mem.AccessWrite, PC: c.PC}
+	}
+	prev := c.Phys.Read64(pa)
+	c.Phys.Write64(pa, v)
+	c.SB.Insert(pa, v, prev)
+	c.lastStoreRet = c.Instret
+	c.charge(c.L1.Access(pa))
+	c.FB.Deposit(v)
+	return nil
+}
+
+// pendingLeak records the translation state of a faulting load so the
+// executor can run the Meltdown-family transient window with register
+// context before delivering the fault.
+type pendingLeak struct {
+	va    uint64
+	pte   mem.PTE
+	kind  mem.FaultKind
+	valid bool
+}
+
+// leakValue resolves what a faulting load transiently observes:
+//
+//   - Meltdown: user access to a present supervisor page transiently
+//     returns the real data on vulnerable parts. PTI removes the
+//     mapping entirely, so the walk yields not-present and nothing
+//     leaks.
+//   - L1TF: access through a non-present PTE transiently returns L1
+//     contents addressed by the PTE's frame bits on vulnerable parts.
+//     PTE inversion points the frame at an uncacheable address.
+//   - MDS: any faulting load on a vulnerable part can transiently
+//     observe stale fill-buffer contents, regardless of address.
+//
+// ok is false when the part leaks nothing (fixed hardware, or mitigated
+// page tables).
+func (c *Core) leakValue(p pendingLeak) (uint64, bool) {
+	if !c.SpecEnabled || !p.valid {
+		return 0, false
+	}
+	switch p.kind {
+	case mem.FaultProtection:
+		if c.Model.Vulns.Meltdown && p.pte.Present {
+			return c.Phys.Read64(p.pte.Phys | (p.va & mem.PageMask)), true
+		}
+	case mem.FaultNotPresent:
+		if c.Model.Vulns.L1TF && p.pte.Phys != 0 {
+			// The "terminal fault" path: translation stops at the
+			// not-present PTE but the frame bits still index the L1.
+			pa := p.pte.Phys | (p.va & mem.PageMask)
+			if c.L1.Probe(pa) {
+				return c.Phys.Read64(pa), true
+			}
+		}
+	}
+	if c.Model.Vulns.MDS {
+		// Fill-buffer sampling: the faulting load transiently
+		// completes with whatever data is in the shared buffers.
+		return c.FB.Sample(), true
+	}
+	return 0, false
+}

@@ -1,0 +1,61 @@
+package cpu
+
+import "errors"
+
+// smtContentionNum/Den model the per-thread slowdown of simultaneous
+// multithreading: two co-running siblings share execution ports, so each
+// retires instructions ~50% slower than when running alone — the usual
+// SMT yield (two threads ≈ 1.33× one core).
+const (
+	smtContentionNum = 5
+	smtContentionDen = 10
+)
+
+// RunSMTPair co-executes two sibling logical cores (created with
+// NewSMTSibling so they share the L1, fill buffers and predictors) in
+// cycle order: at each step the core that is behind in time runs,
+// which interleaves their memory traffic realistically. While both are
+// live, each step pays port-contention overhead.
+//
+// It returns the wall-clock cycles of the pair (the later finisher) and
+// stops when both cores halt or maxSteps is exhausted.
+func RunSMTPair(a, b *Core, maxSteps int) (uint64, error) {
+	if a.L1 != b.L1 || a.FB != b.FB {
+		return 0, errors.New("cpu: RunSMTPair needs sibling cores sharing a physical core")
+	}
+	// Fractional-contention remainders (per core) so sub-cycle charges
+	// are not truncated away.
+	rem := map[*Core]uint64{}
+	for i := 0; i < maxSteps; i++ {
+		if a.Halted() && b.Halted() {
+			return maxU64(a.Cycles, b.Cycles), nil
+		}
+		// Pick the runnable core that is earliest in time.
+		x := a
+		if a.Halted() || (!b.Halted() && b.Cycles < a.Cycles) {
+			x = b
+		}
+		other := a
+		if x == a {
+			other = b
+		}
+		before := x.Cycles
+		if err := x.Step(); err != nil && !errors.Is(err, ErrHalted) {
+			return 0, err
+		}
+		if !other.Halted() {
+			// Port contention while the sibling is live.
+			acc := (x.Cycles-before)*smtContentionNum + rem[x]
+			x.Charge(acc / smtContentionDen)
+			rem[x] = acc % smtContentionDen
+		}
+	}
+	return 0, errors.New("cpu: SMT pair did not finish within the step budget")
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,144 @@
+package cpu
+
+import (
+	"testing"
+
+	"spectrebench/internal/isa"
+	"spectrebench/internal/model"
+)
+
+// buildSMTWorker maps and loads a compute loop for one logical core.
+func buildSMTWorker(c *Core, id int, iters int64) {
+	base := uint64(0x40_0000 + id*0x10_0000)
+	data := uint64(0x80_0000 + id*0x10_0000)
+	pt := c.PTs.NewTable(uint16(id + 1))
+	pt.MapRange(base, base, 4, false, true, false, false)
+	pt.MapRange(data, data, 16, true, true, true, false)
+	c.SetPageTable(pt)
+	a := isa.NewAsm()
+	a.MovI(isa.R1, int64(data))
+	a.MovI(isa.R8, iters)
+	a.Label("loop")
+	a.Load(isa.R2, isa.R1, 0)
+	a.AddI(isa.R2, 1)
+	a.Store(isa.R1, 0, isa.R2)
+	a.SubI(isa.R8, 1)
+	a.CmpI(isa.R8, 0)
+	a.Jne("loop")
+	a.Hlt()
+	c.LoadProgram(a.MustAssemble(base))
+	c.PC = base
+}
+
+func TestRunSMTPairBasics(t *testing.T) {
+	m := model.SkylakeClient()
+	a := New(m)
+	b := NewSMTSibling(a)
+	buildSMTWorker(a, 0, 200)
+	buildSMTWorker(b, 1, 200)
+	wall, err := RunSMTPair(a, b, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Halted() || !b.Halted() {
+		t.Fatal("cores did not halt")
+	}
+	if wall != maxU64(a.Cycles, b.Cycles) {
+		t.Errorf("wall = %d, want max(%d, %d)", wall, a.Cycles, b.Cycles)
+	}
+
+	// A solo run of the same work must be faster per thread (no
+	// contention).
+	solo := New(m)
+	buildSMTWorker(solo, 0, 200)
+	if err := solo.RunUntilHalt(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles <= solo.Cycles {
+		t.Errorf("co-run thread (%d cycles) should be slower than solo (%d)", a.Cycles, solo.Cycles)
+	}
+	// But co-running both must beat running them back to back.
+	if wall >= 2*solo.Cycles {
+		t.Errorf("SMT wall %d is no better than sequential %d", wall, 2*solo.Cycles)
+	}
+}
+
+func TestRunSMTPairRejectsNonSiblings(t *testing.T) {
+	m := model.Zen2()
+	a := New(m)
+	b := New(m) // independent core, not a sibling
+	if _, err := RunSMTPair(a, b, 100); err == nil {
+		t.Fatal("non-sibling pair accepted")
+	}
+}
+
+func TestRunSMTPairBudget(t *testing.T) {
+	m := model.Zen2()
+	a := New(m)
+	b := NewSMTSibling(a)
+	buildSMTWorker(a, 0, 1_000_000)
+	buildSMTWorker(b, 1, 1_000_000)
+	if _, err := RunSMTPair(a, b, 10); err == nil {
+		t.Fatal("budget exhaustion not reported")
+	}
+}
+
+// The MDS cross-thread channel, end to end and organically: the victim
+// sibling's loads deposit secrets into the shared fill buffers while the
+// interleaved attacker samples them through a faulting load.
+func TestSMTPairCrossThreadMDS(t *testing.T) {
+	m := model.SkylakeClient() // MDS vulnerable, SMT part
+	victim := New(m)
+	attacker := NewSMTSibling(victim)
+
+	// Victim: loops loading its secret (0x6b) from its own memory.
+	vbase, vdata := uint64(0x40_0000), uint64(0x80_0000)
+	vpt := victim.PTs.NewTable(1)
+	vpt.MapRange(vbase, vbase, 4, false, true, false, false)
+	vpt.MapRange(vdata, vdata, 4, true, true, true, false)
+	victim.SetPageTable(vpt)
+	victim.Phys.Write64(vdata, 0x6b)
+	va := isa.NewAsm()
+	va.MovI(isa.R1, int64(vdata))
+	va.MovI(isa.R8, 400)
+	va.Label("vloop")
+	va.Load(isa.R2, isa.R1, 0) // deposits 0x6b into the shared FB
+	va.SubI(isa.R8, 1)
+	va.CmpI(isa.R8, 0)
+	va.Jne("vloop")
+	va.Hlt()
+	victim.LoadProgram(va.MustAssemble(vbase))
+	victim.PC = vbase
+
+	// Attacker: repeatedly samples via a faulting load and decodes into
+	// a probe array.
+	abase, aprobe := uint64(0x50_0000), uint64(0x90_0000)
+	apt := attacker.PTs.NewTable(2)
+	apt.MapRange(abase, abase, 4, false, true, false, false)
+	apt.MapRange(aprobe, aprobe, 5, true, true, true, false)
+	attacker.SetPageTable(apt)
+	attacker.OnTrap = func(_ *Core, _ Fault) TrapAction { return TrapSkip }
+	aa := isa.NewAsm()
+	aa.MovI(isa.R4, int64(aprobe))
+	aa.MovI(isa.R8, 40)
+	aa.Label("aloop")
+	aa.MovI(isa.R1, 0x7fff_0000) // unmapped: MDS sampler
+	aa.Load(isa.R2, isa.R1, 0)
+	aa.AndI(isa.R2, 0xff)
+	aa.ShlI(isa.R2, 6)
+	aa.Add(isa.R2, isa.R4)
+	aa.Load(isa.R3, isa.R2, 0)
+	aa.SubI(isa.R8, 1)
+	aa.CmpI(isa.R8, 0)
+	aa.Jne("aloop")
+	aa.Hlt()
+	attacker.LoadProgram(aa.MustAssemble(abase))
+	attacker.PC = abase
+
+	if _, err := RunSMTPair(victim, attacker, 2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !attacker.L1.Probe(aprobe + 0x6b*64) {
+		t.Error("cross-thread MDS did not recover the victim's value")
+	}
+}

@@ -1,0 +1,315 @@
+package fs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// memDev is an in-memory block device for tests.
+type memDev struct {
+	blocks [][]byte
+}
+
+func newMemDev(n int) *memDev { return &memDev{blocks: make([][]byte, n)} }
+
+func (d *memDev) Blocks() int { return len(d.blocks) }
+
+func (d *memDev) Read(n int, buf []byte) error {
+	if n < 0 || n >= len(d.blocks) {
+		return fmt.Errorf("read oob %d", n)
+	}
+	if d.blocks[n] == nil {
+		for i := range buf {
+			buf[i] = 0
+		}
+		return nil
+	}
+	copy(buf, d.blocks[n])
+	return nil
+}
+
+func (d *memDev) Write(n int, buf []byte) error {
+	if n < 0 || n >= len(d.blocks) {
+		return fmt.Errorf("write oob %d", n)
+	}
+	if d.blocks[n] == nil {
+		d.blocks[n] = make([]byte, BlockSize)
+	}
+	copy(d.blocks[n], buf)
+	return nil
+}
+
+func TestFormatCreateWriteRead(t *testing.T) {
+	f, err := Format(newMemDev(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := f.Create("hello.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("the quick brown fox")
+	if n, err := fl.WriteAt(0, data); err != nil || n != len(data) {
+		t.Fatalf("write: %d %v", n, err)
+	}
+	if err := fl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fl2, err := f.Open("hello.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if n, err := fl2.ReadAt(0, got); err != nil || n != len(data) {
+		t.Fatalf("read: %d %v", n, err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("read %q, want %q", got, data)
+	}
+	if fl2.Size() != uint64(len(data)) {
+		t.Errorf("size = %d", fl2.Size())
+	}
+}
+
+func TestUnsyncedWritesVisible(t *testing.T) {
+	f, _ := Format(newMemDev(64))
+	fl, _ := f.Create("x")
+	fl.WriteAt(0, []byte("abc"))
+	got := make([]byte, 3)
+	if n, _ := fl.ReadAt(0, got); n != 3 || string(got) != "abc" {
+		t.Errorf("pending read = %q (%d)", got, n)
+	}
+}
+
+func TestMultiBlockFile(t *testing.T) {
+	f, _ := Format(newMemDev(256))
+	fl, _ := f.Create("big")
+	data := make([]byte, 3*BlockSize+100)
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	if _, err := fl.WriteAt(0, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	n, err := fl.ReadAt(0, got)
+	if err != nil || n != len(data) {
+		t.Fatalf("read %d %v", n, err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("multi-block contents differ")
+	}
+	// Partial mid-file read.
+	part := make([]byte, 200)
+	fl.ReadAt(int64(BlockSize-50), part)
+	if !bytes.Equal(part, data[BlockSize-50:BlockSize+150]) {
+		t.Error("mid-file read differs")
+	}
+}
+
+func TestOverwriteMiddle(t *testing.T) {
+	f, _ := Format(newMemDev(256))
+	fl, _ := f.Create("ow")
+	fl.WriteAt(0, bytes.Repeat([]byte{0xaa}, 2*BlockSize))
+	fl.Sync()
+	fl.WriteAt(100, []byte("patch"))
+	fl.Sync()
+	got := make([]byte, 2*BlockSize)
+	fl.ReadAt(0, got)
+	if string(got[100:105]) != "patch" {
+		t.Error("overwrite lost")
+	}
+	if got[99] != 0xaa || got[105] != 0xaa {
+		t.Error("overwrite damaged neighbours")
+	}
+}
+
+func TestMountPersistence(t *testing.T) {
+	dev := newMemDev(256)
+	f, _ := Format(dev)
+	fl, _ := f.Create("persist")
+	fl.WriteAt(0, []byte("durable data"))
+	fl.Close()
+	f.Create("second")
+
+	// Remount from the raw device.
+	g, err := Mount(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := g.List()
+	if len(names) != 2 {
+		t.Fatalf("list = %v", names)
+	}
+	fl2, err := g.Open("persist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 12)
+	fl2.ReadAt(0, got)
+	if string(got) != "durable data" {
+		t.Errorf("after mount: %q", got)
+	}
+}
+
+func TestMountBadMagic(t *testing.T) {
+	if _, err := Mount(newMemDev(64)); err == nil {
+		t.Fatal("mounted unformatted device")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	f, _ := Format(newMemDev(128))
+	fl, _ := f.Create("gone")
+	fl.Close()
+	if err := f.Remove("gone"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Open("gone"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("open removed file: %v", err)
+	}
+	if err := f.Remove("gone"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double remove: %v", err)
+	}
+}
+
+func TestDeviceFull(t *testing.T) {
+	f, _ := Format(newMemDev(10))
+	for i := 0; ; i++ {
+		if i > 100 {
+			t.Fatal("device never filled")
+		}
+		fl, err := f.Create(fmt.Sprintf("f%d", i))
+		if err != nil {
+			if !errors.Is(err, ErrNoSpace) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			return
+		}
+		fl.WriteAt(0, make([]byte, BlockSize))
+		if err := fl.Sync(); err != nil {
+			if !errors.Is(err, ErrNoSpace) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			return
+		}
+	}
+}
+
+func TestReadPastEOF(t *testing.T) {
+	f, _ := Format(newMemDev(64))
+	fl, _ := f.Create("short")
+	fl.WriteAt(0, []byte("hi"))
+	buf := make([]byte, 10)
+	n, err := fl.ReadAt(5, buf)
+	if err != nil || n != 0 {
+		t.Errorf("read past EOF: %d %v", n, err)
+	}
+	n, _ = fl.ReadAt(1, buf)
+	if n != 1 || buf[0] != 'i' {
+		t.Errorf("tail read: %d %q", n, buf[:n])
+	}
+}
+
+// Property: random (offset, data) writes followed by a full read match a
+// shadow byte slice.
+func TestWriteReadProperty(t *testing.T) {
+	f, _ := Format(newMemDev(2048))
+	fl, _ := f.Create("prop")
+	shadow := make([]byte, 8*BlockSize)
+	var size int
+
+	check := func(off uint16, raw []byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 1024 {
+			raw = raw[:1024]
+		}
+		o := int(off) % (7 * BlockSize)
+		if _, err := fl.WriteAt(int64(o), raw); err != nil {
+			return false
+		}
+		copy(shadow[o:], raw)
+		if o+len(raw) > size {
+			size = o + len(raw)
+		}
+		got := make([]byte, size)
+		n, err := fl.ReadAt(0, got)
+		if err != nil || n != size {
+			return false
+		}
+		return bytes.Equal(got, shadow[:size])
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+	// And after a sync + remount-level reload the contents still match.
+	if err := fl.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fl2, err := f.Open("prop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, size)
+	fl2.ReadAt(0, got)
+	if !bytes.Equal(got, shadow[:size]) {
+		t.Error("contents differ after sync/reopen")
+	}
+}
+
+// Regression: a file whose first blocks are holes (write starts past
+// block 0) must read zeros for the holes after Sync — block pointer 0
+// is the null pointer, not the checkpoint block.
+func TestHolesBelowFirstWriteSurviveSync(t *testing.T) {
+	f, _ := Format(newMemDev(128))
+	fl, _ := f.Create("holey")
+	data := []byte("tail data")
+	off := int64(3 * BlockSize)
+	if _, err := fl.WriteAt(off, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fl2, err := f.Open("holey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := make([]byte, 2*BlockSize)
+	if _, err := fl2.ReadAt(0, head); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range head {
+		if b != 0 {
+			t.Fatalf("hole byte %d = %#x, want 0 (leaked checkpoint block?)", i, b)
+		}
+	}
+	tail := make([]byte, len(data))
+	fl2.ReadAt(off, tail)
+	if string(tail) != string(data) {
+		t.Errorf("tail = %q", tail)
+	}
+	// Writing into a former hole must not resurrect stale bytes either.
+	if _, err := fl2.WriteAt(10, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	one := make([]byte, 20)
+	fl2.ReadAt(0, one)
+	for i, b := range one {
+		switch {
+		case i == 10 && b != 'x':
+			t.Errorf("patched byte = %#x", b)
+		case i != 10 && b != 0:
+			t.Errorf("byte %d = %#x, want 0", i, b)
+		}
+	}
+}

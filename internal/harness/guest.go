@@ -1,0 +1,15 @@
+package harness
+
+import (
+	"spectrebench/internal/kernel"
+	"spectrebench/internal/model"
+	"spectrebench/internal/vmm"
+)
+
+// newGuest boots a VM with the given host mitigation set and default
+// guest mitigations.
+func newGuest(m *model.CPU, hostMit kernel.Mitigations) *vmm.Hypervisor {
+	hv := vmm.New(m, hostMit, kernel.Defaults(m), 64)
+	hv.Boot()
+	return hv
+}

@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"fmt"
+
+	"spectrebench/internal/kernel"
+	"spectrebench/internal/model"
+	"spectrebench/internal/workloads/lebench"
+)
+
+func init() {
+	register(Experiment{
+		ID: "lebench-detail", Paper: "Figure 2 (underlying data)",
+		Title: "Per-benchmark LEBench slowdown, defaults vs mitigations=off",
+		Run:   runLEBenchDetail,
+	})
+}
+
+// runLEBenchDetail prints every LEBench microbenchmark's individual
+// slowdown on a representative old/new/AMD trio — the per-test data the
+// Figure 2 geomean aggregates (the paper notes per-test variation from
+// near-zero on heavy operations to multiples on null syscalls).
+func runLEBenchDetail() (*Table, error) {
+	models := []*model.CPU{model.Broadwell(), model.IceLakeServer(), model.Zen3()}
+	t := &Table{
+		ID: "lebench-detail", Title: "LEBench per-benchmark slowdown (defaults vs off)",
+		Columns: []string{"benchmark"},
+	}
+	for _, m := range models {
+		t.Columns = append(t.Columns, m.Uarch)
+	}
+
+	type pair struct{ on, off []lebench.Result }
+	data := map[string]pair{}
+	for _, m := range models {
+		on, err := lebench.Run(m, kernel.Defaults(m))
+		if err != nil {
+			return nil, err
+		}
+		off, err := lebench.Run(m, kernel.BootParams{MitigationsOff: true}.Apply(m, kernel.Defaults(m)))
+		if err != nil {
+			return nil, err
+		}
+		data[m.Uarch] = pair{on: on, off: off}
+	}
+
+	for i, b := range lebench.Suite() {
+		row := []string{b.Name}
+		for _, m := range models {
+			d := data[m.Uarch]
+			if i >= len(d.on) || d.on[i].Name != b.Name {
+				return nil, fmt.Errorf("lebench-detail: result order mismatch")
+			}
+			row = append(row, pct(d.on[i].Cycles/d.off[i].Cycles-1))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"null syscalls pay the boundary mitigations in full; large copies and fork dilute them — the Figure 2 geomean averages this spread")
+	return t, nil
+}

@@ -1,0 +1,250 @@
+package harness
+
+import (
+	"fmt"
+
+	"spectrebench/internal/cpu"
+	"spectrebench/internal/isa"
+	"spectrebench/internal/model"
+)
+
+// Microbenchmark scaffolding for Tables 3-8: time a loop containing the
+// instruction sequence under test, subtract an empty loop, and average —
+// the paper's §5 methodology ("average over one million runs"; the
+// simulator is deterministic so fewer iterations suffice).
+
+const (
+	microCode  = 0x40_0000
+	microData  = 0x80_0000
+	microStack = 0xa0_0000
+	microIters = 256
+)
+
+// microCore builds a bare machine whose code/data are reachable from
+// both privilege modes.
+func microCore(m *model.CPU) *cpu.Core {
+	c := cpu.New(m)
+	pt := c.PTs.NewTable(1)
+	pt.MapRange(microCode, microCode, 16, false, true, false, false)
+	pt.MapRange(microData, microData, 64, true, true, true, false)
+	pt.MapRange(microStack-64*4096, microStack-64*4096, 64, true, true, true, false)
+	c.SetPageTable(pt)
+	c.Regs[isa.SP] = microStack
+	return c
+}
+
+// measureLoop returns the per-iteration cost of body beyond the loop
+// scaffolding. setup configures the core before the run.
+func measureLoop(m *model.CPU, kernelMode bool, setup func(c *cpu.Core), body func(a *isa.Asm)) (float64, error) {
+	run := func(withBody bool) (float64, error) {
+		c := microCore(m)
+		if kernelMode {
+			c.Priv = cpu.PrivKernel
+		}
+		if setup != nil {
+			setup(c)
+		}
+		a := isa.NewAsm()
+		a.MovI(isa.R9, microIters)
+		// One warm-up body so first-touch effects (TLB, predictors)
+		// land outside the measurement.
+		if withBody {
+			body(a)
+		}
+		a.Rdtsc(isa.R8)
+		a.Label("loop")
+		if withBody {
+			body(a)
+		}
+		a.SubI(isa.R9, 1)
+		a.CmpI(isa.R9, 0)
+		a.Jne("loop")
+		a.Rdtsc(isa.R10)
+		a.Sub(isa.R10, isa.R8)
+		a.MovI(isa.R11, microData+0x3f00)
+		a.Store(isa.R11, 0, isa.R10)
+		a.Hlt()
+		p, err := a.Assemble(microCode)
+		if err != nil {
+			return 0, err
+		}
+		c.LoadProgram(p)
+		c.PC = p.Base
+		if err := c.RunUntilHalt(10_000_000); err != nil {
+			return 0, err
+		}
+		return float64(c.Phys.Read64(microData+0x3f00)) / microIters, nil
+	}
+	with, err := run(true)
+	if err != nil {
+		return 0, err
+	}
+	empty, err := run(false)
+	if err != nil {
+		return 0, err
+	}
+	return with - empty, nil
+}
+
+// MeasureSyscall returns the syscall-instruction cost (Table 3, col 1).
+func MeasureSyscall(m *model.CPU) (float64, error) {
+	return measureLoop(m, false,
+		func(c *cpu.Core) { c.OnSyscall = func(*cpu.Core) {} },
+		func(a *isa.Asm) { a.Syscall() })
+}
+
+// MeasureSyscallSysret returns the round-trip cost through an LSTAR stub
+// containing only sysret; subtracting MeasureSyscall isolates sysret
+// (Table 3, col 2).
+func MeasureSyscallSysret(m *model.CPU) (float64, error) {
+	return measureLoop(m, false,
+		func(c *cpu.Core) {
+			stub := isa.NewAsm()
+			stub.Sysret()
+			p := stub.MustAssemble(0xd0_0000)
+			c.PageTable().MapRange(0xd0_0000, 0xd0_0000, 1, false, false, false, true)
+			c.LoadProgram(p)
+			c.SetMSR(cpu.MSRLStar, p.Base)
+		},
+		func(a *isa.Asm) { a.Syscall() })
+}
+
+// MeasureSwapCR3 returns the mov-cr3 cost in kernel mode (Table 3,
+// col 3).
+func MeasureSwapCR3(m *model.CPU) (float64, error) {
+	return measureLoop(m, true,
+		func(c *cpu.Core) { c.Regs[isa.R12] = c.CR3 },
+		func(a *isa.Asm) { a.MovCR3(isa.R12) })
+}
+
+// MeasureVerw returns the verw cost (Table 4).
+func MeasureVerw(m *model.CPU) (float64, error) {
+	return measureLoop(m, false, nil, func(a *isa.Asm) { a.Verw() })
+}
+
+// MeasureLfence returns the lfence cost with a load in flight (Table 8;
+// the paper notes the cost depends heavily on outstanding loads).
+func MeasureLfence(m *model.CPU) (float64, error) {
+	withLoad := func(a *isa.Asm) {
+		a.MovI(isa.R1, microData)
+		a.Load(isa.R2, isa.R1, 0)
+		a.Lfence()
+	}
+	loadOnly := func(a *isa.Asm) {
+		a.MovI(isa.R1, microData)
+		a.Load(isa.R2, isa.R1, 0)
+	}
+	full, err := measureLoop(m, false, nil, withLoad)
+	if err != nil {
+		return 0, err
+	}
+	base, err := measureLoop(m, false, nil, loadOnly)
+	if err != nil {
+		return 0, err
+	}
+	return full - base, nil
+}
+
+// MeasureIBPB returns the IBPB cost: a wrmsr to IA32_PRED_CMD in kernel
+// mode (Table 6).
+func MeasureIBPB(m *model.CPU) (float64, error) {
+	return measureLoop(m, true,
+		func(c *cpu.Core) { c.Regs[isa.R12] = 1 },
+		func(a *isa.Asm) { a.Wrmsr(cpu.MSRPredCmd, isa.R12) })
+}
+
+// IndirectVariant selects a Table 5 configuration.
+type IndirectVariant int
+
+// Table 5 configurations.
+const (
+	IndirectBaseline IndirectVariant = iota
+	IndirectIBRS
+	IndirectRetpolineGeneric
+	IndirectRetpolineAMD
+)
+
+// MeasureIndirect returns the per-branch cost of a trained indirect call
+// under the given variant (Table 5). The caller subtracts the baseline
+// to get the paper's "+N" deltas.
+func MeasureIndirect(m *model.CPU, v IndirectVariant) (float64, error) {
+	if v == IndirectIBRS && !m.Spec.IBRS {
+		return 0, fmt.Errorf("harness: %s does not implement IBRS", m.Uarch)
+	}
+	if v == IndirectRetpolineAMD && !m.Costs.RetpolineAMDOK {
+		return 0, fmt.Errorf("harness: AMD retpoline not applicable on %s", m.Uarch)
+	}
+	setup := func(c *cpu.Core) {
+		if v == IndirectIBRS {
+			c.SetMSR(cpu.MSRSpecCtrl, cpu.SpecCtrlIBRS)
+		}
+	}
+	// The call target and (for the generic retpoline) the thunk live
+	// after the measurement loop; MovLabel materialises their address.
+	body := func(a *isa.Asm) {
+		a.MovLabel(isa.R12, "micro_target")
+		switch v {
+		case IndirectRetpolineGeneric:
+			a.Call("micro_retp")
+		case IndirectRetpolineAMD:
+			a.Lfence()
+			a.CallInd(isa.R12)
+		default:
+			a.CallInd(isa.R12)
+		}
+	}
+	// measureLoop doesn't know about our trailing code, so wrap: build
+	// the program manually here.
+	run := func(withBody bool) (float64, error) {
+		c := microCore(m)
+		setup(c)
+		a := isa.NewAsm()
+		a.MovI(isa.R9, microIters)
+		if withBody {
+			body(a)
+		}
+		a.Rdtsc(isa.R8)
+		a.Label("loop")
+		if withBody {
+			body(a)
+		}
+		a.SubI(isa.R9, 1)
+		a.CmpI(isa.R9, 0)
+		a.Jne("loop")
+		a.Rdtsc(isa.R10)
+		a.Sub(isa.R10, isa.R8)
+		a.MovI(isa.R11, microData+0x3f00)
+		a.Store(isa.R11, 0, isa.R10)
+		a.Hlt()
+		a.Label("micro_target")
+		a.Ret()
+		a.Label("micro_retp")
+		a.Call("micro_retp_set")
+		a.Label("micro_capture")
+		a.Pause()
+		a.Lfence()
+		a.Jmp("micro_capture")
+		a.Label("micro_retp_set")
+		a.Store(isa.SP, 0, isa.R12)
+		a.Ret()
+		p, err := a.Assemble(microCode)
+		if err != nil {
+			return 0, err
+		}
+		c.LoadProgram(p)
+		c.PC = p.Base
+		if err := c.RunUntilHalt(10_000_000); err != nil {
+			return 0, err
+		}
+		return float64(c.Phys.Read64(microData+0x3f00)) / microIters, nil
+	}
+	with, err := run(true)
+	if err != nil {
+		return 0, err
+	}
+	empty, err := run(false)
+	if err != nil {
+		return 0, err
+	}
+	return with - empty, nil
+}

@@ -1,0 +1,336 @@
+package isa
+
+import "fmt"
+
+// Asm is a tiny two-pass assembler. Emit instructions through the helper
+// methods, mark positions with Label, and call Assemble with a base
+// address to resolve branch targets.
+//
+//	a := isa.NewAsm()
+//	a.Label("loop")
+//	a.AddI(isa.R1, 1)
+//	a.Jmp("loop")
+//	prog, err := a.Assemble(0x400000)
+type Asm struct {
+	code   []Instruction
+	labels map[string]int // label → instruction index
+	errs   []error
+}
+
+// NewAsm returns an empty assembler.
+func NewAsm() *Asm {
+	return &Asm{labels: make(map[string]int)}
+}
+
+// Len returns the number of instructions emitted so far.
+func (a *Asm) Len() int { return len(a.code) }
+
+// Label defines a label at the current position. Defining the same label
+// twice is an error reported by Assemble.
+func (a *Asm) Label(name string) {
+	if _, dup := a.labels[name]; dup {
+		a.errs = append(a.errs, fmt.Errorf("duplicate label %q", name))
+		return
+	}
+	a.labels[name] = len(a.code)
+}
+
+// Raw appends a pre-built instruction.
+func (a *Asm) Raw(in Instruction) { a.code = append(a.code, in) }
+
+// Tail returns (copies of) the last n emitted instructions, or nil if
+// fewer exist. JIT peepholes use it to inspect recent emission.
+func (a *Asm) Tail(n int) []Instruction {
+	if len(a.code) < n {
+		return nil
+	}
+	out := make([]Instruction, n)
+	copy(out, a.code[len(a.code)-n:])
+	return out
+}
+
+// DropLast removes the last n instructions, refusing (returning false)
+// when any label points into or at the dropped region — dropping those
+// would silently retarget branches.
+func (a *Asm) DropLast(n int) bool {
+	cut := len(a.code) - n
+	if cut < 0 {
+		return false
+	}
+	for _, idx := range a.labels {
+		if idx >= cut {
+			return false
+		}
+	}
+	a.code = a.code[:cut]
+	return true
+}
+
+func (a *Asm) emit(in Instruction) { a.code = append(a.code, in) }
+
+// Nop emits a no-op.
+func (a *Asm) Nop() { a.emit(Instruction{Op: NOP}) }
+
+// Hlt stops the core.
+func (a *Asm) Hlt() { a.emit(Instruction{Op: HLT}) }
+
+// MovI loads an immediate: dst ← imm.
+func (a *Asm) MovI(dst Reg, imm int64) { a.emit(Instruction{Op: MOVI, Dst: dst, Imm: imm}) }
+
+// MovLabel loads the address of a label into dst (resolved at assembly).
+// This is how code takes the address of a function for indirect calls
+// and thread entry points.
+func (a *Asm) MovLabel(dst Reg, label string) {
+	a.emit(Instruction{Op: MOVI, Dst: dst, Label: label})
+}
+
+// Mov copies a register: dst ← src.
+func (a *Asm) Mov(dst, src Reg) { a.emit(Instruction{Op: MOV, Dst: dst, Src1: src}) }
+
+// Add computes dst ← dst + src.
+func (a *Asm) Add(dst, src Reg) { a.emit(Instruction{Op: ADD, Dst: dst, Src1: src}) }
+
+// AddI computes dst ← dst + imm.
+func (a *Asm) AddI(dst Reg, imm int64) { a.emit(Instruction{Op: ADDI, Dst: dst, Imm: imm}) }
+
+// Sub computes dst ← dst - src.
+func (a *Asm) Sub(dst, src Reg) { a.emit(Instruction{Op: SUB, Dst: dst, Src1: src}) }
+
+// SubI computes dst ← dst - imm.
+func (a *Asm) SubI(dst Reg, imm int64) { a.emit(Instruction{Op: SUBI, Dst: dst, Imm: imm}) }
+
+// Mul computes dst ← dst * src.
+func (a *Asm) Mul(dst, src Reg) { a.emit(Instruction{Op: MUL, Dst: dst, Src1: src}) }
+
+// Div computes dst ← dst / src, exercising the divider unit.
+func (a *Asm) Div(dst, src Reg) { a.emit(Instruction{Op: DIV, Dst: dst, Src1: src}) }
+
+// And computes dst ← dst & src.
+func (a *Asm) And(dst, src Reg) { a.emit(Instruction{Op: AND, Dst: dst, Src1: src}) }
+
+// AndI computes dst ← dst & imm.
+func (a *Asm) AndI(dst Reg, imm int64) { a.emit(Instruction{Op: ANDI, Dst: dst, Imm: imm}) }
+
+// Or computes dst ← dst | src.
+func (a *Asm) Or(dst, src Reg) { a.emit(Instruction{Op: OR, Dst: dst, Src1: src}) }
+
+// Xor computes dst ← dst ^ src.
+func (a *Asm) Xor(dst, src Reg) { a.emit(Instruction{Op: XOR, Dst: dst, Src1: src}) }
+
+// ShlI computes dst ← dst << imm.
+func (a *Asm) ShlI(dst Reg, imm int64) { a.emit(Instruction{Op: SHLI, Dst: dst, Imm: imm}) }
+
+// ShrI computes dst ← dst >> imm (logical).
+func (a *Asm) ShrI(dst Reg, imm int64) { a.emit(Instruction{Op: SHRI, Dst: dst, Imm: imm}) }
+
+// Cmp compares dst with src and sets flags.
+func (a *Asm) Cmp(dst, src Reg) { a.emit(Instruction{Op: CMP, Dst: dst, Src1: src}) }
+
+// CmpI compares dst with imm and sets flags.
+func (a *Asm) CmpI(dst Reg, imm int64) { a.emit(Instruction{Op: CMPI, Dst: dst, Imm: imm}) }
+
+// CmovEq conditionally moves src into dst when the EQ flag is set.
+func (a *Asm) CmovEq(dst, src Reg) { a.emit(Instruction{Op: CMOVEQ, Dst: dst, Src1: src}) }
+
+// CmovNe conditionally moves src into dst when the EQ flag is clear.
+func (a *Asm) CmovNe(dst, src Reg) { a.emit(Instruction{Op: CMOVNE, Dst: dst, Src1: src}) }
+
+// CmovLt conditionally moves src into dst when LT (unsigned below).
+func (a *Asm) CmovLt(dst, src Reg) { a.emit(Instruction{Op: CMOVLT, Dst: dst, Src1: src}) }
+
+// CmovGe conditionally moves src into dst when not LT. This is the index
+// masking primitive: cmp idx,len; cmovge idx,zero.
+func (a *Asm) CmovGe(dst, src Reg) { a.emit(Instruction{Op: CMOVGE, Dst: dst, Src1: src}) }
+
+// Load reads 8 bytes: dst ← mem[base+off].
+func (a *Asm) Load(dst, base Reg, off int64) {
+	a.emit(Instruction{Op: LOAD, Dst: dst, Src1: base, Imm: off})
+}
+
+// Store writes 8 bytes: mem[base+off] ← src.
+func (a *Asm) Store(base Reg, off int64, src Reg) {
+	a.emit(Instruction{Op: STORE, Src1: base, Imm: off, Src2: src})
+}
+
+// Clflush evicts the line containing base+off from the cache hierarchy.
+func (a *Asm) Clflush(base Reg, off int64) {
+	a.emit(Instruction{Op: CLFLUSH, Src1: base, Imm: off})
+}
+
+// Jmp emits an unconditional direct jump to a label.
+func (a *Asm) Jmp(label string) { a.emit(Instruction{Op: JMP, Label: label}) }
+
+// JmpAbs emits an unconditional jump to an absolute address (used for
+// JIT→runtime-thunk transfers, where the target is outside the program).
+func (a *Asm) JmpAbs(target uint64) { a.emit(Instruction{Op: JMP, Target: target}) }
+
+// Jeq jumps to label when the EQ flag is set.
+func (a *Asm) Jeq(label string) { a.emit(Instruction{Op: JEQ, Label: label}) }
+
+// Jne jumps to label when the EQ flag is clear.
+func (a *Asm) Jne(label string) { a.emit(Instruction{Op: JNE, Label: label}) }
+
+// Jlt jumps to label when LT (unsigned below).
+func (a *Asm) Jlt(label string) { a.emit(Instruction{Op: JLT, Label: label}) }
+
+// Jge jumps to label when not LT.
+func (a *Asm) Jge(label string) { a.emit(Instruction{Op: JGE, Label: label}) }
+
+// Call emits a direct call to a label.
+func (a *Asm) Call(label string) { a.emit(Instruction{Op: CALL, Label: label}) }
+
+// Ret pops the return address from the stack (predicted via the RSB).
+func (a *Asm) Ret() { a.emit(Instruction{Op: RET}) }
+
+// CallInd emits an indirect call through a register (BTB-predicted).
+func (a *Asm) CallInd(target Reg) { a.emit(Instruction{Op: CALLIND, Src1: target}) }
+
+// JmpInd emits an indirect jump through a register (BTB-predicted).
+func (a *Asm) JmpInd(target Reg) { a.emit(Instruction{Op: JMPIND, Src1: target}) }
+
+// Lfence emits a load fence / speculation barrier.
+func (a *Asm) Lfence() { a.emit(Instruction{Op: LFENCE}) }
+
+// Mfence emits a full memory fence.
+func (a *Asm) Mfence() { a.emit(Instruction{Op: MFENCE}) }
+
+// Sfence emits a store fence (drains the store buffer).
+func (a *Asm) Sfence() { a.emit(Instruction{Op: SFENCE}) }
+
+// Pause emits a spin-loop hint.
+func (a *Asm) Pause() { a.emit(Instruction{Op: PAUSE}) }
+
+// Verw emits the MDS buffer-clearing instruction.
+func (a *Asm) Verw() { a.emit(Instruction{Op: VERW}) }
+
+// Syscall transitions user → kernel.
+func (a *Asm) Syscall() { a.emit(Instruction{Op: SYSCALL}) }
+
+// Sysret transitions kernel → user.
+func (a *Asm) Sysret() { a.emit(Instruction{Op: SYSRET}) }
+
+// Swapgs swaps the GS base.
+func (a *Asm) Swapgs() { a.emit(Instruction{Op: SWAPGS}) }
+
+// Iret returns from a trap.
+func (a *Asm) Iret() { a.emit(Instruction{Op: IRET}) }
+
+// Wrmsr writes src into MSR msr.
+func (a *Asm) Wrmsr(msr uint32, src Reg) {
+	a.emit(Instruction{Op: WRMSR, Src1: src, Imm: int64(msr)})
+}
+
+// Rdmsr reads MSR msr into dst.
+func (a *Asm) Rdmsr(dst Reg, msr uint32) {
+	a.emit(Instruction{Op: RDMSR, Dst: dst, Imm: int64(msr)})
+}
+
+// Rdtsc reads the cycle counter into dst.
+func (a *Asm) Rdtsc(dst Reg) { a.emit(Instruction{Op: RDTSC, Dst: dst}) }
+
+// Rdpmc reads performance counter ctr into dst.
+func (a *Asm) Rdpmc(dst Reg, ctr int64) { a.emit(Instruction{Op: RDPMC, Dst: dst, Imm: ctr}) }
+
+// MovCR3 switches the page-table root to the value in src.
+func (a *Asm) MovCR3(src Reg) { a.emit(Instruction{Op: MOVCR3, Src1: src}) }
+
+// RdCR3 reads the page-table root into dst.
+func (a *Asm) RdCR3(dst Reg) { a.emit(Instruction{Op: RDCR3, Dst: dst}) }
+
+// Invpcid flushes TLB entries. mode 0 flushes the PCID in src; mode 2
+// flushes everything including globals.
+func (a *Asm) Invpcid(src Reg, mode int64) {
+	a.emit(Instruction{Op: INVPCID, Src1: src, Imm: mode})
+}
+
+// FMovI loads a floating immediate: fdst ← imm.
+func (a *Asm) FMovI(fdst FReg, imm float64) {
+	a.emit(Instruction{Op: FMOVI, FDst: fdst, FImm: imm})
+}
+
+// FAdd computes fdst ← fdst + fsrc.
+func (a *Asm) FAdd(fdst, fsrc FReg) { a.emit(Instruction{Op: FADD, FDst: fdst, FSrc: fsrc}) }
+
+// FMul computes fdst ← fdst * fsrc.
+func (a *Asm) FMul(fdst, fsrc FReg) { a.emit(Instruction{Op: FMUL, FDst: fdst, FSrc: fsrc}) }
+
+// FDiv computes fdst ← fdst / fsrc.
+func (a *Asm) FDiv(fdst, fsrc FReg) { a.emit(Instruction{Op: FDIV, FDst: fdst, FSrc: fsrc}) }
+
+// FLoad reads a float: fdst ← mem[base+off].
+func (a *Asm) FLoad(fdst FReg, base Reg, off int64) {
+	a.emit(Instruction{Op: FLOAD, FDst: fdst, Src1: base, Imm: off})
+}
+
+// FStore writes a float: mem[base+off] ← fsrc.
+func (a *Asm) FStore(base Reg, off int64, fsrc FReg) {
+	a.emit(Instruction{Op: FSTOR, Src1: base, Imm: off, FSrc: fsrc})
+}
+
+// FToI converts fsrc to an integer in dst.
+func (a *Asm) FToI(dst Reg, fsrc FReg) { a.emit(Instruction{Op: FTOI, Dst: dst, FSrc: fsrc}) }
+
+// IToF converts src to a float in fdst.
+func (a *Asm) IToF(fdst FReg, src Reg) { a.emit(Instruction{Op: ITOF, FDst: fdst, Src1: src}) }
+
+// Xsave saves FPU state to mem[base].
+func (a *Asm) Xsave(base Reg) { a.emit(Instruction{Op: XSAVE, Src1: base}) }
+
+// Xrstor restores FPU state from mem[base].
+func (a *Asm) Xrstor(base Reg) { a.emit(Instruction{Op: XRSTOR, Src1: base}) }
+
+// Vmcall calls from guest into the hypervisor.
+func (a *Asm) Vmcall() { a.emit(Instruction{Op: VMCALL}) }
+
+// Out writes src to an I/O port (VM exit when in a guest).
+func (a *Asm) Out(port int64, src Reg) { a.emit(Instruction{Op: OUT, Imm: port, Src2: src}) }
+
+// In reads an I/O port into dst (VM exit when in a guest).
+func (a *Asm) In(dst Reg, port int64) { a.emit(Instruction{Op: IN, Dst: dst, Imm: port}) }
+
+// Ud emits an invalid opcode (raises a trap).
+func (a *Asm) Ud() { a.emit(Instruction{Op: UD}) }
+
+// Assemble resolves labels against the given base address and returns the
+// finished Program.
+func (a *Asm) Assemble(base uint64) (*Program, error) {
+	if len(a.errs) > 0 {
+		return nil, a.errs[0]
+	}
+	p := &Program{
+		Base:   base,
+		Code:   make([]Instruction, len(a.code)),
+		Labels: make(map[string]uint64, len(a.labels)),
+	}
+	copy(p.Code, a.code)
+	for name, idx := range a.labels {
+		p.Labels[name] = base + uint64(idx)*InstrBytes
+	}
+	for i := range p.Code {
+		in := &p.Code[i]
+		if in.Label == "" {
+			continue
+		}
+		addr, ok := p.Labels[in.Label]
+		if !ok {
+			return nil, fmt.Errorf("undefined label %q at instruction %d (%v)", in.Label, i, in.Op)
+		}
+		switch {
+		case in.Op.IsBranch():
+			in.Target = addr
+		case in.Op == MOVI:
+			in.Imm = int64(addr)
+		}
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble but panics on error; for tests and static
+// kernel stubs where failure is a programming bug.
+func (a *Asm) MustAssemble(base uint64) *Program {
+	p, err := a.Assemble(base)
+	if err != nil {
+		panic("isa: " + err.Error())
+	}
+	return p
+}

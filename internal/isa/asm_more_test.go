@@ -1,0 +1,197 @@
+package isa
+
+import "testing"
+
+// TestEveryEmitter drives every assembler helper once and checks the
+// emitted opcode stream, so no emission path goes untested.
+func TestEveryEmitter(t *testing.T) {
+	a := NewAsm()
+	emit := []struct {
+		f  func()
+		op Op
+	}{
+		{func() { a.Nop() }, NOP},
+		{func() { a.Hlt() }, HLT},
+		{func() { a.MovI(R1, 5) }, MOVI},
+		{func() { a.Mov(R1, R2) }, MOV},
+		{func() { a.Add(R1, R2) }, ADD},
+		{func() { a.AddI(R1, 5) }, ADDI},
+		{func() { a.Sub(R1, R2) }, SUB},
+		{func() { a.SubI(R1, 5) }, SUBI},
+		{func() { a.Mul(R1, R2) }, MUL},
+		{func() { a.Div(R1, R2) }, DIV},
+		{func() { a.And(R1, R2) }, AND},
+		{func() { a.AndI(R1, 0xff) }, ANDI},
+		{func() { a.Or(R1, R2) }, OR},
+		{func() { a.Xor(R1, R2) }, XOR},
+		{func() { a.ShlI(R1, 3) }, SHLI},
+		{func() { a.ShrI(R1, 3) }, SHRI},
+		{func() { a.Cmp(R1, R2) }, CMP},
+		{func() { a.CmpI(R1, 7) }, CMPI},
+		{func() { a.CmovEq(R1, R2) }, CMOVEQ},
+		{func() { a.CmovNe(R1, R2) }, CMOVNE},
+		{func() { a.CmovLt(R1, R2) }, CMOVLT},
+		{func() { a.CmovGe(R1, R2) }, CMOVGE},
+		{func() { a.Load(R1, R2, 8) }, LOAD},
+		{func() { a.Store(R2, 8, R1) }, STORE},
+		{func() { a.Clflush(R1, 0) }, CLFLUSH},
+		{func() { a.Jmp("l") }, JMP},
+		{func() { a.JmpAbs(0x1234) }, JMP},
+		{func() { a.Jeq("l") }, JEQ},
+		{func() { a.Jne("l") }, JNE},
+		{func() { a.Jlt("l") }, JLT},
+		{func() { a.Jge("l") }, JGE},
+		{func() { a.Call("l") }, CALL},
+		{func() { a.Ret() }, RET},
+		{func() { a.CallInd(R11) }, CALLIND},
+		{func() { a.JmpInd(R11) }, JMPIND},
+		{func() { a.Lfence() }, LFENCE},
+		{func() { a.Mfence() }, MFENCE},
+		{func() { a.Sfence() }, SFENCE},
+		{func() { a.Pause() }, PAUSE},
+		{func() { a.Verw() }, VERW},
+		{func() { a.Syscall() }, SYSCALL},
+		{func() { a.Sysret() }, SYSRET},
+		{func() { a.Swapgs() }, SWAPGS},
+		{func() { a.Iret() }, IRET},
+		{func() { a.Wrmsr(0x48, R1) }, WRMSR},
+		{func() { a.Rdmsr(R1, 0x48) }, RDMSR},
+		{func() { a.Rdtsc(R1) }, RDTSC},
+		{func() { a.Rdpmc(R1, 2) }, RDPMC},
+		{func() { a.MovCR3(R1) }, MOVCR3},
+		{func() { a.RdCR3(R1) }, RDCR3},
+		{func() { a.Invpcid(R1, 2) }, INVPCID},
+		{func() { a.FMovI(0, 1.5) }, FMOVI},
+		{func() { a.FAdd(0, 1) }, FADD},
+		{func() { a.FMul(0, 1) }, FMUL},
+		{func() { a.FDiv(0, 1) }, FDIV},
+		{func() { a.FLoad(0, R1, 0) }, FLOAD},
+		{func() { a.FStore(R1, 0, 0) }, FSTOR},
+		{func() { a.FToI(R1, 0) }, FTOI},
+		{func() { a.IToF(0, R1) }, ITOF},
+		{func() { a.Xsave(R1) }, XSAVE},
+		{func() { a.Xrstor(R1) }, XRSTOR},
+		{func() { a.Vmcall() }, VMCALL},
+		{func() { a.Out(0x10, R1) }, OUT},
+		{func() { a.In(R1, 0x13) }, IN},
+		{func() { a.Ud() }, UD},
+		{func() { a.MovLabel(R1, "l") }, MOVI},
+		{func() { a.Raw(Instruction{Op: NOP}) }, NOP},
+	}
+	for i, e := range emit {
+		before := a.Len()
+		e.f()
+		if a.Len() != before+1 {
+			t.Fatalf("emitter %d did not emit exactly one instruction", i)
+		}
+	}
+	a.Label("l")
+	a.Nop()
+	p, err := a.Assemble(0x4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range emit {
+		if p.Code[i].Op != e.op {
+			t.Errorf("instruction %d = %v, want %v", i, p.Code[i].Op, e.op)
+		}
+	}
+	// MovLabel resolved to the label address.
+	lAddr := p.LabelAddr("l")
+	movLabelIdx := len(emit) - 2
+	if p.Code[movLabelIdx].Imm != int64(lAddr) {
+		t.Errorf("MovLabel imm = %#x, want %#x", p.Code[movLabelIdx].Imm, lAddr)
+	}
+	// JmpAbs kept its absolute target.
+	for i, in := range p.Code {
+		if in.Op == JMP && in.Label == "" && in.Target != 0x1234 {
+			t.Errorf("instruction %d: JmpAbs target = %#x", i, in.Target)
+		}
+	}
+}
+
+func TestTailAndDropLast(t *testing.T) {
+	a := NewAsm()
+	a.MovI(R1, 1)
+	a.MovI(R2, 2)
+	a.MovI(R3, 3)
+
+	if got := a.Tail(5); got != nil {
+		t.Errorf("Tail(5) on 3 instructions = %v, want nil", got)
+	}
+	tail := a.Tail(2)
+	if len(tail) != 2 || tail[0].Dst != R2 || tail[1].Dst != R3 {
+		t.Errorf("Tail(2) = %v", tail)
+	}
+	// Tail returns copies: mutating them must not affect the program.
+	tail[0].Imm = 99
+	if a.code[1].Imm != 2 {
+		t.Error("Tail leaked internal state")
+	}
+
+	if !a.DropLast(1) {
+		t.Fatal("DropLast(1) refused")
+	}
+	if a.Len() != 2 {
+		t.Errorf("len = %d after drop", a.Len())
+	}
+	if a.DropLast(5) {
+		t.Error("DropLast past start succeeded")
+	}
+
+	// A label at (or after) the cut blocks the drop.
+	a.Label("here")
+	a.MovI(R4, 4)
+	if a.DropLast(1) {
+		t.Error("DropLast removed an instruction a label points at")
+	}
+	if a.Len() != 3 {
+		t.Errorf("len = %d, drop must not have happened", a.Len())
+	}
+	// Dropping before the label is still fine... the label is at index
+	// 2, so dropping 1 (index 2) is blocked, but emitting one more and
+	// dropping it is not.
+	a.MovI(R5, 5)
+	if !a.DropLast(1) {
+		t.Error("DropLast after the label refused")
+	}
+}
+
+func TestMovLabelUndefined(t *testing.T) {
+	a := NewAsm()
+	a.MovLabel(R1, "ghost")
+	if _, err := a.Assemble(0); err == nil {
+		t.Fatal("undefined MovLabel target accepted")
+	}
+}
+
+func TestProgramHelpers(t *testing.T) {
+	a := NewAsm()
+	a.Nop()
+	a.Nop()
+	p := a.MustAssemble(0x100)
+	if p.SizeBytes() != 2*InstrBytes {
+		t.Errorf("SizeBytes = %d", p.SizeBytes())
+	}
+	if p.End() != 0x100+2*InstrBytes {
+		t.Errorf("End = %#x", p.End())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("LabelAddr on missing label did not panic")
+		}
+	}()
+	p.LabelAddr("missing")
+}
+
+func TestRegisterStrings(t *testing.T) {
+	if R7.String() != "r7" || SP.String() != "r15" {
+		t.Errorf("reg strings: %s %s", R7, SP)
+	}
+	if FReg(3).String() != "f3" {
+		t.Errorf("freg string: %s", FReg(3))
+	}
+	if Op(9999).String() == "" {
+		t.Error("unknown op must still print")
+	}
+}

@@ -1,0 +1,27 @@
+package isa_test
+
+import (
+	"fmt"
+
+	"spectrebench/internal/isa"
+)
+
+// Build a tiny program with the assembler and inspect it.
+func ExampleAsm() {
+	a := isa.NewAsm()
+	a.MovI(isa.R1, 10)
+	a.Label("loop")
+	a.SubI(isa.R1, 1)
+	a.CmpI(isa.R1, 0)
+	a.Jne("loop")
+	a.Hlt()
+
+	p := a.MustAssemble(0x40_0000)
+	fmt.Printf("%d instructions at %#x\n", len(p.Code), p.Base)
+	fmt.Println(p.Code[0])
+	fmt.Println(p.Code[3])
+	// Output:
+	// 5 instructions at 0x400000
+	// movi r1, 10
+	// jne loop
+}

@@ -1,0 +1,295 @@
+// Package isa defines the instruction set executed by the simulated CPU
+// cores in this repository.
+//
+// The ISA is a small RISC-flavoured register machine augmented with the
+// x86 system instructions that matter for transient-execution mitigations:
+// SYSCALL/SYSRET, SWAPGS, LFENCE, VERW, WRMSR/RDMSR, RDTSC/RDPMC, CLFLUSH,
+// CR3 manipulation, XSAVE/XRSTOR, and VM transitions. Code is stored as
+// decoded Instruction values; instruction i of a program loaded at virtual
+// address base occupies [base+4i, base+4i+4), which keeps branch-target,
+// BTB, and page-permission behaviour faithful without byte-level encoding.
+package isa
+
+import "fmt"
+
+// Reg names a general-purpose integer register. The machine has 16,
+// R0 through R15. By convention R15 (SP) is the stack pointer used by
+// CALL/RET, R0 carries return values and R7 the syscall number.
+type Reg uint8
+
+// General purpose register names.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+
+	// SP is the conventional stack pointer register.
+	SP = R15
+	// NumRegs is the number of general-purpose registers.
+	NumRegs = 16
+)
+
+// FReg names a floating-point register, F0 through F15. Floating point
+// state is subject to lazy/eager FPU save mitigations (LazyFP).
+type FReg uint8
+
+// NumFRegs is the number of floating-point registers.
+const NumFRegs = 16
+
+func (r Reg) String() string  { return fmt.Sprintf("r%d", uint8(r)) }
+func (f FReg) String() string { return fmt.Sprintf("f%d", uint8(f)) }
+
+// Op is an operation code.
+type Op uint16
+
+// Instruction opcodes.
+const (
+	NOP Op = iota
+	HLT    // stop the core
+
+	// Integer ALU. Dst ← Dst op Src (or Imm for the *I forms).
+	MOVI // Dst ← Imm
+	MOV  // Dst ← Src1
+	ADD  // Dst ← Dst + Src1
+	ADDI // Dst ← Dst + Imm
+	SUB  // Dst ← Dst - Src1
+	SUBI // Dst ← Dst - Imm
+	MUL  // Dst ← Dst * Src1
+	DIV  // Dst ← Dst / Src1, signed (counts divider-active cycles; #DE on zero)
+	AND  // Dst ← Dst & Src1
+	ANDI // Dst ← Dst & Imm
+	OR   // Dst ← Dst | Src1
+	XOR  // Dst ← Dst ^ Src1
+	SHLI // Dst ← Dst << Imm
+	SHRI // Dst ← Dst >> Imm (logical)
+
+	// Flag-setting comparisons.
+	CMP  // compare Dst with Src1, set flags
+	CMPI // compare Dst with Imm, set flags
+
+	// Conditional moves (the Spectre V1 masking primitive).
+	CMOVEQ // Dst ← Src1 if EQ
+	CMOVNE // Dst ← Src1 if !EQ
+	CMOVLT // Dst ← Src1 if LT (unsigned below)
+	CMOVGE // Dst ← Src1 if !LT (unsigned above-or-equal)
+
+	// Memory. Effective address is Src1 + Imm. All accesses are 8 bytes.
+	LOAD    // Dst ← mem[Src1+Imm]
+	STORE   // mem[Src1+Imm] ← Src2
+	CLFLUSH // evict the cache line containing Src1+Imm from all levels
+	PREFETCH
+
+	// Control flow. Direct targets are resolved instruction addresses.
+	JMP  // PC ← Target
+	JEQ  // if EQ
+	JNE  // if !EQ
+	JLT  // if LT
+	JGE  // if !LT
+	CALL // push return address, PC ← Target
+	RET  // pop return address (predicted via RSB)
+	// Indirect control flow (predicted via BTB; the Spectre V2 surface).
+	CALLIND // push return address, PC ← Src1
+	JMPIND  // PC ← Src1
+
+	// Serialisation and buffer hygiene.
+	LFENCE // drain loads; ends transient execution at this point
+	MFENCE // full fence
+	SFENCE // store fence (drains the store buffer)
+	PAUSE  // spin-loop hint
+	VERW   // with microcode update: clear µarch buffers (MDS mitigation)
+
+	// Privileged / system.
+	SYSCALL // user → kernel transition
+	SYSRET  // kernel → user transition
+	SWAPGS  // swap the GS base (entry-stub bookkeeping)
+	IRET    // return from trap/interrupt
+	WRMSR   // MSR[Imm] ← Src1 (kernel mode only)
+	RDMSR   // Dst ← MSR[Imm]
+	RDTSC   // Dst ← cycle counter
+	RDPMC   // Dst ← performance counter selected by Imm
+	MOVCR3  // CR3 ← Src1: switch page-table root (PTI's mov %cr3)
+	RDCR3   // Dst ← CR3
+	INVPCID // flush TLB entries for PCID in Src1 (Imm=mode; 2=flush all)
+
+	// Floating point (subject to FPU-disabled traps for LazyFP).
+	FMOVI // FDst ← FImm
+	FADD  // FDst ← FDst + FSrc
+	FMUL  // FDst ← FDst * FSrc
+	FDIV  // FDst ← FDst / FSrc (counts divider-active cycles)
+	FLOAD // FDst ← mem[Src1+Imm]
+	FSTOR // mem[Src1+Imm] ← FSrc
+	FTOI  // Dst ← int(FSrc)
+	ITOF  // FDst ← float(Src1)
+	XSAVE // save FPU state to mem[Src1] (eager-FPU mitigation fast path)
+	XRSTOR
+
+	// Virtualisation and device I/O.
+	VMCALL // guest → hypervisor call
+	OUT    // write Src2 to port Imm (causes a VM exit when in a guest)
+	IN     // Dst ← port Imm (causes a VM exit when in a guest)
+
+	// UD raises an invalid-opcode trap (test hook for fault paths).
+	UD
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	NOP: "nop", HLT: "hlt",
+	MOVI: "movi", MOV: "mov", ADD: "add", ADDI: "addi", SUB: "sub",
+	SUBI: "subi", MUL: "mul", DIV: "div", AND: "and", ANDI: "andi",
+	OR: "or", XOR: "xor", SHLI: "shli", SHRI: "shri",
+	CMP: "cmp", CMPI: "cmpi",
+	CMOVEQ: "cmoveq", CMOVNE: "cmovne", CMOVLT: "cmovlt", CMOVGE: "cmovge",
+	LOAD: "load", STORE: "store", CLFLUSH: "clflush", PREFETCH: "prefetch",
+	JMP: "jmp", JEQ: "jeq", JNE: "jne", JLT: "jlt", JGE: "jge",
+	CALL: "call", RET: "ret", CALLIND: "callind", JMPIND: "jmpind",
+	LFENCE: "lfence", MFENCE: "mfence", SFENCE: "sfence", PAUSE: "pause",
+	VERW:    "verw",
+	SYSCALL: "syscall", SYSRET: "sysret", SWAPGS: "swapgs", IRET: "iret",
+	WRMSR: "wrmsr", RDMSR: "rdmsr", RDTSC: "rdtsc", RDPMC: "rdpmc",
+	MOVCR3: "movcr3", RDCR3: "rdcr3", INVPCID: "invpcid",
+	FMOVI: "fmovi", FADD: "fadd", FMUL: "fmul", FDIV: "fdiv",
+	FLOAD: "fload", FSTOR: "fstor", FTOI: "ftoi", ITOF: "itof",
+	XSAVE: "xsave", XRSTOR: "xrstor",
+	VMCALL: "vmcall", OUT: "out", IN: "in",
+	UD: "ud",
+}
+
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint16(op))
+}
+
+// InstrBytes is the architectural size of every instruction. Instruction
+// i of a program based at va occupies va + i*InstrBytes.
+const InstrBytes = 4
+
+// Instruction is one decoded instruction. Not every field is meaningful
+// for every opcode; see the Op constants for per-opcode semantics.
+type Instruction struct {
+	Op     Op
+	Dst    Reg
+	Src1   Reg
+	Src2   Reg
+	FDst   FReg
+	FSrc   FReg
+	Imm    int64   // immediate operand / displacement / MSR index / port
+	FImm   float64 // floating-point immediate (FMOVI)
+	Target uint64  // resolved virtual address for direct control flow
+	Label  string  // unresolved label (assembler-internal; kept for display)
+}
+
+func (in Instruction) String() string {
+	switch in.Op {
+	case MOVI:
+		return fmt.Sprintf("movi %v, %d", in.Dst, in.Imm)
+	case LOAD:
+		return fmt.Sprintf("load %v, [%v%+d]", in.Dst, in.Src1, in.Imm)
+	case STORE:
+		return fmt.Sprintf("store [%v%+d], %v", in.Src1, in.Imm, in.Src2)
+	case JMP, JEQ, JNE, JLT, JGE, CALL:
+		if in.Label != "" {
+			return fmt.Sprintf("%v %s", in.Op, in.Label)
+		}
+		return fmt.Sprintf("%v 0x%x", in.Op, in.Target)
+	case CALLIND, JMPIND:
+		return fmt.Sprintf("%v *%v", in.Op, in.Src1)
+	case WRMSR:
+		return fmt.Sprintf("wrmsr %#x, %v", uint32(in.Imm), in.Src1)
+	case RDMSR:
+		return fmt.Sprintf("rdmsr %v, %#x", in.Dst, uint32(in.Imm))
+	default:
+		return in.Op.String()
+	}
+}
+
+// IsBranch reports whether the opcode is any control transfer.
+func (op Op) IsBranch() bool {
+	switch op {
+	case JMP, JEQ, JNE, JLT, JGE, CALL, RET, CALLIND, JMPIND:
+		return true
+	}
+	return false
+}
+
+// IsCondBranch reports whether the opcode is a conditional branch.
+func (op Op) IsCondBranch() bool {
+	switch op {
+	case JEQ, JNE, JLT, JGE:
+		return true
+	}
+	return false
+}
+
+// IsSerializing reports whether the opcode acts as a speculation barrier:
+// transient execution cannot proceed past it.
+func (op Op) IsSerializing() bool {
+	switch op {
+	case LFENCE, MFENCE, SYSCALL, SYSRET, IRET, WRMSR, VERW, MOVCR3,
+		INVPCID, XSAVE, XRSTOR, VMCALL, OUT, IN, HLT, UD:
+		return true
+	}
+	return false
+}
+
+// IsFPU reports whether the opcode touches floating-point state and thus
+// traps when the FPU is disabled (the LazyFP mechanism).
+func (op Op) IsFPU() bool {
+	switch op {
+	case FMOVI, FADD, FMUL, FDIV, FLOAD, FSTOR, FTOI, ITOF:
+		return true
+	}
+	return false
+}
+
+// Program is an assembled unit of code: a sequence of instructions with a
+// base virtual address and exported label addresses.
+type Program struct {
+	Base   uint64
+	Code   []Instruction
+	Labels map[string]uint64
+}
+
+// Addr returns the virtual address of instruction index i.
+func (p *Program) Addr(i int) uint64 { return p.Base + uint64(i)*InstrBytes }
+
+// End returns the first virtual address past the program.
+func (p *Program) End() uint64 { return p.Base + uint64(len(p.Code))*InstrBytes }
+
+// SizeBytes returns the program's footprint in bytes.
+func (p *Program) SizeBytes() uint64 { return uint64(len(p.Code)) * InstrBytes }
+
+// At returns the instruction at virtual address va, or nil if va is not
+// within the program or is misaligned.
+func (p *Program) At(va uint64) *Instruction {
+	if va < p.Base || va >= p.End() || (va-p.Base)%InstrBytes != 0 {
+		return nil
+	}
+	return &p.Code[(va-p.Base)/InstrBytes]
+}
+
+// LabelAddr returns the address of a label, panicking if undefined. It is
+// intended for test and harness code where a missing label is a bug.
+func (p *Program) LabelAddr(name string) uint64 {
+	a, ok := p.Labels[name]
+	if !ok {
+		panic(fmt.Sprintf("isa: undefined label %q", name))
+	}
+	return a
+}

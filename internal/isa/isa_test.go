@@ -1,0 +1,184 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAssembleResolvesLabels(t *testing.T) {
+	a := NewAsm()
+	a.Label("start")
+	a.MovI(R1, 7)
+	a.Label("loop")
+	a.SubI(R1, 1)
+	a.CmpI(R1, 0)
+	a.Jne("loop")
+	a.Jmp("done")
+	a.Nop()
+	a.Label("done")
+	a.Hlt()
+
+	p, err := a.Assemble(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.LabelAddr("start"); got != 0x1000 {
+		t.Errorf("start = %#x, want 0x1000", got)
+	}
+	if got := p.LabelAddr("loop"); got != 0x1000+1*InstrBytes {
+		t.Errorf("loop = %#x, want %#x", got, 0x1000+1*InstrBytes)
+	}
+	jne := p.Code[3]
+	if jne.Op != JNE || jne.Target != p.LabelAddr("loop") {
+		t.Errorf("jne target = %#x, want %#x", jne.Target, p.LabelAddr("loop"))
+	}
+	jmp := p.Code[4]
+	if jmp.Target != p.LabelAddr("done") {
+		t.Errorf("jmp target = %#x, want %#x", jmp.Target, p.LabelAddr("done"))
+	}
+}
+
+func TestAssembleUndefinedLabel(t *testing.T) {
+	a := NewAsm()
+	a.Jmp("nowhere")
+	if _, err := a.Assemble(0); err == nil {
+		t.Fatal("expected error for undefined label")
+	}
+}
+
+func TestAssembleDuplicateLabel(t *testing.T) {
+	a := NewAsm()
+	a.Label("x")
+	a.Nop()
+	a.Label("x")
+	if _, err := a.Assemble(0); err == nil {
+		t.Fatal("expected error for duplicate label")
+	}
+}
+
+func TestProgramAt(t *testing.T) {
+	a := NewAsm()
+	a.MovI(R1, 1)
+	a.MovI(R2, 2)
+	a.Hlt()
+	p := a.MustAssemble(0x4000)
+
+	if in := p.At(0x4000); in == nil || in.Op != MOVI || in.Dst != R1 {
+		t.Errorf("At(base) = %v, want movi r1", in)
+	}
+	if in := p.At(0x4000 + InstrBytes); in == nil || in.Dst != R2 {
+		t.Errorf("At(base+4) = %v, want movi r2", in)
+	}
+	if in := p.At(0x4001); in != nil {
+		t.Errorf("misaligned At = %v, want nil", in)
+	}
+	if in := p.At(p.End()); in != nil {
+		t.Errorf("At(end) = %v, want nil", in)
+	}
+	if in := p.At(0x3ffc); in != nil {
+		t.Errorf("At(before base) = %v, want nil", in)
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	branches := []Op{JMP, JEQ, JNE, JLT, JGE, CALL, RET, CALLIND, JMPIND}
+	for _, op := range branches {
+		if !op.IsBranch() {
+			t.Errorf("%v.IsBranch() = false", op)
+		}
+	}
+	for _, op := range []Op{NOP, LOAD, STORE, SYSCALL, LFENCE} {
+		if op.IsBranch() {
+			t.Errorf("%v.IsBranch() = true", op)
+		}
+	}
+	for _, op := range []Op{JEQ, JNE, JLT, JGE} {
+		if !op.IsCondBranch() {
+			t.Errorf("%v.IsCondBranch() = false", op)
+		}
+	}
+	if JMP.IsCondBranch() || CALL.IsCondBranch() {
+		t.Error("unconditional transfers must not be conditional branches")
+	}
+	for _, op := range []Op{LFENCE, MFENCE, SYSCALL, WRMSR, VERW, MOVCR3, UD} {
+		if !op.IsSerializing() {
+			t.Errorf("%v.IsSerializing() = false", op)
+		}
+	}
+	for _, op := range []Op{LOAD, STORE, ADD, JMP, SFENCE} {
+		if op.IsSerializing() {
+			t.Errorf("%v.IsSerializing() = true", op)
+		}
+	}
+	for _, op := range []Op{FMOVI, FADD, FMUL, FDIV, FLOAD, FSTOR, FTOI, ITOF} {
+		if !op.IsFPU() {
+			t.Errorf("%v.IsFPU() = false", op)
+		}
+	}
+	if XSAVE.IsFPU() {
+		t.Error("xsave must not trap as an FPU op (it is the save path itself)")
+	}
+}
+
+func TestOpStringsUnique(t *testing.T) {
+	seen := make(map[string]Op)
+	for op := Op(0); op < numOps; op++ {
+		s := op.String()
+		if s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("op %d has no name", op)
+			continue
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("ops %v and %v share name %q", prev, op, s)
+		}
+		seen[s] = op
+	}
+}
+
+func TestInstructionString(t *testing.T) {
+	cases := []struct {
+		in   Instruction
+		want string
+	}{
+		{Instruction{Op: MOVI, Dst: R3, Imm: -5}, "movi r3, -5"},
+		{Instruction{Op: LOAD, Dst: R1, Src1: R2, Imm: 16}, "load r1, [r2+16]"},
+		{Instruction{Op: STORE, Src1: R4, Imm: -8, Src2: R5}, "store [r4-8], r5"},
+		{Instruction{Op: JMP, Label: "top"}, "jmp top"},
+		{Instruction{Op: CALLIND, Src1: R11}, "callind *r11"},
+		{Instruction{Op: LFENCE}, "lfence"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// Property: for any instruction index, Addr and At agree.
+func TestProgramAddrAtRoundTrip(t *testing.T) {
+	a := NewAsm()
+	for i := 0; i < 100; i++ {
+		a.MovI(R1, int64(i))
+	}
+	p := a.MustAssemble(0x10000)
+	f := func(i uint8) bool {
+		idx := int(i) % len(p.Code)
+		in := p.At(p.Addr(idx))
+		return in != nil && in.Imm == int64(idx)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAssemble did not panic on bad input")
+		}
+	}()
+	a := NewAsm()
+	a.Call("missing")
+	a.MustAssemble(0)
+}

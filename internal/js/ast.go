@@ -1,0 +1,175 @@
+// Package js implements a small JavaScript-like language engine with a
+// template JIT that compiles to the simulator ISA — the substrate for
+// reproducing the paper's browser-sandbox measurements (Figure 3).
+//
+// The engine mirrors the structure of a production JS engine where it
+// matters to the study:
+//
+//   - Arrays carry their length and every access is bounds checked; the
+//     bounds-check branch is the Spectre V1 surface, and the optional
+//     index-masking cmov is SpiderMonkey's mitigation (§5.4).
+//   - Objects have shapes (hidden classes); property sites use inline
+//     caches guarded by a shape check, with an optional cmov that
+//     poisons the object pointer on mismatch ("object mitigations").
+//   - Heap pointers can be stored poisoned (XOR with a secret constant)
+//     and timers can be coarsened — the "other JavaScript" mitigations.
+//   - The engine process enters seccomp at startup like Firefox, which
+//     on pre-5.16 kernels means the OS enables SSBD for it (§4.3).
+//
+// Values are 64-bit integers (Octane-style kernels are written integer
+// only); arrays and objects are heap blocks.
+package js
+
+import "fmt"
+
+// Node is an AST node.
+type Node interface{ node() }
+
+// Expressions.
+type (
+	// NumLit is an integer literal.
+	NumLit struct{ Value int64 }
+	// Ident references a variable.
+	Ident struct{ Name string }
+	// Unary is -x or !x.
+	Unary struct {
+		Op string
+		X  Expr
+	}
+	// Binary is x op y for arithmetic, comparison, and logic.
+	Binary struct {
+		Op   string
+		L, R Expr
+	}
+	// Call invokes a named function or builtin.
+	Call struct {
+		Name string
+		Args []Expr
+	}
+	// ArrayLit allocates an array from element expressions.
+	ArrayLit struct{ Elems []Expr }
+	// Index reads a[i].
+	Index struct {
+		Arr, Idx Expr
+	}
+	// ObjectLit allocates an object with a fixed shape.
+	ObjectLit struct {
+		Fields []Field
+	}
+	// Prop reads o.f.
+	Prop struct {
+		Obj  Expr
+		Name string
+	}
+)
+
+// Field is one property of an object literal.
+type Field struct {
+	Name string
+	Val  Expr
+}
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	expr()
+}
+
+func (*NumLit) node()    {}
+func (*Ident) node()     {}
+func (*Unary) node()     {}
+func (*Binary) node()    {}
+func (*Call) node()      {}
+func (*ArrayLit) node()  {}
+func (*Index) node()     {}
+func (*ObjectLit) node() {}
+func (*Prop) node()      {}
+
+func (*NumLit) expr()    {}
+func (*Ident) expr()     {}
+func (*Unary) expr()     {}
+func (*Binary) expr()    {}
+func (*Call) expr()      {}
+func (*ArrayLit) expr()  {}
+func (*Index) expr()     {}
+func (*ObjectLit) expr() {}
+func (*Prop) expr()      {}
+
+// Statements.
+type (
+	// VarDecl declares (and initialises) a local.
+	VarDecl struct {
+		Name string
+		Init Expr
+	}
+	// Assign writes to a variable, array element, or property.
+	Assign struct {
+		Target Expr // Ident, Index, or Prop
+		Val    Expr
+	}
+	// ExprStmt evaluates an expression for its effects.
+	ExprStmt struct{ X Expr }
+	// If is a conditional with an optional else.
+	If struct {
+		Cond       Expr
+		Then, Else []Stmt
+	}
+	// While loops while the condition is truthy.
+	While struct {
+		Cond Expr
+		Body []Stmt
+	}
+	// For is for(init; cond; post).
+	For struct {
+		Init Stmt // may be nil
+		Cond Expr // may be nil (infinite)
+		Post Stmt // may be nil
+		Body []Stmt
+	}
+	// Return exits the enclosing function.
+	Return struct{ Val Expr } // Val may be nil
+)
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmt()
+}
+
+func (*VarDecl) node()  {}
+func (*Assign) node()   {}
+func (*ExprStmt) node() {}
+func (*If) node()       {}
+func (*While) node()    {}
+func (*For) node()      {}
+func (*Return) node()   {}
+
+func (*VarDecl) stmt()  {}
+func (*Assign) stmt()   {}
+func (*ExprStmt) stmt() {}
+func (*If) stmt()       {}
+func (*While) stmt()    {}
+func (*For) stmt()      {}
+func (*Return) stmt()   {}
+
+// Function is a user-defined function.
+type Function struct {
+	Name   string
+	Params []string
+	Body   []Stmt
+}
+
+// Program is a parsed script: function declarations plus top-level
+// statements (the implicit main).
+type Program struct {
+	Funcs map[string]*Function
+	Main  []Stmt
+}
+
+// Error is a source-position-annotated front-end error.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("js: line %d: %s", e.Line, e.Msg) }

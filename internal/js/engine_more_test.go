@@ -1,0 +1,130 @@
+package js
+
+import (
+	"strings"
+	"testing"
+
+	"spectrebench/internal/kernel"
+	"spectrebench/internal/model"
+)
+
+func TestHeapExhaustion(t *testing.T) {
+	m := model.Zen2()
+	e := NewEngine(m, kernel.Defaults(m), Mitigations{})
+	// Allocate far more than the 8 MiB heap in a loop.
+	src := `
+		for (var i = 0; i < 200; i = i + 1) {
+			var a = new Array(100000);
+			a[0] = i;
+		}
+		report(1);
+	`
+	_, err := e.Run(src, 400_000_000)
+	if err == nil || !strings.Contains(err.Error(), "heap exhausted") {
+		t.Fatalf("err = %v, want heap exhaustion", err)
+	}
+}
+
+func TestPointerPoisoningChangesStoredBits(t *testing.T) {
+	// With poisoning on, the raw 64-bit value a heap reference variable
+	// holds differs from the true address; the program still works.
+	m := model.Zen()
+	src := `
+		var a = [5, 6, 7];
+		report(a[0] + a[2]);
+	`
+	plain := NewEngine(m, kernel.Defaults(m), Mitigations{})
+	rp, err := plain.Run(src, 20_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisoned := NewEngine(m, kernel.Defaults(m), Mitigations{PointerPoisoning: true})
+	rq, err := poisoned.Run(src, 20_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Reports[0] != 12 || rq.Reports[0] != 12 {
+		t.Errorf("results: %v vs %v", rp.Reports, rq.Reports)
+	}
+	if rq.Instructions <= rp.Instructions {
+		t.Error("poisoning must execute extra unpoison instructions")
+	}
+}
+
+func TestEngineStepBudget(t *testing.T) {
+	m := model.Zen()
+	e := NewEngine(m, kernel.Defaults(m), Mitigations{})
+	src := `var i = 0; while (i < 1000000) { i = i + 1; } report(i);`
+	if _, err := e.Run(src, 1000); err == nil {
+		t.Fatal("step budget exceeded but no error")
+	}
+}
+
+func TestEngineParseErrorPropagates(t *testing.T) {
+	m := model.Zen()
+	e := NewEngine(m, kernel.Defaults(m), Mitigations{})
+	if _, err := e.Run("var x = ;", 1000); err == nil {
+		t.Fatal("parse error not propagated")
+	}
+}
+
+func TestJITCompileErrors(t *testing.T) {
+	m := model.Zen()
+	cases := []string{
+		`var a = [1]; var x = a[0] << a[0];`,   // dynamic shift amount
+		`report(missing);`,                     // undefined variable
+		`var o = {length: 1};`,                 // reserved property
+		`function f(a) { return g(a); } f(1);`, // undefined function
+		`function f(a, b) { return a; } f(1);`, // arity mismatch
+	}
+	for _, src := range cases {
+		e := NewEngine(m, kernel.Defaults(m), Mitigations{})
+		if _, err := e.Run(src, 1000_000); err == nil {
+			t.Errorf("Run(%q) succeeded, want compile error", src)
+		}
+	}
+}
+
+func TestDivideByZeroKillsJSProcess(t *testing.T) {
+	m := model.Zen()
+	e := NewEngine(m, kernel.Defaults(m), Mitigations{})
+	src := `var z = 0; report(5 / z);`
+	if _, err := e.Run(src, 1_000_000); err == nil {
+		t.Fatal("division by zero did not error")
+	}
+}
+
+func TestWhileTrueReturnInFunction(t *testing.T) {
+	src := `
+		function find(a, want) {
+			var i = 0;
+			while (true) {
+				if (a[i] == want) { return i; }
+				i = i + 1;
+				if (i >= a.length) { return 0 - 1; }
+			}
+			return 0 - 2;
+		}
+		var a = [9, 8, 7, 6];
+		report(find(a, 7));
+		report(find(a, 42));
+	`
+	got := differential(t, src)
+	if got[0] != 2 || got[1] != -1 {
+		t.Errorf("reports = %v", got)
+	}
+}
+
+func TestDeepRecursionWorks(t *testing.T) {
+	src := `
+		function down(n) {
+			if (n == 0) { return 0; }
+			return 1 + down(n - 1);
+		}
+		report(down(200));
+	`
+	got := differential(t, src)
+	if got[0] != 200 {
+		t.Errorf("depth = %v", got)
+	}
+}

@@ -1,0 +1,49 @@
+package js_test
+
+import (
+	"fmt"
+
+	"spectrebench/internal/js"
+	"spectrebench/internal/kernel"
+	"spectrebench/internal/model"
+)
+
+// Run a JavaScript program through the JIT on a simulated Ice Lake
+// Server with the full browser hardening.
+func ExampleEngine_Run() {
+	src := `
+		function square(x) { return x * x; }
+		var total = 0;
+		for (var i = 1; i <= 5; i = i + 1) {
+			total = total + square(i);
+		}
+		report(total);
+	`
+	m := model.IceLakeServer()
+	e := js.NewEngine(m, kernel.Defaults(m), js.AllMitigations())
+	res, err := e.Run(src, 10_000_000)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("reports:", res.Reports)
+	// Output:
+	// reports: [55]
+}
+
+// Parse exposes the front end separately from execution.
+func ExampleParse() {
+	prog, err := js.Parse(`var x = 2 + 3; report(x);`)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	ip := js.NewInterp(prog)
+	if err := ip.Run(); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(ip.Reports())
+	// Output:
+	// [5]
+}

@@ -1,0 +1,281 @@
+package js
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"spectrebench/internal/kernel"
+	"spectrebench/internal/model"
+)
+
+// progGen builds random — but terminating and error-free — mini-JS
+// programs directly as ASTs, for differential testing of the JIT
+// against the reference interpreter.
+type progGen struct {
+	r *rand.Rand
+	// vars in scope (all integers; includes loop counters, readable).
+	vars []string
+	// assignable excludes loop counters (assigning to a counter could
+	// make a generated loop diverge).
+	assignable []string
+	// arrays in scope with their fixed lengths.
+	arrays map[string]int64
+	// objects in scope with their property names.
+	objects map[string][]string
+	depth   int
+}
+
+func newProgGen(seed int64) *progGen {
+	return &progGen{
+		r:       rand.New(rand.NewSource(seed)),
+		arrays:  map[string]int64{},
+		objects: map[string][]string{},
+	}
+}
+
+func (g *progGen) pick(ss []string) string { return ss[g.r.Intn(len(ss))] }
+
+// expr generates an integer-valued expression. Division is only by
+// non-zero constants, so no runtime errors are possible.
+func (g *progGen) expr() Expr {
+	g.depth++
+	defer func() { g.depth-- }()
+	if g.depth > 4 {
+		return &NumLit{Value: int64(g.r.Intn(100))}
+	}
+	switch g.r.Intn(10) {
+	case 0, 1:
+		return &NumLit{Value: int64(g.r.Intn(1000)) - 200}
+	case 2, 3:
+		if len(g.vars) > 0 {
+			return &Ident{Name: g.pick(g.vars)}
+		}
+		return &NumLit{Value: 7}
+	case 4:
+		// Safe division / modulo by a nonzero constant.
+		op := "/"
+		if g.r.Intn(2) == 0 {
+			op = "%"
+		}
+		// Keep the dividend non-negative: `/` and `%` follow Go's
+		// truncated semantics in both engines, but non-negative inputs
+		// also keep hand-reasoning simple.
+		return &Binary{Op: op,
+			L: &Binary{Op: "*", L: g.expr(), R: g.expr()},
+			R: &NumLit{Value: int64(g.r.Intn(9)) + 1},
+		}
+	case 5:
+		if len(g.arrays) > 0 {
+			name := g.pickArray()
+			return &Index{Arr: &Ident{Name: name}, Idx: g.index(name)}
+		}
+		return g.expr()
+	case 6:
+		if len(g.objects) > 0 {
+			name := g.pickObject()
+			return &Prop{Obj: &Ident{Name: name}, Name: g.pick(g.objects[name])}
+		}
+		return g.expr()
+	case 7:
+		ops := []string{"<", "<=", ">", ">=", "==", "!=", "&&", "||"}
+		return &Binary{Op: ops[g.r.Intn(len(ops))], L: g.expr(), R: g.expr()}
+	case 8:
+		return &Unary{Op: "-", X: g.expr()}
+	default:
+		ops := []string{"+", "-", "*"}
+		return &Binary{Op: ops[g.r.Intn(len(ops))], L: g.expr(), R: g.expr()}
+	}
+}
+
+func (g *progGen) pickArray() string {
+	names := make([]string, 0, len(g.arrays))
+	for n := range g.arrays {
+		names = append(names, n)
+	}
+	// Deterministic order for the seeded generator.
+	sortStrings(names)
+	return g.pick(names)
+}
+
+func (g *progGen) pickObject() string {
+	names := make([]string, 0, len(g.objects))
+	for n := range g.objects {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	return g.pick(names)
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j-1] > ss[j]; j-- {
+			ss[j-1], ss[j] = ss[j], ss[j-1]
+		}
+	}
+}
+
+// index generates an index expression: usually in bounds via modulo,
+// occasionally a deliberate constant OOB (whose semantics — reads give
+// 0, writes drop — are defined and must match).
+func (g *progGen) index(array string) Expr {
+	if g.r.Intn(8) == 0 {
+		return &NumLit{Value: g.arrays[array] + int64(g.r.Intn(5))}
+	}
+	// (expr % len + len) % len would be fully safe; simpler: mask a
+	// non-negative expression into range.
+	return &Binary{Op: "%",
+		L: &Binary{Op: "*", L: g.expr(), R: g.expr()},
+		R: &NumLit{Value: g.arrays[array]},
+	}
+}
+
+// stmt generates one statement. Loops are always bounded counters.
+func (g *progGen) stmt(depth int) Stmt {
+	if depth > 2 {
+		return g.assignOrReport()
+	}
+	switch g.r.Intn(8) {
+	case 0:
+		name := fmt.Sprintf("v%d", len(g.vars))
+		g.vars = append(g.vars, name)
+		g.assignable = append(g.assignable, name)
+		return &VarDecl{Name: name, Init: g.expr()}
+	case 1:
+		cond := g.expr()
+		return &If{Cond: cond, Then: g.block(depth + 1), Else: g.block(depth + 1)}
+	case 2:
+		// Bounded for loop over a fresh counter (readable afterwards —
+		// var semantics — but never an assignment target).
+		name := fmt.Sprintf("i%d", g.r.Int31())
+		g.vars = append(g.vars, name)
+		body := g.block(depth + 1)
+		return &For{
+			Init: &VarDecl{Name: name, Init: &NumLit{Value: 0}},
+			Cond: &Binary{Op: "<", L: &Ident{Name: name}, R: &NumLit{Value: int64(g.r.Intn(6) + 1)}},
+			Post: &Assign{Target: &Ident{Name: name},
+				Val: &Binary{Op: "+", L: &Ident{Name: name}, R: &NumLit{Value: 1}}},
+			Body: body,
+		}
+	default:
+		return g.assignOrReport()
+	}
+}
+
+func (g *progGen) assignOrReport() Stmt {
+	switch g.r.Intn(5) {
+	case 0:
+		return &ExprStmt{X: &Call{Name: "report", Args: []Expr{g.expr()}}}
+	case 1:
+		if len(g.arrays) > 0 {
+			name := g.pickArray()
+			return &Assign{
+				Target: &Index{Arr: &Ident{Name: name}, Idx: g.index(name)},
+				Val:    g.expr(),
+			}
+		}
+		fallthrough
+	case 2:
+		if len(g.objects) > 0 {
+			name := g.pickObject()
+			return &Assign{
+				Target: &Prop{Obj: &Ident{Name: name}, Name: g.pick(g.objects[name])},
+				Val:    g.expr(),
+			}
+		}
+		fallthrough
+	default:
+		if len(g.assignable) == 0 {
+			name := fmt.Sprintf("v%d", len(g.vars))
+			g.vars = append(g.vars, name)
+			g.assignable = append(g.assignable, name)
+			return &VarDecl{Name: name, Init: g.expr()}
+		}
+		return &Assign{Target: &Ident{Name: g.pick(g.assignable)}, Val: g.expr()}
+	}
+}
+
+func (g *progGen) block(depth int) []Stmt {
+	n := g.r.Intn(3) + 1
+	out := make([]Stmt, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, g.stmt(depth))
+	}
+	return out
+}
+
+// generate builds a whole program: declarations, arrays, an object, a
+// body, and final reports of every variable (the checksum).
+func (g *progGen) generate() *Program {
+	p := &Program{Funcs: map[string]*Function{}}
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("v%d", i)
+		g.vars = append(g.vars, name)
+		g.assignable = append(g.assignable, name)
+		p.Main = append(p.Main, &VarDecl{Name: name, Init: &NumLit{Value: int64(g.r.Intn(50))}})
+	}
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("a%d", i)
+		size := int64(g.r.Intn(6) + 2)
+		g.arrays[name] = size
+		p.Main = append(p.Main, &VarDecl{Name: name,
+			Init: &Call{Name: "array", Args: []Expr{&NumLit{Value: size}}}})
+	}
+	g.objects["o0"] = []string{"x", "y", "z"}
+	p.Main = append(p.Main, &VarDecl{Name: "o0", Init: &ObjectLit{Fields: []Field{
+		{Name: "x", Val: &NumLit{Value: 1}},
+		{Name: "y", Val: &NumLit{Value: 2}},
+		{Name: "z", Val: &NumLit{Value: 3}},
+	}}})
+
+	for i := 0; i < 8; i++ {
+		p.Main = append(p.Main, g.stmt(0))
+	}
+	// Checksum: report every variable, array element, and property.
+	for _, v := range []string{"v0", "v1", "v2"} {
+		p.Main = append(p.Main, &ExprStmt{X: &Call{Name: "report", Args: []Expr{&Ident{Name: v}}}})
+	}
+	for a, size := range map[string]int64{"a0": g.arrays["a0"], "a1": g.arrays["a1"]} {
+		for j := int64(0); j < size; j++ {
+			p.Main = append(p.Main, &ExprStmt{X: &Call{Name: "report",
+				Args: []Expr{&Index{Arr: &Ident{Name: a}, Idx: &NumLit{Value: j}}}}})
+		}
+	}
+	for _, f := range g.objects["o0"] {
+		p.Main = append(p.Main, &ExprStmt{X: &Call{Name: "report",
+			Args: []Expr{&Prop{Obj: &Ident{Name: "o0"}, Name: f}}}})
+	}
+	return p
+}
+
+// TestDifferentialFuzz generates random programs and checks that the
+// interpreter, the unhardened JIT, and the fully hardened JIT all
+// produce identical reports — the engine's core correctness invariant.
+func TestDifferentialFuzz(t *testing.T) {
+	m := model.IceLakeClient()
+	trials := 60
+	if testing.Short() {
+		trials = 12
+	}
+	for seed := int64(0); seed < int64(trials); seed++ {
+		prog := newProgGen(seed).generate()
+
+		ip := NewInterp(prog)
+		if err := ip.Run(); err != nil {
+			t.Fatalf("seed %d: interp: %v", seed, err)
+		}
+		want := ip.Reports()
+
+		for _, mit := range []Mitigations{{}, AllMitigations()} {
+			e := NewEngine(m, kernel.Defaults(m), mit)
+			res, err := e.RunProgram(prog, 80_000_000)
+			if err != nil {
+				t.Fatalf("seed %d (mit=%+v): run: %v", seed, mit, err)
+			}
+			if !reflect.DeepEqual(res.Reports, want) {
+				t.Fatalf("seed %d (mit=%+v):\nJIT    %v\ninterp %v", seed, mit, res.Reports, want)
+			}
+		}
+	}
+}

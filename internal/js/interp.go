@@ -1,0 +1,504 @@
+package js
+
+import "fmt"
+
+// Interp is the reference tree-walking interpreter. It defines the
+// language semantics; the JIT is differentially tested against it.
+type Interp struct {
+	prog    *Program
+	shapes  *shapeTable
+	reports []int64
+	// clock provides the clock() builtin (tests inject a counter).
+	clock func() int64
+	steps int
+	limit int
+}
+
+// object is an interpreter heap object.
+type object struct {
+	shape  *Shape
+	fields []value
+}
+
+// array is an interpreter heap array.
+type array struct {
+	elems []value
+}
+
+// value is an interpreter value: int64, *array, or *object.
+type value any
+
+// NewInterp prepares an interpreter for a parsed program.
+func NewInterp(prog *Program) *Interp {
+	return &Interp{
+		prog:   prog,
+		shapes: newShapeTable(),
+		clock:  func() int64 { return 0 },
+		limit:  200_000_000,
+	}
+}
+
+// Reports returns the values passed to report() during execution.
+func (ip *Interp) Reports() []int64 { return ip.reports }
+
+// Run executes the program's main statements.
+func (ip *Interp) Run() error {
+	env := newScope(nil)
+	hoistVars(ip.prog.Main, env)
+	_, err := ip.execBlock(ip.prog.Main, env)
+	return err
+}
+
+// hoistVars pre-declares every var in the body as 0 (JS `var` hoisting),
+// mirroring the JIT's zero-initialised frame slots.
+func hoistVars(stmts []Stmt, env *scope) {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *VarDecl:
+			if _, ok := env.vars[st.Name]; !ok {
+				env.vars[st.Name] = int64(0)
+			}
+		case *If:
+			hoistVars(st.Then, env)
+			hoistVars(st.Else, env)
+		case *While:
+			hoistVars(st.Body, env)
+		case *For:
+			if st.Init != nil {
+				hoistVars([]Stmt{st.Init}, env)
+			}
+			hoistVars(st.Body, env)
+		}
+	}
+}
+
+type scope struct {
+	vars   map[string]value
+	parent *scope
+}
+
+func newScope(parent *scope) *scope {
+	return &scope{vars: make(map[string]value), parent: parent}
+}
+
+func (s *scope) lookup(name string) (value, bool) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if v, ok := cur.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+func (s *scope) set(name string, v value) bool {
+	for cur := s; cur != nil; cur = cur.parent {
+		if _, ok := cur.vars[name]; ok {
+			cur.vars[name] = v
+			return true
+		}
+	}
+	return false
+}
+
+// returnSignal unwinds a function return.
+type returnSignal struct{ val value }
+
+func (ip *Interp) tick() error {
+	ip.steps++
+	if ip.steps > ip.limit {
+		return fmt.Errorf("js: interpreter step limit exceeded")
+	}
+	return nil
+}
+
+func (ip *Interp) execBlock(stmts []Stmt, env *scope) (*returnSignal, error) {
+	for _, s := range stmts {
+		ret, err := ip.exec(s, env)
+		if err != nil || ret != nil {
+			return ret, err
+		}
+	}
+	return nil, nil
+}
+
+func (ip *Interp) exec(s Stmt, env *scope) (*returnSignal, error) {
+	if err := ip.tick(); err != nil {
+		return nil, err
+	}
+	switch st := s.(type) {
+	case *VarDecl:
+		var v value = int64(0)
+		if st.Init != nil {
+			ev, err := ip.eval(st.Init, env)
+			if err != nil {
+				return nil, err
+			}
+			v = ev
+		}
+		env.vars[st.Name] = v
+		return nil, nil
+
+	case *Assign:
+		v, err := ip.eval(st.Val, env)
+		if err != nil {
+			return nil, err
+		}
+		switch tgt := st.Target.(type) {
+		case *Ident:
+			if !env.set(tgt.Name, v) {
+				// Implicit global-ish declaration at current scope.
+				env.vars[tgt.Name] = v
+			}
+		case *Index:
+			av, err := ip.eval(tgt.Arr, env)
+			if err != nil {
+				return nil, err
+			}
+			iv, err := ip.evalInt(tgt.Idx, env)
+			if err != nil {
+				return nil, err
+			}
+			arr, ok := av.(*array)
+			if !ok {
+				return nil, fmt.Errorf("js: indexing non-array")
+			}
+			if iv >= 0 && int(iv) < len(arr.elems) {
+				arr.elems[iv] = v
+			}
+			// OOB writes are silently dropped (dense-array model).
+		case *Prop:
+			ov, err := ip.eval(tgt.Obj, env)
+			if err != nil {
+				return nil, err
+			}
+			obj, ok := ov.(*object)
+			if !ok {
+				return nil, fmt.Errorf("js: property store on non-object")
+			}
+			slot := obj.shape.Slot(tgt.Name)
+			if slot < 0 {
+				return nil, fmt.Errorf("js: unknown property %q", tgt.Name)
+			}
+			obj.fields[slot] = v
+		}
+		return nil, nil
+
+	case *ExprStmt:
+		_, err := ip.eval(st.X, env)
+		return nil, err
+
+	case *If:
+		// var declarations are function-scoped (JS `var` hoisting), so
+		// blocks execute in the enclosing scope — matching the JIT's
+		// frame-slot allocation.
+		c, err := ip.evalInt(st.Cond, env)
+		if err != nil {
+			return nil, err
+		}
+		if c != 0 {
+			return ip.execBlock(st.Then, env)
+		}
+		return ip.execBlock(st.Else, env)
+
+	case *While:
+		for {
+			c, err := ip.evalInt(st.Cond, env)
+			if err != nil {
+				return nil, err
+			}
+			if c == 0 {
+				return nil, nil
+			}
+			ret, err := ip.execBlock(st.Body, env)
+			if err != nil || ret != nil {
+				return ret, err
+			}
+		}
+
+	case *For:
+		if st.Init != nil {
+			if ret, err := ip.exec(st.Init, env); err != nil || ret != nil {
+				return ret, err
+			}
+		}
+		for {
+			if st.Cond != nil {
+				c, err := ip.evalInt(st.Cond, env)
+				if err != nil {
+					return nil, err
+				}
+				if c == 0 {
+					return nil, nil
+				}
+			}
+			ret, err := ip.execBlock(st.Body, env)
+			if err != nil || ret != nil {
+				return ret, err
+			}
+			if st.Post != nil {
+				if ret, err := ip.exec(st.Post, env); err != nil || ret != nil {
+					return ret, err
+				}
+			}
+		}
+
+	case *Return:
+		var v value = int64(0)
+		if st.Val != nil {
+			ev, err := ip.eval(st.Val, env)
+			if err != nil {
+				return nil, err
+			}
+			v = ev
+		}
+		return &returnSignal{val: v}, nil
+	}
+	return nil, fmt.Errorf("js: unknown statement %T", s)
+}
+
+func toInt(v value) (int64, error) {
+	if n, ok := v.(int64); ok {
+		return n, nil
+	}
+	return 0, fmt.Errorf("js: expected number, got %T", v)
+}
+
+func (ip *Interp) evalInt(e Expr, env *scope) (int64, error) {
+	v, err := ip.eval(e, env)
+	if err != nil {
+		return 0, err
+	}
+	return toInt(v)
+}
+
+func (ip *Interp) eval(e Expr, env *scope) (value, error) {
+	if err := ip.tick(); err != nil {
+		return nil, err
+	}
+	switch ex := e.(type) {
+	case *NumLit:
+		return ex.Value, nil
+
+	case *Ident:
+		v, ok := env.lookup(ex.Name)
+		if !ok {
+			return nil, fmt.Errorf("js: undefined variable %q", ex.Name)
+		}
+		return v, nil
+
+	case *Unary:
+		x, err := ip.evalInt(ex.X, env)
+		if err != nil {
+			return nil, err
+		}
+		if ex.Op == "-" {
+			return -x, nil
+		}
+		if x == 0 {
+			return int64(1), nil
+		}
+		return int64(0), nil
+
+	case *Binary:
+		// Short-circuit logic first.
+		if ex.Op == "&&" {
+			l, err := ip.evalInt(ex.L, env)
+			if err != nil || l == 0 {
+				return int64(0), err
+			}
+			r, err := ip.evalInt(ex.R, env)
+			if err != nil {
+				return nil, err
+			}
+			return b2i(r != 0), nil
+		}
+		if ex.Op == "||" {
+			l, err := ip.evalInt(ex.L, env)
+			if err != nil {
+				return nil, err
+			}
+			if l != 0 {
+				return int64(1), nil
+			}
+			r, err := ip.evalInt(ex.R, env)
+			if err != nil {
+				return nil, err
+			}
+			return b2i(r != 0), nil
+		}
+		l, err := ip.evalInt(ex.L, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ip.evalInt(ex.R, env)
+		if err != nil {
+			return nil, err
+		}
+		switch ex.Op {
+		case "+":
+			return l + r, nil
+		case "-":
+			return l - r, nil
+		case "*":
+			return l * r, nil
+		case "/":
+			if r == 0 {
+				return nil, fmt.Errorf("js: division by zero")
+			}
+			return l / r, nil
+		case "%":
+			if r == 0 {
+				return nil, fmt.Errorf("js: modulo by zero")
+			}
+			return l % r, nil
+		case "<":
+			return b2i(l < r), nil
+		case "<=":
+			return b2i(l <= r), nil
+		case ">":
+			return b2i(l > r), nil
+		case ">=":
+			return b2i(l >= r), nil
+		case "==":
+			return b2i(l == r), nil
+		case "!=":
+			return b2i(l != r), nil
+		case "<<":
+			return l << uint64(r&63), nil
+		case ">>":
+			return int64(uint64(l) >> uint64(r&63)), nil
+		}
+		return nil, fmt.Errorf("js: unknown operator %q", ex.Op)
+
+	case *Call:
+		return ip.call(ex, env)
+
+	case *ArrayLit:
+		arr := &array{elems: make([]value, len(ex.Elems))}
+		for i, el := range ex.Elems {
+			v, err := ip.eval(el, env)
+			if err != nil {
+				return nil, err
+			}
+			arr.elems[i] = v
+		}
+		return arr, nil
+
+	case *Index:
+		av, err := ip.eval(ex.Arr, env)
+		if err != nil {
+			return nil, err
+		}
+		iv, err := ip.evalInt(ex.Idx, env)
+		if err != nil {
+			return nil, err
+		}
+		arr, ok := av.(*array)
+		if !ok {
+			return nil, fmt.Errorf("js: indexing non-array")
+		}
+		if iv < 0 || int(iv) >= len(arr.elems) {
+			return int64(0), nil // OOB read = 0 ("undefined")
+		}
+		return arr.elems[iv], nil
+
+	case *ObjectLit:
+		props := make([]string, len(ex.Fields))
+		fields := make([]value, len(ex.Fields))
+		for i, f := range ex.Fields {
+			props[i] = f.Name
+			v, err := ip.eval(f.Val, env)
+			if err != nil {
+				return nil, err
+			}
+			fields[i] = v
+		}
+		return &object{shape: ip.shapes.intern(props), fields: fields}, nil
+
+	case *Prop:
+		ov, err := ip.eval(ex.Obj, env)
+		if err != nil {
+			return nil, err
+		}
+		switch o := ov.(type) {
+		case *object:
+			slot := o.shape.Slot(ex.Name)
+			if slot < 0 {
+				return nil, fmt.Errorf("js: unknown property %q", ex.Name)
+			}
+			return o.fields[slot], nil
+		case *array:
+			if ex.Name == "length" {
+				return int64(len(o.elems)), nil
+			}
+		}
+		return nil, fmt.Errorf("js: property %q on non-object", ex.Name)
+	}
+	return nil, fmt.Errorf("js: unknown expression %T", e)
+}
+
+func (ip *Interp) call(c *Call, env *scope) (value, error) {
+	// Builtins.
+	switch c.Name {
+	case "report":
+		if len(c.Args) != 1 {
+			return nil, fmt.Errorf("js: report takes 1 argument")
+		}
+		v, err := ip.evalInt(c.Args[0], env)
+		if err != nil {
+			return nil, err
+		}
+		ip.reports = append(ip.reports, v)
+		return int64(0), nil
+	case "array":
+		if len(c.Args) != 1 {
+			return nil, fmt.Errorf("js: array takes 1 argument")
+		}
+		n, err := ip.evalInt(c.Args[0], env)
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 || n > 1<<24 {
+			return nil, fmt.Errorf("js: bad array size %d", n)
+		}
+		arr := &array{elems: make([]value, n)}
+		for i := range arr.elems {
+			arr.elems[i] = int64(0)
+		}
+		return arr, nil
+	case "clock":
+		return ip.clock(), nil
+	}
+
+	fn, ok := ip.prog.Funcs[c.Name]
+	if !ok {
+		return nil, fmt.Errorf("js: undefined function %q", c.Name)
+	}
+	if len(c.Args) != len(fn.Params) {
+		return nil, fmt.Errorf("js: %s expects %d args, got %d", c.Name, len(fn.Params), len(c.Args))
+	}
+	frame := newScope(nil) // functions close over globals only via params (no closures)
+	for i, p := range fn.Params {
+		v, err := ip.eval(c.Args[i], env)
+		if err != nil {
+			return nil, err
+		}
+		frame.vars[p] = v
+	}
+	hoistVars(fn.Body, frame)
+	ret, err := ip.execBlock(fn.Body, frame)
+	if err != nil {
+		return nil, err
+	}
+	if ret != nil {
+		return ret.val, nil
+	}
+	return int64(0), nil
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

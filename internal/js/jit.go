@@ -1,0 +1,883 @@
+package js
+
+import (
+	"fmt"
+
+	"spectrebench/internal/isa"
+	"spectrebench/internal/kernel"
+)
+
+// Mitigations are the JIT-inserted Spectre defences Firefox toggles via
+// about:config (§4.3): the blue bars of Figure 3.
+type Mitigations struct {
+	// IndexMasking inserts a cmov that zeroes the index of any array
+	// access that would be out of bounds (SpiderMonkey's Spectre V1
+	// defence, ~4% on Octane).
+	IndexMasking bool
+	// ObjectGuards inserts a cmov that poisons the object pointer when
+	// a shape guard fails, stopping speculative type confusion (~6%).
+	ObjectGuards bool
+	// PointerPoisoning stores heap pointers XORed with a secret
+	// constant, unpoisoning at each dereference (part of "other
+	// JavaScript" mitigations).
+	PointerPoisoning bool
+	// ReducedTimer coarsens the clock() builtin so it cannot time cache
+	// hits (the other part of "other JavaScript").
+	ReducedTimer bool
+}
+
+// AllMitigations returns the browser-default hardened configuration.
+func AllMitigations() Mitigations {
+	return Mitigations{IndexMasking: true, ObjectGuards: true, PointerPoisoning: true, ReducedTimer: true}
+}
+
+// Simulated address-space layout of the engine.
+const (
+	jsHeapBase  = 0x3000_0000 // bump-allocated heap
+	jsHeapPages = 2048        // 8 MiB
+	jsSiteBase  = 0x2f00_0000 // inline-cache site table
+	jsSitePages = 16
+
+	// Runtime thunk entry points (host-Go helpers; no mapping needed).
+	thunkAlloc    = 0x7800_0000
+	thunkReport   = 0x7800_0010
+	thunkClock    = 0x7800_0020
+	thunkPropMiss = 0x7800_0030
+
+	// pointerPoison is the XOR constant for poisoned heap references.
+	pointerPoison = 0x5a5a_0000_0000
+)
+
+// jit compiles a Program to simulator code.
+type jit struct {
+	a      *isa.Asm
+	prog   *Program
+	shapes *shapeTable
+	cfg    Mitigations
+
+	labelN int
+	// sites records the property name behind each inline-cache site.
+	sites []siteInfo
+
+	fn *fnCtx
+}
+
+type siteInfo struct {
+	prop  string
+	store bool
+}
+
+type fnCtx struct {
+	name    string
+	params  []string
+	slots   map[string]int // local name → slot index
+	nlocals int
+}
+
+func (j *jit) label(prefix string) string {
+	j.labelN++
+	return fmt.Sprintf(".%s_%d", prefix, j.labelN)
+}
+
+func (j *jit) errf(format string, args ...any) error {
+	return fmt.Errorf("jit: %s: "+format, append([]any{j.fn.name}, args...)...)
+}
+
+// compile translates the whole program. The returned site list maps IC
+// site ids to property names for the miss thunk.
+func compile(prog *Program, shapes *shapeTable, cfg Mitigations) (*isa.Program, []siteInfo, error) {
+	j := &jit{a: isa.NewAsm(), prog: prog, shapes: shapes, cfg: cfg}
+	a := j.a
+
+	// Entry: enter the sandbox (Firefox uses seccomp), call main, exit.
+	a.MovI(isa.R7, kernel.SysSeccomp)
+	a.Syscall()
+	a.Call("fn_main")
+	a.MovI(isa.R1, 0)
+	a.MovI(isa.R7, kernel.SysExit)
+	a.Syscall()
+
+	// Main as a function.
+	if err := j.compileFunc(&Function{Name: "main", Body: prog.Main}); err != nil {
+		return nil, nil, err
+	}
+	for _, fn := range sortedFuncs(prog) {
+		if err := j.compileFunc(fn); err != nil {
+			return nil, nil, err
+		}
+	}
+	p, err := a.Assemble(kernel.UserCodeBase)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, j.sites, nil
+}
+
+func sortedFuncs(p *Program) []*Function {
+	names := make([]string, 0, len(p.Funcs))
+	for n := range p.Funcs {
+		names = append(names, n)
+	}
+	// Deterministic compilation order.
+	for i := 1; i < len(names); i++ {
+		for k := i; k > 0 && names[k-1] > names[k]; k-- {
+			names[k-1], names[k] = names[k], names[k-1]
+		}
+	}
+	out := make([]*Function, len(names))
+	for i, n := range names {
+		out[i] = p.Funcs[n]
+	}
+	return out
+}
+
+// Frame layout (stack grows down; R15=SP, R14=FP):
+//
+//	[FP+16+8(n-1-i)]  argument i (pushed left-to-right by the caller)
+//	[FP+8]            return address (pushed by CALL)
+//	[FP]              saved FP
+//	[FP-8-8j]         local j
+func (j *jit) compileFunc(fn *Function) error {
+	j.fn = &fnCtx{name: fn.Name, params: fn.Params, slots: map[string]int{}}
+	collectLocals(fn.Body, j.fn)
+
+	a := j.a
+	a.Label("fn_" + fn.Name)
+	// Prologue.
+	a.SubI(isa.SP, 8)
+	a.Store(isa.SP, 0, isa.R14)
+	a.Mov(isa.R14, isa.SP)
+	if j.fn.nlocals > 0 {
+		a.SubI(isa.SP, int64(8*j.fn.nlocals))
+	}
+	for _, s := range fn.Body {
+		if err := j.stmt(s); err != nil {
+			return err
+		}
+	}
+	// Implicit return 0.
+	a.MovI(isa.R0, 0)
+	a.Label(".epilogue_" + fn.Name)
+	a.Mov(isa.SP, isa.R14)
+	a.Load(isa.R14, isa.SP, 0)
+	a.AddI(isa.SP, 8)
+	a.Ret()
+	return nil
+}
+
+// collectLocals assigns a frame slot to every var declared in the body.
+func collectLocals(stmts []Stmt, fc *fnCtx) {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *VarDecl:
+			if _, dup := fc.slots[st.Name]; !dup {
+				fc.slots[st.Name] = fc.nlocals
+				fc.nlocals++
+			}
+		case *If:
+			collectLocals(st.Then, fc)
+			collectLocals(st.Else, fc)
+		case *While:
+			collectLocals(st.Body, fc)
+		case *For:
+			if st.Init != nil {
+				collectLocals([]Stmt{st.Init}, fc)
+			}
+			collectLocals(st.Body, fc)
+		}
+	}
+}
+
+// varOffset returns the FP-relative offset of a name (param or local).
+func (j *jit) varOffset(name string) (int64, error) {
+	if slot, ok := j.fn.slots[name]; ok {
+		return int64(-8 - 8*slot), nil
+	}
+	for i, p := range j.fn.params {
+		if p == name {
+			return int64(16 + 8*(len(j.fn.params)-1-i)), nil
+		}
+	}
+	return 0, j.errf("undefined variable %q", name)
+}
+
+// push/pop of the operand stack.
+func (j *jit) push(r isa.Reg) {
+	j.a.SubI(isa.SP, 8)
+	j.a.Store(isa.SP, 0, r)
+}
+
+func (j *jit) pop(r isa.Reg) {
+	// Peephole: a pop immediately following a push collapses to a
+	// register move — the "virtual top of stack in a register"
+	// optimisation every baseline JIT performs. Without it, every
+	// nested expression round-trips through memory and wildly
+	// overstates store-forwarding traffic.
+	if tail := j.a.Tail(2); len(tail) == 2 &&
+		tail[0].Op == isa.SUBI && tail[0].Dst == isa.SP && tail[0].Imm == 8 &&
+		tail[1].Op == isa.STORE && tail[1].Src1 == isa.SP && tail[1].Imm == 0 {
+		src := tail[1].Src2
+		if j.a.DropLast(2) {
+			if src != r {
+				j.a.Mov(r, src)
+			}
+			return
+		}
+	}
+	j.a.Load(r, isa.SP, 0)
+	j.a.AddI(isa.SP, 8)
+}
+
+// simpleTo emits a direct evaluation of trivially-computable expressions
+// into a register, bypassing the operand stack — the register-direct
+// fast path any baseline JIT performs for leaf operands. Reports false
+// when the expression needs the general stack path.
+func (j *jit) simpleTo(e Expr, r isa.Reg) bool {
+	switch ex := e.(type) {
+	case *NumLit:
+		j.a.MovI(r, ex.Value)
+		return true
+	case *Ident:
+		off, err := j.varOffset(ex.Name)
+		if err != nil {
+			return false // surfaced by the general path
+		}
+		j.a.Load(r, isa.R14, off)
+		return true
+	}
+	return false
+}
+
+// operandsTo evaluates two operands into (rl, rr), using the direct
+// path where possible.
+func (j *jit) operandsTo(l, r Expr, rl, rr isa.Reg) error {
+	switch {
+	case j.canSimple(l) && j.canSimple(r):
+		j.simpleTo(l, rl)
+		j.simpleTo(r, rr)
+	case j.canSimple(r):
+		if err := j.expr(l); err != nil {
+			return err
+		}
+		j.pop(rl)
+		j.simpleTo(r, rr)
+	default:
+		if err := j.expr(l); err != nil {
+			return err
+		}
+		if err := j.expr(r); err != nil {
+			return err
+		}
+		j.pop(rr)
+		j.pop(rl)
+	}
+	return nil
+}
+
+func (j *jit) canSimple(e Expr) bool {
+	switch ex := e.(type) {
+	case *NumLit:
+		return true
+	case *Ident:
+		_, err := j.varOffset(ex.Name)
+		return err == nil
+	}
+	return false
+}
+
+// unpoison strips pointer poisoning from a heap reference in r.
+func (j *jit) unpoison(r isa.Reg) {
+	if j.cfg.PointerPoisoning {
+		j.a.MovI(isa.R9, pointerPoison)
+		j.a.Xor(r, isa.R9)
+	}
+}
+
+func (j *jit) stmt(s Stmt) error {
+	a := j.a
+	switch st := s.(type) {
+	case *VarDecl:
+		off, err := j.varOffset(st.Name)
+		if err != nil {
+			return err
+		}
+		switch {
+		case st.Init == nil:
+			a.MovI(isa.R0, 0)
+		case j.canSimple(st.Init):
+			j.simpleTo(st.Init, isa.R0)
+		default:
+			if err := j.expr(st.Init); err != nil {
+				return err
+			}
+			j.pop(isa.R0)
+		}
+		a.Store(isa.R14, off, isa.R0)
+		return nil
+
+	case *Assign:
+		switch tgt := st.Target.(type) {
+		case *Ident:
+			off, err := j.varOffset(tgt.Name)
+			if err != nil {
+				return err
+			}
+			if j.canSimple(st.Val) {
+				j.simpleTo(st.Val, isa.R0)
+			} else {
+				if err := j.expr(st.Val); err != nil {
+					return err
+				}
+				j.pop(isa.R0)
+			}
+			a.Store(isa.R14, off, isa.R0)
+			return nil
+		case *Index:
+			if j.canSimple(tgt.Arr) && j.canSimple(tgt.Idx) && j.canSimple(st.Val) {
+				j.simpleTo(tgt.Arr, isa.R0)
+				j.simpleTo(tgt.Idx, isa.R1)
+				j.simpleTo(st.Val, isa.R3)
+			} else {
+				if err := j.expr(tgt.Arr); err != nil {
+					return err
+				}
+				if err := j.expr(tgt.Idx); err != nil {
+					return err
+				}
+				if err := j.expr(st.Val); err != nil {
+					return err
+				}
+				j.pop(isa.R3) // value
+				j.pop(isa.R1) // index
+				j.pop(isa.R0) // array
+			}
+			j.unpoison(isa.R0)
+			j.emitBoundsCheckedStore()
+			return nil
+		case *Prop:
+			if j.canSimple(tgt.Obj) && j.canSimple(st.Val) {
+				j.simpleTo(tgt.Obj, isa.R0)
+				j.simpleTo(st.Val, isa.R6)
+			} else {
+				if err := j.expr(tgt.Obj); err != nil {
+					return err
+				}
+				if err := j.expr(st.Val); err != nil {
+					return err
+				}
+				j.pop(isa.R6) // value
+				j.pop(isa.R0) // object
+			}
+			j.unpoison(isa.R0)
+			j.emitPropSite(tgt.Name, true)
+			return nil
+		}
+		return j.errf("bad assignment target %T", st.Target)
+
+	case *ExprStmt:
+		if err := j.expr(st.X); err != nil {
+			return err
+		}
+		a.AddI(isa.SP, 8) // discard
+		return nil
+
+	case *If:
+		els, done := j.label("else"), j.label("endif")
+		if err := j.condJumpFalse(st.Cond, els); err != nil {
+			return err
+		}
+		for _, s := range st.Then {
+			if err := j.stmt(s); err != nil {
+				return err
+			}
+		}
+		a.Jmp(done)
+		a.Label(els)
+		for _, s := range st.Else {
+			if err := j.stmt(s); err != nil {
+				return err
+			}
+		}
+		a.Label(done)
+		return nil
+
+	case *While:
+		top, done := j.label("while"), j.label("endwhile")
+		a.Label(top)
+		if err := j.condJumpFalse(st.Cond, done); err != nil {
+			return err
+		}
+		for _, s := range st.Body {
+			if err := j.stmt(s); err != nil {
+				return err
+			}
+		}
+		a.Jmp(top)
+		a.Label(done)
+		return nil
+
+	case *For:
+		if st.Init != nil {
+			if err := j.stmt(st.Init); err != nil {
+				return err
+			}
+		}
+		top, done := j.label("for"), j.label("endfor")
+		a.Label(top)
+		if st.Cond != nil {
+			if err := j.condJumpFalse(st.Cond, done); err != nil {
+				return err
+			}
+		}
+		for _, s := range st.Body {
+			if err := j.stmt(s); err != nil {
+				return err
+			}
+		}
+		if st.Post != nil {
+			if err := j.stmt(st.Post); err != nil {
+				return err
+			}
+		}
+		a.Jmp(top)
+		a.Label(done)
+		return nil
+
+	case *Return:
+		switch {
+		case st.Val == nil:
+			a.MovI(isa.R0, 0)
+		case j.canSimple(st.Val):
+			j.simpleTo(st.Val, isa.R0)
+		default:
+			if err := j.expr(st.Val); err != nil {
+				return err
+			}
+			j.pop(isa.R0)
+		}
+		a.Jmp(".epilogue_" + j.fn.name)
+		return nil
+	}
+	return j.errf("unknown statement %T", s)
+}
+
+// condJumpFalse evaluates cond and jumps to target when it is falsy.
+func (j *jit) condJumpFalse(cond Expr, target string) error {
+	if j.canSimple(cond) {
+		j.simpleTo(cond, isa.R0)
+	} else {
+		if err := j.expr(cond); err != nil {
+			return err
+		}
+		j.pop(isa.R0)
+	}
+	j.a.CmpI(isa.R0, 0)
+	j.a.Jeq(target)
+	return nil
+}
+
+// expr compiles an expression; the result is left on the operand stack.
+func (j *jit) expr(e Expr) error {
+	a := j.a
+	switch ex := e.(type) {
+	case *NumLit:
+		a.MovI(isa.R0, ex.Value)
+		j.push(isa.R0)
+		return nil
+
+	case *Ident:
+		off, err := j.varOffset(ex.Name)
+		if err != nil {
+			return err
+		}
+		a.Load(isa.R0, isa.R14, off)
+		j.push(isa.R0)
+		return nil
+
+	case *Unary:
+		if j.canSimple(ex.X) {
+			j.simpleTo(ex.X, isa.R1)
+		} else {
+			if err := j.expr(ex.X); err != nil {
+				return err
+			}
+			j.pop(isa.R1)
+		}
+		if ex.Op == "-" {
+			a.MovI(isa.R0, 0)
+			a.Sub(isa.R0, isa.R1)
+		} else { // !
+			a.CmpI(isa.R1, 0)
+			a.MovI(isa.R0, 0)
+			a.MovI(isa.R2, 1)
+			a.CmovEq(isa.R0, isa.R2)
+		}
+		j.push(isa.R0)
+		return nil
+
+	case *Binary:
+		return j.binary(ex)
+
+	case *Call:
+		return j.call(ex)
+
+	case *ArrayLit:
+		// Allocate, then fill element by element with the pointer kept
+		// on the stack.
+		a.MovI(isa.R1, int64(len(ex.Elems)))
+		a.MovI(isa.R2, 0) // kind: array
+		j.emitThunkCall(thunkAlloc)
+		j.push(isa.R0) // (possibly poisoned) pointer
+		for i, el := range ex.Elems {
+			if err := j.expr(el); err != nil {
+				return err
+			}
+			j.pop(isa.R1)             // value
+			a.Load(isa.R0, isa.SP, 0) // peek pointer
+			j.unpoison(isa.R0)
+			a.Store(isa.R0, int64(8+8*i), isa.R1)
+		}
+		return nil
+
+	case *ObjectLit:
+		props := make([]string, len(ex.Fields))
+		for i, f := range ex.Fields {
+			props[i] = f.Name
+			if f.Name == "length" {
+				return j.errf("property name 'length' is reserved")
+			}
+		}
+		shape := j.shapes.intern(props)
+		a.MovI(isa.R1, int64(len(ex.Fields)))
+		a.MovI(isa.R2, int64(shape.ID))
+		j.emitThunkCall(thunkAlloc)
+		j.push(isa.R0)
+		for i, f := range ex.Fields {
+			if err := j.expr(f.Val); err != nil {
+				return err
+			}
+			j.pop(isa.R1)
+			a.Load(isa.R0, isa.SP, 0)
+			j.unpoison(isa.R0)
+			a.Store(isa.R0, int64(8+8*i), isa.R1)
+		}
+		return nil
+
+	case *Index:
+		if err := j.operandsTo(ex.Arr, ex.Idx, isa.R0, isa.R1); err != nil {
+			return err
+		}
+		j.unpoison(isa.R0)
+		j.emitBoundsCheckedLoad()
+		j.push(isa.R0)
+		return nil
+
+	case *Prop:
+		if j.canSimple(ex.Obj) {
+			j.simpleTo(ex.Obj, isa.R0)
+		} else {
+			if err := j.expr(ex.Obj); err != nil {
+				return err
+			}
+			j.pop(isa.R0)
+		}
+		j.unpoison(isa.R0)
+		if ex.Name == "length" {
+			// Arrays store their length in the header word.
+			a.Load(isa.R0, isa.R0, 0)
+			j.push(isa.R0)
+			return nil
+		}
+		j.emitPropSite(ex.Name, false)
+		j.push(isa.R0)
+		return nil
+	}
+	return j.errf("unknown expression %T", e)
+}
+
+func (j *jit) binary(ex *Binary) error {
+	a := j.a
+	// Short-circuit logic compiles to branches (same semantics as the
+	// interpreter).
+	if ex.Op == "&&" || ex.Op == "||" {
+		fail, done := j.label("sc"), j.label("scdone")
+		if err := j.expr(ex.L); err != nil {
+			return err
+		}
+		j.pop(isa.R0)
+		a.CmpI(isa.R0, 0)
+		if ex.Op == "&&" {
+			a.Jeq(fail)
+		} else {
+			a.Jne(fail) // for ||, "fail" is the early-true path
+		}
+		if err := j.expr(ex.R); err != nil {
+			return err
+		}
+		j.pop(isa.R0)
+		a.CmpI(isa.R0, 0)
+		a.MovI(isa.R0, 0)
+		a.MovI(isa.R1, 1)
+		a.CmovNe(isa.R0, isa.R1)
+		a.Jmp(done)
+		a.Label(fail)
+		if ex.Op == "&&" {
+			a.MovI(isa.R0, 0)
+		} else {
+			a.MovI(isa.R0, 1)
+		}
+		a.Label(done)
+		j.push(isa.R0)
+		return nil
+	}
+
+	if err := j.operandsTo(ex.L, ex.R, isa.R0, isa.R1); err != nil {
+		return err
+	}
+	switch ex.Op {
+	case "+":
+		a.Add(isa.R0, isa.R1)
+	case "-":
+		a.Sub(isa.R0, isa.R1)
+	case "*":
+		a.Mul(isa.R0, isa.R1)
+	case "/":
+		a.Div(isa.R0, isa.R1)
+	case "%":
+		a.Mov(isa.R2, isa.R0)
+		a.Div(isa.R2, isa.R1)
+		a.Mul(isa.R2, isa.R1)
+		a.Sub(isa.R0, isa.R2)
+	case "<<":
+		// Dynamic shifts are compiled as multiply by 2^k for constant
+		// shifts only.
+		if lit, ok := ex.R.(*NumLit); ok {
+			j.a.ShlI(isa.R0, lit.Value)
+		} else {
+			return j.errf("only constant shift amounts are supported")
+		}
+	case ">>":
+		if lit, ok := ex.R.(*NumLit); ok {
+			j.a.ShrI(isa.R0, lit.Value)
+		} else {
+			return j.errf("only constant shift amounts are supported")
+		}
+	case "==", "!=":
+		a.Cmp(isa.R0, isa.R1)
+		a.MovI(isa.R0, 0)
+		a.MovI(isa.R2, 1)
+		if ex.Op == "==" {
+			a.CmovEq(isa.R0, isa.R2)
+		} else {
+			a.CmovNe(isa.R0, isa.R2)
+		}
+	case "<", "<=", ">", ">=":
+		j.emitSignedCompare(ex.Op)
+	default:
+		return j.errf("unknown operator %q", ex.Op)
+	}
+	j.push(isa.R0)
+	return nil
+}
+
+// emitSignedCompare compares R0 (lhs) with R1 (rhs) as signed integers
+// by biasing both into unsigned space, leaving 0/1 in R0.
+func (j *jit) emitSignedCompare(op string) {
+	a := j.a
+	a.MovI(isa.R3, -0x8000_0000_0000_0000) // sign-bias
+	a.Add(isa.R0, isa.R3)
+	a.Add(isa.R1, isa.R3)
+	switch op {
+	case "<":
+		a.Cmp(isa.R0, isa.R1)
+		a.MovI(isa.R0, 0)
+		a.MovI(isa.R2, 1)
+		a.CmovLt(isa.R0, isa.R2)
+	case ">=":
+		a.Cmp(isa.R0, isa.R1)
+		a.MovI(isa.R0, 1)
+		a.MovI(isa.R2, 0)
+		a.CmovLt(isa.R0, isa.R2)
+	case ">":
+		a.Cmp(isa.R1, isa.R0) // rhs < lhs
+		a.MovI(isa.R0, 0)
+		a.MovI(isa.R2, 1)
+		a.CmovLt(isa.R0, isa.R2)
+	case "<=":
+		a.Cmp(isa.R1, isa.R0)
+		a.MovI(isa.R0, 1)
+		a.MovI(isa.R2, 0)
+		a.CmovLt(isa.R0, isa.R2)
+	}
+}
+
+func (j *jit) call(c *Call) error {
+	a := j.a
+	switch c.Name {
+	case "report":
+		if len(c.Args) != 1 {
+			return j.errf("report takes 1 argument")
+		}
+		if err := j.expr(c.Args[0]); err != nil {
+			return err
+		}
+		j.pop(isa.R1)
+		j.emitThunkCall(thunkReport)
+		a.MovI(isa.R0, 0)
+		j.push(isa.R0)
+		return nil
+	case "array":
+		if len(c.Args) != 1 {
+			return j.errf("array takes 1 argument")
+		}
+		if err := j.expr(c.Args[0]); err != nil {
+			return err
+		}
+		j.pop(isa.R1)
+		a.MovI(isa.R2, 0)
+		j.emitThunkCall(thunkAlloc)
+		j.push(isa.R0)
+		return nil
+	case "clock":
+		j.emitThunkCall(thunkClock)
+		j.push(isa.R0)
+		return nil
+	}
+
+	fn, ok := j.prog.Funcs[c.Name]
+	if !ok {
+		return j.errf("undefined function %q", c.Name)
+	}
+	if len(c.Args) != len(fn.Params) {
+		return j.errf("%s expects %d args, got %d", c.Name, len(fn.Params), len(c.Args))
+	}
+	for _, arg := range c.Args {
+		if err := j.expr(arg); err != nil {
+			return err
+		}
+	}
+	a.Call("fn_" + c.Name)
+	if len(c.Args) > 0 {
+		a.AddI(isa.SP, int64(8*len(c.Args)))
+	}
+	j.push(isa.R0)
+	return nil
+}
+
+// emitThunkCall transfers to a host-Go runtime helper and resumes at a
+// fresh continuation label. Arguments are in registers per thunk ABI;
+// the thunk sets PC = R11.
+func (j *jit) emitThunkCall(addr uint64) {
+	cont := j.label("thunkret")
+	j.a.MovLabel(isa.R11, cont)
+	j.a.JmpAbs(addr)
+	j.a.Label(cont)
+}
+
+// emitBoundsCheckedLoad compiles `R0 = array[R1]` with the mandatory
+// bounds check and the optional index-masking cmov. R0 holds the
+// unpoisoned array pointer on entry and the element (or 0 for OOB) on
+// exit. The predicted-not-taken bounds branch is the Spectre V1 window.
+func (j *jit) emitBoundsCheckedLoad() {
+	a := j.a
+	oob, done := j.label("oob"), j.label("idxdone")
+	a.Load(isa.R2, isa.R0, 0) // length
+	a.Cmp(isa.R1, isa.R2)
+	a.Jge(oob) // unsigned: negative indexes are huge and fail too
+	if j.cfg.IndexMasking {
+		// cmp idx,len ; cmovge idx,zero — the SpiderMonkey pattern: on
+		// the architectural path this is a no-op, but it clamps the
+		// index before the transient load can run ahead of the bounds
+		// branch.
+		a.MovI(isa.R3, 0)
+		a.Cmp(isa.R1, isa.R2)
+		a.CmovGe(isa.R1, isa.R3)
+	}
+	a.Mov(isa.R3, isa.R1)
+	a.ShlI(isa.R3, 3)
+	a.Add(isa.R3, isa.R0)
+	a.Load(isa.R0, isa.R3, 8)
+	if j.cfg.ObjectGuards {
+		// Element-kind guard: engines re-validate loaded elements
+		// (hole checks / unboxing) with a conditional move keyed to
+		// the bounds comparison still in flags.
+		a.MovI(isa.R3, 0)
+		a.Cmp(isa.R1, isa.R2)
+		a.CmovGe(isa.R0, isa.R3)
+	}
+	a.Jmp(done)
+	a.Label(oob)
+	a.MovI(isa.R0, 0)
+	a.Label(done)
+}
+
+// emitBoundsCheckedStore compiles `array[R1] = R3` (R0 = unpoisoned
+// array pointer). OOB stores are dropped.
+func (j *jit) emitBoundsCheckedStore() {
+	a := j.a
+	oob := j.label("oobst")
+	a.Load(isa.R2, isa.R0, 0)
+	a.Cmp(isa.R1, isa.R2)
+	a.Jge(oob)
+	if j.cfg.IndexMasking {
+		a.MovI(isa.R4, 0)
+		a.Cmp(isa.R1, isa.R2)
+		a.CmovGe(isa.R1, isa.R4)
+	}
+	a.Mov(isa.R4, isa.R1)
+	a.ShlI(isa.R4, 3)
+	a.Add(isa.R4, isa.R0)
+	a.Store(isa.R4, 8, isa.R3)
+	a.Label(oob)
+}
+
+// emitPropSite compiles a property access through an inline cache with
+// a shape guard. On entry R0 holds the unpoisoned object pointer (and
+// R6 the value for stores); on exit R0 holds the loaded value (loads).
+// The shape-guard branch is the speculative-type-confusion surface; the
+// optional cmov poisons the object pointer when the guard fails.
+func (j *jit) emitPropSite(name string, store bool) {
+	a := j.a
+	siteID := len(j.sites)
+	j.sites = append(j.sites, siteInfo{prop: name, store: store})
+	siteVA := int64(jsSiteBase + siteID*16)
+
+	retry := j.label("icretry")
+	slow := j.label("icslow")
+	done := j.label("icdone")
+
+	a.Label(retry)
+	a.Load(isa.R1, isa.R0, 0) // shape id
+	a.MovI(isa.R2, siteVA)
+	a.Load(isa.R3, isa.R2, 0) // cached shape
+	a.Cmp(isa.R1, isa.R3)
+	a.Jne(slow)
+	if j.cfg.ObjectGuards {
+		// Zero the object pointer if the shape guard failed: a
+		// mis-speculated type confusion dereferences null instead of
+		// reinterpreting another object's fields.
+		a.MovI(isa.R4, 0)
+		a.CmovNe(isa.R0, isa.R4)
+	}
+	a.Load(isa.R5, isa.R2, 8) // cached byte offset
+	a.Add(isa.R5, isa.R0)
+	if store {
+		a.Store(isa.R5, 0, isa.R6)
+	} else {
+		a.Load(isa.R0, isa.R5, 0)
+		if j.cfg.ObjectGuards {
+			// Unboxing guard: production engines re-check the type of
+			// every loaded value before using it; the guard is another
+			// conditional move in the dependency chain.
+			a.MovI(isa.R4, 0)
+			a.Cmp(isa.R1, isa.R3)
+			a.CmovNe(isa.R0, isa.R4)
+		}
+	}
+	a.Jmp(done)
+	a.Label(slow)
+	a.MovI(isa.R10, int64(siteID))
+	a.MovLabel(isa.R11, retry)
+	a.JmpAbs(thunkPropMiss)
+	a.Label(done)
+}

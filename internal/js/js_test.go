@@ -1,0 +1,389 @@
+package js
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"spectrebench/internal/kernel"
+	"spectrebench/internal/model"
+)
+
+// runInterp parses and interprets, returning reports.
+func runInterp(t *testing.T, src string) []int64 {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ip := NewInterp(prog)
+	if err := ip.Run(); err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	return ip.Reports()
+}
+
+// runJIT compiles and executes on the simulator, returning reports.
+func runJIT(t *testing.T, src string, jsMit Mitigations) []int64 {
+	t.Helper()
+	m := model.IceLakeServer()
+	e := NewEngine(m, kernel.Defaults(m), jsMit)
+	res, err := e.Run(src, 80_000_000)
+	if err != nil {
+		t.Fatalf("jit run: %v", err)
+	}
+	return res.Reports
+}
+
+// differential runs the same program in the interpreter and the JIT
+// (both hardened and unhardened) and requires identical reports.
+func differential(t *testing.T, src string) []int64 {
+	t.Helper()
+	want := runInterp(t, src)
+	for _, mit := range []Mitigations{{}, AllMitigations()} {
+		got := runJIT(t, src, mit)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("JIT (mit=%+v) reports %v, interpreter %v", mit, got, want)
+		}
+	}
+	return want
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"var ;",
+		"function f( { }",
+		"if (1 { }",
+		"x = ;",
+		"1 +",
+		"var a = [1,;",
+		"@",
+		"var x = 5",   // missing semicolon
+		"o = {f 1};",  // missing colon
+		"new Foo(1);", // only new Array
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	got := differential(t, `
+		var a = 10;
+		var b = 3;
+		report(a + b);
+		report(a - b);
+		report(a * b);
+		report(a / b);
+		report(a % b);
+		report(-a);
+		report(a << 2);
+		report(a >> 1);
+	`)
+	want := []int64{13, 7, 30, 3, 1, -10, 40, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("reports = %v, want %v", got, want)
+	}
+}
+
+func TestComparisonsSigned(t *testing.T) {
+	got := differential(t, `
+		var a = 0 - 5;
+		var b = 3;
+		report(a < b);
+		report(a > b);
+		report(a <= a);
+		report(b >= a);
+		report(a == a);
+		report(a != b);
+		report(!0);
+		report(!7);
+	`)
+	want := []int64{1, 0, 1, 1, 1, 1, 1, 0}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("reports = %v, want %v", got, want)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	got := differential(t, `
+		var calls = 0;
+		function bump() { return 1; }
+		// RHS with no side effects still short-circuits structurally.
+		report(0 && 1);
+		report(1 && 2);
+		report(0 || 0);
+		report(0 || 3);
+		report(1 || 0);
+	`)
+	want := []int64{0, 1, 0, 1, 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("reports = %v, want %v", got, want)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	got := differential(t, `
+		var sum = 0;
+		for (var i = 1; i <= 10; i = i + 1) {
+			sum = sum + i;
+		}
+		report(sum);
+		var n = 0;
+		while (n < 5) { n = n + 1; }
+		report(n);
+		if (sum > 50) { report(1); } else { report(2); }
+		if (sum == 55) { report(3); } else if (sum == 54) { report(4); } else { report(5); }
+	`)
+	want := []int64{55, 5, 1, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("reports = %v, want %v", got, want)
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	got := differential(t, `
+		function fib(n) {
+			if (n < 2) { return n; }
+			return fib(n - 1) + fib(n - 2);
+		}
+		function max(a, b) {
+			if (a > b) { return a; }
+			return b;
+		}
+		report(fib(15));
+		report(max(3, 9));
+		report(max(9, 3));
+	`)
+	want := []int64{610, 9, 9}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("reports = %v, want %v", got, want)
+	}
+}
+
+func TestArrays(t *testing.T) {
+	got := differential(t, `
+		var a = [10, 20, 30];
+		report(a.length);
+		report(a[0] + a[1] + a[2]);
+		a[1] = 99;
+		report(a[1]);
+		var b = new Array(100);
+		for (var i = 0; i < b.length; i = i + 1) { b[i] = i * i; }
+		var sum = 0;
+		for (var i = 0; i < b.length; i = i + 1) { sum = sum + b[i]; }
+		report(sum);
+		// OOB reads are 0, OOB writes are dropped.
+		report(a[50]);
+		a[50] = 7;
+		report(a.length);
+	`)
+	want := []int64{3, 60, 99, 328350, 0, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("reports = %v, want %v", got, want)
+	}
+}
+
+func TestObjectsAndShapes(t *testing.T) {
+	got := differential(t, `
+		function mass(p) { return p.m; }
+		var a = {m: 5, x: 1};
+		var b = {m: 7, x: 2};
+		var c = {x: 3, m: 11};  // different shape: polymorphic site
+		report(mass(a));
+		report(mass(b));
+		report(mass(c));
+		a.m = 50;
+		report(a.m + b.x);
+	`)
+	want := []int64{5, 7, 11, 52}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("reports = %v, want %v", got, want)
+	}
+}
+
+func TestNestedDataStructures(t *testing.T) {
+	differential(t, `
+		function sum2d(grid, n) {
+			var total = 0;
+			for (var i = 0; i < n; i = i + 1) {
+				var row = grid[i];
+				for (var j = 0; j < row.length; j = j + 1) {
+					total = total + row[j];
+				}
+			}
+			return total;
+		}
+		var g = [[1,2,3],[4,5,6],[7,8,9]];
+		report(sum2d(g, 3));
+	`)
+}
+
+func TestInterpErrors(t *testing.T) {
+	cases := []string{
+		"report(nosuchvar);",
+		"nosuchfn(1);",
+		"var o = {a: 1}; report(o.b);",
+		"var x = 5; report(x[0]);",
+		"report(1 / 0);",
+	}
+	for _, src := range cases {
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if err := NewInterp(prog).Run(); err == nil {
+			t.Errorf("interp(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestJITReportsICMisses(t *testing.T) {
+	m := model.Zen3()
+	src := `
+		function get(o) { return o.v; }
+		var a = {v: 1};
+		var b = {w: 0, v: 2};
+		var s = 0;
+		for (var i = 0; i < 20; i = i + 1) {
+			s = s + get(a) + get(b); // alternating shapes: misses
+		}
+		report(s);
+	`
+	e := NewEngine(m, kernel.Defaults(m), AllMitigations())
+	res, err := e.Run(src, 40_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reports[0] != 60 {
+		t.Errorf("report = %d", res.Reports[0])
+	}
+	if res.ICMisses < 10 {
+		t.Errorf("IC misses = %d, want many (polymorphic site)", res.ICMisses)
+	}
+}
+
+func TestMitigationsCostCycles(t *testing.T) {
+	src := `
+		var a = new Array(256);
+		var o = {x: 1, y: 2};
+		var s = 0;
+		for (var i = 0; i < 200; i = i + 1) {
+			a[i % 256] = i;
+			s = s + a[(i * 7) % 256] + o.x + o.y;
+		}
+		report(s);
+	`
+	m := model.IceLakeServer()
+	// Measure with seccomp-SSBD off so only the JIT-inserted work is
+	// compared (under SSBD, extra instructions between stores and loads
+	// can mask stalls and perturb the ordering).
+	kmit := kernel.BootParams{NoSSBSD: true}.Apply(m, kernel.Defaults(m))
+	run := func(jsMit Mitigations) uint64 {
+		e := NewEngine(m, kmit, jsMit)
+		res, err := e.Run(src, 80_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles
+	}
+	none := run(Mitigations{})
+	masked := run(Mitigations{IndexMasking: true})
+	guarded := run(Mitigations{IndexMasking: true, ObjectGuards: true})
+	all := run(AllMitigations())
+	if !(none < masked && masked < guarded && guarded < all) {
+		t.Errorf("cycle ordering wrong: none=%d masked=%d guarded=%d all=%d",
+			none, masked, guarded, all)
+	}
+}
+
+func TestSeccompSSBDTaxesTheEngine(t *testing.T) {
+	// The engine enters seccomp; on ≤5.15 kernels that enables SSBD,
+	// which taxes the JIT's store→load-heavy code. Disabling the
+	// seccomp-SSBD policy (the 5.16 change) must speed the run up.
+	src := `
+		var a = new Array(64);
+		var s = 0;
+		for (var i = 0; i < 300; i = i + 1) {
+			a[i % 64] = i;
+			s = s + a[i % 64];
+		}
+		report(s);
+	`
+	m := model.Zen3()
+	old := NewEngine(m, kernel.Defaults(m), AllMitigations())
+	resOld, err := old.Run(src, 80_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newMit := kernel.BootParams{NoSSBSD: true}.Apply(m, kernel.Defaults(m))
+	newer := NewEngine(m, newMit, AllMitigations())
+	resNew, err := newer.Run(src, 80_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resOld.Cycles <= resNew.Cycles {
+		t.Errorf("seccomp-SSBD run (%d) should be slower than 5.16 default (%d)",
+			resOld.Cycles, resNew.Cycles)
+	}
+	if !reflect.DeepEqual(resOld.Reports, resNew.Reports) {
+		t.Error("results must not depend on SSBD")
+	}
+}
+
+func TestReducedTimerQuantises(t *testing.T) {
+	src := `
+		var t0 = clock();
+		var s = 0;
+		for (var i = 0; i < 100; i = i + 1) { s = s + i; }
+		var t1 = clock();
+		report(t1 - t0);
+	`
+	m := model.Broadwell()
+	precise := NewEngine(m, kernel.Defaults(m), Mitigations{})
+	rp, err := precise.Run(src, 40_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse := NewEngine(m, kernel.Defaults(m), Mitigations{ReducedTimer: true})
+	rc, err := coarse.Run(src, 40_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Reports[0] == 0 {
+		t.Error("precise timer shows no elapsed time")
+	}
+	if rc.Reports[0]%2000 != 0 {
+		t.Errorf("coarse timer delta %d not quantised", rc.Reports[0])
+	}
+}
+
+func TestRuntimeErrorsSurface(t *testing.T) {
+	m := model.Zen2()
+	cases := []string{
+		`var o = {a: 1}; report(o.b);`, // missing property
+		`var x = 5; var y = x.a;`,      // property on non-object
+	}
+	for _, src := range cases {
+		e := NewEngine(m, kernel.Defaults(m), AllMitigations())
+		if _, err := e.Run(src, 20_000_000); err == nil {
+			t.Errorf("Run(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestLexerCoverage(t *testing.T) {
+	src := "// comment\n/* block\ncomment */ var x = 0x10; x = x + 2;"
+	got := differential(t, src+" report(x);")
+	if got[0] != 18 {
+		t.Errorf("hex + comments: %v", got)
+	}
+	if _, err := Parse("var x = 99999999999999999999999999;"); err == nil {
+		t.Error("overflow literal accepted")
+	}
+	if !strings.Contains((&Error{Line: 3, Msg: "boom"}).Error(), "line 3") {
+		t.Error("error formatting")
+	}
+}

@@ -1,0 +1,157 @@
+package js
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokNum
+	tokIdent
+	tokKeyword
+	tokPunct
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  int64
+	line int
+}
+
+var keywords = map[string]bool{
+	"function": true, "var": true, "let": true, "if": true, "else": true,
+	"while": true, "for": true, "return": true, "true": true, "false": true,
+	"new": true,
+}
+
+// lexer tokenises mini-JS source.
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1}
+}
+
+func (l *lexer) errf(format string, args ...any) *Error {
+	return &Error{Line: l.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekRune() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) at(i int) rune {
+	if l.pos+i >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+i]
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case unicode.IsSpace(c):
+			l.pos++
+		case c == '/' && l.at(1) == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.at(1) == '*':
+			l.pos += 2
+			for l.pos < len(l.src) && !(l.src[l.pos] == '*' && l.at(1) == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			l.pos += 2
+		default:
+			return
+		}
+	}
+}
+
+// twoCharPunct lists multi-rune operators, longest match first.
+var twoCharPunct = []string{"==", "!=", "<=", ">=", "&&", "||", "<<", ">>"}
+
+func (l *lexer) next() (token, *Error) {
+	l.skipSpace()
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line}, nil
+	}
+	c := l.peekRune()
+	start := l.pos
+
+	if unicode.IsDigit(c) {
+		for l.pos < len(l.src) && (unicode.IsDigit(l.src[l.pos]) ||
+			l.src[l.pos] == 'x' || l.src[l.pos] == 'X' ||
+			(l.src[l.pos] >= 'a' && l.src[l.pos] <= 'f') ||
+			(l.src[l.pos] >= 'A' && l.src[l.pos] <= 'F')) {
+			l.pos++
+		}
+		text := string(l.src[start:l.pos])
+		n, err := strconv.ParseInt(text, 0, 64)
+		if err != nil {
+			return token{}, l.errf("bad number %q", text)
+		}
+		return token{kind: tokNum, text: text, num: n, line: l.line}, nil
+	}
+
+	if unicode.IsLetter(c) || c == '_' {
+		for l.pos < len(l.src) && (unicode.IsLetter(l.src[l.pos]) || unicode.IsDigit(l.src[l.pos]) || l.src[l.pos] == '_') {
+			l.pos++
+		}
+		text := string(l.src[start:l.pos])
+		kind := tokIdent
+		if keywords[text] {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, line: l.line}, nil
+	}
+
+	for _, p := range twoCharPunct {
+		if string(l.src[l.pos:min(l.pos+2, len(l.src))]) == p {
+			l.pos += 2
+			return token{kind: tokPunct, text: p, line: l.line}, nil
+		}
+	}
+
+	switch c {
+	case '+', '-', '*', '/', '%', '<', '>', '=', '!', '(', ')', '{', '}',
+		'[', ']', ',', ';', '.', ':':
+		l.pos++
+		return token{kind: tokPunct, text: string(c), line: l.line}, nil
+	}
+	return token{}, l.errf("unexpected character %q", string(c))
+}
+
+// lexAll tokenises the whole input.
+func lexAll(src string) ([]token, *Error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,520 @@
+package js
+
+// parser is a recursive-descent parser for the mini-JS grammar:
+//
+//	program  := (funcdecl | stmt)*
+//	funcdecl := "function" ident "(" params ")" block
+//	stmt     := vardecl | assign-or-expr ";" | if | while | for | return
+//	expr     := precedence-climbing over || && == != < <= > >= + - * / % << >>
+//	primary  := num | ident | call | "(" expr ")" | "[" elems "]" |
+//	            "{" fields "}" | "new" ident "(" args ")" | unary
+//	postfix  := primary ("[" expr "]" | "." ident)*
+type parser struct {
+	toks []token
+	pos  int
+	// depth guards against pathologically nested inputs (fuzzing).
+	depth int
+}
+
+// maxParseDepth bounds expression/statement nesting.
+const maxParseDepth = 200
+
+func (p *parser) enter() *Error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		return &Error{Line: p.line(), Msg: "input nested too deeply"}
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
+
+// Parse parses mini-JS source into a Program.
+func Parse(src string) (*Program, error) {
+	toks, lerr := lexAll(src)
+	if lerr != nil {
+		return nil, lerr
+	}
+	p := &parser{toks: toks}
+	prog := &Program{Funcs: make(map[string]*Function)}
+	for !p.atEOF() {
+		if p.peekIs(tokKeyword, "function") {
+			fn, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := prog.Funcs[fn.Name]; dup {
+				return nil, &Error{Line: p.line(), Msg: "duplicate function " + fn.Name}
+			}
+			prog.Funcs[fn.Name] = fn
+			continue
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		prog.Main = append(prog.Main, s)
+	}
+	return prog, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) line() int   { return p.cur().line }
+func (p *parser) atEOF() bool { return p.cur().kind == tokEOF }
+
+func (p *parser) peekIs(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && t.text == text
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.peekIs(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) *Error {
+	if p.accept(kind, text) {
+		return nil
+	}
+	return &Error{Line: p.line(), Msg: "expected " + text + ", got " + p.cur().text}
+}
+
+func (p *parser) expectIdent() (string, *Error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", &Error{Line: t.line, Msg: "expected identifier, got " + t.text}
+	}
+	p.pos++
+	return t.text, nil
+}
+
+func (p *parser) funcDecl() (*Function, *Error) {
+	p.pos++ // "function"
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	var params []string
+	for !p.peekIs(tokPunct, ")") {
+		id, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, id)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	if err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, berr := p.block()
+	if berr != nil {
+		return nil, berr
+	}
+	return &Function{Name: name, Params: params, Body: body}, nil
+}
+
+func (p *parser) block() ([]Stmt, *Error) {
+	if err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var out []Stmt
+	for !p.peekIs(tokPunct, "}") {
+		if p.atEOF() {
+			return nil, &Error{Line: p.line(), Msg: "unterminated block"}
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	p.pos++ // "}"
+	return out, nil
+}
+
+func (p *parser) stmt() (Stmt, *Error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
+	switch {
+	case p.peekIs(tokKeyword, "var") || p.peekIs(tokKeyword, "let"):
+		p.pos++
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		var init Expr
+		if p.accept(tokPunct, "=") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			init = e
+		}
+		if err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &VarDecl{Name: name, Init: init}, nil
+
+	case p.peekIs(tokKeyword, "if"):
+		p.pos++
+		if err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, berr := p.block()
+		if berr != nil {
+			return nil, berr
+		}
+		var els []Stmt
+		if p.accept(tokKeyword, "else") {
+			if p.peekIs(tokKeyword, "if") {
+				s, err := p.stmt()
+				if err != nil {
+					return nil, err
+				}
+				els = []Stmt{s}
+			} else {
+				els, berr = p.block()
+				if berr != nil {
+					return nil, berr
+				}
+			}
+		}
+		return &If{Cond: cond, Then: then, Else: els}, nil
+
+	case p.peekIs(tokKeyword, "while"):
+		p.pos++
+		if err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, berr := p.block()
+		if berr != nil {
+			return nil, berr
+		}
+		return &While{Cond: cond, Body: body}, nil
+
+	case p.peekIs(tokKeyword, "for"):
+		p.pos++
+		if err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		var init, post Stmt
+		var cond Expr
+		if !p.peekIs(tokPunct, ";") {
+			s, err := p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			init = s
+		}
+		if err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		if !p.peekIs(tokPunct, ";") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			cond = e
+		}
+		if err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		if !p.peekIs(tokPunct, ")") {
+			s, err := p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			post = s
+		}
+		if err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, berr := p.block()
+		if berr != nil {
+			return nil, berr
+		}
+		return &For{Init: init, Cond: cond, Post: post, Body: body}, nil
+
+	case p.peekIs(tokKeyword, "return"):
+		p.pos++
+		var val Expr
+		if !p.peekIs(tokPunct, ";") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			val = e
+		}
+		if err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &Return{Val: val}, nil
+
+	default:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+// simpleStmt parses an assignment, var decl (in for-init), or bare
+// expression, without the trailing semicolon.
+func (p *parser) simpleStmt() (Stmt, *Error) {
+	if p.peekIs(tokKeyword, "var") || p.peekIs(tokKeyword, "let") {
+		p.pos++
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		var init Expr
+		if p.accept(tokPunct, "=") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			init = e
+		}
+		return &VarDecl{Name: name, Init: init}, nil
+	}
+	lhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tokPunct, "=") {
+		switch lhs.(type) {
+		case *Ident, *Index, *Prop:
+		default:
+			return nil, &Error{Line: p.line(), Msg: "invalid assignment target"}
+		}
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{Target: lhs, Val: rhs}, nil
+	}
+	return &ExprStmt{X: lhs}, nil
+}
+
+// binding powers for precedence climbing.
+var binPrec = map[string]int{
+	"||": 1, "&&": 2,
+	"==": 3, "!=": 3,
+	"<": 4, "<=": 4, ">": 4, ">=": 4,
+	"<<": 5, ">>": 5,
+	"+": 6, "-": 6,
+	"*": 7, "/": 7, "%": 7,
+}
+
+func (p *parser) expr() (Expr, *Error) { return p.binExpr(0) }
+
+func (p *parser) binExpr(minPrec int) (Expr, *Error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		prec, isOp := binPrec[t.text]
+		if t.kind != tokPunct || !isOp || prec < minPrec {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Op: t.text, L: lhs, R: rhs}
+	}
+}
+
+func (p *parser) unary() (Expr, *Error) {
+	if p.peekIs(tokPunct, "-") {
+		p.pos++
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", X: x}, nil
+	}
+	if p.peekIs(tokPunct, "!") {
+		p.pos++
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "!", X: x}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (Expr, *Error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokPunct, "["):
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			e = &Index{Arr: e, Idx: idx}
+		case p.accept(tokPunct, "."):
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			e = &Prop{Obj: e, Name: name}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) primary() (Expr, *Error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNum:
+		p.pos++
+		return &NumLit{Value: t.num}, nil
+
+	case t.kind == tokKeyword && t.text == "true":
+		p.pos++
+		return &NumLit{Value: 1}, nil
+	case t.kind == tokKeyword && t.text == "false":
+		p.pos++
+		return &NumLit{Value: 0}, nil
+
+	case t.kind == tokKeyword && t.text == "new":
+		// new Array(n) sugar → builtin array(n).
+		p.pos++
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if name != "Array" {
+			return nil, &Error{Line: t.line, Msg: "only new Array(n) is supported"}
+		}
+		if err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		n, perr := p.expr()
+		if perr != nil {
+			return nil, perr
+		}
+		if err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return &Call{Name: "array", Args: []Expr{n}}, nil
+
+	case t.kind == tokIdent:
+		p.pos++
+		if p.accept(tokPunct, "(") {
+			var args []Expr
+			for !p.peekIs(tokPunct, ")") {
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if !p.accept(tokPunct, ",") {
+					break
+				}
+			}
+			if err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return &Call{Name: t.text, Args: args}, nil
+		}
+		return &Ident{Name: t.text}, nil
+
+	case p.accept(tokPunct, "("):
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if eerr := p.expect(tokPunct, ")"); eerr != nil {
+			return nil, eerr
+		}
+		return e, nil
+
+	case p.accept(tokPunct, "["):
+		var elems []Expr
+		for !p.peekIs(tokPunct, "]") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, e)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+		if err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+		return &ArrayLit{Elems: elems}, nil
+
+	case p.accept(tokPunct, "{"):
+		var fields []Field
+		for !p.peekIs(tokPunct, "}") {
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if eerr := p.expect(tokPunct, ":"); eerr != nil {
+				return nil, eerr
+			}
+			v, verr := p.expr()
+			if verr != nil {
+				return nil, verr
+			}
+			fields = append(fields, Field{Name: name, Val: v})
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+		if err := p.expect(tokPunct, "}"); err != nil {
+			return nil, err
+		}
+		return &ObjectLit{Fields: fields}, nil
+	}
+	return nil, &Error{Line: t.line, Msg: "unexpected token " + t.text}
+}

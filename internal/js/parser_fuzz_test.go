@@ -1,0 +1,43 @@
+package js
+
+import "testing"
+
+// FuzzParse is a native fuzz target: the parser must never panic and,
+// when it accepts an input, the interpreter must fail cleanly (never
+// crash) within a small step budget.
+//
+//	go test -fuzz=FuzzParse ./internal/js
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"var x = 1;",
+		"function f(a) { return a * 2; } report(f(21));",
+		"for (var i = 0; i < 3; i = i + 1) { report(i); }",
+		"var a = [1,2,3]; a[1] = a[0] + a[2]; report(a[1]);",
+		"var o = {x: 1, y: 2}; o.x = o.y; report(o.x);",
+		"if (1 < 2 && 3 != 4) { report(1); } else { report(0); }",
+		"while (0) { }",
+		"var x = ((1));",
+		"report(1 % 2 / 1);",
+		"var x = 0x1f << 2 >> 1;",
+		"new Array(4);",
+		"// comment\n/* block */ var y = 2;",
+		"var é = 1;",
+		"}{", ";;", "var var = 1;", "function () {}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return // keep individual cases cheap
+		}
+		prog, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		ip := NewInterp(prog)
+		ip.limit = 100_000
+		_ = ip.Run() // errors are fine; panics are not
+	})
+}

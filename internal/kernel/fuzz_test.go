@@ -1,0 +1,187 @@
+package kernel
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"spectrebench/internal/isa"
+	"spectrebench/internal/model"
+)
+
+// buildSyscallFuzz emits a program of n random syscalls with plausible
+// (and sometimes deliberately bad) arguments, then exits. Blocking calls
+// are avoided unless a partner exists, so the only acceptable outcomes
+// are clean completion or a detected deadlock — never a crash.
+func buildSyscallFuzz(r *rand.Rand, n int, withPartner bool) *isa.Program {
+	a := isa.NewAsm()
+	if withPartner {
+		// A partner that yields a bounded number of times then exits.
+		a.MovI(isa.R7, SysFork)
+		a.Syscall()
+		a.CmpI(isa.R0, 0)
+		a.Jne("fz_main")
+		a.MovI(isa.R9, 20)
+		a.Label("fz_partner")
+		a.MovI(isa.R7, SysYield)
+		a.Syscall()
+		a.SubI(isa.R9, 1)
+		a.CmpI(isa.R9, 0)
+		a.Jne("fz_partner")
+		a.MovI(isa.R1, 0)
+		a.MovI(isa.R7, SysExit)
+		a.Syscall()
+		a.Label("fz_main")
+	}
+	// Keep one known-good fd around.
+	a.MovI(isa.R1, 1)
+	a.MovI(isa.R2, 4096)
+	a.MovI(isa.R7, SysOpen)
+	a.Syscall()
+	a.Mov(isa.R8, isa.R0)
+
+	for i := 0; i < n; i++ {
+		switch r.Intn(10) {
+		case 0:
+			a.MovI(isa.R7, SysGetPID)
+			a.Syscall()
+		case 1:
+			a.Mov(isa.R1, isa.R8) // valid fd
+			if r.Intn(4) == 0 {
+				a.MovI(isa.R1, int64(r.Intn(64))) // maybe-bogus fd
+			}
+			a.MovI(isa.R2, UserDataBase+int64(r.Intn(8))*512)
+			a.MovI(isa.R3, int64(r.Intn(4096)))
+			a.MovI(isa.R7, SysRead)
+			a.Syscall()
+		case 2:
+			a.Mov(isa.R1, isa.R8)
+			a.MovI(isa.R2, UserDataBase+int64(r.Intn(8))*512)
+			a.MovI(isa.R3, int64(r.Intn(2048)))
+			a.MovI(isa.R7, SysWrite)
+			a.Syscall()
+		case 3:
+			a.MovI(isa.R1, int64(r.Intn(16)))
+			a.MovI(isa.R7, SysMmap)
+			a.Syscall()
+			// Touch the mapping if it succeeded (high bit set = error).
+			a.Mov(isa.R10, isa.R0)
+			a.MovI(isa.R11, 1)
+			a.ShrI(isa.R10, 63)
+			a.CmpI(isa.R10, 0)
+			a.Jne("skip_touch_" + lbl(i))
+			a.Mov(isa.R10, isa.R0)
+			a.MovI(isa.R12, 7)
+			a.Store(isa.R10, 0, isa.R12)
+			a.Label("skip_touch_" + lbl(i))
+		case 4:
+			a.MovI(isa.R7, SysYield)
+			a.Syscall()
+		case 5:
+			a.MovI(isa.R1, 8)
+			a.MovI(isa.R2, 0) // non-blocking select
+			a.MovI(isa.R7, SysSelect)
+			a.Syscall()
+		case 6:
+			a.MovI(isa.R1, int64(r.Intn(200)))
+			a.MovI(isa.R7, SysNanosleep)
+			a.Syscall()
+		case 7:
+			a.MovI(isa.R1, 53) // speculation prctl
+			a.MovI(isa.R2, int64(r.Intn(2)))
+			a.MovI(isa.R7, SysPrctl)
+			a.Syscall()
+		case 8:
+			a.MovI(isa.R7, SysGetTSC)
+			a.Syscall()
+		default:
+			// A possibly-invalid syscall number — but never SysExit or
+			// SysFork mid-stream (they change the control structure).
+			nr := int64(r.Intn(40))
+			if nr == SysExit || nr == SysFork {
+				nr = SysGetPID
+			}
+			a.MovI(isa.R1, int64(r.Intn(999)))
+			a.MovI(isa.R2, int64(r.Intn(999))) // garbage kmod targets get EINVAL
+			a.MovI(isa.R7, nr)
+			a.Syscall()
+		}
+	}
+	a.MovI(isa.R1, 0)
+	a.MovI(isa.R7, SysExit)
+	a.Syscall()
+	return a.MustAssemble(UserCodeBase)
+}
+
+func lbl(i int) string { return string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + itoa(i) }
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+// TestSyscallFuzz drives random syscall streams on several CPUs. The
+// kernel must never panic and must always either finish or detect a
+// deadlock; after completion no process may be left running.
+func TestSyscallFuzz(t *testing.T) {
+	models := []*model.CPU{model.Broadwell(), model.CascadeLake(), model.Zen3()}
+	trials := 25
+	if testing.Short() {
+		trials = 6
+	}
+	for seed := 0; seed < trials; seed++ {
+		r := rand.New(rand.NewSource(int64(seed)))
+		m := models[seed%len(models)]
+		_, k := boot(m, Defaults(m))
+		prog := buildSyscallFuzz(r, 30, seed%2 == 0)
+		k.NewProcess("fuzz", prog)
+		err := k.RunProcessToCompletion(20_000_000)
+		if err != nil && !strings.Contains(err.Error(), "deadlock") {
+			t.Fatalf("seed %d on %s: %v", seed, m.Uarch, err)
+		}
+		if err == nil && k.LiveProcs() != 0 {
+			t.Errorf("seed %d: %d processes still live", seed, k.LiveProcs())
+		}
+	}
+}
+
+// A couple of directed abuse cases the fuzzer space includes.
+func TestSyscallAbuse(t *testing.T) {
+	m := model.SkylakeClient()
+
+	// Exit with outstanding blocked reader (the partner exits first and
+	// the pipe read then sees EOF rather than deadlocking).
+	_, k := boot(m, Defaults(m))
+	a := isa.NewAsm()
+	emitSyscall(a, SysPipe)
+	emitSyscall(a, SysFork)
+	a.CmpI(isa.R0, 0)
+	a.Jeq("child")
+	// Parent closes its write end, then reads: EOF (0 bytes).
+	a.MovI(isa.R1, 4)
+	emitSyscall(a, SysClose)
+	a.MovI(isa.R1, 3)
+	a.MovI(isa.R2, UserDataBase)
+	a.MovI(isa.R3, 8)
+	emitSyscall(a, SysRead)
+	a.Mov(isa.R9, isa.R0)
+	emitExit(a, 0)
+	a.Label("child")
+	// Child closes both ends immediately and exits.
+	a.MovI(isa.R1, 3)
+	emitSyscall(a, SysClose)
+	a.MovI(isa.R1, 4)
+	emitSyscall(a, SysClose)
+	emitExit(a, 0)
+	k.NewProcess("eof", a.MustAssemble(UserCodeBase))
+	if err := k.RunProcessToCompletion(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+}

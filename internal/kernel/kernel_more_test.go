@@ -1,0 +1,376 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"spectrebench/internal/cpu"
+	"spectrebench/internal/isa"
+	"spectrebench/internal/model"
+)
+
+func TestUnknownSyscallENOSYS(t *testing.T) {
+	c, k := boot(model.Zen(), Defaults(model.Zen()))
+	a := isa.NewAsm()
+	emitSyscall(a, 9999)
+	a.Mov(isa.R9, isa.R0)
+	emitExit(a, 0)
+	k.NewProcess("bad", a.MustAssemble(UserCodeBase))
+	if err := k.RunProcessToCompletion(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[isa.R9] != ENOSYS {
+		t.Errorf("result = %#x, want ENOSYS", c.Regs[isa.R9])
+	}
+}
+
+func TestBadFDErrors(t *testing.T) {
+	c, k := boot(model.Zen(), Defaults(model.Zen()))
+	a := isa.NewAsm()
+	a.MovI(isa.R1, 42) // no such fd
+	a.MovI(isa.R2, UserDataBase)
+	a.MovI(isa.R3, 8)
+	emitSyscall(a, SysRead)
+	a.Mov(isa.R9, isa.R0)
+	a.MovI(isa.R1, 42)
+	emitSyscall(a, SysWrite)
+	a.Mov(isa.R10, isa.R0)
+	a.MovI(isa.R1, 42)
+	emitSyscall(a, SysClose)
+	a.Mov(isa.R11, isa.R0)
+	emitExit(a, 0)
+	k.NewProcess("badfd", a.MustAssemble(UserCodeBase))
+	if err := k.RunProcessToCompletion(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[isa.R9] != EBADF || c.Regs[isa.R10] != EBADF || c.Regs[isa.R11] != EBADF {
+		t.Errorf("read/write/close on bad fd = %#x/%#x/%#x", c.Regs[isa.R9], c.Regs[isa.R10], c.Regs[isa.R11])
+	}
+}
+
+func TestBadUserBufferEFAULT(t *testing.T) {
+	c, k := boot(model.Zen2(), Defaults(model.Zen2()))
+	a := isa.NewAsm()
+	a.MovI(isa.R1, 0)
+	a.MovI(isa.R2, 4096)
+	emitSyscall(a, SysOpen)
+	a.Mov(isa.R8, isa.R0)
+	a.Mov(isa.R1, isa.R8)
+	a.MovI(isa.R2, 0x7900_0000) // unmapped buffer
+	a.MovI(isa.R3, 64)
+	emitSyscall(a, SysWrite)
+	a.Mov(isa.R9, isa.R0)
+	emitExit(a, 0)
+	k.NewProcess("efault", a.MustAssemble(UserCodeBase))
+	if err := k.RunProcessToCompletion(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[isa.R9] != EFAULT {
+		t.Errorf("write from unmapped buffer = %#x, want EFAULT", c.Regs[isa.R9])
+	}
+}
+
+func TestMmapBadArgs(t *testing.T) {
+	c, k := boot(model.Zen(), Defaults(model.Zen()))
+	a := isa.NewAsm()
+	a.MovI(isa.R1, 0) // zero pages
+	emitSyscall(a, SysMmap)
+	a.Mov(isa.R9, isa.R0)
+	a.MovI(isa.R1, UserMmapBase+1) // misaligned munmap
+	a.MovI(isa.R2, 1)
+	emitSyscall(a, SysMunmap)
+	a.Mov(isa.R10, isa.R0)
+	emitExit(a, 0)
+	k.NewProcess("badmmap", a.MustAssemble(UserCodeBase))
+	if err := k.RunProcessToCompletion(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[isa.R9] != EINVAL || c.Regs[isa.R10] != EINVAL {
+		t.Errorf("mmap/munmap bad args = %#x/%#x", c.Regs[isa.R9], c.Regs[isa.R10])
+	}
+}
+
+func TestBlockingSelectWokenByPipe(t *testing.T) {
+	c, k := boot(model.CascadeLake(), Defaults(model.CascadeLake()))
+	a := isa.NewAsm()
+	emitSyscall(a, SysPipe) // fds 3 (r), 4 (w)
+	emitSyscall(a, SysFork)
+	a.CmpI(isa.R0, 0)
+	a.Jeq("child")
+	// Parent: blocking select on the read end.
+	a.MovI(isa.R1, 8)
+	a.MovI(isa.R2, 1) // blocking
+	emitSyscall(a, SysSelect)
+	a.Mov(isa.R9, isa.R0) // ready count
+	emitExit(a, 0)
+	// Child: write to wake the parent.
+	a.Label("child")
+	a.MovI(isa.R1, 4)
+	a.MovI(isa.R2, UserDataBase)
+	a.MovI(isa.R3, 8)
+	emitSyscall(a, SysWrite)
+	emitExit(a, 0)
+	k.NewProcess("select", a.MustAssemble(UserCodeBase))
+	if err := k.RunProcessToCompletion(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[isa.R9] != 1 {
+		t.Errorf("select ready = %d, want 1", c.Regs[isa.R9])
+	}
+}
+
+func TestPipeWriterBlocksWhenFull(t *testing.T) {
+	_, k := boot(model.Zen3(), Defaults(model.Zen3()))
+	a := isa.NewAsm()
+	emitSyscall(a, SysPipe)
+	emitSyscall(a, SysFork)
+	a.CmpI(isa.R0, 0)
+	a.Jeq("child")
+	// Parent: write 65 chunks of 1 KiB (the 65th exceeds pipeCapacity
+	// and blocks until the child drains).
+	a.MovI(isa.R9, 0)
+	a.Label("wloop")
+	a.MovI(isa.R1, 4)
+	a.MovI(isa.R2, UserDataBase)
+	a.MovI(isa.R3, 1024)
+	emitSyscall(a, SysWrite)
+	a.AddI(isa.R9, 1)
+	a.CmpI(isa.R9, 65)
+	a.Jne("wloop")
+	emitExit(a, 0)
+	// Child: yield a few times (letting the parent fill the pipe), then
+	// drain everything.
+	a.Label("child")
+	a.MovI(isa.R9, 0)
+	a.Label("yloop")
+	emitSyscall(a, SysYield)
+	a.AddI(isa.R9, 1)
+	a.CmpI(isa.R9, 3)
+	a.Jne("yloop")
+	a.MovI(isa.R9, 0)
+	a.Label("rloop")
+	a.MovI(isa.R1, 3)
+	a.MovI(isa.R2, UserDataBase+0x8000)
+	a.MovI(isa.R3, 1024)
+	emitSyscall(a, SysRead)
+	a.AddI(isa.R9, 1)
+	a.CmpI(isa.R9, 65)
+	a.Jne("rloop")
+	emitExit(a, 0)
+	k.NewProcess("pipefull", a.MustAssemble(UserCodeBase))
+	if err := k.RunProcessToCompletion(20_000_000); err != nil {
+		t.Fatal(err)
+	}
+	for pid := 1; pid <= 2; pid++ {
+		if p := k.Proc(pid); p == nil || p.State != ProcExited {
+			t.Errorf("pid %d did not exit", pid)
+		}
+	}
+}
+
+func TestNanosleepBurnsTime(t *testing.T) {
+	c, k := boot(model.Zen(), Defaults(model.Zen()))
+	a := isa.NewAsm()
+	emitSyscall(a, SysGetTSC)
+	a.Mov(isa.R8, isa.R0)
+	a.MovI(isa.R1, 50000)
+	emitSyscall(a, SysNanosleep)
+	emitSyscall(a, SysGetTSC)
+	a.Sub(isa.R0, isa.R8)
+	a.Mov(isa.R9, isa.R0)
+	emitExit(a, 0)
+	k.NewProcess("sleep", a.MustAssemble(UserCodeBase))
+	if err := k.RunProcessToCompletion(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[isa.R9] < 50000 {
+		t.Errorf("elapsed = %d, want ≥ 50000", c.Regs[isa.R9])
+	}
+}
+
+func TestIBRSModeStubsToggleMSR(t *testing.T) {
+	// spectre_v2=ibrs: the entry stub sets IBRS and the exit stub
+	// restores the user value, costing a wrmsr each way.
+	m := model.Broadwell()
+	mit := BootParams{SpectreV2: "ibrs"}.Apply(m, Defaults(m))
+	if mit.SpectreV2 != V2IBRS {
+		t.Fatal("boot param not applied")
+	}
+	c, k := boot(m, mit)
+	var sawKernelIBRS bool
+	mod := k.RegisterKernelModule(func(a *isa.Asm) {
+		a.Rdmsr(isa.R9, cpu.MSRSpecCtrl) // read inside the kernel
+		a.JmpInd(isa.R10)
+	})
+	a := isa.NewAsm()
+	a.MovI(isa.R2, int64(mod.Base))
+	emitSyscall(a, SysKMod)
+	a.Mov(isa.R8, isa.R9) // kernel-observed SPEC_CTRL
+	a.MovI(isa.R12, 1)    // marker: back in user mode
+	a.Label("spin")
+	a.Jmp("spin")
+	k.NewProcess("ibrs", a.MustAssemble(UserCodeBase))
+	if err := k.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500000 && c.Regs[isa.R12] != 1; i++ {
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Regs[isa.R12] != 1 {
+		t.Fatal("marker never reached")
+	}
+	sawKernelIBRS = c.Regs[isa.R8]&cpu.SpecCtrlIBRS != 0
+	if !sawKernelIBRS {
+		t.Error("IBRS not set while in the kernel under spectre_v2=ibrs")
+	}
+	if c.IBRSActive() {
+		t.Error("IBRS still set after returning to user mode")
+	}
+}
+
+func TestLazyFPUOwnershipHandoff(t *testing.T) {
+	// Two FPU-using processes under lazy switching: each first FPU use
+	// after a reschedule traps, and values never leak architecturally
+	// between them.
+	m := model.SkylakeClient()
+	mit := Defaults(m)
+	mit.EagerFPU = false
+	c, k := boot(m, mit)
+	a := isa.NewAsm()
+	emitSyscall(a, SysFork)
+	a.CmpI(isa.R0, 0)
+	a.Jeq("child")
+	// Parent: f0 = 111; yield; read back.
+	a.FMovI(0, 111)
+	emitSyscall(a, SysYield)
+	a.FToI(isa.R9, 0)
+	emitSyscall(a, SysYield)
+	emitExit(a, 0)
+	a.Label("child")
+	a.FMovI(0, 222)
+	emitSyscall(a, SysYield)
+	a.FToI(isa.R10, 0)
+	a.MovI(isa.R11, UserDataBase+0x3e00)
+	a.Store(isa.R11, 0, isa.R10) // park the observation in shared memory
+	emitExit(a, 0)
+	p := k.NewProcess("fpu", a.MustAssemble(UserCodeBase))
+	if err := k.RunProcessToCompletion(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if k.FPUTraps == 0 {
+		t.Fatal("lazy FPU never trapped")
+	}
+	// The child (which shares the parent's physical window post-fork)
+	// must have read back its own 222, not the parent's 111 or zero.
+	got := c.Phys.Read64((uint64(p.PID) << 32) + UserDataBase + 0x3e00)
+	if got != 222 {
+		t.Errorf("child read f0 = %d, want its own 222", got)
+	}
+}
+
+func TestSpectreV2ModeStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, v := range []SpectreV2Mode{V2Off, V2RetpolineGeneric, V2RetpolineAMD, V2IBRS, V2EIBRS} {
+		s := v.String()
+		if s == "" || seen[s] {
+			t.Errorf("mode %d: bad string %q", v, s)
+		}
+		seen[s] = true
+	}
+	if !strings.Contains(SpectreV2Mode(99).String(), "99") {
+		t.Error("unknown mode should print its value")
+	}
+}
+
+func TestProcAccessors(t *testing.T) {
+	_, k := boot(model.Zen(), Defaults(model.Zen()))
+	a := isa.NewAsm()
+	emitExit(a, 0)
+	p := k.NewProcess("acc", a.MustAssemble(UserCodeBase))
+	if k.Proc(p.PID) != p {
+		t.Error("Proc lookup failed")
+	}
+	if k.LiveProcs() != 1 {
+		t.Errorf("LiveProcs = %d", k.LiveProcs())
+	}
+	if err := k.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Current() != p {
+		t.Error("Current != started proc")
+	}
+	if err := k.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if k.LiveProcs() != 0 {
+		t.Errorf("LiveProcs after exit = %d", k.LiveProcs())
+	}
+	// Start with nothing runnable errors.
+	if err := k.Start(); err == nil {
+		t.Error("Start with no ready process should fail")
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	_, k := boot(model.Zen(), Defaults(model.Zen()))
+	a := isa.NewAsm()
+	emitSyscall(a, SysPipe)
+	// Read from the empty pipe with no writer ever coming (the same
+	// process holds the write end, so no EOF either — a deadlock).
+	a.MovI(isa.R1, 3)
+	a.MovI(isa.R2, UserDataBase)
+	a.MovI(isa.R3, 8)
+	emitSyscall(a, SysRead)
+	emitExit(a, 0)
+	k.NewProcess("dead", a.MustAssemble(UserCodeBase))
+	err := k.RunProcessToCompletion(1_000_000)
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Errorf("err = %v, want deadlock", err)
+	}
+}
+
+func TestSeccompFilterKillsViolations(t *testing.T) {
+	_, k := boot(model.IceLakeClient(), Defaults(model.IceLakeClient()))
+	a := isa.NewAsm()
+	// Allow only getpid (and exit, implicitly).
+	a.MovI(isa.R1, 1<<SysGetPID)
+	emitSyscall(a, SysSeccomp)
+	emitSyscall(a, SysGetPID) // fine
+	a.MovI(isa.R1, 4)
+	emitSyscall(a, SysMmap) // killed here
+	a.MovI(isa.R9, 1)       // must never run
+	emitExit(a, 0)
+	p := k.NewProcess("filtered", a.MustAssemble(UserCodeBase))
+	if err := k.RunProcessToCompletion(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.State != ProcExited {
+		t.Fatal("process did not exit")
+	}
+	if p.exitCode != 128+31 {
+		t.Errorf("exit code = %d, want SIGSYS-style 159", p.exitCode)
+	}
+}
+
+func TestSeccompFilterAllowsPermitted(t *testing.T) {
+	c, k := boot(model.IceLakeClient(), Defaults(model.IceLakeClient()))
+	a := isa.NewAsm()
+	a.MovI(isa.R1, 1<<SysGetPID|1<<SysGetTSC)
+	emitSyscall(a, SysSeccomp)
+	emitSyscall(a, SysGetPID)
+	emitSyscall(a, SysGetTSC)
+	a.MovI(isa.R9, 1)
+	emitExit(a, 0)
+	p := k.NewProcess("permitted", a.MustAssemble(UserCodeBase))
+	if err := k.RunProcessToCompletion(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.exitCode != 0 {
+		t.Errorf("exit code = %d", p.exitCode)
+	}
+	if c.Regs[isa.R9] != 1 {
+		t.Error("permitted syscalls did not complete")
+	}
+}

@@ -1,0 +1,519 @@
+package kernel
+
+import (
+	"testing"
+
+	"spectrebench/internal/cpu"
+	"spectrebench/internal/isa"
+	"spectrebench/internal/mem"
+	"spectrebench/internal/model"
+)
+
+// boot creates a core + kernel for the model with the given mitigations.
+func boot(m *model.CPU, mit Mitigations) (*cpu.Core, *Kernel) {
+	c := cpu.New(m)
+	k := New(c, mit)
+	return c, k
+}
+
+// emitSyscall emits "movi r7, nr; syscall" with up to 3 args already in
+// R1..R3.
+func emitSyscall(a *isa.Asm, nr int64) {
+	a.MovI(isa.R7, nr)
+	a.Syscall()
+}
+
+func emitExit(a *isa.Asm, code int64) {
+	a.MovI(isa.R1, code)
+	emitSyscall(a, SysExit)
+}
+
+func TestGetPIDSyscall(t *testing.T) {
+	c, k := boot(model.Broadwell(), Defaults(model.Broadwell()))
+	a := isa.NewAsm()
+	emitSyscall(a, SysGetPID)
+	a.Mov(isa.R9, isa.R0) // keep the result
+	emitExit(a, 0)
+	p := k.NewProcess("getpid", a.MustAssemble(UserCodeBase))
+	if err := k.RunProcessToCompletion(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.State != ProcExited {
+		t.Fatal("process did not exit")
+	}
+	if c.Regs[isa.R9] != uint64(p.PID) {
+		t.Errorf("getpid = %d, want %d", c.Regs[isa.R9], p.PID)
+	}
+	if k.Syscalls != 2 {
+		t.Errorf("syscalls = %d, want 2", k.Syscalls)
+	}
+}
+
+func TestSyscallReturnsToUserMode(t *testing.T) {
+	c, k := boot(model.Zen2(), Defaults(model.Zen2()))
+	a := isa.NewAsm()
+	emitSyscall(a, SysGetPID)
+	a.MovI(isa.R9, 123) // must execute in user mode after return
+	emitExit(a, 0)
+	k.NewProcess("p", a.MustAssemble(UserCodeBase))
+	if err := k.RunProcessToCompletion(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[isa.R9] != 123 {
+		t.Error("post-syscall user code did not run")
+	}
+}
+
+func TestNullSyscallCostReflectsMitigations(t *testing.T) {
+	// PTI adds two CR3 swaps; MDS adds a verw: a null syscall on
+	// Broadwell with defaults must cost more than with mitigations off.
+	measure := func(mit Mitigations) uint64 {
+		c, k := boot(model.Broadwell(), mit)
+		a := isa.NewAsm()
+		// Warm-up syscall, then a measured one.
+		emitSyscall(a, SysGetPID)
+		emitSyscall(a, SysGetPID)
+		emitExit(a, 0)
+		k.NewProcess("p", a.MustAssemble(UserCodeBase))
+		if err := k.RunProcessToCompletion(1_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return c.Cycles
+	}
+	m := model.Broadwell()
+	on := measure(Defaults(m))
+	off := measure(BootParams{MitigationsOff: true}.Apply(m, Defaults(m)))
+	if on <= off {
+		t.Fatalf("mitigated run (%d cycles) not slower than unmitigated (%d)", on, off)
+	}
+	// PTI alone should account for ≥ 2×SwapCR3 per syscall.
+	noPTI := measure(BootParams{NoPTI: true}.Apply(m, Defaults(m)))
+	if on-noPTI < 2*m.Costs.SwapCR3 {
+		t.Errorf("PTI delta = %d cycles over the whole run, want ≥ %d per syscall",
+			on-noPTI, 2*m.Costs.SwapCR3)
+	}
+}
+
+func TestReadWriteFile(t *testing.T) {
+	c, k := boot(model.IceLakeServer(), Defaults(model.IceLakeServer()))
+	a := isa.NewAsm()
+	// fd = open(0, 4096)
+	a.MovI(isa.R1, 0)
+	a.MovI(isa.R2, 0) // empty file; we write then read back
+	emitSyscall(a, SysOpen)
+	a.Mov(isa.R8, isa.R0) // fd
+	// Write 16 bytes from a buffer we initialise.
+	a.MovI(isa.R10, UserDataBase)
+	a.MovI(isa.R11, 0x1122334455667788)
+	a.Store(isa.R10, 0, isa.R11)
+	a.Store(isa.R10, 8, isa.R11)
+	a.Mov(isa.R1, isa.R8)
+	a.MovI(isa.R2, UserDataBase)
+	a.MovI(isa.R3, 16)
+	emitSyscall(a, SysWrite)
+	a.Mov(isa.R9, isa.R0) // bytes written
+	// Read back into a different buffer.
+	a.Mov(isa.R1, isa.R8)
+	a.MovI(isa.R2, UserDataBase+0x100)
+	a.MovI(isa.R3, 16)
+	emitSyscall(a, SysRead)
+	a.Mov(isa.R6, isa.R0) // bytes read
+	a.MovI(isa.R10, UserDataBase+0x100)
+	a.Load(isa.R5, isa.R10, 8)
+	emitExit(a, 0)
+	p := k.NewProcess("rw", a.MustAssemble(UserCodeBase))
+	if err := k.RunProcessToCompletion(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	_ = p
+	if c.Regs[isa.R9] != 16 || c.Regs[isa.R6] != 16 {
+		t.Fatalf("wrote %d read %d", c.Regs[isa.R9], c.Regs[isa.R6])
+	}
+	if c.Regs[isa.R5] != 0x1122334455667788 {
+		t.Errorf("read back %#x", c.Regs[isa.R5])
+	}
+}
+
+func TestMmapDemandPagingMunmap(t *testing.T) {
+	c, k := boot(model.SkylakeClient(), Defaults(model.SkylakeClient()))
+	a := isa.NewAsm()
+	a.MovI(isa.R1, 4) // 4 pages
+	emitSyscall(a, SysMmap)
+	a.Mov(isa.R8, isa.R0) // base
+	// Touch page 2 → demand fault → mapped.
+	a.Mov(isa.R10, isa.R8)
+	a.AddI(isa.R10, 2*mem.PageSize)
+	a.MovI(isa.R11, 99)
+	a.Store(isa.R10, 0, isa.R11)
+	a.Load(isa.R9, isa.R10, 0)
+	// munmap everything.
+	a.Mov(isa.R1, isa.R8)
+	a.MovI(isa.R2, 4)
+	emitSyscall(a, SysMunmap)
+	emitExit(a, 0)
+	k.NewProcess("mm", a.MustAssemble(UserCodeBase))
+	if err := k.RunProcessToCompletion(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[isa.R9] != 99 {
+		t.Errorf("demand-paged readback = %d", c.Regs[isa.R9])
+	}
+	if k.PageFaults == 0 {
+		t.Error("no demand-paging fault recorded")
+	}
+}
+
+func TestPipePingPongContextSwitch(t *testing.T) {
+	c, k := boot(model.Zen3(), Defaults(model.Zen3()))
+	// Parent: create pipe, fork. Parent writes, child reads, both exit.
+	a := isa.NewAsm()
+	emitSyscall(a, SysPipe)
+	a.Mov(isa.R8, isa.R0) // rfd | wfd<<32
+	a.Mov(isa.R9, isa.R8)
+	a.AndI(isa.R9, 0xffffffff)
+	emitSyscall(a, SysFork)
+	a.CmpI(isa.R0, 0)
+	a.Jeq("child")
+	// Parent: write 8 bytes.
+	a.Mov(isa.R10, isa.R8)
+	a.ShrI(isa.R10, 32) // wfd
+	a.MovI(isa.R11, UserDataBase)
+	a.MovI(isa.R12, 0xfeed)
+	a.Store(isa.R11, 0, isa.R12)
+	a.Mov(isa.R1, isa.R10)
+	a.MovI(isa.R2, UserDataBase)
+	a.MovI(isa.R3, 8)
+	emitSyscall(a, SysWrite)
+	emitExit(a, 0)
+	// Child: read 8 bytes (blocks until parent writes).
+	a.Label("child")
+	a.Mov(isa.R1, isa.R9) // rfd
+	a.MovI(isa.R2, UserDataBase+0x200)
+	a.MovI(isa.R3, 8)
+	emitSyscall(a, SysRead)
+	a.MovI(isa.R10, UserDataBase+0x200)
+	a.Load(isa.R13, isa.R10, 0)
+	a.MovI(isa.R1, 55)
+	emitSyscall(a, SysExit)
+	prog := mustAssembleWithMask(a)
+	k.NewProcess("pingpong", prog)
+	if err := k.RunProcessToCompletion(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if k.ContextSwitches == 0 {
+		t.Error("expected context switches")
+	}
+	// Child read the value (its registers were live at exit).
+	if c.Regs[isa.R13] != 0xfeed && k.Proc(2) == nil {
+		t.Errorf("child did not read value")
+	}
+	for pid := 1; pid <= 2; pid++ {
+		if p := k.Proc(pid); p == nil || p.State != ProcExited {
+			t.Errorf("pid %d did not exit cleanly", pid)
+		}
+	}
+}
+
+func mustAssembleWithMask(a *isa.Asm) *isa.Program {
+	return a.MustAssemble(UserCodeBase)
+}
+
+func TestYieldRoundRobin(t *testing.T) {
+	_, k := boot(model.CascadeLake(), Defaults(model.CascadeLake()))
+	a := isa.NewAsm()
+	emitSyscall(a, SysFork)
+	a.MovI(isa.R9, 0)
+	a.Label("loop")
+	emitSyscall(a, SysYield)
+	a.AddI(isa.R9, 1)
+	a.CmpI(isa.R9, 5)
+	a.Jne("loop")
+	emitExit(a, 0)
+	k.NewProcess("yield", a.MustAssemble(UserCodeBase))
+	if err := k.RunProcessToCompletion(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if k.ContextSwitches < 8 {
+		t.Errorf("context switches = %d, want ≥ 8", k.ContextSwitches)
+	}
+}
+
+func TestSeccompEnablesSSBD(t *testing.T) {
+	c, k := boot(model.IceLakeServer(), Defaults(model.IceLakeServer()))
+	a := isa.NewAsm()
+	emitSyscall(a, SysSeccomp)
+	a.MovI(isa.R9, 1) // marker: running after seccomp
+	a.Label("spin")
+	a.CmpI(isa.R9, 0)
+	a.Jne("exit")
+	a.Label("exit")
+	emitExit(a, 0)
+	p := k.NewProcess("seccomp", a.MustAssemble(UserCodeBase))
+	if err := k.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Step until the marker instruction ran.
+	for i := 0; i < 100000 && c.Regs[isa.R9] != 1; i++ {
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !p.Seccomp {
+		t.Fatal("seccomp flag not set")
+	}
+	if !c.SSBDActive() {
+		t.Error("kernels ≤5.15 must enable SSBD for seccomp processes")
+	}
+
+	// With spec_store_bypass_disable=off, seccomp must NOT imply SSBD.
+	m := model.IceLakeServer()
+	c2, k2 := boot(m, BootParams{NoSSBSD: true}.Apply(m, Defaults(m)))
+	a2 := isa.NewAsm()
+	emitSyscall(a2, SysSeccomp)
+	a2.MovI(isa.R9, 1)
+	emitExit(a2, 0)
+	k2.NewProcess("seccomp2", a2.MustAssemble(UserCodeBase))
+	if err := k2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100000 && c2.Regs[isa.R9] != 1; i++ {
+		if err := c2.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c2.SSBDActive() {
+		t.Error("5.16 default: seccomp must not imply SSBD")
+	}
+}
+
+func TestPrctlSSBD(t *testing.T) {
+	c, k := boot(model.Zen2(), Defaults(model.Zen2()))
+	a := isa.NewAsm()
+	a.MovI(isa.R1, 53) // PR_SET_SPECULATION_CTRL
+	a.MovI(isa.R2, 1)
+	emitSyscall(a, SysPrctl)
+	a.MovI(isa.R9, 1)
+	emitExit(a, 0)
+	k.NewProcess("prctl", a.MustAssemble(UserCodeBase))
+	if err := k.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100000 && c.Regs[isa.R9] != 1; i++ {
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.SSBDActive() {
+		t.Error("prctl opt-in did not enable SSBD")
+	}
+}
+
+func TestLazyVsEagerFPU(t *testing.T) {
+	runFPU := func(eager bool) (*cpu.Core, *Kernel) {
+		m := model.SkylakeClient()
+		mit := Defaults(m)
+		mit.EagerFPU = eager
+		c, k := boot(m, mit)
+		a := isa.NewAsm()
+		emitSyscall(a, SysFork) // two processes using the FPU
+		a.FMovI(0, 1.5)
+		a.FMovI(1, 2.0)
+		a.FAdd(0, 1)
+		emitSyscall(a, SysYield)
+		a.FAdd(0, 1)
+		emitExit(a, 0)
+		k.NewProcess("fpu", a.MustAssemble(UserCodeBase))
+		if err := k.RunProcessToCompletion(2_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return c, k
+	}
+	_, kEager := runFPU(true)
+	if kEager.FPUTraps != 0 {
+		t.Errorf("eager FPU trapped %d times", kEager.FPUTraps)
+	}
+	_, kLazy := runFPU(false)
+	if kLazy.FPUTraps == 0 {
+		t.Error("lazy FPU never trapped")
+	}
+}
+
+func TestDefaultsMatchTable1(t *testing.T) {
+	cases := []struct {
+		m    *model.CPU
+		pti  bool
+		mds  bool
+		v2   SpectreV2Mode
+		l1tf bool
+	}{
+		{model.Broadwell(), true, true, V2RetpolineGeneric, true},
+		{model.SkylakeClient(), true, true, V2RetpolineGeneric, true},
+		{model.CascadeLake(), false, true, V2EIBRS, false},
+		{model.IceLakeClient(), false, false, V2EIBRS, false},
+		{model.IceLakeServer(), false, false, V2EIBRS, false},
+		{model.Zen(), false, false, V2RetpolineAMD, false},
+		{model.Zen2(), false, false, V2RetpolineAMD, false},
+		{model.Zen3(), false, false, V2RetpolineAMD, false},
+	}
+	for _, cse := range cases {
+		mit := Defaults(cse.m)
+		if mit.PTI != cse.pti {
+			t.Errorf("%s: PTI = %v, want %v", cse.m.Uarch, mit.PTI, cse.pti)
+		}
+		if mit.MDSClear != cse.mds {
+			t.Errorf("%s: MDS = %v, want %v", cse.m.Uarch, mit.MDSClear, cse.mds)
+		}
+		if mit.SpectreV2 != cse.v2 {
+			t.Errorf("%s: V2 = %v, want %v", cse.m.Uarch, mit.SpectreV2, cse.v2)
+		}
+		if mit.PTEInversion != cse.l1tf {
+			t.Errorf("%s: PTE inversion = %v, want %v", cse.m.Uarch, mit.PTEInversion, cse.l1tf)
+		}
+		// Universal defaults.
+		if !mit.EagerFPU || !mit.SpectreV1 || !mit.IBPB || !mit.RSBStuff || !mit.SSBDSeccomp {
+			t.Errorf("%s: universal defaults wrong: %+v", cse.m.Uarch, mit)
+		}
+		// Never default: SSBD everywhere, SMT off.
+		if mit.SSBDAlways || mit.NoSMT {
+			t.Errorf("%s: SSBDAlways/NoSMT must not default on", cse.m.Uarch)
+		}
+	}
+}
+
+func TestBootParams(t *testing.T) {
+	m := model.Broadwell()
+	base := Defaults(m)
+
+	off := BootParams{MitigationsOff: true}.Apply(m, base)
+	if off.PTI || off.MDSClear || off.SpectreV2 != V2Off || off.IBPB || off.SpectreV1 {
+		t.Errorf("mitigations=off left things on: %+v", off)
+	}
+	if !off.EagerFPU {
+		t.Error("mitigations=off should keep eager FPU (it is a performance win)")
+	}
+
+	v2off := BootParams{NoSpectreV2: true}.Apply(m, base)
+	if v2off.SpectreV2 != V2Off || v2off.IBPB || v2off.RSBStuff {
+		t.Errorf("nospectre_v2: %+v", v2off)
+	}
+	if !v2off.PTI {
+		t.Error("nospectre_v2 must not disable PTI")
+	}
+
+	ibrs := BootParams{SpectreV2: "ibrs"}.Apply(m, base)
+	if ibrs.SpectreV2 != V2IBRS {
+		t.Errorf("spectre_v2=ibrs: %v", ibrs.SpectreV2)
+	}
+	// eIBRS is refused on non-eIBRS hardware.
+	eibrs := BootParams{SpectreV2: "eibrs"}.Apply(m, base)
+	if eibrs.SpectreV2 == V2EIBRS {
+		t.Error("eibrs accepted on Broadwell")
+	}
+	// ibrs is refused on Zen (unsupported).
+	zen := BootParams{SpectreV2: "ibrs"}.Apply(model.Zen(), Defaults(model.Zen()))
+	if zen.SpectreV2 == V2IBRS {
+		t.Error("ibrs accepted on Zen")
+	}
+
+	ssbd := BootParams{SSBDOn: true}.Apply(m, base)
+	if !ssbd.SSBDAlways {
+		t.Error("spec_store_bypass_disable=on ignored")
+	}
+}
+
+func TestMeltdownThroughRealStubs(t *testing.T) {
+	// End-to-end: a user process attacks kernel memory around real
+	// syscalls. With PTI the kernel data page is absent from the user
+	// table; without PTI it is mapped (supervisor) and leaks.
+	attack := func(mit Mitigations) bool {
+		m := model.SkylakeClient()
+		c, k := boot(m, mit)
+		// Kernel secret: in kernel data space.
+		secretVA := uint64(KernDataBase + 0x2000)
+		c.Phys.Write64(secretVA, 0x61)
+
+		a := isa.NewAsm()
+		// Register a SIGSEGV handler so the faulting load does not kill
+		// the process (how real Meltdown PoCs survive).
+		a.MovI(isa.R1, 0)
+		a.Jmp("setsig")
+		a.Label("sighandler")
+		emitExit(a, 1)
+		a.Label("setsig")
+		a.MovI(isa.R1, UserCodeBase+2*isa.InstrBytes) // &sighandler
+		emitSyscall(a, SysSignal)
+		// Attack: read kernel VA; dependent probe instructions execute
+		// transiently before the fault.
+		a.MovI(isa.R1, int64(secretVA))
+		a.MovI(isa.R4, UserDataBase+0x10000)
+		a.Load(isa.R2, isa.R1, 0)
+		a.ShlI(isa.R2, 6)
+		a.Add(isa.R2, isa.R4)
+		a.Load(isa.R3, isa.R2, 0)
+		emitExit(a, 0)
+		p := k.NewProcess("meltdown", a.MustAssemble(UserCodeBase))
+		// Extra data pages for the probe array.
+		probeVA := uint64(UserDataBase + 0x10000)
+		physBase := uint64(p.PID) << 32
+		p.KPT.MapRange(probeVA, physBase+probeVA, 16, true, true, true, false)
+		if mit.PTI {
+			p.UPT.MapRange(probeVA, physBase+probeVA, 16, true, true, true, false)
+		}
+		for v := uint64(0); v < 256; v++ {
+			pa := physBase + probeVA + v*64
+			c.L1.Flush(pa)
+		}
+		if err := k.RunProcessToCompletion(1_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return c.L1.Probe(physBase + probeVA + 0x61*64)
+	}
+	m := model.SkylakeClient()
+	noPTI := BootParams{NoPTI: true}.Apply(m, Defaults(m))
+	if !attack(noPTI) {
+		t.Error("Meltdown should leak without PTI on Skylake")
+	}
+	if attack(Defaults(m)) {
+		t.Error("Meltdown leaked despite PTI")
+	}
+}
+
+func TestKernelModuleCall(t *testing.T) {
+	c, k := boot(model.Broadwell(), Defaults(model.Broadwell()))
+	modMarker := uint64(0)
+	mod := k.RegisterKernelModule(func(a *isa.Asm) {
+		a.MovI(isa.R9, 4321)
+		a.JmpInd(isa.R10) // return via the exit stub
+	})
+	_ = modMarker
+	a := isa.NewAsm()
+	a.MovI(isa.R2, int64(mod.Base))
+	emitSyscall(a, SysKMod)
+	a.Mov(isa.R8, isa.R9) // value set in kernel mode survives (KMOD ABI)
+	emitExit(a, 0)
+	k.NewProcess("kmod", a.MustAssemble(UserCodeBase))
+	if err := k.RunProcessToCompletion(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[isa.R8] != 4321 {
+		t.Errorf("module marker = %d", c.Regs[isa.R8])
+	}
+}
+
+func TestMitigationsEnabledList(t *testing.T) {
+	m := model.Broadwell()
+	list := Defaults(m).Enabled()
+	want := map[string]bool{"pti": true, "mds-clear": true, "eager-fpu": true}
+	found := map[string]bool{}
+	for _, s := range list {
+		found[s] = true
+	}
+	for w := range want {
+		if !found[w] {
+			t.Errorf("missing %q in %v", w, list)
+		}
+	}
+	if found["ssbd-always"] || found["nosmt"] {
+		t.Error("non-default mitigations listed")
+	}
+}

@@ -1,0 +1,378 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+
+	"spectrebench/internal/cpu"
+	"spectrebench/internal/mem"
+)
+
+// Start schedules the first ready process and prepares the core to run
+// it. Call Run afterwards.
+func (k *Kernel) Start() error {
+	next := k.pickNext()
+	if next == nil {
+		return errors.New("kernel: no runnable process")
+	}
+	k.installProc(next)
+	return nil
+}
+
+// Run drives the machine for at most maxSteps instructions, returning
+// when every process has exited. It returns an error on an unhandled
+// fault or when the step budget is exhausted with processes still live.
+func (k *Kernel) Run(maxSteps int) error {
+	for i := 0; i < maxSteps; i++ {
+		if k.LiveProcs() == 0 {
+			return nil
+		}
+		if k.cur == nil {
+			// Everyone is blocked: a real kernel would idle; for the
+			// deterministic workloads in this repository that is a bug.
+			return errors.New("kernel: deadlock (all processes blocked)")
+		}
+		if err := k.C.Step(); err != nil {
+			if errors.Is(err, cpu.ErrHalted) && k.cur != nil {
+				// A stray HLT in user mode is treated as exit.
+				k.exitProc(k.cur, 0)
+				k.C.ClearHalt()
+				k.scheduleNext()
+				continue
+			}
+			return fmt.Errorf("kernel: %w", err)
+		}
+	}
+	if k.LiveProcs() == 0 {
+		return nil
+	}
+	return fmt.Errorf("kernel: step budget exhausted with %d live processes", k.LiveProcs())
+}
+
+// pickNext pops the next ready process (round robin).
+func (k *Kernel) pickNext() *Proc {
+	for len(k.ready) > 0 {
+		p := k.ready[0]
+		k.ready = k.ready[1:]
+		if p.State == ProcReady {
+			return p
+		}
+	}
+	return nil
+}
+
+// enqueue marks p ready and queues it.
+func (k *Kernel) enqueue(p *Proc) {
+	if p.State == ProcExited {
+		return
+	}
+	p.State = ProcReady
+	k.ready = append(k.ready, p)
+}
+
+// installProc makes p the current process: restores its register file,
+// page tables, SPEC_CTRL and FPU according to the mitigation config,
+// and resumes it *through the kernel exit stub* so every kernel→user
+// transition pays the mitigation costs organically. This is the
+// context-switch cost path (§5.3: IBPB, RSB stuffing; §3.1: eager FPU).
+func (k *Kernel) installProc(p *Proc) {
+	c := k.C
+	prev := k.cur
+	if prev == nil {
+		// A process exited or blocked and cleared cur: the switch away
+		// from it still pays the mm-switch costs.
+		prev = k.lastRun
+	}
+	k.lastRun = nil
+
+	if prev != nil && prev != p {
+		k.ContextSwitches++
+
+		// Indirect Branch Prediction Barrier between processes. Linux's
+		// default is *conditional* IBPB: only tasks that asked for
+		// protection (seccomp or the speculation prctl) pay it, which is
+		// why Spectre V2 is only "a small but consistent drag" on
+		// LEBench (§5.3).
+		if k.Mit.IBPB && (p.Seccomp || p.SSBDPrctl || prev.Seccomp || prev.SSBDPrctl) {
+			c.Charge(c.Model.Costs.IBPB)
+			c.SetMSR(cpu.MSRPredCmd, 1)
+		}
+		// Refill the RSB with benign entries so interrupted user
+		// retpolines stay safe.
+		if k.Mit.RSBStuff {
+			c.Charge(c.Model.Costs.RSBFill)
+			c.RSB.Fill(k.rsbBenign())
+		}
+		// Switching address spaces costs a CR3 write, plus the
+		// scheduler's own bookkeeping (runqueue, accounting, rseq).
+		c.Charge(k.swapCR3Cost() + 900)
+	}
+
+	// FPU strategy.
+	if k.Mit.EagerFPU {
+		if prev != nil && prev != p {
+			// xsave prev + xrstor next: cheap on modern parts (§3.1).
+			c.Charge(2 * c.Model.Costs.Xsave)
+			prev.FRegs = c.FRegs
+			c.FRegs = p.FRegs
+		}
+		c.FPUEnabled = true
+	} else if prev != p {
+		// Lazy: leave the previous owner's registers live and disable
+		// the FPU; the first FPU use traps (#NM) — and on LazyFP-leaky
+		// parts, transiently exposes the stale registers.
+		c.FPUEnabled = k.fpuOwner == p
+	}
+
+	// Kernel context: the exit stub performs the user-table switch.
+	c.Priv = cpu.PrivKernel
+	c.SetPageTable(p.KPT)
+
+	// Trampoline slots for the stubs.
+	c.Phys.Write64(KernDataBase+trampKernelCR3, mem.CR3(p.KPT))
+	c.Phys.Write64(KernDataBase+trampUserCR3, mem.CR3(p.UPT))
+
+	// Per-process SPEC_CTRL (SSBD policy; IBRS bit per kernel mode).
+	userSC := k.userSpecCtrl(p)
+	kernSC := userSC
+	switch k.Mit.SpectreV2 {
+	case V2IBRS:
+		kernSC |= cpu.SpecCtrlIBRS
+	case V2EIBRS:
+		kernSC |= cpu.SpecCtrlIBRS
+		userSC |= cpu.SpecCtrlIBRS // eIBRS stays set globally
+	}
+	if k.SpecCtrlOverride != nil {
+		userSC = *k.SpecCtrlOverride
+		kernSC = *k.SpecCtrlOverride
+	}
+	c.Phys.Write64(KernDataBase+trampKernSC, kernSC)
+	c.Phys.Write64(KernDataBase+trampUserSC, userSC)
+	if c.MSR(cpu.MSRSpecCtrl) != userSC && k.Mit.SpectreV2 != V2IBRS {
+		// The kernel writes SPEC_CTRL when the policy differs between
+		// processes (the SSBD-toggle cost). In per-entry IBRS mode the
+		// exit stub performs this write itself.
+		c.Charge(c.Model.Costs.WrmsrSpecCtrl)
+		c.SetMSR(cpu.MSRSpecCtrl, userSC)
+	}
+
+	p.State = ProcRunning
+	k.cur = p
+
+	if p.pending != nil {
+		// The process was blocked mid-syscall: re-run the handler.
+		k.resumePending(p)
+		return
+	}
+
+	// Resume in user mode via the exit stub.
+	c.Regs = p.Regs
+	c.FlagEQ, c.FlagLT = p.FlagEQ, p.FlagLT
+	c.SavedUserPC = p.UserPC
+	c.PC = k.exitPC
+}
+
+// userSpecCtrl computes the SPEC_CTRL value p runs under in user mode.
+func (k *Kernel) userSpecCtrl(p *Proc) uint64 {
+	var v uint64
+	if !k.C.Model.Spec.SSBDImplemented {
+		return v
+	}
+	if k.Mit.SSBDAlways || p.SSBDPrctl || (p.Seccomp && k.Mit.SSBDSeccomp) {
+		v |= cpu.SpecCtrlSSBD
+	}
+	return v
+}
+
+// swapCR3Cost mirrors the core's cost rule for mov %cr3.
+func (k *Kernel) swapCR3Cost() uint64 {
+	if k.C.Model.Costs.SwapCR3 != 0 {
+		return k.C.Model.Costs.SwapCR3
+	}
+	return 180
+}
+
+// saveCur snapshots the current process's user context (called at
+// syscall entry by the dispatch thunk).
+func (k *Kernel) saveCur() {
+	p := k.cur
+	p.Regs = k.C.Regs
+	p.FlagEQ, p.FlagLT = k.C.FlagEQ, k.C.FlagLT
+	p.UserPC = k.C.SavedUserPC
+	if k.Mit.EagerFPU {
+		p.FRegs = k.C.FRegs
+	}
+}
+
+// scheduleNext picks and installs the next ready process (or leaves the
+// machine idle when none are ready).
+func (k *Kernel) scheduleNext() {
+	next := k.pickNext()
+	if next == nil {
+		k.cur = nil
+		return
+	}
+	k.installProc(next)
+}
+
+// blockCur marks the current process blocked mid-syscall and switches
+// away. The pending syscall retries when the process is woken.
+func (k *Kernel) blockCur(ctx *syscallCtx) {
+	p := k.cur
+	p.State = ProcBlocked
+	p.pending = ctx
+	k.scheduleNext()
+}
+
+// wake moves a blocked process back to the ready queue.
+func (k *Kernel) wake(p *Proc) {
+	if p.State == ProcBlocked {
+		k.enqueue(p)
+	}
+}
+
+// exitProc terminates a process, closing descriptors and waking waiters.
+func (k *Kernel) exitProc(p *Proc, code uint64) {
+	p.State = ProcExited
+	p.exitCode = code
+	for fd, f := range p.fds {
+		f.close(k)
+		delete(p.fds, fd)
+	}
+	if k.fpuOwner == p {
+		k.fpuOwner = nil
+	}
+	if k.cur == p {
+		k.lastRun = p
+		k.cur = nil
+	}
+}
+
+// handleTrap is the core's exception hook: demand paging and lazy-FPU
+// restores resume; everything else kills the process.
+func (k *Kernel) handleTrap(c *cpu.Core, f cpu.Fault) cpu.TrapAction {
+	p := k.cur
+	if p == nil {
+		return cpu.TrapKill
+	}
+	// Trap entry/exit passes through the same mitigation work as the
+	// syscall stubs: CR3 swaps under PTI, a buffer clear under MDS, and
+	// the entry lfence under Spectre V1 hardening.
+	k.chargeTrapMitigations()
+	switch f.Kind {
+	case cpu.FaultPage:
+		if k.demandMap(p, f.VA) {
+			k.PageFaults++
+			return cpu.TrapRetry
+		}
+		if p.sigHandler != 0 {
+			// Deliver a minimal SIGSEGV: resume user execution at the
+			// registered handler with the faulting address in R14.
+			k.PageFaults++
+			c.Regs[14] = f.VA
+			c.PC = p.sigHandler
+			c.Priv = cpu.PrivUser
+			return cpu.TrapContext
+		}
+	case cpu.FaultFPUDisabled:
+		if !k.Mit.EagerFPU {
+			// Lazy FPU switch: save the old owner's registers, load
+			// ours, enable the FPU. The expensive path (§3.1).
+			k.FPUTraps++
+			if k.fpuOwner != nil && k.fpuOwner != p {
+				k.fpuOwner.FRegs = c.FRegs
+			}
+			c.FRegs = p.FRegs
+			c.FPUEnabled = true
+			k.fpuOwner = p
+			return cpu.TrapRetry
+		}
+	}
+	k.exitProc(p, 128+uint64(f.Kind))
+	k.scheduleNext()
+	if k.cur != nil {
+		// Resume in the next process rather than killing the machine.
+		return cpu.TrapContext
+	}
+	return cpu.TrapKill
+}
+
+// chargeTrapMitigations accounts the boundary-crossing mitigation work
+// on the exception path (performed Go-side; the syscall path executes
+// the equivalent stub instructions organically).
+func (k *Kernel) chargeTrapMitigations() {
+	c := k.C
+	if k.Mit.PTI {
+		c.Charge(2 * k.swapCR3Cost())
+	}
+	if k.Mit.MDSClear && c.Model.Vulns.MDS {
+		c.Charge(c.Model.Costs.VerwClear)
+		c.FB.Clear()
+		c.SB.Drain()
+	}
+	if k.Mit.SpectreV1 {
+		c.Charge(4) // entry lfence with no loads in flight
+	}
+	if k.Mit.SpectreV2 == V2IBRS {
+		c.Charge(2 * c.Model.Costs.WrmsrSpecCtrl)
+	}
+}
+
+// demandMap installs a lazily-mapped page on first touch.
+func (k *Kernel) demandMap(p *Proc, va uint64) bool {
+	vpn := mem.VPN(va)
+	lz, ok := p.lazy[vpn]
+	if !ok {
+		return false
+	}
+	delete(p.lazy, vpn)
+	phys := (uint64(p.PID) << 32) + mem.PageBase(va)
+	p.KPT.Map(vpn, mem.PTE{Phys: phys, Present: true, Writable: lz.writable, User: true, NX: true})
+	if k.Mit.PTI {
+		p.UPT.Map(vpn, mem.PTE{Phys: phys, Present: true, Writable: lz.writable, User: true, NX: true})
+	}
+	// Charge a representative fault-handling cost beyond the trap
+	// entry/exit the core already charged (vma lookup, page allocation,
+	// rmap accounting).
+	k.C.Charge(1500)
+	return true
+}
+
+// unmapRange removes pages and invalidates their TLB entries, writing
+// inverted (or plain) non-present PTEs per the L1TF mitigation policy.
+func (k *Kernel) unmapRange(p *Proc, va uint64, pages int) {
+	for i := 0; i < pages; i++ {
+		vpn := mem.VPN(va) + uint64(i)
+		k.installNotPresent(p.KPT, vpn)
+		if k.Mit.PTI {
+			k.installNotPresent(p.UPT, vpn)
+		}
+		delete(p.lazy, vpn)
+		k.C.TLB.FlushVPN(vpn)
+	}
+}
+
+// installNotPresent writes a non-present PTE. Without PTE inversion the
+// stale frame bits stay in place — the state L1TF exploits; with the
+// mitigation the frame points at an uncacheable sentinel.
+func (k *Kernel) installNotPresent(pt *mem.PageTable, vpn uint64) {
+	old, ok := pt.Lookup(vpn)
+	if !ok {
+		return
+	}
+	pte := old
+	pte.Present = false
+	if k.Mit.PTEInversion {
+		pte.Phys = 0 // inverted: no cacheable frame reachable
+	}
+	pt.Map(vpn, pte)
+}
+
+// RunProcessToCompletion is a convenience for single-process workloads:
+// schedule p (which must be ready), run, and return.
+func (k *Kernel) RunProcessToCompletion(maxSteps int) error {
+	if err := k.Start(); err != nil {
+		return err
+	}
+	return k.Run(maxSteps)
+}

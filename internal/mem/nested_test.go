@@ -1,0 +1,66 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNestedIdentityIntervals(t *testing.T) {
+	nt := NewNestedTable()
+	nt.MapIdentity(0x1000_0000, 0x9000_0000, 1<<20, true)
+
+	pa, fault := nt.Translate(0x1000_1234, AccessRead)
+	if fault != FaultNone || pa != 0x9000_1234 {
+		t.Errorf("identity translate = %#x/%v", pa, fault)
+	}
+	// Below and above the interval: not present.
+	if _, fault := nt.Translate(0x0fff_f000, AccessRead); fault != FaultNotPresent {
+		t.Error("below interval translated")
+	}
+	if _, fault := nt.Translate(0x1010_0000, AccessRead); fault != FaultNotPresent {
+		t.Error("above interval translated")
+	}
+}
+
+func TestNestedIdentityReadOnly(t *testing.T) {
+	nt := NewNestedTable()
+	nt.MapIdentity(0, 0, 1<<16, false)
+	if _, fault := nt.Translate(0x100, AccessRead); fault != FaultNone {
+		t.Error("read refused")
+	}
+	if _, fault := nt.Translate(0x100, AccessWrite); fault != FaultWrite {
+		t.Error("write to read-only identity range allowed")
+	}
+}
+
+func TestNestedExplicitEntryWinsOverIdentity(t *testing.T) {
+	nt := NewNestedTable()
+	nt.MapIdentity(0, 0, 1<<20, true)
+	// A per-page entry overrides the identity interval.
+	nt.Map(VPN(0x4000), PTE{Phys: 0xaa000, Present: true, Writable: true})
+	pa, fault := nt.Translate(0x4010, AccessRead)
+	if fault != FaultNone || pa != 0xaa010 {
+		t.Errorf("explicit entry = %#x/%v, want remap to win", pa, fault)
+	}
+	// A non-present explicit entry blocks even inside the interval.
+	nt.Map(VPN(0x5000), PTE{Present: false})
+	if _, fault := nt.Translate(0x5000, AccessRead); fault != FaultNotPresent {
+		t.Error("non-present explicit entry did not block")
+	}
+}
+
+// Property: within an identity interval with offset, translation is
+// exactly gpa+offset for reads.
+func TestNestedIdentityOffsetProperty(t *testing.T) {
+	nt := NewNestedTable()
+	const base, hpa, size = 0x2000_0000, 0x7000_0000, 1 << 24
+	nt.MapIdentity(base, hpa, size, true)
+	f := func(off uint32) bool {
+		gpa := uint64(base) + uint64(off)%size
+		pa, fault := nt.Translate(gpa, AccessRead)
+		return fault == FaultNone && pa == gpa+(hpa-base)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,434 @@
+// Package model describes the eight CPU microarchitectures the paper
+// evaluates (Table 2): their vulnerability profiles (which decide the
+// default mitigations of Table 1), their branch-prediction behaviour
+// (which decides the speculation matrices of Tables 9 and 10), and their
+// per-instruction cycle costs (calibrated from the paper's Tables 3-8).
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Vendor is a CPU manufacturer.
+type Vendor string
+
+// CPU vendors evaluated by the paper.
+const (
+	Intel Vendor = "Intel"
+	AMD   Vendor = "AMD"
+)
+
+// Vulns records which transient-execution attacks a microarchitecture is
+// susceptible to in hardware. An unset flag means the part is fixed (or
+// was never vulnerable) and the corresponding software mitigation is not
+// required.
+type Vulns struct {
+	Meltdown bool // rogue data cache load → needs page table isolation
+	L1TF     bool // L1 terminal fault → needs PTE inversion + L1 flush on VM entry
+	LazyFP   bool // lazy FPU switching is unsafe → eager FPU used (Table 1: all parts)
+	// LazyFPLeak marks parts where transient FPU access actually leaks
+	// stale registers (the pre-fix Intel parts). Eager FPU is the
+	// default everywhere regardless, because it is also faster (§3.1).
+	LazyFPLeak bool
+	SpectreV1
+	SpectreV2 bool // branch target injection → retpoline / (e)IBRS + IBPB + RSB fill
+	SSB       bool // speculative store bypass → SSBD opt-in
+	MDS       bool // µarch data sampling → VERW clears (+ SMT off for full safety)
+}
+
+// SpectreV1 is separate because every CPU in the study is vulnerable;
+// the field exists so the zero Vulns value is visibly incomplete in
+// tests rather than silently "safe".
+type SpectreV1 struct {
+	SpectreV1 bool
+}
+
+// SpecCaps describes the branch-predictor and speculation behaviour
+// observed in §6 of the paper.
+type SpecCaps struct {
+	// IBRS reports whether the IA32_SPEC_CTRL.IBRS bit is implemented.
+	// (Zen does not support it; Table 10 marks it N/A.)
+	IBRS bool
+	// EIBRS reports enhanced IBRS: set once at boot, no per-entry MSR
+	// write needed, and the BTB is partitioned/tagged by privilege mode
+	// even when the legacy IBRS bit is clear (Table 9: user→kernel
+	// blocked on Cascade Lake and both Ice Lakes).
+	EIBRS bool
+	// IBRSBlocksAllIndirect reports that enabling legacy IBRS disables
+	// indirect branch prediction in *all* modes (the pre-eIBRS
+	// behaviour the paper found on Broadwell, Skylake, Zen 2, Zen 3 —
+	// Table 10 rows that are entirely blank).
+	IBRSBlocksAllIndirect bool
+	// IBRSBlocksKernelKernel is the Ice Lake Client quirk: with IBRS
+	// enabled, kernel→kernel BTB training stops working while
+	// user→user still predicts (Table 10).
+	IBRSBlocksKernelKernel bool
+	// BTBHistoryDepth is how many recent branches the BTB index hash
+	// folds in. Depths beyond the classic 128-branch history-fill loop
+	// make cross-training infeasible — the paper's Zen 3 observation.
+	BTBHistoryDepth int
+	// SSBDImplemented reports whether SSBD is available.
+	SSBDImplemented bool
+	// EIBRSBimodalPeriod, when nonzero, reproduces the paper's
+	// observation (§6.2.2) that with eIBRS enabled roughly one in every
+	// 8-20 kernel entries takes ~210 extra cycles. The value is the
+	// entry period of the slow case.
+	EIBRSBimodalPeriod int
+	// EIBRSBimodalExtra is the extra cycle cost of a slow kernel entry.
+	EIBRSBimodalExtra uint64
+}
+
+// Costs holds per-instruction cycle costs. Mitigation-relevant values
+// are taken directly from the paper's Tables 3-8 for each CPU.
+type Costs struct {
+	// Table 3.
+	Syscall uint64 // syscall instruction
+	Sysret  uint64 // sysret instruction
+	SwapCR3 uint64 // mov %cr3 (page table isolation); 0 ⇒ not measured by the paper (not vulnerable), a generic cost is used if PTI is forced
+	// Table 4.
+	VerwClear  uint64 // verw with MD_CLEAR microcode (vulnerable parts)
+	VerwLegacy uint64 // verw's legacy segmentation behaviour only
+	// Table 5.
+	IndirectBase     uint64 // correctly-predicted indirect branch
+	IBRSDelta        uint64 // extra per indirect branch with legacy IBRS on
+	RetpolineGeneric uint64 // extra for a generic retpoline sequence
+	RetpolineAMD     uint64 // extra for lfence+jmp retpoline (0 on Intel ⇒ N/A)
+	RetpolineAMDOK   bool   // whether the AMD retpoline variant applies
+	// Table 6.
+	IBPB uint64 // wrmsr IA32_PRED_CMD (full barrier)
+	// Table 7.
+	RSBFill uint64 // stuffing the return stack buffer
+	// Table 8.
+	Lfence uint64 // lfence in a loop
+	// Not in the tables: supporting costs.
+	WrmsrSpecCtrl     uint64 // wrmsr to IA32_SPEC_CTRL (per-entry IBRS toggle)
+	Mispredict        uint64 // branch mispredict recovery
+	ALU               uint64 // simple ALU op
+	Mul               uint64
+	Div               uint64 // also counts divider-active cycles
+	CacheL1           uint64 // L1 hit latency
+	CacheL2           uint64
+	CacheLLC          uint64
+	Mem               uint64 // full miss
+	TLBMiss           uint64 // page walk
+	Xsave             uint64 // xsave/xrstor of FPU state
+	FPTrap            uint64 // #NM trap round trip for lazy FPU switching
+	Swapgs            uint64
+	Trap              uint64 // exception entry (page fault etc.)
+	Iret              uint64
+	VMEntry           uint64 // vm entry (hypervisor → guest)
+	VMExit            uint64 // vm exit (guest → hypervisor)
+	L1Flush           uint64 // explicit L1 flush (L1TF mitigation)
+	SSBDForwardStall  uint64 // extra cycles per blocked store→load forward with SSBD on
+	FPU               uint64 // FP add/mul
+	FDiv              uint64
+	StoreForwardCycle uint64 // store-to-load forwarding latency (SSBD off)
+}
+
+// CPU is one evaluated processor (a row of Table 2 plus behaviour).
+type CPU struct {
+	Vendor    Vendor
+	Model     string // market name, e.g. "E5-2640v4"
+	Uarch     string // microarchitecture, e.g. "Broadwell"
+	Year      int
+	PowerW    int
+	ClockGHz  float64
+	Cores     int
+	SMT       bool // 2-way SMT ("hyperthreads")
+	Vulns     Vulns
+	Spec      SpecCaps
+	Costs     Costs
+	RSBDepth  int
+	SpecDepth int // transient-execution window in instructions
+}
+
+// Key returns the canonical lookup key (the microarchitecture name).
+func (c *CPU) Key() string { return c.Uarch }
+
+func (c *CPU) String() string {
+	return fmt.Sprintf("%s %s (%s, %d)", c.Vendor, c.Model, c.Uarch, c.Year)
+}
+
+// common cost values shared across models.
+func baseCosts() Costs {
+	return Costs{
+		VerwLegacy:        25,
+		WrmsrSpecCtrl:     90,
+		Mispredict:        18,
+		ALU:               1,
+		Mul:               3,
+		Div:               22,
+		CacheL1:           4,
+		CacheL2:           14,
+		CacheLLC:          40,
+		Mem:               180,
+		TLBMiss:           28,
+		Xsave:             64,
+		FPTrap:            750,
+		Swapgs:            3,
+		Trap:              320,
+		Iret:              280,
+		VMEntry:           500,
+		VMExit:            1100,
+		L1Flush:           1500,
+		FPU:               3,
+		FDiv:              14,
+		StoreForwardCycle: 1,
+	}
+}
+
+// registry of the eight evaluated CPUs, keyed by microarchitecture.
+var registry = map[string]*CPU{}
+
+func register(c *CPU) *CPU {
+	registry[c.Key()] = c
+	return c
+}
+
+// Broadwell returns the Intel E5-2640v4 profile (pre-Spectre server).
+func Broadwell() *CPU { return registry["Broadwell"] }
+
+// SkylakeClient returns the Intel i7-6600U profile.
+func SkylakeClient() *CPU { return registry["Skylake Client"] }
+
+// CascadeLake returns the Intel Xeon Silver 4210R profile.
+func CascadeLake() *CPU { return registry["Cascade Lake"] }
+
+// IceLakeClient returns the Intel i5-10351G1 profile.
+func IceLakeClient() *CPU { return registry["Ice Lake Client"] }
+
+// IceLakeServer returns the Intel Xeon Gold 6354 profile.
+func IceLakeServer() *CPU { return registry["Ice Lake Server"] }
+
+// Zen returns the AMD Ryzen 3 1200 profile.
+func Zen() *CPU { return registry["Zen"] }
+
+// Zen2 returns the AMD EPYC 7452 profile.
+func Zen2() *CPU { return registry["Zen 2"] }
+
+// Zen3 returns the AMD Ryzen 5 5600X profile.
+func Zen3() *CPU { return registry["Zen 3"] }
+
+// ByName returns the CPU whose microarchitecture name matches, or nil.
+func ByName(uarch string) *CPU { return registry[uarch] }
+
+// All returns every registered CPU in the paper's presentation order:
+// Intel by generation, then AMD by generation.
+func All() []*CPU {
+	order := []string{
+		"Broadwell", "Skylake Client", "Cascade Lake",
+		"Ice Lake Client", "Ice Lake Server",
+		"Zen", "Zen 2", "Zen 3",
+	}
+	out := make([]*CPU, 0, len(order))
+	for _, k := range order {
+		if c, ok := registry[k]; ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Names returns all registered microarchitecture names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	// ---- Intel --------------------------------------------------------
+	{
+		c := baseCosts()
+		c.Syscall, c.Sysret, c.SwapCR3 = 49, 40, 206
+		c.VerwClear = 610
+		c.IndirectBase, c.IBRSDelta, c.RetpolineGeneric = 16, 32, 28
+		c.IBPB = 5600
+		c.RSBFill = 130
+		c.Lfence = 28
+		c.SSBDForwardStall = 6
+		register(&CPU{
+			Vendor: Intel, Model: "E5-2640v4", Uarch: "Broadwell", Year: 2014,
+			PowerW: 90, ClockGHz: 2.4, Cores: 10, SMT: true,
+			Vulns: Vulns{
+				Meltdown: true, L1TF: true, LazyFP: true, LazyFPLeak: true,
+				SpectreV1: SpectreV1{true}, SpectreV2: true, SSB: true, MDS: true,
+			},
+			Spec: SpecCaps{
+				IBRS: true, IBRSBlocksAllIndirect: true,
+				BTBHistoryDepth: 16, SSBDImplemented: true,
+			},
+			Costs: c, RSBDepth: 16, SpecDepth: 48,
+		})
+	}
+	{
+		c := baseCosts()
+		c.Syscall, c.Sysret, c.SwapCR3 = 42, 42, 191
+		c.VerwClear = 518
+		c.IndirectBase, c.IBRSDelta, c.RetpolineGeneric = 11, 15, 19
+		c.IBPB = 4500
+		c.RSBFill = 130
+		c.Lfence = 20
+		c.SSBDForwardStall = 7
+		register(&CPU{
+			Vendor: Intel, Model: "i7-6600U", Uarch: "Skylake Client", Year: 2015,
+			PowerW: 15, ClockGHz: 2.6, Cores: 2, SMT: true,
+			Vulns: Vulns{
+				Meltdown: true, L1TF: true, LazyFP: true, LazyFPLeak: true,
+				SpectreV1: SpectreV1{true}, SpectreV2: true, SSB: true, MDS: true,
+			},
+			Spec: SpecCaps{
+				IBRS: true, IBRSBlocksAllIndirect: true,
+				BTBHistoryDepth: 16, SSBDImplemented: true,
+			},
+			Costs: c, RSBDepth: 16, SpecDepth: 56,
+		})
+	}
+	{
+		c := baseCosts()
+		c.Syscall, c.Sysret = 70, 43
+		c.VerwClear = 458
+		c.IndirectBase, c.IBRSDelta, c.RetpolineGeneric = 3, 0, 49
+		c.IBPB = 340
+		c.RSBFill = 120
+		c.Lfence = 15
+		c.SSBDForwardStall = 8
+		register(&CPU{
+			Vendor: Intel, Model: "Xeon Silver 4210R", Uarch: "Cascade Lake", Year: 2019,
+			PowerW: 100, ClockGHz: 2.4, Cores: 10, SMT: true,
+			Vulns: Vulns{
+				LazyFP: true, SpectreV1: SpectreV1{true}, SpectreV2: true,
+				SSB: true, MDS: true,
+			},
+			Spec: SpecCaps{
+				IBRS: true, EIBRS: true,
+				BTBHistoryDepth: 16, SSBDImplemented: true,
+				EIBRSBimodalPeriod: 12, EIBRSBimodalExtra: 210,
+			},
+			Costs: c, RSBDepth: 32, SpecDepth: 72,
+		})
+	}
+	{
+		c := baseCosts()
+		c.Syscall, c.Sysret = 21, 29
+		c.IndirectBase, c.IBRSDelta, c.RetpolineGeneric = 5, 0, 21
+		c.IBPB = 2500
+		c.RSBFill = 40
+		c.Lfence = 8
+		c.SSBDForwardStall = 7
+		register(&CPU{
+			Vendor: Intel, Model: "i5-10351G1", Uarch: "Ice Lake Client", Year: 2019,
+			PowerW: 15, ClockGHz: 1.0, Cores: 4, SMT: true,
+			Vulns: Vulns{
+				LazyFP: true, SpectreV1: SpectreV1{true}, SpectreV2: true,
+				SSB: true,
+			},
+			Spec: SpecCaps{
+				IBRS: true, EIBRS: true, IBRSBlocksKernelKernel: true,
+				BTBHistoryDepth: 16, SSBDImplemented: true,
+				EIBRSBimodalPeriod: 8, EIBRSBimodalExtra: 210,
+			},
+			Costs: c, RSBDepth: 32, SpecDepth: 80,
+		})
+	}
+	{
+		c := baseCosts()
+		c.Syscall, c.Sysret = 45, 32
+		c.IndirectBase, c.IBRSDelta, c.RetpolineGeneric = 1, 1, 50
+		c.IBPB = 840
+		c.RSBFill = 69
+		c.Lfence = 13
+		c.SSBDForwardStall = 12
+		register(&CPU{
+			Vendor: Intel, Model: "Xeon Gold 6354", Uarch: "Ice Lake Server", Year: 2021,
+			PowerW: 205, ClockGHz: 3.0, Cores: 18, SMT: true,
+			Vulns: Vulns{
+				LazyFP: true, SpectreV1: SpectreV1{true}, SpectreV2: true,
+				SSB: true,
+			},
+			Spec: SpecCaps{
+				IBRS: true, EIBRS: true,
+				BTBHistoryDepth: 16, SSBDImplemented: true,
+				EIBRSBimodalPeriod: 16, EIBRSBimodalExtra: 210,
+			},
+			Costs: c, RSBDepth: 32, SpecDepth: 80,
+		})
+	}
+
+	// ---- AMD ----------------------------------------------------------
+	{
+		c := baseCosts()
+		c.Syscall, c.Sysret = 63, 53
+		c.IndirectBase, c.RetpolineGeneric = 30, 25
+		c.RetpolineAMD, c.RetpolineAMDOK = 28, true
+		c.IBPB = 7400
+		c.RSBFill = 114
+		c.Lfence = 48
+		c.SSBDForwardStall = 10
+		register(&CPU{
+			Vendor: AMD, Model: "Ryzen 3 1200", Uarch: "Zen", Year: 2017,
+			PowerW: 65, ClockGHz: 3.1, Cores: 4, SMT: false,
+			Vulns: Vulns{
+				LazyFP: true, SpectreV1: SpectreV1{true}, SpectreV2: true,
+				SSB: true,
+			},
+			Spec: SpecCaps{
+				IBRS:            false, // Table 10 marks Zen N/A
+				BTBHistoryDepth: 16, SSBDImplemented: true,
+			},
+			Costs: c, RSBDepth: 16, SpecDepth: 44,
+		})
+	}
+	{
+		c := baseCosts()
+		c.Syscall, c.Sysret = 53, 46
+		c.IndirectBase, c.IBRSDelta, c.RetpolineGeneric = 3, 13, 14
+		c.RetpolineAMD, c.RetpolineAMDOK = 0, true
+		c.IBPB = 1100
+		c.RSBFill = 68
+		c.Lfence = 4
+		c.SSBDForwardStall = 9
+		register(&CPU{
+			Vendor: AMD, Model: "EPYC 7452", Uarch: "Zen 2", Year: 2019,
+			PowerW: 155, ClockGHz: 2.35, Cores: 32, SMT: true,
+			Vulns: Vulns{
+				LazyFP: true, SpectreV1: SpectreV1{true}, SpectreV2: true,
+				SSB: true,
+			},
+			Spec: SpecCaps{
+				IBRS: true, IBRSBlocksAllIndirect: true,
+				BTBHistoryDepth: 16, SSBDImplemented: true,
+			},
+			Costs: c, RSBDepth: 32, SpecDepth: 64,
+		})
+	}
+	{
+		c := baseCosts()
+		c.Syscall, c.Sysret = 83, 55
+		c.IndirectBase, c.IBRSDelta, c.RetpolineGeneric = 23, 19, 13
+		c.RetpolineAMD, c.RetpolineAMDOK = 18, true
+		c.IBPB = 800
+		c.RSBFill = 94
+		c.Lfence = 30
+		c.SSBDForwardStall = 15
+		register(&CPU{
+			Vendor: AMD, Model: "Ryzen 5 5600X", Uarch: "Zen 3", Year: 2020,
+			PowerW: 65, ClockGHz: 3.7, Cores: 6, SMT: true,
+			Vulns: Vulns{
+				LazyFP: true, SpectreV1: SpectreV1{true}, SpectreV2: true,
+				SSB: true,
+			},
+			Spec: SpecCaps{
+				IBRS: true, IBRSBlocksAllIndirect: true,
+				// Deeper than the 128-branch history-fill loop: the
+				// paper could not poison the Zen 3 BTB at all (§6.2).
+				BTBHistoryDepth: 300, SSBDImplemented: true,
+			},
+			Costs: c, RSBDepth: 32, SpecDepth: 64,
+		})
+	}
+}

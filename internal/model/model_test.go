@@ -1,0 +1,251 @@
+package model
+
+import "testing"
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 8 {
+		t.Fatalf("len(All()) = %d, want 8", len(all))
+	}
+	// Paper order: 5 Intel then 3 AMD.
+	for i, c := range all[:5] {
+		if c.Vendor != Intel {
+			t.Errorf("All()[%d] = %v, want Intel", i, c)
+		}
+	}
+	for i, c := range all[5:] {
+		if c.Vendor != AMD {
+			t.Errorf("All()[%d] = %v, want AMD", i+5, c)
+		}
+	}
+}
+
+func TestAccessorsMatchRegistry(t *testing.T) {
+	cases := []struct {
+		got  *CPU
+		name string
+	}{
+		{Broadwell(), "Broadwell"},
+		{SkylakeClient(), "Skylake Client"},
+		{CascadeLake(), "Cascade Lake"},
+		{IceLakeClient(), "Ice Lake Client"},
+		{IceLakeServer(), "Ice Lake Server"},
+		{Zen(), "Zen"},
+		{Zen2(), "Zen 2"},
+		{Zen3(), "Zen 3"},
+	}
+	for _, c := range cases {
+		if c.got == nil {
+			t.Fatalf("%s accessor returned nil", c.name)
+		}
+		if c.got.Uarch != c.name {
+			t.Errorf("accessor %s returned %s", c.name, c.got.Uarch)
+		}
+		if ByName(c.name) != c.got {
+			t.Errorf("ByName(%q) mismatch", c.name)
+		}
+	}
+	if ByName("Alder Lake") != nil {
+		t.Error("unknown uarch should return nil")
+	}
+}
+
+// Table 2 checks: catalogue data.
+func TestTable2Catalogue(t *testing.T) {
+	cases := []struct {
+		cpu    *CPU
+		model  string
+		year   int
+		powerW int
+		clock  float64
+		cores  int
+		smt    bool
+	}{
+		{Broadwell(), "E5-2640v4", 2014, 90, 2.4, 10, true},
+		{SkylakeClient(), "i7-6600U", 2015, 15, 2.6, 2, true},
+		{CascadeLake(), "Xeon Silver 4210R", 2019, 100, 2.4, 10, true},
+		{IceLakeClient(), "i5-10351G1", 2019, 15, 1.0, 4, true},
+		{IceLakeServer(), "Xeon Gold 6354", 2021, 205, 3.0, 18, true},
+		{Zen(), "Ryzen 3 1200", 2017, 65, 3.1, 4, false}, // the only non-SMT part
+		{Zen2(), "EPYC 7452", 2019, 155, 2.35, 32, true},
+		{Zen3(), "Ryzen 5 5600X", 2020, 65, 3.7, 6, true},
+	}
+	for _, c := range cases {
+		if c.cpu.Model != c.model || c.cpu.Year != c.year || c.cpu.PowerW != c.powerW ||
+			c.cpu.ClockGHz != c.clock || c.cpu.Cores != c.cores || c.cpu.SMT != c.smt {
+			t.Errorf("%s: catalogue mismatch: %+v", c.cpu.Uarch, c.cpu)
+		}
+	}
+}
+
+// Vulnerability profile checks (drives Table 1).
+func TestVulnerabilityProfiles(t *testing.T) {
+	// Meltdown and L1TF: only Broadwell and Skylake Client.
+	for _, c := range All() {
+		wantMeltdown := c.Uarch == "Broadwell" || c.Uarch == "Skylake Client"
+		if c.Vulns.Meltdown != wantMeltdown {
+			t.Errorf("%s: Meltdown = %v, want %v", c.Uarch, c.Vulns.Meltdown, wantMeltdown)
+		}
+		if c.Vulns.L1TF != wantMeltdown {
+			t.Errorf("%s: L1TF = %v, want %v", c.Uarch, c.Vulns.L1TF, wantMeltdown)
+		}
+		// MDS: Broadwell, Skylake, Cascade Lake.
+		wantMDS := wantMeltdown || c.Uarch == "Cascade Lake"
+		if c.Vulns.MDS != wantMDS {
+			t.Errorf("%s: MDS = %v, want %v", c.Uarch, c.Vulns.MDS, wantMDS)
+		}
+		// Everyone: Spectre V1, Spectre V2, SSB, LazyFP default handling.
+		if !c.Vulns.SpectreV1.SpectreV1 || !c.Vulns.SpectreV2 || !c.Vulns.SSB || !c.Vulns.LazyFP {
+			t.Errorf("%s: universal vulnerability flags wrong: %+v", c.Uarch, c.Vulns)
+		}
+	}
+}
+
+func TestSpecCaps(t *testing.T) {
+	// eIBRS: Cascade Lake and both Ice Lakes.
+	for _, c := range All() {
+		wantEIBRS := c.Uarch == "Cascade Lake" || c.Uarch == "Ice Lake Client" || c.Uarch == "Ice Lake Server"
+		if c.Spec.EIBRS != wantEIBRS {
+			t.Errorf("%s: EIBRS = %v, want %v", c.Uarch, c.Spec.EIBRS, wantEIBRS)
+		}
+	}
+	if Zen().Spec.IBRS {
+		t.Error("Zen must not support IBRS (Table 10 N/A)")
+	}
+	for _, c := range []*CPU{Broadwell(), SkylakeClient(), Zen2(), Zen3()} {
+		if !c.Spec.IBRSBlocksAllIndirect {
+			t.Errorf("%s: legacy IBRS should block all indirect prediction", c.Uarch)
+		}
+	}
+	if !IceLakeClient().Spec.IBRSBlocksKernelKernel {
+		t.Error("Ice Lake Client quirk missing")
+	}
+	if Zen3().Spec.BTBHistoryDepth <= 128 {
+		t.Error("Zen 3 history depth must exceed the 128-branch fill loop")
+	}
+	for _, c := range All() {
+		if c.Uarch != "Zen 3" && c.Spec.BTBHistoryDepth > 128 {
+			t.Errorf("%s: history depth should be shallow", c.Uarch)
+		}
+	}
+}
+
+// Table 3 cost checks.
+func TestTable3Costs(t *testing.T) {
+	cases := []struct {
+		cpu                      *CPU
+		syscall, sysret, swapCR3 uint64
+	}{
+		{Broadwell(), 49, 40, 206},
+		{SkylakeClient(), 42, 42, 191},
+		{CascadeLake(), 70, 43, 0},
+		{IceLakeClient(), 21, 29, 0},
+		{IceLakeServer(), 45, 32, 0},
+		{Zen(), 63, 53, 0},
+		{Zen2(), 53, 46, 0},
+		{Zen3(), 83, 55, 0},
+	}
+	for _, c := range cases {
+		if c.cpu.Costs.Syscall != c.syscall || c.cpu.Costs.Sysret != c.sysret || c.cpu.Costs.SwapCR3 != c.swapCR3 {
+			t.Errorf("%s: table 3 costs = %d/%d/%d, want %d/%d/%d", c.cpu.Uarch,
+				c.cpu.Costs.Syscall, c.cpu.Costs.Sysret, c.cpu.Costs.SwapCR3,
+				c.syscall, c.sysret, c.swapCR3)
+		}
+	}
+}
+
+// Table 4: verw on vulnerable parts; legacy cost in the tens elsewhere.
+func TestTable4Verw(t *testing.T) {
+	want := map[string]uint64{"Broadwell": 610, "Skylake Client": 518, "Cascade Lake": 458}
+	for _, c := range All() {
+		if w, vulnerable := want[c.Uarch]; vulnerable {
+			if c.Costs.VerwClear != w {
+				t.Errorf("%s: verw = %d, want %d", c.Uarch, c.Costs.VerwClear, w)
+			}
+		} else if c.Vulns.MDS {
+			t.Errorf("%s should not be MDS vulnerable", c.Uarch)
+		}
+		if c.Costs.VerwLegacy == 0 || c.Costs.VerwLegacy > 60 {
+			t.Errorf("%s: legacy verw = %d, want tens of cycles", c.Uarch, c.Costs.VerwLegacy)
+		}
+	}
+}
+
+// Tables 5-8 spot checks.
+func TestTables5Through8(t *testing.T) {
+	bw := Broadwell()
+	if bw.Costs.IndirectBase != 16 || bw.Costs.IBRSDelta != 32 || bw.Costs.RetpolineGeneric != 28 {
+		t.Errorf("Broadwell table 5: %+v", bw.Costs)
+	}
+	if bw.Costs.RetpolineAMDOK {
+		t.Error("AMD retpoline must not apply on Intel")
+	}
+	z2 := Zen2()
+	if !z2.Costs.RetpolineAMDOK || z2.Costs.RetpolineAMD != 0 {
+		t.Errorf("Zen 2 AMD retpoline delta = %d, want 0", z2.Costs.RetpolineAMD)
+	}
+	ibpb := map[string]uint64{
+		"Broadwell": 5600, "Skylake Client": 4500, "Cascade Lake": 340,
+		"Ice Lake Client": 2500, "Ice Lake Server": 840,
+		"Zen": 7400, "Zen 2": 1100, "Zen 3": 800,
+	}
+	for _, c := range All() {
+		if c.Costs.IBPB != ibpb[c.Uarch] {
+			t.Errorf("%s: IBPB = %d, want %d", c.Uarch, c.Costs.IBPB, ibpb[c.Uarch])
+		}
+	}
+	rsb := map[string]uint64{
+		"Broadwell": 130, "Skylake Client": 130, "Cascade Lake": 120,
+		"Ice Lake Client": 40, "Ice Lake Server": 69,
+		"Zen": 114, "Zen 2": 68, "Zen 3": 94,
+	}
+	lfence := map[string]uint64{
+		"Broadwell": 28, "Skylake Client": 20, "Cascade Lake": 15,
+		"Ice Lake Client": 8, "Ice Lake Server": 13,
+		"Zen": 48, "Zen 2": 4, "Zen 3": 30,
+	}
+	for _, c := range All() {
+		if c.Costs.RSBFill != rsb[c.Uarch] {
+			t.Errorf("%s: RSB fill = %d, want %d", c.Uarch, c.Costs.RSBFill, rsb[c.Uarch])
+		}
+		if c.Costs.Lfence != lfence[c.Uarch] {
+			t.Errorf("%s: lfence = %d, want %d", c.Uarch, c.Costs.Lfence, lfence[c.Uarch])
+		}
+	}
+}
+
+// SSBD penalty trends worse on newer parts (Figure 5's observation).
+func TestSSBDTrendsWorse(t *testing.T) {
+	if !(Broadwell().Costs.SSBDForwardStall < IceLakeServer().Costs.SSBDForwardStall) {
+		t.Error("Intel SSBD stall should grow across generations")
+	}
+	if !(Zen().Costs.SSBDForwardStall < Zen3().Costs.SSBDForwardStall) {
+		t.Error("AMD SSBD stall should grow across generations")
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 8 {
+		t.Fatalf("Names() = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("names not sorted at %d: %v", i, names)
+		}
+	}
+}
+
+func TestEIBRSBimodal(t *testing.T) {
+	for _, c := range []*CPU{CascadeLake(), IceLakeClient(), IceLakeServer()} {
+		if c.Spec.EIBRSBimodalPeriod < 8 || c.Spec.EIBRSBimodalPeriod > 20 {
+			t.Errorf("%s: bimodal period = %d, paper says 8-20", c.Uarch, c.Spec.EIBRSBimodalPeriod)
+		}
+		if c.Spec.EIBRSBimodalExtra != 210 {
+			t.Errorf("%s: bimodal extra = %d, paper says ~210", c.Uarch, c.Spec.EIBRSBimodalExtra)
+		}
+	}
+	if Broadwell().Spec.EIBRSBimodalPeriod != 0 {
+		t.Error("non-eIBRS parts must not have bimodal entries")
+	}
+}

@@ -1,0 +1,82 @@
+// Package pmc models the performance-monitoring counters that the
+// paper's §6 speculation probe depends on: most importantly the counter
+// for cycles in which the divide unit is active, which increments even
+// for divides executed only transiently — the signal used to detect
+// whether the BTB routed speculative execution to a chosen target.
+package pmc
+
+import "fmt"
+
+// Counter identifies a performance counter.
+type Counter int
+
+// Available counters.
+const (
+	// Cycles counts elapsed core cycles.
+	Cycles Counter = iota
+	// Instructions counts retired instructions.
+	Instructions
+	// ArithDividerActive counts cycles the divider unit was active,
+	// including during transient execution (the Bölük probe signal).
+	ArithDividerActive
+	// IndirectMispredicts counts mispredicted indirect branches.
+	IndirectMispredicts
+	// BranchMispredicts counts all mispredicted branches.
+	BranchMispredicts
+	// L1Misses counts first-level cache misses.
+	L1Misses
+	// TLBMisses counts TLB misses.
+	TLBMisses
+	// MachineClears counts pipeline clears from memory disambiguation
+	// (speculative store bypass recoveries).
+	MachineClears
+
+	NumCounters
+)
+
+var names = [NumCounters]string{
+	"cycles", "instructions", "arith.divider_active",
+	"br_misp_retired.indirect", "br_misp_retired.all",
+	"l1d.miss", "dtlb.miss", "machine_clears.memory_ordering",
+}
+
+func (c Counter) String() string {
+	if c >= 0 && c < NumCounters {
+		return names[c]
+	}
+	return fmt.Sprintf("pmc(%d)", int(c))
+}
+
+// Counters is one logical CPU's counter file.
+type Counters struct {
+	vals [NumCounters]uint64
+}
+
+// New returns a zeroed counter file.
+func New() *Counters { return &Counters{} }
+
+// Add increments counter c by n.
+func (p *Counters) Add(c Counter, n uint64) { p.vals[c] += n }
+
+// Read returns the current value of counter c (RDPMC).
+func (p *Counters) Read(c Counter) uint64 {
+	if c < 0 || c >= NumCounters {
+		return 0
+	}
+	return p.vals[c]
+}
+
+// Reset zeroes all counters.
+func (p *Counters) Reset() { p.vals = [NumCounters]uint64{} }
+
+// Snapshot copies all counter values.
+func (p *Counters) Snapshot() [NumCounters]uint64 { return p.vals }
+
+// Delta returns per-counter differences since a snapshot.
+func (p *Counters) Delta(snap [NumCounters]uint64) [NumCounters]uint64 {
+	var d [NumCounters]uint64
+	for i := range d {
+		d[i] = p.vals[i] - snap[i]
+	}
+	return d
+}

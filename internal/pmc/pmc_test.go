@@ -1,0 +1,64 @@
+package pmc
+
+import "testing"
+
+func TestAddRead(t *testing.T) {
+	p := New()
+	p.Add(Cycles, 100)
+	p.Add(Cycles, 50)
+	p.Add(ArithDividerActive, 7)
+	if got := p.Read(Cycles); got != 150 {
+		t.Errorf("cycles = %d", got)
+	}
+	if got := p.Read(ArithDividerActive); got != 7 {
+		t.Errorf("divider = %d", got)
+	}
+	if got := p.Read(Instructions); got != 0 {
+		t.Errorf("untouched counter = %d", got)
+	}
+}
+
+func TestReadOutOfRange(t *testing.T) {
+	p := New()
+	if p.Read(Counter(-1)) != 0 || p.Read(NumCounters) != 0 {
+		t.Error("out-of-range read should return 0")
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	p := New()
+	p.Add(Instructions, 10)
+	snap := p.Snapshot()
+	p.Add(Instructions, 5)
+	p.Add(L1Misses, 3)
+	d := p.Delta(snap)
+	if d[Instructions] != 5 {
+		t.Errorf("delta instructions = %d", d[Instructions])
+	}
+	if d[L1Misses] != 3 {
+		t.Errorf("delta l1 = %d", d[L1Misses])
+	}
+	if d[Cycles] != 0 {
+		t.Errorf("delta cycles = %d", d[Cycles])
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New()
+	p.Add(TLBMisses, 9)
+	p.Reset()
+	if p.Read(TLBMisses) != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestNamesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for c := Counter(0); c < NumCounters; c++ {
+		s := c.String()
+		if s == "" || seen[s] {
+			t.Errorf("counter %d bad name %q", c, s)
+		}
+		seen[s] = true
+	}
+}

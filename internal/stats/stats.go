@@ -1,0 +1,173 @@
+// Package stats implements the measurement methodology of §4.1: run each
+// benchmark configuration repeatedly, tracking the mean and a 95%
+// confidence interval, and stop once the interval is tight enough. It
+// also provides the geometric mean used to aggregate LEBench.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sample accumulates observations with streaming mean/variance (Welford).
+type Sample struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return s.n }
+
+// Mean returns the sample mean.
+func (s *Sample) Mean() float64 { return s.mean }
+
+// Variance returns the unbiased sample variance.
+func (s *Sample) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Sample) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// CI95 returns the half-width of the 95% confidence interval of the mean
+// using the Student t distribution.
+func (s *Sample) CI95() float64 {
+	if s.n < 2 {
+		return math.Inf(1)
+	}
+	return tCritical95(s.n-1) * s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// RelCI95 returns CI95 as a fraction of the mean (∞ if the mean is 0).
+func (s *Sample) RelCI95() float64 {
+	m := math.Abs(s.mean)
+	if m == 0 {
+		return math.Inf(1)
+	}
+	return s.CI95() / m
+}
+
+func (s *Sample) String() string {
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", s.Mean(), s.CI95(), s.N())
+}
+
+// tCritical95 returns the two-sided 95% critical value of Student's t
+// for the given degrees of freedom.
+func tCritical95(df int) float64 {
+	// Table for small df; converges to the normal quantile.
+	table := []float64{
+		0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+		2.262, 2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110,
+		2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+		2.052, 2.048, 2.045, 2.042,
+	}
+	if df <= 0 {
+		return math.Inf(1)
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	switch {
+	case df < 40:
+		return 2.030
+	case df < 60:
+		return 2.009
+	case df < 120:
+		return 1.990
+	default:
+		return 1.960
+	}
+}
+
+// RunUntil repeatedly invokes measure, accumulating results, until the
+// relative 95% CI is at most relCI (e.g. 0.01 for ±1%) or maxRuns is
+// reached; it always performs at least minRuns. This is the paper's
+// "run each configuration many times, stopping once the error was small
+// enough" methodology.
+func RunUntil(minRuns, maxRuns int, relCI float64, measure func() float64) *Sample {
+	if minRuns < 2 {
+		minRuns = 2
+	}
+	if maxRuns < minRuns {
+		maxRuns = minRuns
+	}
+	s := &Sample{}
+	for i := 0; i < maxRuns; i++ {
+		s.Add(measure())
+		if i+1 >= minRuns && s.RelCI95() <= relCI {
+			break
+		}
+	}
+	return s
+}
+
+// GeoMean returns the geometric mean of xs. All values must be positive;
+// non-positive values are skipped (and an all-skipped input returns 0).
+func GeoMean(xs []float64) float64 {
+	var sum float64
+	n := 0
+	for _, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		sum += math.Log(x)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Overhead returns the relative slowdown of measured versus baseline, as
+// a fraction: (measured-baseline)/baseline.
+func Overhead(baseline, measured float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return (measured - baseline) / baseline
+}
+
+// Noise is a small deterministic pseudo-random perturbation source used
+// to exercise the adaptive-sampling methodology. It is a SplitMix64
+// stream; amplitude is the maximum relative perturbation.
+type Noise struct {
+	state     uint64
+	amplitude float64
+}
+
+// NewNoise returns a noise source with the given seed and relative
+// amplitude (e.g. 0.02 for ±2%, matching the paper's observed run-to-run
+// variation).
+func NewNoise(seed uint64, amplitude float64) *Noise {
+	return &Noise{state: seed, amplitude: amplitude}
+}
+
+func (n *Noise) next() uint64 {
+	n.state += 0x9e3779b97f4a7c15
+	z := n.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Perturb returns x scaled by a factor in [1-amplitude, 1+amplitude].
+func (n *Noise) Perturb(x float64) float64 {
+	if n == nil || n.amplitude == 0 {
+		return x
+	}
+	u := float64(n.next()>>11) / float64(1<<53) // [0,1)
+	return x * (1 + n.amplitude*(2*u-1))
+}

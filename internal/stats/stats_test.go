@@ -1,0 +1,179 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleMeanVariance(t *testing.T) {
+	s := &Sample{}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("n = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %g", s.Mean())
+	}
+	// Population variance is 4; sample variance = 32/7.
+	if math.Abs(s.Variance()-32.0/7.0) > 1e-12 {
+		t.Errorf("variance = %g", s.Variance())
+	}
+}
+
+func TestCI95Behaviour(t *testing.T) {
+	s := &Sample{}
+	s.Add(10)
+	if !math.IsInf(s.CI95(), 1) {
+		t.Error("CI of one observation must be infinite")
+	}
+	for i := 0; i < 99; i++ {
+		s.Add(10)
+	}
+	if s.CI95() != 0 {
+		t.Errorf("CI of constant data = %g, want 0", s.CI95())
+	}
+
+	// CI shrinks with more data.
+	a, b := &Sample{}, &Sample{}
+	vals := []float64{9, 11, 10, 12, 8, 10, 9, 11}
+	for _, v := range vals {
+		a.Add(v)
+	}
+	for i := 0; i < 8; i++ {
+		for _, v := range vals {
+			b.Add(v)
+		}
+	}
+	if b.CI95() >= a.CI95() {
+		t.Errorf("CI did not shrink: %g → %g", a.CI95(), b.CI95())
+	}
+}
+
+func TestTCriticalMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for df := 1; df < 300; df++ {
+		v := tCritical95(df)
+		if v > prev {
+			t.Fatalf("t-critical increased at df=%d: %g > %g", df, v, prev)
+		}
+		prev = v
+	}
+	if tCritical95(1000) != 1.960 {
+		t.Errorf("large-df critical = %g", tCritical95(1000))
+	}
+}
+
+func TestRunUntilStopsEarlyOnTightCI(t *testing.T) {
+	calls := 0
+	s := RunUntil(3, 1000, 0.01, func() float64 {
+		calls++
+		return 100 // zero variance
+	})
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3 (minRuns)", calls)
+	}
+	if s.Mean() != 100 {
+		t.Errorf("mean = %g", s.Mean())
+	}
+}
+
+func TestRunUntilKeepsGoingOnNoisyData(t *testing.T) {
+	n := NewNoise(7, 0.10)
+	calls := 0
+	s := RunUntil(3, 500, 0.005, func() float64 {
+		calls++
+		return n.Perturb(100)
+	})
+	if calls <= 3 {
+		t.Errorf("noisy data should need more than minRuns, got %d", calls)
+	}
+	if s.RelCI95() > 0.005 && calls < 500 {
+		t.Error("stopped without meeting the CI target")
+	}
+	if math.Abs(s.Mean()-100) > 3 {
+		t.Errorf("mean = %g, want ≈100", s.Mean())
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 100}); math.Abs(g-10) > 1e-9 {
+		t.Errorf("geomean(1,100) = %g", g)
+	}
+	if g := GeoMean([]float64{4, 4, 4}); math.Abs(g-4) > 1e-9 {
+		t.Errorf("geomean const = %g", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Errorf("geomean empty = %g", g)
+	}
+	if g := GeoMean([]float64{-5, 0, 8}); math.Abs(g-8) > 1e-9 {
+		t.Errorf("geomean skips nonpositive: %g", g)
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	if o := Overhead(100, 130); math.Abs(o-0.30) > 1e-12 {
+		t.Errorf("overhead = %g", o)
+	}
+	if o := Overhead(100, 90); math.Abs(o+0.10) > 1e-12 {
+		t.Errorf("speedup = %g", o)
+	}
+	if Overhead(0, 5) != 0 {
+		t.Error("zero baseline must not divide")
+	}
+}
+
+func TestNoiseDeterministicAndBounded(t *testing.T) {
+	a := NewNoise(42, 0.02)
+	b := NewNoise(42, 0.02)
+	for i := 0; i < 100; i++ {
+		x, y := a.Perturb(1000), b.Perturb(1000)
+		if x != y {
+			t.Fatal("noise not deterministic for equal seeds")
+		}
+		if x < 980 || x > 1020 {
+			t.Fatalf("perturbation out of bounds: %g", x)
+		}
+	}
+	c := NewNoise(43, 0.02)
+	same := true
+	for i := 0; i < 10; i++ {
+		if a.Perturb(1000) != c.Perturb(1000) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+	var nilNoise *Noise
+	if nilNoise.Perturb(5) != 5 {
+		t.Error("nil noise must be identity")
+	}
+}
+
+// Property: mean of the sample always lies within [min, max] of inputs.
+func TestMeanBoundedProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		s := &Sample{}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		n := 0
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				continue
+			}
+			s.Add(x)
+			lo, hi = math.Min(lo, x), math.Max(hi, x)
+			n++
+		}
+		if n == 0 {
+			return true
+		}
+		const eps = 1e-9
+		return s.Mean() >= lo-eps-math.Abs(lo)*1e-9 && s.Mean() <= hi+eps+math.Abs(hi)*1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

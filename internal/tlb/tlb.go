@@ -1,0 +1,131 @@
+// Package tlb models a set-associative translation lookaside buffer with
+// PCID (process-context identifier) tags and global pages.
+//
+// PCIDs are what make kernel page-table isolation affordable on Broadwell
+// and Skylake (§5.1 of the paper): without them every CR3 write flushes
+// the TLB; with them the user and kernel page tables coexist under
+// different tags and the switch costs only the CR3 write itself.
+package tlb
+
+import "spectrebench/internal/mem"
+
+// Entry is a cached translation.
+type Entry struct {
+	valid  bool
+	vpn    uint64
+	pcid   uint16
+	global bool
+	pte    mem.PTE
+	used   uint64
+}
+
+// TLB is a set-associative translation cache.
+type TLB struct {
+	sets  int
+	ways  int
+	lines []Entry
+	clock uint64
+
+	Hits, Misses, Flushes uint64
+}
+
+// New returns a TLB with the given geometry.
+func New(sets, ways int) *TLB {
+	return &TLB{sets: sets, ways: ways, lines: make([]Entry, sets*ways)}
+}
+
+func (t *TLB) set(vpn uint64) []Entry {
+	idx := int(vpn % uint64(t.sets))
+	return t.lines[idx*t.ways : (idx+1)*t.ways]
+}
+
+// Lookup returns the cached PTE for vpn under pcid. Global entries match
+// any PCID.
+func (t *TLB) Lookup(vpn uint64, pcid uint16) (mem.PTE, bool) {
+	set := t.set(vpn)
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.vpn == vpn && (e.global || e.pcid == pcid) {
+			t.clock++
+			e.used = t.clock
+			t.Hits++
+			return e.pte, true
+		}
+	}
+	t.Misses++
+	return mem.PTE{}, false
+}
+
+// Insert caches a translation.
+func (t *TLB) Insert(vpn uint64, pcid uint16, pte mem.PTE) {
+	set := t.set(vpn)
+	victim := &set[0]
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.vpn == vpn && e.pcid == pcid && e.global == pte.Global {
+			victim = e
+			break
+		}
+		if !e.valid {
+			victim = e
+			break
+		}
+		if e.used < victim.used {
+			victim = e
+		}
+	}
+	t.clock++
+	*victim = Entry{valid: true, vpn: vpn, pcid: pcid, global: pte.Global, pte: pte, used: t.clock}
+}
+
+// FlushAll invalidates everything, including global entries.
+func (t *TLB) FlushAll() {
+	t.Flushes++
+	for i := range t.lines {
+		t.lines[i].valid = false
+	}
+}
+
+// FlushNonGlobal invalidates all non-global entries (legacy CR3 write
+// without PCID support).
+func (t *TLB) FlushNonGlobal() {
+	t.Flushes++
+	for i := range t.lines {
+		if !t.lines[i].global {
+			t.lines[i].valid = false
+		}
+	}
+}
+
+// FlushPCID invalidates entries tagged with pcid.
+func (t *TLB) FlushPCID(pcid uint16) {
+	t.Flushes++
+	for i := range t.lines {
+		if t.lines[i].valid && !t.lines[i].global && t.lines[i].pcid == pcid {
+			t.lines[i].valid = false
+		}
+	}
+}
+
+// FlushVPN invalidates any entry for vpn regardless of PCID (invlpg).
+func (t *TLB) FlushVPN(vpn uint64) {
+	for i := range t.lines {
+		if t.lines[i].valid && t.lines[i].vpn == vpn {
+			t.lines[i].valid = false
+		}
+	}
+}
+
+// Valid returns the number of valid entries (for tests).
+func (t *TLB) Valid() int {
+	n := 0
+	for i := range t.lines {
+		if t.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// ResetStats zeroes the hit/miss/flush counters.
+func (t *TLB) ResetStats() { t.Hits, t.Misses, t.Flushes = 0, 0, 0 }

@@ -1,0 +1,236 @@
+// Package vmm implements the hypervisor substrate for the paper's §4.4
+// virtual-machine experiments: guest execution under nested paging, VM
+// exits for hypercalls and port I/O, an emulated disk, and the host-side
+// mitigation work performed on every VM entry (the L1TF cache flush and
+// the MDS buffer clear).
+package vmm
+
+import (
+	"fmt"
+
+	"spectrebench/internal/cpu"
+	"spectrebench/internal/isa"
+	"spectrebench/internal/kernel"
+	"spectrebench/internal/mem"
+	"spectrebench/internal/model"
+)
+
+// Disk I/O ports (the virtio-over-ports protocol the guest driver uses).
+const (
+	PortDiskCmd    = 0x10 // command: 1 = read, 2 = write
+	PortDiskSector = 0x11 // target sector
+	PortDiskAddr   = 0x12 // guest-physical buffer address
+	PortDiskStatus = 0x13 // read: 0 = ok, 1 = error
+	PortConsole    = 0x20 // console byte output
+)
+
+// BlockSize is the emulated disk's sector size.
+const BlockSize = 4096
+
+// hostEmulationCost is the cycles the host spends emulating one disk
+// request (kernel exit handling plus the userspace device model round
+// trip — QEMU-scale, which is why §4.4's exit rates stay in the tens of
+// thousands per second).
+const hostEmulationCost = 80_000
+
+// Hypervisor runs one guest machine and provides its devices.
+type Hypervisor struct {
+	C *cpu.Core
+	// GuestKernel is the kernel booted inside the VM.
+	GuestKernel *kernel.Kernel
+	// HostMit is the host kernel's mitigation configuration; only the
+	// VM-boundary mitigations apply here (L1TF flush, MDS clear).
+	HostMit kernel.Mitigations
+
+	disk *Disk
+
+	// Statistics.
+	Exits     uint64
+	L1Flushes uint64
+
+	// console accumulates PortConsole output.
+	console []byte
+
+	pendingSector uint64
+	pendingAddr   uint64
+}
+
+// New boots a guest machine under a hypervisor. The guest gets its own
+// kernel with guestMit; the host applies hostMit at the VM boundary.
+func New(m *model.CPU, hostMit, guestMit kernel.Mitigations, diskBlocks int) *Hypervisor {
+	c := cpu.New(m)
+	// Nested paging: identity-map the guest-physical space the guest
+	// kernel uses (per-process windows live at pid<<32).
+	nt := mem.NewNestedTable()
+	hv := &Hypervisor{C: c, HostMit: hostMit, disk: NewDisk(diskBlocks)}
+	c.Guest = true
+	c.Nested = nt
+	c.OnVMExit = hv.handleExit
+
+	hv.GuestKernel = kernel.New(c, guestMit)
+	return hv
+}
+
+// MapGuestMemory installs an identity nested mapping for a guest-
+// physical range (stored as one EPT interval). The kernel package
+// allocates per-process physical windows at pid<<32.
+func (hv *Hypervisor) MapGuestMemory(gpa, bytes uint64) {
+	hv.C.Nested.MapIdentity(gpa, gpa, bytes, true)
+}
+
+// NewGuestProcess creates a process inside the guest.
+func (hv *Hypervisor) NewGuestProcess(name string, prog *isa.Program) *kernel.Proc {
+	return hv.GuestKernel.NewProcess(name, prog)
+}
+
+// Boot finalises guest setup: identity-map the guest-physical space
+// (one EPT interval covering the kernel ranges and every per-process
+// window the guest kernel will allocate at pid<<32).
+func (hv *Hypervisor) Boot() {
+	hv.MapGuestMemory(0, 1<<40)
+}
+
+// Console returns everything the guest wrote to the console port.
+func (hv *Hypervisor) Console() []byte { return hv.console }
+
+// Disk exposes the emulated disk (for host-side inspection and for the
+// guest kernel's paravirtual driver).
+func (hv *Hypervisor) Disk() *Disk { return hv.disk }
+
+// handleExit is the VM-exit handler: it emulates the device, then
+// performs the host's entry mitigations before resuming the guest.
+func (hv *Hypervisor) handleExit(c *cpu.Core, r cpu.VMExitReason) uint64 {
+	hv.Exits++
+	var ret uint64
+	switch r.Op {
+	case isa.OUT:
+		switch r.Port {
+		case PortDiskSector:
+			hv.pendingSector = r.Val
+		case PortDiskAddr:
+			hv.pendingAddr = r.Val
+		case PortDiskCmd:
+			hv.doDiskCmd(c, r.Val)
+		case PortConsole:
+			hv.console = append(hv.console, byte(r.Val))
+		}
+	case isa.IN:
+		if r.Port == PortDiskStatus {
+			ret = hv.disk.status
+		}
+	case isa.VMCALL:
+		// Hypercall: nothing to do; the exit/entry cost is the point.
+	}
+	hv.applyEntryMitigations(c)
+	return ret
+}
+
+// doDiskCmd emulates one disk request (device model work + DMA).
+func (hv *Hypervisor) doDiskCmd(c *cpu.Core, cmd uint64) {
+	c.Charge(hostEmulationCost)
+	buf := make([]byte, BlockSize)
+	// DMA: translate the guest-physical buffer through the EPT.
+	hpa, fault := c.Nested.Translate(hv.pendingAddr, mem.AccessWrite)
+	if fault != mem.FaultNone {
+		hv.disk.status = 1
+		return
+	}
+	switch cmd {
+	case 1: // read
+		if err := hv.disk.Read(int(hv.pendingSector), buf); err != nil {
+			hv.disk.status = 1
+			return
+		}
+		c.Phys.WriteBytes(hpa, buf)
+	case 2: // write
+		c.Phys.ReadBytes(hpa, buf)
+		if err := hv.disk.Write(int(hv.pendingSector), buf); err != nil {
+			hv.disk.status = 1
+			return
+		}
+	default:
+		hv.disk.status = 1
+		return
+	}
+	hv.disk.status = 0
+}
+
+// applyEntryMitigations performs the host's boundary work before
+// re-entering the guest: the L1TF cache flush on vulnerable parts and
+// the MDS buffer clear (§5.6).
+func (hv *Hypervisor) applyEntryMitigations(c *cpu.Core) {
+	if hv.HostMit.L1TFFlushOnVMEntry && c.Model.Vulns.L1TF {
+		c.Charge(c.Model.Costs.L1Flush)
+		c.L1.FlushAll()
+		hv.L1Flushes++
+	}
+	if hv.HostMit.MDSClear && c.Model.Vulns.MDS {
+		c.Charge(c.Model.Costs.VerwClear)
+		c.FB.Clear()
+	}
+}
+
+// HostBlockIO is the paravirtual path the guest kernel's Go-side disk
+// driver uses: it charges the same exit/entry costs as an OUT-triggered
+// exit and performs the transfer. write selects the direction.
+func (hv *Hypervisor) HostBlockIO(sector int, buf []byte, write bool) error {
+	c := hv.C
+	hv.Exits++
+	c.Charge(c.Model.Costs.VMExit)
+	c.Charge(hostEmulationCost)
+	var err error
+	if write {
+		err = hv.disk.Write(sector, buf)
+	} else {
+		err = hv.disk.Read(sector, buf)
+	}
+	hv.applyEntryMitigations(c)
+	c.Charge(c.Model.Costs.VMEntry)
+	return err
+}
+
+// Disk is the emulated block device.
+type Disk struct {
+	blocks [][]byte
+	status uint64
+
+	Reads, Writes uint64
+}
+
+// NewDisk creates a disk with n zeroed blocks.
+func NewDisk(n int) *Disk {
+	d := &Disk{blocks: make([][]byte, n)}
+	return d
+}
+
+// Blocks returns the disk capacity in blocks.
+func (d *Disk) Blocks() int { return len(d.blocks) }
+
+// Read copies block n into buf.
+func (d *Disk) Read(n int, buf []byte) error {
+	if n < 0 || n >= len(d.blocks) {
+		return fmt.Errorf("vmm: read past disk end (block %d of %d)", n, len(d.blocks))
+	}
+	d.Reads++
+	if d.blocks[n] == nil {
+		for i := range buf {
+			buf[i] = 0
+		}
+		return nil
+	}
+	copy(buf, d.blocks[n])
+	return nil
+}
+
+// Write copies buf into block n.
+func (d *Disk) Write(n int, buf []byte) error {
+	if n < 0 || n >= len(d.blocks) {
+		return fmt.Errorf("vmm: write past disk end (block %d of %d)", n, len(d.blocks))
+	}
+	d.Writes++
+	if d.blocks[n] == nil {
+		d.blocks[n] = make([]byte, BlockSize)
+	}
+	copy(d.blocks[n], buf)
+	return nil
+}

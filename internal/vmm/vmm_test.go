@@ -1,0 +1,267 @@
+package vmm
+
+import (
+	"testing"
+
+	"spectrebench/internal/isa"
+	"spectrebench/internal/kernel"
+	"spectrebench/internal/model"
+	"spectrebench/internal/stats"
+	"spectrebench/internal/workloads/lebench"
+)
+
+func emitSyscall(a *isa.Asm, nr int64) {
+	a.MovI(isa.R7, nr)
+	a.Syscall()
+}
+
+// A guest program drives the disk with raw OUT/IN port I/O: the organic
+// VM-exit path.
+func TestGuestPortIODisk(t *testing.T) {
+	m := model.SkylakeClient()
+	hv := New(m, kernel.Defaults(m), kernel.Defaults(m), 64)
+	hv.Boot()
+
+	a := isa.NewAsm()
+	// Fill a buffer, write it to sector 5, read it back elsewhere.
+	a.MovI(isa.R1, kernel.UserDataBase)
+	a.MovI(isa.R2, 0xfeedface)
+	a.Store(isa.R1, 0, isa.R2)
+	// The guest driver must pass guest-PHYSICAL addresses for DMA.
+	a.MovI(isa.R3, 5)
+	a.Out(PortDiskSector, isa.R3)
+	a.MovI(isa.R3, int64(uint64(1)<<32+kernel.UserDataBase))
+	a.Out(PortDiskAddr, isa.R3)
+	a.MovI(isa.R3, 2) // write
+	a.Out(PortDiskCmd, isa.R3)
+	a.In(isa.R9, PortDiskStatus)
+	// Read back into +0x1000.
+	a.MovI(isa.R3, 5)
+	a.Out(PortDiskSector, isa.R3)
+	a.MovI(isa.R3, int64(uint64(1)<<32+kernel.UserDataBase+0x1000))
+	a.Out(PortDiskAddr, isa.R3)
+	a.MovI(isa.R3, 1) // read
+	a.Out(PortDiskCmd, isa.R3)
+	a.In(isa.R10, PortDiskStatus)
+	a.MovI(isa.R1, kernel.UserDataBase+0x1000)
+	a.Load(isa.R11, isa.R1, 0)
+	a.MovI(isa.R1, 0)
+	emitSyscall(a, kernel.SysExit)
+
+	p := hv.NewGuestProcess("disk-test", a.MustAssemble(kernel.UserCodeBase))
+	_ = p
+	if err := hv.GuestKernel.RunProcessToCompletion(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	c := hv.C
+	if c.Regs[isa.R9] != 0 || c.Regs[isa.R10] != 0 {
+		t.Fatalf("disk status: write=%d read=%d", c.Regs[isa.R9], c.Regs[isa.R10])
+	}
+	if c.Regs[isa.R11] != 0xfeedface {
+		t.Errorf("readback = %#x", c.Regs[isa.R11])
+	}
+	if hv.Exits < 6 {
+		t.Errorf("exits = %d, want ≥6 (one per port access)", hv.Exits)
+	}
+	if hv.Disk().Writes == 0 || hv.Disk().Reads == 0 {
+		t.Error("disk counters did not move")
+	}
+}
+
+func TestConsoleOutput(t *testing.T) {
+	m := model.Zen2()
+	hv := New(m, kernel.Defaults(m), kernel.Defaults(m), 8)
+	hv.Boot()
+	a := isa.NewAsm()
+	for _, ch := range "ok" {
+		a.MovI(isa.R2, int64(ch))
+		a.Out(PortConsole, isa.R2)
+	}
+	a.MovI(isa.R1, 0)
+	emitSyscall(a, kernel.SysExit)
+	hv.NewGuestProcess("console", a.MustAssemble(kernel.UserCodeBase))
+	if err := hv.GuestKernel.RunProcessToCompletion(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if string(hv.Console()) != "ok" {
+		t.Errorf("console = %q", hv.Console())
+	}
+}
+
+// L1TF: the host flushes the L1 on every entry on vulnerable parts; the
+// flush count and the cache state must reflect it.
+func TestL1FlushOnEntry(t *testing.T) {
+	m := model.Broadwell() // L1TF vulnerable
+	hv := New(m, kernel.Defaults(m), kernel.Defaults(m), 8)
+	hv.Boot()
+	a := isa.NewAsm()
+	a.Vmcall()
+	a.MovI(isa.R1, 0)
+	emitSyscall(a, kernel.SysExit)
+	hv.NewGuestProcess("hc", a.MustAssemble(kernel.UserCodeBase))
+	if err := hv.GuestKernel.RunProcessToCompletion(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if hv.L1Flushes == 0 {
+		t.Error("no L1 flushes on an L1TF-vulnerable host")
+	}
+
+	// Fixed hardware: no flushes even with the mitigation configured.
+	m2 := model.IceLakeServer()
+	hv2 := New(m2, kernel.Defaults(m2), kernel.Defaults(m2), 8)
+	hv2.Boot()
+	hv2.NewGuestProcess("hc2", a.MustAssemble(kernel.UserCodeBase))
+	if err := hv2.GuestKernel.RunProcessToCompletion(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if hv2.L1Flushes != 0 {
+		t.Error("L1 flushed on a part that is not L1TF vulnerable")
+	}
+}
+
+// §4.4: LEBench inside a VM sees at most a few percent difference from
+// host mitigations — execution stays in the guest.
+func TestVMLEBenchHostMitigationsSmall(t *testing.T) {
+	runGuest := func(m *model.CPU, hostMit kernel.Mitigations) float64 {
+		var vals []float64
+		for _, b := range lebench.Suite() {
+			hv := New(m, hostMit, kernel.Defaults(m), 8)
+			hv.Boot()
+			cyc, err := lebench.RunOn(hv.C, hv.GuestKernel, b)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", m.Uarch, b.Name, err)
+			}
+			vals = append(vals, cyc)
+		}
+		return stats.GeoMean(vals)
+	}
+	for _, m := range []*model.CPU{model.Broadwell(), model.IceLakeServer()} {
+		hostOff := kernel.BootParams{MitigationsOff: true}.Apply(m, kernel.Defaults(m))
+		base := runGuest(m, hostOff)
+		with := runGuest(m, kernel.Defaults(m))
+		ov := stats.Overhead(base, with)
+		if ov > 0.03 || ov < -0.03 {
+			t.Errorf("%s: guest LEBench host-mitigation overhead = %.2f%%, paper says ±3%%", m.Uarch, ov*100)
+		}
+	}
+}
+
+func TestDiskErrors(t *testing.T) {
+	d := NewDisk(4)
+	buf := make([]byte, BlockSize)
+	if err := d.Read(-1, buf); err == nil {
+		t.Error("negative block read accepted")
+	}
+	if err := d.Read(4, buf); err == nil {
+		t.Error("past-end read accepted")
+	}
+	if err := d.Write(99, buf); err == nil {
+		t.Error("past-end write accepted")
+	}
+	if d.Blocks() != 4 {
+		t.Errorf("blocks = %d", d.Blocks())
+	}
+	// Reading an untouched block yields zeros even into a dirty buffer.
+	for i := range buf {
+		buf[i] = 0xff
+	}
+	if err := d.Read(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("byte %d = %#x, want 0", i, b)
+		}
+	}
+}
+
+func TestGuestBadDiskRequests(t *testing.T) {
+	m := model.Zen2()
+	hv := New(m, kernel.Defaults(m), kernel.Defaults(m), 4)
+	hv.Boot()
+	a := isa.NewAsm()
+	// Out-of-range sector.
+	a.MovI(isa.R3, 999)
+	a.Out(PortDiskSector, isa.R3)
+	a.MovI(isa.R3, int64(uint64(1)<<32+kernel.UserDataBase))
+	a.Out(PortDiskAddr, isa.R3)
+	a.MovI(isa.R3, 1)
+	a.Out(PortDiskCmd, isa.R3)
+	a.In(isa.R9, PortDiskStatus)
+	// Unknown command.
+	a.MovI(isa.R3, 0)
+	a.Out(PortDiskSector, isa.R3)
+	a.MovI(isa.R3, 7)
+	a.Out(PortDiskCmd, isa.R3)
+	a.In(isa.R10, PortDiskStatus)
+	// Unknown IN port reads zero.
+	a.In(isa.R11, 0x99)
+	a.MovI(isa.R1, 0)
+	emitSyscall(a, kernel.SysExit)
+	hv.NewGuestProcess("bad-disk", a.MustAssemble(kernel.UserCodeBase))
+	if err := hv.GuestKernel.RunProcessToCompletion(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	c := hv.C
+	if c.Regs[isa.R9] != 1 {
+		t.Errorf("oob sector status = %d, want 1", c.Regs[isa.R9])
+	}
+	if c.Regs[isa.R10] != 1 {
+		t.Errorf("bad command status = %d, want 1", c.Regs[isa.R10])
+	}
+	if c.Regs[isa.R11] != 0 {
+		t.Errorf("unknown port = %d, want 0", c.Regs[isa.R11])
+	}
+}
+
+func TestHostBlockIO(t *testing.T) {
+	m := model.Broadwell()
+	hv := New(m, kernel.Defaults(m), kernel.Defaults(m), 8)
+	hv.Boot()
+	data := make([]byte, BlockSize)
+	data[0] = 0x42
+	exitsBefore := hv.Exits
+	if err := hv.HostBlockIO(3, data, true); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, BlockSize)
+	if err := hv.HostBlockIO(3, got, false); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0x42 {
+		t.Errorf("readback = %#x", got[0])
+	}
+	if hv.Exits != exitsBefore+2 {
+		t.Errorf("exits = %d, want +2", hv.Exits-exitsBefore)
+	}
+	// The L1TF host flushed the L1 on both re-entries.
+	if hv.L1Flushes < 2 {
+		t.Errorf("L1 flushes = %d", hv.L1Flushes)
+	}
+	if err := hv.HostBlockIO(99, got, false); err == nil {
+		t.Error("past-end HostBlockIO accepted")
+	}
+}
+
+func TestGuestDMAToUnmappedGPAFails(t *testing.T) {
+	m := model.Zen()
+	hv := New(m, kernel.Defaults(m), kernel.Defaults(m), 4)
+	hv.Boot() // maps guest-physical space up to 1 TiB
+	a := isa.NewAsm()
+	a.MovI(isa.R3, 0)
+	a.Out(PortDiskSector, isa.R3)
+	a.MovI(isa.R3, 1<<41) // beyond every EPT mapping
+	a.Out(PortDiskAddr, isa.R3)
+	a.MovI(isa.R3, 1)
+	a.Out(PortDiskCmd, isa.R3)
+	a.In(isa.R9, PortDiskStatus)
+	a.MovI(isa.R1, 0)
+	emitSyscall(a, kernel.SysExit)
+	hv.NewGuestProcess("dma", a.MustAssemble(kernel.UserCodeBase))
+	if err := hv.GuestKernel.RunProcessToCompletion(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if hv.C.Regs[isa.R9] != 1 {
+		t.Errorf("DMA to unmapped GPA: status = %d, want 1", hv.C.Regs[isa.R9])
+	}
+}

@@ -1,0 +1,109 @@
+package lebench
+
+import (
+	"testing"
+
+	"spectrebench/internal/kernel"
+	"spectrebench/internal/model"
+	"spectrebench/internal/stats"
+)
+
+func TestSuiteRunsOnAllModels(t *testing.T) {
+	for _, m := range []*model.CPU{model.Broadwell(), model.IceLakeServer(), model.Zen3()} {
+		res, err := Run(m, kernel.Defaults(m))
+		if err != nil {
+			t.Fatalf("%s: %v", m.Uarch, err)
+		}
+		if len(res) != len(Suite()) {
+			t.Fatalf("%s: %d results", m.Uarch, len(res))
+		}
+		for _, r := range res {
+			if r.Cycles <= 0 {
+				t.Errorf("%s/%s: %v cycles", m.Uarch, r.Name, r.Cycles)
+			}
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	m := model.SkylakeClient()
+	a, err := Run(m, kernel.Defaults(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(m, kernel.Defaults(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Cycles != b[i].Cycles {
+			t.Errorf("%s: %v vs %v", a[i].Name, a[i].Cycles, b[i].Cycles)
+		}
+	}
+}
+
+// The paper's headline OS-boundary result: mitigations cost >10% on old
+// Intel parts (Broadwell/Skylake), and only a few percent on Ice Lake.
+func TestFigure2Shape(t *testing.T) {
+	geomean := func(m *model.CPU, mit kernel.Mitigations) float64 {
+		res, err := Run(m, mit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals := make([]float64, len(res))
+		for i, r := range res {
+			vals[i] = r.Cycles
+		}
+		return stats.GeoMean(vals)
+	}
+	overhead := func(m *model.CPU) float64 {
+		on := geomean(m, kernel.Defaults(m))
+		off := geomean(m, kernel.BootParams{MitigationsOff: true}.Apply(m, kernel.Defaults(m)))
+		return stats.Overhead(off, on)
+	}
+
+	bw := overhead(model.Broadwell())
+	icx := overhead(model.IceLakeServer())
+	zen3 := overhead(model.Zen3())
+
+	if bw < 0.10 {
+		t.Errorf("Broadwell overhead = %.1f%%, want >10%% (paper: >30%%)", bw*100)
+	}
+	if icx > 0.10 {
+		t.Errorf("Ice Lake Server overhead = %.1f%%, want <10%% (paper: ~3%%)", icx*100)
+	}
+	if icx >= bw {
+		t.Errorf("overheads should decline across generations: BW %.1f%% vs ICX %.1f%%", bw*100, icx*100)
+	}
+	if zen3 >= bw {
+		t.Errorf("AMD Zen 3 (%.1f%%) should be far below Broadwell (%.1f%%)", zen3*100, bw*100)
+	}
+	t.Logf("LEBench geomean overhead: Broadwell %.1f%%, IceLakeServer %.1f%%, Zen3 %.1f%%",
+		bw*100, icx*100, zen3*100)
+}
+
+// Mitigation attribution: disabling PTI must recover most of the
+// Meltdown tax on Broadwell; disabling MDS must recover the verw tax.
+func TestAttributionDirections(t *testing.T) {
+	m := model.Broadwell()
+	geomean := func(mit kernel.Mitigations) float64 {
+		res, err := Run(m, mit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals := make([]float64, len(res))
+		for i, r := range res {
+			vals[i] = r.Cycles
+		}
+		return stats.GeoMean(vals)
+	}
+	full := geomean(kernel.Defaults(m))
+	noPTI := geomean(kernel.BootParams{NoPTI: true}.Apply(m, kernel.Defaults(m)))
+	noMDS := geomean(kernel.BootParams{MDSOff: true}.Apply(m, kernel.Defaults(m)))
+	if noPTI >= full {
+		t.Errorf("disabling PTI did not speed up: %v -> %v", full, noPTI)
+	}
+	if noMDS >= full {
+		t.Errorf("disabling MDS clear did not speed up: %v -> %v", full, noMDS)
+	}
+}

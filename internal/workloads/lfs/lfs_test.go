@@ -1,0 +1,68 @@
+package lfs
+
+import (
+	"testing"
+
+	"spectrebench/internal/kernel"
+	"spectrebench/internal/model"
+)
+
+func TestSmallfileRunsAndExits(t *testing.T) {
+	m := model.SkylakeClient()
+	res, err := Run(m, kernel.Defaults(m), kernel.Defaults(m), Smallfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VMExits == 0 {
+		t.Error("smallfile produced no VM exits")
+	}
+	if res.Cycles <= 0 {
+		t.Error("no cycles measured")
+	}
+}
+
+func TestLargefileRunsAndExits(t *testing.T) {
+	m := model.Zen3()
+	res, err := Run(m, kernel.Defaults(m), kernel.Defaults(m), Largefile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VMExits < 64 {
+		t.Errorf("largefile exits = %d, want ≥ one per data block", res.VMExits)
+	}
+}
+
+func TestUnknownBenchmark(t *testing.T) {
+	m := model.Zen()
+	if _, err := Run(m, kernel.Defaults(m), kernel.Defaults(m), "nosuch"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+// §4.4: the median overhead of host mitigations on the LFS workloads was
+// under 2% (high variance; we allow a few percent). On hardware-fixed
+// parts it must be ≈0.
+func TestHostMitigationOverheadSmall(t *testing.T) {
+	cases := []struct {
+		m     *model.CPU
+		bound float64
+	}{
+		{model.Broadwell(), 0.035},     // L1TF + MDS vulnerable: flush+verw per exit
+		{model.SkylakeClient(), 0.035}, //
+		{model.IceLakeServer(), 0.01},  // nothing to do at the boundary
+		{model.Zen3(), 0.01},
+	}
+	for _, bench := range []string{Smallfile, Largefile} {
+		for _, c := range cases {
+			ov, err := HostMitigationOverhead(c.m, bench)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", c.m.Uarch, bench, err)
+			}
+			if ov < -0.005 || ov > c.bound {
+				t.Errorf("%s/%s: host mitigation overhead = %.2f%%, want [0, %.1f%%]",
+					c.m.Uarch, bench, ov*100, c.bound*100)
+			}
+			t.Logf("%s/%s: %.2f%%", c.m.Uarch, bench, ov*100)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Package octane provides an Octane-2-like JavaScript benchmark suite
+// for the simulated JS engine: six kernels that mirror the composition
+// of the original (scheduler simulation, constraint solving, tree
+// manipulation, big-number arithmetic, stencil computation, and vector
+// math), written in the engine's integer mini-JS dialect.
+//
+// Figure 3 of the paper decomposes the suite's slowdown into the JIT
+// mitigations (index masking, object mitigations, other JavaScript) and
+// the OS mitigations (SSBD via seccomp, other OS).
+package octane
+
+// Kernel is one benchmark of the suite.
+type Kernel struct {
+	Name string
+	// Source is the mini-JS program. Each kernel report()s a checksum
+	// as its last action; the harness validates it against Expect.
+	Source string
+	// Expect is the checksum the kernel must report.
+	Expect int64
+}
+
+// Kernels returns the suite in canonical order.
+func Kernels() []Kernel {
+	return []Kernel{
+		{Name: "richards", Source: richardsSrc, Expect: richardsExpect},
+		{Name: "deltablue", Source: deltablueSrc, Expect: deltablueExpect},
+		{Name: "splay", Source: splaySrc, Expect: splayExpect},
+		{Name: "crypto", Source: cryptoSrc, Expect: cryptoExpect},
+		{Name: "navier", Source: navierSrc, Expect: navierExpect},
+		{Name: "raytrace", Source: raytraceSrc, Expect: raytraceExpect},
+	}
+}
+
+// richards: a cooperative task scheduler with polymorphic task records —
+// property-access heavy, like the original Richards benchmark.
+const richardsSrc = `
+function runTask(t, q) {
+	// t: task record; q: work queue array
+	var work = t.work;
+	var id = t.id;
+	var done = 0;
+	while (work > 0 && done < 4) {
+		q[(id * 7 + work) % q.length] = work;
+		work = work - t.step;
+		done = done + 1;
+	}
+	t.work = work;
+	return done;
+}
+
+var queue = new Array(32);
+var tasks = [
+	{id: 1, work: 40, step: 1, prio: 3},
+	{id: 2, work: 30, step: 2, prio: 1},
+	{id: 3, work: 50, step: 1, prio: 2},
+	{prio: 9, id: 4, work: 25, step: 3}  // different shape: polymorphic sites
+];
+var totalRuns = 0;
+var live = 4;
+while (live > 0) {
+	live = 0;
+	for (var i = 0; i < 4; i = i + 1) {
+		var t = tasks[i];
+		if (t.work > 0) {
+			totalRuns = totalRuns + runTask(t, queue);
+			if (t.work > 0) { live = live + 1; }
+		}
+	}
+}
+var check = totalRuns;
+for (var i = 0; i < queue.length; i = i + 1) { check = check + queue[i]; }
+report(check);
+`
+
+const richardsExpect = 390
+
+// deltablue: one-way dataflow constraint propagation over a chain —
+// objects with guarded property access, like DeltaBlue's planner.
+const deltablueSrc = `
+function propagate(vars, deps, n) {
+	var changes = 0;
+	for (var i = 1; i < n; i = i + 1) {
+		var v = vars[i];
+		var d = vars[deps[i]];
+		var want = d.value + v.offset;
+		if (v.value != want) {
+			v.value = want;
+			changes = changes + 1;
+		}
+	}
+	return changes;
+}
+
+var n = 24;
+var vars = new Array(n);
+var deps = new Array(n);
+for (var i = 0; i < n; i = i + 1) {
+	vars[i] = {value: 0, offset: i % 5, stay: 0};
+	deps[i] = (i * 3) % n;
+	if (deps[i] >= i) { deps[i] = 0; }
+}
+vars[0].value = 11;
+var total = 0;
+for (var round = 0; round < 12; round = round + 1) {
+	total = total + propagate(vars, deps, n);
+}
+var check = total;
+for (var i = 0; i < n; i = i + 1) { check = check + vars[i].value; }
+report(check);
+`
+
+const deltablueExpect = 362
+
+// splay: binary search tree built from object nodes with recursive
+// insert/lookup — pointer-chasing property loads.
+const splaySrc = `
+function insert(nodes, root, key, free) {
+	// nodes: arena of {k, l, r}; indexes as links; 0 = null (slot 0 unused)
+	var cur = root;
+	while (true) {
+		var node = nodes[cur];
+		if (key < node.k) {
+			if (node.l == 0) { node.l = free; return free; }
+			cur = node.l;
+		} else {
+			if (node.r == 0) { node.r = free; return free; }
+			cur = node.r;
+		}
+	}
+	return 0;
+}
+
+function depthOf(nodes, root, key) {
+	var cur = root;
+	var d = 0;
+	while (cur != 0) {
+		var node = nodes[cur];
+		if (key == node.k) { return d; }
+		if (key < node.k) { cur = node.l; } else { cur = node.r; }
+		d = d + 1;
+	}
+	return 0 - 1;
+}
+
+var cap = 64;
+var nodes = new Array(cap);
+for (var i = 0; i < cap; i = i + 1) { nodes[i] = {k: 0, l: 0, r: 0}; }
+nodes[1] = {k: 500, l: 0, r: 0};
+var free = 2;
+var seed = 7;
+while (free < cap) {
+	seed = (seed * 131 + 41) % 1000;
+	var slot = insert(nodes, 1, seed, free);
+	nodes[slot].k = seed;
+	free = free + 1;
+}
+var check = 0;
+seed = 7;
+for (var i = 0; i < 40; i = i + 1) {
+	seed = (seed * 131 + 41) % 1000;
+	check = check + depthOf(nodes, 1, seed);
+}
+report(check);
+`
+
+const splayExpect = 199
+
+// crypto: multi-word modular arithmetic over digit arrays — the
+// array-indexing-dominated profile of Octane's crypto.
+const cryptoSrc = `
+function mulmod(a, b, m, digits) {
+	// (a * b) % m over base-10000 digit arrays of length digits.
+	var result = 0;
+	var carry = 0;
+	var acc = new Array(digits * 2);
+	for (var i = 0; i < digits; i = i + 1) {
+		carry = 0;
+		for (var j = 0; j < digits; j = j + 1) {
+			var cur = acc[i + j] + a[i] * b[j] + carry;
+			acc[i + j] = cur % 10000;
+			carry = cur / 10000;
+		}
+		acc[i + digits] = acc[i + digits] + carry;
+	}
+	// Fold the accumulator into a scalar mod m.
+	var fold = 0;
+	for (var i = digits * 2 - 1; i >= 0; i = i - 1) {
+		fold = (fold * 10000 + acc[i]) % m;
+	}
+	return fold;
+}
+
+var digits = 6;
+var a = new Array(digits);
+var b = new Array(digits);
+var seed = 3;
+for (var i = 0; i < digits; i = i + 1) {
+	seed = (seed * 377 + 91) % 10000;
+	a[i] = seed;
+	seed = (seed * 377 + 91) % 10000;
+	b[i] = seed;
+}
+var check = 0;
+for (var round = 0; round < 6; round = round + 1) {
+	check = (check + mulmod(a, b, 99991, digits)) % 1000000;
+	a[round % digits] = (a[round % digits] + round) % 10000;
+}
+report(check);
+`
+
+const cryptoExpect = 384106
+
+// navier: a fixed-point diffusion stencil over a 2-D grid — the dense
+// array traffic of NavierStokes.
+const navierSrc = `
+function step(src, dst, w, h) {
+	for (var y = 1; y < h - 1; y = y + 1) {
+		for (var x = 1; x < w - 1; x = x + 1) {
+			var i = y * w + x;
+			var v = src[i] * 4 + src[i - 1] + src[i + 1] + src[i - w] + src[i + w];
+			dst[i] = v / 8;
+		}
+	}
+}
+
+var w = 14;
+var h = 14;
+var a = new Array(w * h);
+var b = new Array(w * h);
+for (var i = 0; i < w * h; i = i + 1) { a[i] = (i * 37) % 256; }
+for (var iter = 0; iter < 6; iter = iter + 1) {
+	step(a, b, w, h);
+	step(b, a, w, h);
+}
+var check = 0;
+for (var i = 0; i < w * h; i = i + 1) { check = check + a[i]; }
+report(check);
+`
+
+const navierExpect = 20199
+
+// raytrace: fixed-point 3-vector math over point objects — object
+// construction and property math like the RayTrace kernel.
+const raytraceSrc = `
+function dot(p, q) {
+	return p.x * q.x + p.y * q.y + p.z * q.z;
+}
+function scaleAdd(p, q, s) {
+	return {x: p.x + q.x * s / 256, y: p.y + q.y * s / 256, z: p.z + q.z * s / 256};
+}
+
+var origin = {x: 10, y: 20, z: 30};
+var dir = {x: 256, y: 128, z: 64};
+var check = 0;
+var p = origin;
+for (var bounce = 0; bounce < 48; bounce = bounce + 1) {
+	p = scaleAdd(p, dir, bounce * 16);
+	var d = dot(p, dir);
+	check = (check + d) % 1000003;
+	if (d % 3 == 0) {
+		dir = {x: dir.y, y: dir.z, z: dir.x};
+	}
+}
+report(check);
+`
+
+const raytraceExpect = 385047

@@ -1,0 +1,115 @@
+package octane
+
+import (
+	"fmt"
+
+	"spectrebench/internal/js"
+	"spectrebench/internal/kernel"
+	"spectrebench/internal/model"
+	"spectrebench/internal/stats"
+)
+
+// Config is one measured suite configuration: a JIT mitigation set plus
+// the kernel policy knobs that matter to the browser process.
+type Config struct {
+	JS js.Mitigations
+	// SeccompSSBD applies the ≤5.15 kernel default of SSBD-on-seccomp.
+	SeccompSSBD bool
+	// OtherOS applies the remaining default OS mitigations.
+	OtherOS bool
+}
+
+// BrowserDefault is the shipping configuration: full JIT hardening on a
+// default kernel.
+func BrowserDefault() Config {
+	return Config{JS: js.AllMitigations(), SeccompSSBD: true, OtherOS: true}
+}
+
+// kernelMitigations folds the config's OS knobs into a mitigation set.
+func (cfg Config) kernelMitigations(m *model.CPU) kernel.Mitigations {
+	var mit kernel.Mitigations
+	if cfg.OtherOS {
+		mit = kernel.Defaults(m)
+	} else {
+		mit = kernel.BootParams{MitigationsOff: true}.Apply(m, kernel.Defaults(m))
+	}
+	mit.SSBDSeccomp = cfg.SeccompSSBD
+	return mit
+}
+
+// RunSuite executes every kernel under the configuration and returns
+// the total cycle cost. Kernel checksums are validated.
+func RunSuite(m *model.CPU, cfg Config) (float64, error) {
+	var cycles []float64
+	for _, k := range Kernels() {
+		e := js.NewEngine(m, cfg.kernelMitigations(m), cfg.JS)
+		res, err := e.Run(k.Source, 200_000_000)
+		if err != nil {
+			return 0, fmt.Errorf("octane %s: %w", k.Name, err)
+		}
+		if len(res.Reports) == 0 || res.Reports[len(res.Reports)-1] != k.Expect {
+			return 0, fmt.Errorf("octane %s: checksum %v, want %d", k.Name, res.Reports, k.Expect)
+		}
+		cycles = append(cycles, float64(res.Cycles))
+	}
+	// Octane aggregates with a geometric mean of per-test scores;
+	// cycles are inversely proportional to score.
+	return stats.GeoMean(cycles), nil
+}
+
+// Part is one mitigation's share of the Octane slowdown.
+type Part struct {
+	Name     string
+	Overhead float64 // fraction of the unmitigated cost
+}
+
+// Attribution is the Figure 3 decomposition for one CPU.
+type Attribution struct {
+	CPU       string
+	Total     float64
+	Parts     []Part
+	Baseline  float64
+	Mitigated float64
+}
+
+// Attribute reproduces Figure 3 on one CPU: starting from the browser
+// default, successively disable index masking, object mitigations, the
+// other JavaScript mitigations, SSBD, and the remaining OS mitigations,
+// attributing the difference at each rung.
+func Attribute(m *model.CPU) (*Attribution, error) {
+	cfg := BrowserDefault()
+	full, err := RunSuite(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	attr := &Attribution{CPU: m.Uarch, Mitigated: full}
+
+	steps := []struct {
+		name  string
+		strip func(*Config)
+	}{
+		{"index masking", func(c *Config) { c.JS.IndexMasking = false }},
+		{"object mitigations", func(c *Config) { c.JS.ObjectGuards = false }},
+		{"other JavaScript", func(c *Config) { c.JS.PointerPoisoning = false; c.JS.ReducedTimer = false }},
+		{"SSBD (seccomp)", func(c *Config) { c.SeccompSSBD = false }},
+		{"other OS", func(c *Config) { c.OtherOS = false }},
+	}
+	prev := full
+	for _, st := range steps {
+		st.strip(&cfg)
+		v, err := RunSuite(m, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("octane rung %q: %w", st.name, err)
+		}
+		attr.Parts = append(attr.Parts, Part{Name: st.name, Overhead: prev - v})
+		prev = v
+	}
+	attr.Baseline = prev
+	if attr.Baseline > 0 {
+		attr.Total = (attr.Mitigated - attr.Baseline) / attr.Baseline
+		for i := range attr.Parts {
+			attr.Parts[i].Overhead /= attr.Baseline
+		}
+	}
+	return attr, nil
+}

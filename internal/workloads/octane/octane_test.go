@@ -1,0 +1,84 @@
+package octane
+
+import (
+	"testing"
+
+	"spectrebench/internal/js"
+	"spectrebench/internal/model"
+)
+
+// Every kernel must produce its checksum in the interpreter AND in the
+// JIT, hardened and unhardened.
+func TestKernelChecksums(t *testing.T) {
+	m := model.IceLakeServer()
+	for _, k := range Kernels() {
+		prog, err := js.Parse(k.Source)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", k.Name, err)
+		}
+		ip := js.NewInterp(prog)
+		if err := ip.Run(); err != nil {
+			t.Fatalf("%s: interp: %v", k.Name, err)
+		}
+		rep := ip.Reports()
+		if len(rep) == 0 || rep[len(rep)-1] != k.Expect {
+			t.Errorf("%s: interp checksum %v, want %d", k.Name, rep, k.Expect)
+		}
+	}
+	// The JIT path is covered by RunSuite's own validation.
+	if _, err := RunSuite(m, BrowserDefault()); err != nil {
+		t.Fatalf("hardened suite: %v", err)
+	}
+	if _, err := RunSuite(m, Config{}); err != nil {
+		t.Fatalf("unhardened suite: %v", err)
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	// The paper: Octane overhead stays in the 15-25% range on every
+	// CPU, roughly half from JS mitigations (index masking ~4%, object
+	// mitigations ~6%) and the rest from SSBD and other OS effects.
+	for _, m := range []*model.CPU{model.Broadwell(), model.IceLakeServer(), model.Zen3()} {
+		attr, err := Attribute(m)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Uarch, err)
+		}
+		if attr.Total < 0.08 || attr.Total > 0.45 {
+			t.Errorf("%s: Octane overhead = %.1f%%, paper says ~15-25%%", m.Uarch, attr.Total*100)
+		}
+		parts := map[string]float64{}
+		for _, p := range attr.Parts {
+			parts[p.Name] = p.Overhead
+		}
+		if parts["index masking"] <= 0 {
+			t.Errorf("%s: index masking share = %.3f, want positive", m.Uarch, parts["index masking"])
+		}
+		if parts["object mitigations"] <= 0 {
+			t.Errorf("%s: object mitigations share = %.3f, want positive", m.Uarch, parts["object mitigations"])
+		}
+		if parts["SSBD (seccomp)"] <= 0 {
+			t.Errorf("%s: SSBD share = %.3f, want positive", m.Uarch, parts["SSBD (seccomp)"])
+		}
+		t.Logf("%s: total %.1f%% | masking %.1f%% objects %.1f%% otherJS %.1f%% ssbd %.1f%% otherOS %.1f%%",
+			m.Uarch, attr.Total*100, parts["index masking"]*100, parts["object mitigations"]*100,
+			parts["other JavaScript"]*100, parts["SSBD (seccomp)"]*100, parts["other OS"]*100)
+	}
+}
+
+// The paper's persistence finding: unlike the OS boundary, the browser
+// overhead does NOT collapse on new hardware — no JS mitigation has
+// been moved to silicon.
+func TestBrowserOverheadPersistsAcrossGenerations(t *testing.T) {
+	old, err := Attribute(model.Broadwell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	newest, err := Attribute(model.IceLakeServer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newest.Total < old.Total/3 {
+		t.Errorf("browser overhead collapsed on new hardware (%.1f%% -> %.1f%%): JS mitigations have no hardware fix",
+			old.Total*100, newest.Total*100)
+	}
+}

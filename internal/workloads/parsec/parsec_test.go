@@ -1,0 +1,100 @@
+package parsec
+
+import (
+	"math"
+	"testing"
+
+	"spectrebench/internal/kernel"
+	"spectrebench/internal/model"
+)
+
+func TestKernelsRunAndChecksum(t *testing.T) {
+	for _, m := range []*model.CPU{model.Broadwell(), model.Zen3()} {
+		for _, b := range Suite() {
+			cyc, err := Run(m, kernel.Defaults(m), b.Name)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", m.Uarch, b.Name, err)
+			}
+			if cyc <= 0 {
+				t.Errorf("%s/%s: cycles = %v", m.Uarch, b.Name, cyc)
+			}
+		}
+	}
+}
+
+func TestUnknownBenchmark(t *testing.T) {
+	if _, err := Run(model.Zen(), kernel.Defaults(model.Zen()), "raytrace"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+// §4.5: default mitigations cost ≈ nothing on compute-only workloads
+// (the paper saw within ±0.5%, never more than 2%).
+func TestDefaultMitigationsNearZero(t *testing.T) {
+	for _, m := range model.All() {
+		for _, b := range Suite() {
+			ov, err := DefaultMitigationOverhead(m, b.Name)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", m.Uarch, b.Name, err)
+			}
+			if math.Abs(ov) > 0.02 {
+				t.Errorf("%s/%s: default-mitigation overhead = %.2f%%, want within ±2%%",
+					m.Uarch, b.Name, ov*100)
+			}
+		}
+	}
+}
+
+// Figure 5: forced SSBD is expensive, ordered swaptions > facesim >
+// bodytrack, and trending worse on newer parts.
+func TestFigure5Shape(t *testing.T) {
+	slow := map[string]map[string]float64{}
+	for _, m := range model.All() {
+		slow[m.Uarch] = map[string]float64{}
+		for _, b := range Suite() {
+			ov, err := SSBDSlowdown(m, b.Name)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", m.Uarch, b.Name, err)
+			}
+			slow[m.Uarch][b.Name] = ov
+		}
+		s := slow[m.Uarch]
+		if !(s["swaptions"] > s["facesim"] && s["facesim"] > s["bodytrack"]) {
+			t.Errorf("%s: ordering wrong: swaptions %.1f%% facesim %.1f%% bodytrack %.1f%%",
+				m.Uarch, s["swaptions"]*100, s["facesim"]*100, s["bodytrack"]*100)
+		}
+		if s["bodytrack"] <= 0 {
+			t.Errorf("%s: bodytrack SSBD slowdown = %.2f%%, want positive", m.Uarch, s["bodytrack"]*100)
+		}
+		t.Logf("%s: swaptions %.1f%% facesim %.1f%% bodytrack %.1f%%",
+			m.Uarch, s["swaptions"]*100, s["facesim"]*100, s["bodytrack"]*100)
+	}
+	// The paper: "as much as 34%, trending worse over time".
+	if slow["Zen 3"]["swaptions"] < 0.20 {
+		t.Errorf("Zen 3 swaptions = %.1f%%, paper peaks ~34%%", slow["Zen 3"]["swaptions"]*100)
+	}
+	if slow["Zen 3"]["swaptions"] > 0.45 {
+		t.Errorf("Zen 3 swaptions = %.1f%%, too hot vs paper's 34%%", slow["Zen 3"]["swaptions"]*100)
+	}
+	if slow["Broadwell"]["swaptions"] >= slow["Ice Lake Server"]["swaptions"] {
+		t.Error("Intel SSBD cost should trend worse across generations")
+	}
+	if slow["Zen"]["swaptions"] >= slow["Zen 3"]["swaptions"] {
+		t.Error("AMD SSBD cost should trend worse across generations")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	m := model.CascadeLake()
+	a, err := Run(m, kernel.Defaults(m), "swaptions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(m, kernel.Defaults(m), "swaptions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("non-deterministic: %v vs %v", a, b)
+	}
+}
