@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench experiments examples vet cover clean
+.PHONY: all build test test-short test-race bench experiments faults-smoke examples vet cover clean
 
 all: vet test
 
@@ -19,6 +19,9 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+test-race:
+	$(GO) test -race ./...
+
 # Regenerate every table and figure as testing.B benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem
@@ -26,6 +29,11 @@ bench:
 # Run the full experiment registry through the CLI.
 experiments:
 	$(GO) run ./cmd/spectrebench run all
+
+# Crash-safety smoke: every experiment must complete (status ok) under
+# deterministic fault injection at a fixed seed.
+faults-smoke:
+	$(GO) run ./cmd/spectrebench -faults -seed 1 run all
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -9,25 +9,44 @@
 //	spectrebench run <id> [...]      run one or more experiments
 //	spectrebench run all             run everything
 //	spectrebench -csv run <id>       CSV output instead of text tables
+//	spectrebench -faults -seed 7 run all
+//	                                  run under deterministic fault injection
 //
-// Example:
-//
-//	spectrebench run table3 fig2
+// Every experiment runs under a crash-safe supervisor: panics are
+// caught, runaway experiments are stopped by a simulated-cycle
+// watchdog, ambiguous probe readings are retried, and `run` keeps going
+// past failures, printing a summary table and exiting nonzero at the
+// end. Output for a fixed seed is byte-identical across runs.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	"spectrebench/internal/harness"
 )
 
 func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	seed := flag.Uint64("seed", 1, "deterministic seed for fault injection")
+	faults := flag.Bool("faults", false, "enable deterministic fault injection at the named fault points")
+	cycleBudget := flag.Uint64("cycle-budget", harness.DefaultCycleBudget,
+		"per-core watchdog budget in simulated cycles (0 disables)")
+	retries := flag.Int("retries", harness.DefaultRetries,
+		"max re-runs of an inconclusive or fault-injected failing experiment")
 	flag.Usage = usage
 	flag.Parse()
+
+	cfg := harness.RunConfig{
+		Seed:        *seed,
+		Faults:      *faults,
+		Retries:     *retries,
+		CycleBudget: *cycleBudget,
+	}
+	if *cycleBudget == 0 {
+		cfg.CycleBudget = harness.NoCycleBudget
+	}
 
 	args := flag.Args()
 	if len(args) == 0 {
@@ -42,10 +61,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "run: need at least one experiment id (or 'all')")
 			os.Exit(2)
 		}
-		if err := run(args[1:], *csv); err != nil {
-			fmt.Fprintln(os.Stderr, "spectrebench:", err)
-			os.Exit(1)
-		}
+		os.Exit(run(args[1:], *csv, cfg))
 	default:
 		usage()
 		os.Exit(2)
@@ -57,7 +73,7 @@ func usage() {
 
 usage:
   spectrebench list
-  spectrebench [-csv] run <experiment-id>... | all
+  spectrebench [-csv] [-faults] [-seed N] [-cycle-budget N] [-retries N] run <experiment-id>... | all
 
 experiments:
 `)
@@ -72,29 +88,48 @@ func list() {
 	}
 }
 
-func run(ids []string, csv bool) error {
+// run supervises the selected experiments and returns the process exit
+// code: 0 when every experiment completed ok, 1 otherwise (after all of
+// them have run), 2 on a usage error.
+func run(ids []string, csv bool, cfg harness.RunConfig) int {
+	var exps []harness.Experiment
 	if len(ids) == 1 && ids[0] == "all" {
-		ids = nil
-		for _, e := range harness.All() {
-			ids = append(ids, e.ID)
+		exps = harness.All()
+	} else {
+		for _, id := range ids {
+			e, ok := harness.Lookup(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "spectrebench: unknown experiment %q (try 'spectrebench list')\n", id)
+				return 2
+			}
+			exps = append(exps, e)
 		}
 	}
-	for _, id := range ids {
-		e, ok := harness.Lookup(id)
-		if !ok {
-			return fmt.Errorf("unknown experiment %q (try 'spectrebench list')", id)
-		}
-		start := time.Now()
-		tbl, err := e.Run()
-		if err != nil {
-			return fmt.Errorf("%s: %w", id, err)
-		}
-		if csv {
-			fmt.Print(tbl.CSV())
-		} else {
-			fmt.Print(tbl.Render())
-			fmt.Printf("(%s, %.1fs)\n\n", e.Paper, time.Since(start).Seconds())
+
+	results := make([]harness.Result, 0, len(exps))
+	for _, e := range exps {
+		res := harness.Supervise(e, cfg)
+		results = append(results, res)
+		switch {
+		case res.Status == harness.StatusOK && csv:
+			fmt.Print(res.Table.CSV())
+		case res.Status == harness.StatusOK:
+			fmt.Print(res.Table.Render())
+			fmt.Printf("(%s, %.1fM simulated cycles)\n\n", e.Paper, float64(res.Cycles)/1e6)
+		default:
+			// Graceful degradation: report inline and keep going.
+			fmt.Printf("%s — %s\n  status: %s\n  error:  %v\n\n", e.ID, e.Title, res.Status, res.Err)
 		}
 	}
-	return nil
+
+	summary := harness.SummaryTable(results)
+	if csv {
+		fmt.Print(summary.CSV())
+	} else {
+		fmt.Print(summary.Render())
+	}
+	if harness.Failed(results) > 0 {
+		return 1
+	}
+	return 0
 }

@@ -1,6 +1,7 @@
 package attacks
 
 import (
+	"errors"
 	"fmt"
 
 	"spectrebench/internal/cpu"
@@ -8,6 +9,15 @@ import (
 	"spectrebench/internal/kernel"
 	"spectrebench/internal/model"
 )
+
+// ErrInconclusive is wrapped by probe errors when repeated attack-probe
+// readings stay in the bimodal threshold region: neither consistently
+// positive nor consistently negative. Attack outcomes are probabilistic
+// at the probe layer (Canella et al.), so a harness must absorb this
+// with a retry — the experiment supervisor re-runs the experiment with
+// a reseeded fault injector before reporting "inconclusive" — rather
+// than let a borderline reading flip a pass/fail bit.
+var ErrInconclusive = errors.New("attacks: probe reading inconclusive")
 
 // Scenario is one column of Tables 9 and 10: where the BTB is trained,
 // where the victim indirect branch runs, and whether a system call
@@ -78,8 +88,12 @@ func RunProbe(m *model.CPU, ibrs bool) (*ProbeResult, error) {
 const resultSlot = kernel.UserDataBase + 0x3e00
 
 // runScenario runs one (train-mode, victim-mode, syscall) combination
-// with three attempts, reporting whether any attempt observed
-// speculative execution of the gadget.
+// over several attempts. Without fault injection the simulator is
+// deterministic, so three attempts with any positive reading decide the
+// outcome (the original methodology). Under fault injection the probe
+// becomes retry-aware: it escalates to more attempts and requires a
+// clear majority; readings stuck in the bimodal threshold region return
+// an error wrapping ErrInconclusive instead of guessing.
 func runScenario(m *model.CPU, ibrs bool, s Scenario) (bool, error) {
 	c := cpu.New(m)
 	// Mitigations off: the probe studies the hardware, not the kernel.
@@ -92,18 +106,44 @@ func runScenario(m *model.CPU, ibrs bool, s Scenario) (bool, error) {
 	k.SpecCtrlOverride = &sc
 
 	prog := buildProbeProgram(s)
-	var hit bool
-	for attempt := 0; attempt < 3; attempt++ {
+	attempts := 3
+	if c.FI != nil {
+		attempts = 5
+	}
+	hits := 0
+	for attempt := 0; attempt < attempts; attempt++ {
 		p := k.NewProcess(fmt.Sprintf("probe-%d-%d", s, attempt), prog)
 		if err := k.RunProcessToCompletion(10_000_000); err != nil {
-			return false, err
+			return false, fmt.Errorf("probe attempt %d: %w", attempt, err)
 		}
-		delta := c.Phys.Read64((uint64(p.PID) << 32) + resultSlot)
-		if delta > 0 {
-			hit = true
+		if c.Phys.Read64((uint64(p.PID)<<32)+resultSlot) > 0 {
+			hits++
 		}
 	}
+	if c.FI == nil {
+		return hits > 0, nil
+	}
+	hit, ok := classifyHits(hits, attempts)
+	if !ok {
+		return false, fmt.Errorf("%w: scenario %v: %d/%d positive readings",
+			ErrInconclusive, s, hits, attempts)
+	}
 	return hit, nil
+}
+
+// classifyHits maps a positive-reading count onto (outcome, conclusive).
+// All-negative and majority-positive readings are conclusive; a thin
+// positive tail (under injected probe jitter a genuine signal repeats,
+// noise does not) is the bimodal threshold region.
+func classifyHits(hits, attempts int) (hit, conclusive bool) {
+	switch {
+	case hits == 0:
+		return false, true
+	case hits*2 > attempts:
+		return true, true
+	default:
+		return false, false
+	}
 }
 
 // buildProbeProgram assembles the Figure 6 experiment for one scenario.

@@ -51,6 +51,12 @@ type Config struct {
 
 // New builds a cache hierarchy from outermost-first configs (L1 first).
 // memLatency is the cost of missing all levels.
+//
+// New panics on an invalid geometry (fewer than one set). Cache configs
+// come from the static CPU model definitions registered at package init,
+// so a bad geometry is a programming bug surfaced the first time the
+// model is constructed — it can never be triggered by experiment input
+// at runtime, which is why this is a panic rather than an error return.
 func New(memLatency uint64, levels ...Config) *Cache {
 	var first, prev *Cache
 	for _, cfg := range levels {

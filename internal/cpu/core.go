@@ -14,10 +14,12 @@ package cpu
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"spectrebench/internal/branch"
 	"spectrebench/internal/buffers"
 	"spectrebench/internal/cache"
+	"spectrebench/internal/faultinject"
 	"spectrebench/internal/isa"
 	"spectrebench/internal/mem"
 	"spectrebench/internal/model"
@@ -79,6 +81,7 @@ const (
 	FaultInvalidOp   // #UD
 	FaultDivide      // #DE
 	FaultGP          // privileged op in user mode
+	FaultAlign       // #AC-style: an 8-byte access crossing a page boundary
 )
 
 func (k FaultKind) String() string {
@@ -95,6 +98,8 @@ func (k FaultKind) String() string {
 		return "divide-error"
 	case FaultGP:
 		return "general-protection"
+	case FaultAlign:
+		return "alignment-check"
 	}
 	return fmt.Sprintf("fault(%d)", int(k))
 }
@@ -173,6 +178,25 @@ type Core struct {
 	Cycles  uint64
 	Instret uint64
 
+	// FI, when non-nil, is consulted at the core's fault-injection
+	// points (spurious evictions, TLB glitches, drain delays, timing
+	// jitter). cpu.New attaches one automatically while a
+	// faultinject activation is installed; nil means no injection.
+	FI *faultinject.Injector
+
+	// CycleBudget, when nonzero, is the watchdog limit: Step returns an
+	// error wrapping ErrCycleBudget once Cycles exceeds it, so runaway
+	// experiments abort instead of hanging their caller. New cores copy
+	// the package default set via SetDefaultCycleBudget.
+	CycleBudget uint64
+
+	// interrupted is the Core.Interrupt flag (async abort hook).
+	interrupted atomic.Bool
+
+	// flushedCycles tracks how much of Cycles has been published to the
+	// package-wide telemetry counter.
+	flushedCycles uint64
+
 	// Hooks installed by the kernel / hypervisor / harness.
 	// OnSyscall runs after the SYSCALL instruction switched to kernel
 	// mode, if MSRLStar is zero (pure-Go kernels); with a nonzero
@@ -242,6 +266,8 @@ func New(m *model.CPU) *Core {
 		SpecEnabled: true,
 		msrs:        make(map[uint32]uint64),
 		Thunks:      make(map[uint64]func(*Core)),
+		FI:          faultinject.FromActive(m.Uarch),
+		CycleBudget: DefaultCycleBudget(),
 	}
 	c.L1 = cache.New(m.Costs.Mem,
 		cache.Config{Name: "L1d", SizeBytes: 32 << 10, Ways: 8, HitLatency: m.Costs.CacheL1},
@@ -279,6 +305,8 @@ func NewSMTSibling(c *Core) *Core {
 		msrs:        make(map[uint32]uint64),
 		Thunks:      c.Thunks,
 		programs:    c.programs,
+		FI:          c.FI, // siblings share the physical core's weather
+		CycleBudget: c.CycleBudget,
 	}
 	s.msrs[MSRArchCaps] = archCaps(c.Model)
 	return s

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"spectrebench/internal/branch"
+	"spectrebench/internal/faultinject"
 	"spectrebench/internal/isa"
 	"spectrebench/internal/mem"
 	"spectrebench/internal/pmc"
@@ -19,6 +20,19 @@ var ErrHalted = errors.New("cpu: halted")
 func (c *Core) Step() error {
 	if c.halted {
 		return ErrHalted
+	}
+	if c.CycleBudget != 0 && c.Cycles >= c.CycleBudget {
+		c.flushCycleTelemetry()
+		return fmt.Errorf("%w: %d cycles (budget %d) at pc=%#x",
+			ErrCycleBudget, c.Cycles, c.CycleBudget, c.PC)
+	}
+	if c.interrupted.Load() {
+		c.interrupted.Store(false)
+		c.flushCycleTelemetry()
+		return fmt.Errorf("%w at pc=%#x", ErrInterrupted, c.PC)
+	}
+	if c.Instret&0xfff == 0 {
+		c.flushCycleTelemetry()
 	}
 
 	// Magic host-Go thunks preempt fetch.
@@ -169,6 +183,7 @@ func (c *Core) execute(in *isa.Instruction) (uint64, *Fault) {
 	case isa.HLT:
 		c.charge(1)
 		c.halted = true
+		c.flushCycleTelemetry()
 
 	case isa.MOVI:
 		c.charge(cost.ALU)
@@ -411,6 +426,12 @@ func (c *Core) execute(in *isa.Instruction) (uint64, *Fault) {
 			// MD_CLEAR microcode: scrub fill buffers, load ports and
 			// the store buffer (Table 4's vulnerable-part cost).
 			c.charge(cost.VerwClear)
+			if c.FI.Fire(faultinject.FBDrainDelay) {
+				// Injected weather: the drain hits a busy buffer and
+				// stalls for extra cycles. The scrub still completes —
+				// the mitigation's security effect is never weakened.
+				c.charge(c.FI.Amount(faultinject.FBDrainDelay, 96))
+			}
 			c.FB.Clear()
 			c.SB.Drain()
 		} else {
@@ -484,6 +505,11 @@ func (c *Core) execute(in *isa.Instruction) (uint64, *Fault) {
 	case isa.RDTSC:
 		c.charge(12)
 		c.Regs[in.Dst] = c.Cycles
+		if c.FI.Fire(faultinject.ProbeJitter) {
+			// Injected weather: timestamp reads wobble by a few cycles,
+			// like SMI noise under a real timing probe.
+			c.Regs[in.Dst] += c.FI.Amount(faultinject.ProbeJitter, 8)
+		}
 
 	case isa.RDPMC:
 		c.charge(12)

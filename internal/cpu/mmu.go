@@ -1,9 +1,19 @@
 package cpu
 
 import (
+	"spectrebench/internal/faultinject"
 	"spectrebench/internal/mem"
 	"spectrebench/internal/pmc"
 )
+
+// crossesPage reports whether an 8-byte access at va straddles a page
+// boundary. The simulator's data path is 8 bytes wide and translates one
+// page per access, so a straddling access cannot be satisfied; the core
+// raises FaultAlign and lets the kernel trap path decide (it kills the
+// offending process, like a real kernel delivering SIGBUS).
+func crossesPage(va uint64) bool {
+	return va&mem.PageMask > mem.PageSize-8
+}
 
 // xlate translates a virtual address for the given access, charging TLB
 // and page-walk costs when charge is true (architectural accesses).
@@ -20,12 +30,18 @@ func (c *Core) xlate(va uint64, acc mem.Access, charge bool) (pa uint64, pte mem
 	user := c.Priv == PrivUser
 
 	if cached, ok := c.TLB.Lookup(vpn, pcid); ok {
-		pte = cached
-		fault = checkPTE(pte, acc, user)
-		if fault != mem.FaultNone {
-			return 0, pte, fault
+		if charge && c.FI.Fire(faultinject.TLBGlitch) {
+			// Injected weather: a shootdown IPI lands between lookup
+			// and use; drop the entry and take the walk below.
+			c.TLB.FlushVPN(vpn)
+		} else {
+			pte = cached
+			fault = checkPTE(pte, acc, user)
+			if fault != mem.FaultNone {
+				return 0, pte, fault
+			}
+			return pte.Phys | (va & mem.PageMask), pte, mem.FaultNone
 		}
-		return pte.Phys | (va & mem.PageMask), pte, mem.FaultNone
 	}
 
 	// TLB miss: walk the page table.
@@ -73,6 +89,9 @@ func checkPTE(pte mem.PTE, acc mem.Access, user bool) mem.FaultKind {
 // transiently expose; the executor runs the transient window with it.
 func (c *Core) load(va uint64) (v uint64, ssbStale *uint64, fault *Fault) {
 	c.lastLoadRet = c.Instret
+	if crossesPage(va) {
+		return 0, nil, &Fault{Kind: FaultAlign, VA: va, Access: mem.AccessRead, PC: c.PC}
+	}
 	pa, pte, mf := c.xlate(va, mem.AccessRead, true)
 	if mf != mem.FaultNone {
 		// A faulting architectural load is the trigger point for the
@@ -115,6 +134,11 @@ func (c *Core) load(va uint64) (v uint64, ssbStale *uint64, fault *Fault) {
 	}
 	v = c.Phys.Read64(pa)
 	c.FB.Deposit(v)
+	if c.FI.Fire(faultinject.CacheEvict) {
+		// Injected weather: the line is evicted right after use (an
+		// imaginary sibling's conflict miss); the next access re-fills.
+		c.L1.Flush(pa)
+	}
 	return v, nil, nil
 }
 
@@ -122,6 +146,9 @@ func (c *Core) load(va uint64) (v uint64, ssbStale *uint64, fault *Fault) {
 // through to physical memory immediately (architectural state is always
 // current); the store buffer entry models the forwarding window.
 func (c *Core) store(va uint64, v uint64) *Fault {
+	if crossesPage(va) {
+		return &Fault{Kind: FaultAlign, VA: va, Access: mem.AccessWrite, PC: c.PC}
+	}
 	pa, _, mf := c.xlate(va, mem.AccessWrite, true)
 	if mf != mem.FaultNone {
 		return &Fault{Kind: FaultPage, VA: va, Access: mem.AccessWrite, PC: c.PC}

@@ -169,6 +169,9 @@ func (c *Core) transientStep(t *txn, pc uint64, in *isa.Instruction) (uint64, bo
 
 	case isa.STORE:
 		va := t.regs[in.Src1] + uint64(in.Imm)
+		if crossesPage(va) {
+			return 0, false
+		}
 		pa, _, mf := c.xlate(va, mem.AccessWrite, false)
 		if mf != mem.FaultNone {
 			return 0, false
@@ -242,6 +245,9 @@ func (c *Core) transientStep(t *txn, pc uint64, in *isa.Instruction) (uint64, bo
 		t.fregs[in.FDst] = fbits(v)
 	case isa.FSTOR:
 		va := t.regs[in.Src1] + uint64(in.Imm)
+		if crossesPage(va) {
+			return 0, false
+		}
 		pa, _, mf := c.xlate(va, mem.AccessWrite, false)
 		if mf != mem.FaultNone {
 			return 0, false
@@ -266,6 +272,11 @@ func (c *Core) transientStep(t *txn, pc uint64, in *isa.Instruction) (uint64, bo
 // (the side channel) and resolves nested Meltdown-family leaks, but
 // charges no cycles and commits nothing.
 func (c *Core) transientLoad(t *txn, va uint64) (uint64, bool) {
+	if crossesPage(va) {
+		// A split access stalls in the load ports; the window never
+		// sees its value.
+		return 0, false
+	}
 	pa, pte, mf := c.xlate(va, mem.AccessRead, false)
 	if mf != mem.FaultNone {
 		// Nested faulting loads leak by the same rules as architectural

@@ -1,0 +1,65 @@
+package cpu
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrCycleBudget is wrapped by the error Step returns when the core's
+// simulated-cycle watchdog budget is exhausted. Callers classify it with
+// errors.Is; the experiment supervisor maps it to a "timeout" status.
+var ErrCycleBudget = errors.New("cpu: simulated-cycle budget exhausted")
+
+// ErrInterrupted is wrapped by the error Step returns after
+// Core.Interrupt was called (an asynchronous abort, e.g. an external
+// watchdog goroutine).
+var ErrInterrupted = errors.New("cpu: interrupted")
+
+// defaultCycleBudget seeds Core.CycleBudget at construction time
+// (0 = unlimited). Installed by the experiment supervisor so budgets
+// reach cores created deep inside experiment code without threading a
+// parameter through every constructor.
+var defaultCycleBudget atomic.Uint64
+
+// SetDefaultCycleBudget sets the watchdog budget copied into every
+// subsequently constructed core and returns the previous value.
+func SetDefaultCycleBudget(n uint64) (prev uint64) {
+	return defaultCycleBudget.Swap(n)
+}
+
+// DefaultCycleBudget returns the budget new cores start with.
+func DefaultCycleBudget() uint64 { return defaultCycleBudget.Load() }
+
+// totalCycles aggregates simulated cycles across every core in the
+// process. Cores flush into it periodically (and on halt or watchdog
+// expiry), so readings trail the exact sum by at most a few thousand
+// cycles per live core — good enough for the supervisor's per-experiment
+// cost accounting, and deterministic for a deterministic simulation.
+var totalCycles atomic.Uint64
+
+// TotalCycles returns the process-wide simulated cycle counter.
+func TotalCycles() uint64 { return totalCycles.Load() }
+
+// flushCycleTelemetry publishes this core's not-yet-published cycles.
+func (c *Core) flushCycleTelemetry() {
+	if d := c.Cycles - c.flushedCycles; d > 0 {
+		totalCycles.Add(d)
+		c.flushedCycles = c.Cycles
+	}
+}
+
+// FlushCycleTelemetry publishes this core's cycles accrued since the
+// last periodic flush. Run-loop owners (the kernel scheduler, the
+// hypervisor) call it when their loop returns: charge-heavy workloads
+// can retire far fewer than one flush interval of instructions, so
+// without a final flush their whole cost would go unreported.
+func (c *Core) FlushCycleTelemetry() { c.flushCycleTelemetry() }
+
+// Interrupt requests an asynchronous abort: the next Step returns an
+// error wrapping ErrInterrupted. Safe to call from another goroutine —
+// this is the supervisor-facing hook for killing a runaway core that is
+// not bound by a cycle budget.
+func (c *Core) Interrupt() { c.interrupted.Store(true) }
+
+// ClearInterrupt resets the abort flag (after the error was consumed).
+func (c *Core) ClearInterrupt() { c.interrupted.Store(false) }

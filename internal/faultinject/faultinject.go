@@ -1,0 +1,286 @@
+// Package faultinject provides deterministic, seedable fault injection
+// for the simulated machine. The CPU core, kernel and hypervisor consult
+// an Injector at named fault points — spurious cache-line evictions, TLB
+// shootdown glitches, delayed fill-buffer drains, interrupted syscalls
+// and probe-timing jitter — so every experiment can be re-run under
+// adversarial microarchitectural weather and must either converge to the
+// same result or return a structured error.
+//
+// Determinism is the contract: an Injector is a pure xorshift PRNG
+// seeded from (activation seed, per-core salt, creation sequence). No
+// wall-clock or math/rand state is ever consulted, so two runs with the
+// same seed fire exactly the same faults at exactly the same points.
+//
+// The package has two layers:
+//
+//   - A process-global activation (Activate/Deactivate) installed by the
+//     experiment supervisor. While active, cpu.New attaches a derived
+//     Injector to every core it constructs; while inactive, cores carry
+//     a nil Injector and every fault point is dead (all Injector methods
+//     are nil-receiver safe, so call sites stay unconditional).
+//   - The Injector itself, which can also be constructed directly with
+//     New for tests and standalone tools.
+package faultinject
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Point names one fault-injection site in the simulator.
+type Point uint8
+
+// Fault points consulted by the substrate.
+const (
+	// CacheEvict spuriously evicts the just-accessed line from the
+	// cache hierarchy after an architectural load (cache pressure from
+	// an imaginary SMT sibling or DMA agent).
+	CacheEvict Point = iota
+	// TLBGlitch drops a hitting TLB entry, forcing a re-walk — a
+	// shootdown IPI arriving at the worst moment.
+	TLBGlitch
+	// FBDrainDelay stalls a fill-buffer drain (verw, VM entry) for
+	// extra cycles: the microcode clear hitting a busy buffer.
+	FBDrainDelay
+	// SyscallEINTR interrupts a syscall before its handler runs; the
+	// kernel transparently restarts it (SA_RESTART semantics), charging
+	// the aborted entry/exit round trip.
+	SyscallEINTR
+	// ProbeJitter perturbs timestamp reads (rdtsc) by a few cycles —
+	// the measurement noise a real machine's probes must absorb.
+	ProbeJitter
+
+	numPoints
+)
+
+func (p Point) String() string {
+	switch p {
+	case CacheEvict:
+		return "cache-evict"
+	case TLBGlitch:
+		return "tlb-glitch"
+	case FBDrainDelay:
+		return "fb-drain-delay"
+	case SyscallEINTR:
+		return "syscall-eintr"
+	case ProbeJitter:
+		return "probe-jitter"
+	}
+	return fmt.Sprintf("point(%d)", int(p))
+}
+
+// Points returns every defined fault point (for documentation and CLI
+// listings).
+func Points() []Point {
+	out := make([]Point, 0, numPoints)
+	for p := Point(0); p < numPoints; p++ {
+		out = append(out, p)
+	}
+	return out
+}
+
+// defaultRates are the per-consultation firing probabilities. They are
+// tuned low enough that experiments still complete in CI time but high
+// enough that a full `spectrebench run all` exercises every point.
+var defaultRates = [numPoints]float64{
+	CacheEvict:   1.0 / 2048,
+	TLBGlitch:    1.0 / 4096,
+	FBDrainDelay: 1.0 / 32,
+	SyscallEINTR: 1.0 / 256,
+	ProbeJitter:  1.0 / 16,
+}
+
+// Config describes one fault-injection activation.
+type Config struct {
+	// Seed is the root of every derived Injector's PRNG stream.
+	Seed uint64
+	// Rates overrides the default firing probability per point
+	// (probability per consultation, in [0, 1]). Nil entries keep the
+	// defaults.
+	Rates map[Point]float64
+}
+
+// activation is the immutable global state plus its derivation counter.
+type activation struct {
+	seed       uint64
+	thresholds [numPoints]uint64
+	seq        atomic.Uint64 // per-activation injector creation counter
+	lastFired  atomic.Uint32 // 1+Point of the most recent fire, 0 = none
+}
+
+var active atomic.Pointer[activation]
+
+// threshold converts a probability to a compare threshold for a uniform
+// 64-bit draw.
+func threshold(rate float64) uint64 {
+	if rate <= 0 {
+		return 0
+	}
+	if rate >= 1 {
+		return ^uint64(0)
+	}
+	return uint64(rate * float64(^uint64(0)))
+}
+
+// Activate installs cfg as the process-global fault-injection state.
+// Cores constructed afterwards derive their Injector from it. The
+// derivation counter restarts at zero, so activating the same config
+// again reproduces the previous run exactly.
+func Activate(cfg Config) {
+	a := &activation{seed: cfg.Seed}
+	for p := Point(0); p < numPoints; p++ {
+		rate := defaultRates[p]
+		if r, ok := cfg.Rates[p]; ok {
+			rate = r
+		}
+		a.thresholds[p] = threshold(rate)
+	}
+	active.Store(a)
+}
+
+// Deactivate removes the global activation; subsequently constructed
+// cores carry a nil Injector.
+func Deactivate() { active.Store(nil) }
+
+// Enabled reports whether a global activation is installed.
+func Enabled() bool { return active.Load() != nil }
+
+// LastFired returns the most recently fired point across the current
+// activation and whether any point has fired at all. The supervisor
+// stamps it into ExperimentErrors so a failure names the weather that
+// likely provoked it.
+func LastFired() (Point, bool) {
+	a := active.Load()
+	if a == nil {
+		return 0, false
+	}
+	v := a.lastFired.Load()
+	if v == 0 {
+		return 0, false
+	}
+	return Point(v - 1), true
+}
+
+// Injector is a deterministic fault source for one core. It is not safe
+// for concurrent use; each core owns its own instance.
+type Injector struct {
+	state      uint64
+	thresholds [numPoints]uint64
+	checks     [numPoints]uint64
+	fired      [numPoints]uint64
+	act        *activation // nil for standalone injectors
+}
+
+// New returns a standalone Injector with the default rates. Intended for
+// tests; simulator cores obtain theirs via FromActive.
+func New(seed uint64) *Injector {
+	in := &Injector{state: mix(seed, 0x9e3779b97f4a7c15)}
+	for p := Point(0); p < numPoints; p++ {
+		in.thresholds[p] = threshold(defaultRates[p])
+	}
+	return in
+}
+
+// FromActive derives an Injector from the global activation, or returns
+// nil when fault injection is inactive. salt (typically the CPU model
+// name) and the activation's creation sequence decorrelate the streams
+// of multiple cores within one experiment while keeping the whole
+// derivation reproducible.
+func FromActive(salt string) *Injector {
+	a := active.Load()
+	if a == nil {
+		return nil
+	}
+	n := a.seq.Add(1)
+	in := &Injector{
+		state:      mix(mix(a.seed, hashString(salt)), n),
+		thresholds: a.thresholds,
+		act:        a,
+	}
+	return in
+}
+
+// Reseed restarts the injector's PRNG stream (the supervisor's
+// per-retry "different weather, same storm intensity" knob).
+func (in *Injector) Reseed(seed uint64) {
+	if in == nil {
+		return
+	}
+	in.state = mix(seed, 0x9e3779b97f4a7c15)
+}
+
+// Fire consults the injector at point p: it returns true when the fault
+// fires this time. Nil-receiver safe (never fires).
+func (in *Injector) Fire(p Point) bool {
+	if in == nil {
+		return false
+	}
+	in.checks[p]++
+	if in.rand() >= in.thresholds[p] {
+		return false
+	}
+	in.fired[p]++
+	if in.act != nil {
+		in.act.lastFired.Store(uint32(p) + 1)
+	}
+	return true
+}
+
+// Amount draws a deterministic magnitude in [1, max] for a fault that
+// already fired (extra stall cycles, jitter width). Nil-receiver safe
+// (returns 0).
+func (in *Injector) Amount(p Point, max uint64) uint64 {
+	if in == nil || max == 0 {
+		return 0
+	}
+	return in.rand()%max + 1
+}
+
+// Fired returns how many times p has fired on this injector.
+func (in *Injector) Fired(p Point) uint64 {
+	if in == nil {
+		return 0
+	}
+	return in.fired[p]
+}
+
+// Checks returns how many times p has been consulted on this injector.
+func (in *Injector) Checks(p Point) uint64 {
+	if in == nil {
+		return 0
+	}
+	return in.checks[p]
+}
+
+// rand advances the xorshift64* PRNG.
+func (in *Injector) rand() uint64 {
+	x := in.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	in.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// mix combines two words into a well-distributed, never-zero PRNG seed
+// (splitmix64 finalizer).
+func mix(a, b uint64) uint64 {
+	z := a + b + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x9e3779b97f4a7c15
+	}
+	return z
+}
+
+// hashString is FNV-1a, inlined to keep the package dependency-free.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,275 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"strings"
+
+	"spectrebench/internal/attacks"
+	"spectrebench/internal/cpu"
+	"spectrebench/internal/faultinject"
+)
+
+// ErrInconclusive aliases the probe layer's sentinel so harness callers
+// (and synthetic test experiments) classify inconclusive outcomes
+// without importing internal/attacks.
+var ErrInconclusive = attacks.ErrInconclusive
+
+// Status classifies a supervised experiment outcome.
+type Status string
+
+// Experiment statuses.
+const (
+	StatusOK           Status = "ok"
+	StatusFailed       Status = "failed"
+	StatusInconclusive Status = "inconclusive"
+	StatusTimeout      Status = "timeout"
+)
+
+// Supervisor defaults.
+const (
+	// DefaultCycleBudget is the per-core simulated-cycle watchdog limit
+	// applied to every core an experiment constructs: generous next to
+	// the ~10M-cycle microbenchmarks, small enough to abort a runaway
+	// experiment instead of hanging CI.
+	DefaultCycleBudget = 500_000_000
+	// DefaultRetries bounds re-runs of inconclusive or fault-injected
+	// failures before the result is reported as-is.
+	DefaultRetries = 2
+)
+
+// ExperimentError is the structured form a simulator panic (or wrapped
+// run failure) takes once the supervisor catches it: the experiment ID,
+// the attempt, the active fault point (when fault injection was on) and
+// the recovered value with its stack.
+type ExperimentError struct {
+	// ID is the experiment that failed.
+	ID string
+	// Attempt is the zero-based attempt that produced the error.
+	Attempt int
+	// FaultPoint names the most recently fired fault-injection point
+	// ("" when fault injection was inactive or nothing had fired) —
+	// the weather that likely provoked the failure.
+	FaultPoint string
+	// PanicValue is the recovered panic value, nil for wrapped errors.
+	PanicValue any
+	// Stack is the goroutine stack at recovery time (panics only).
+	Stack string
+	// Err is the underlying error.
+	Err error
+}
+
+func (e *ExperimentError) Error() string {
+	msg := fmt.Sprintf("experiment %s (attempt %d)", e.ID, e.Attempt)
+	if e.PanicValue != nil {
+		msg += fmt.Sprintf(": panic: %v", e.PanicValue)
+	} else if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	if e.FaultPoint != "" {
+		msg += " [fault-point " + e.FaultPoint + "]"
+	}
+	return msg
+}
+
+func (e *ExperimentError) Unwrap() error { return e.Err }
+
+// RunConfig configures supervised execution.
+type RunConfig struct {
+	// Seed roots the deterministic fault injector. Ignored unless
+	// Faults is set.
+	Seed uint64
+	// Faults enables deterministic fault injection for each attempt.
+	Faults bool
+	// Retries is the maximum number of re-runs after an inconclusive
+	// reading (always retried, with a reseeded injector) or a
+	// fault-injected failure. Negative means DefaultRetries.
+	Retries int
+	// CycleBudget is the per-core watchdog in simulated cycles; 0 means
+	// DefaultCycleBudget, NoCycleBudget disables the watchdog.
+	CycleBudget uint64
+}
+
+// NoCycleBudget disables the watchdog when placed in
+// RunConfig.CycleBudget.
+const NoCycleBudget = ^uint64(0)
+
+func (cfg RunConfig) withDefaults() RunConfig {
+	if cfg.Retries < 0 {
+		cfg.Retries = DefaultRetries
+	}
+	switch cfg.CycleBudget {
+	case 0:
+		cfg.CycleBudget = DefaultCycleBudget
+	case NoCycleBudget:
+		cfg.CycleBudget = 0
+	}
+	return cfg
+}
+
+// Result is the supervised outcome of one experiment.
+type Result struct {
+	ID    string
+	Paper string
+	Title string
+	// Status classifies the final attempt.
+	Status Status
+	// Table holds the rendered result when Status == StatusOK.
+	Table *Table
+	// Err is the final attempt's error for non-OK statuses.
+	Err error
+	// Retries is how many re-runs were consumed (0 = first attempt
+	// decided).
+	Retries int
+	// Cycles is the simulated-cycle cost across all attempts (telemetry
+	// is flushed periodically, so small experiments may under-report).
+	Cycles uint64
+}
+
+// Supervise runs one experiment crash-safely: panics become typed
+// *ExperimentError values, every core the experiment constructs is
+// bounded by the watchdog cycle budget, and inconclusive probe readings
+// are retried with a reseeded fault injector before being reported. The
+// process never dies on a failing experiment — that is the contract that
+// lets `run all` degrade gracefully and, later, lets experiments shard
+// across workers.
+func Supervise(e Experiment, cfg RunConfig) Result {
+	cfg = cfg.withDefaults()
+	res := Result{ID: e.ID, Paper: e.Paper, Title: e.Title}
+
+	prevBudget := cpu.SetDefaultCycleBudget(cfg.CycleBudget)
+	defer cpu.SetDefaultCycleBudget(prevBudget)
+	if cfg.Faults {
+		defer faultinject.Deactivate()
+	}
+
+	for attempt := 0; ; attempt++ {
+		if cfg.Faults {
+			// One activation per attempt: the injector is reseeded from
+			// (seed, experiment, attempt), so a retry sees different —
+			// but still reproducible — weather, and a single experiment
+			// re-run in isolation reproduces its `run all` behaviour.
+			faultinject.Activate(faultinject.Config{Seed: attemptSeed(cfg.Seed, e.ID, attempt)})
+		}
+		startCycles := cpu.TotalCycles()
+		tbl, err := runProtected(e, attempt, cfg.Faults)
+		res.Cycles += cpu.TotalCycles() - startCycles
+		res.Retries = attempt
+
+		if err == nil {
+			res.Status, res.Table, res.Err = StatusOK, tbl, nil
+			return res
+		}
+		res.Err = err
+		switch {
+		case errors.Is(err, cpu.ErrCycleBudget):
+			res.Status = StatusTimeout
+		case errors.Is(err, ErrInconclusive):
+			res.Status = StatusInconclusive
+		default:
+			res.Status = StatusFailed
+		}
+		if attempt >= cfg.Retries {
+			return res
+		}
+		// Inconclusive readings are always worth a retry. Failures and
+		// timeouts are retried only under fault injection, where the
+		// reseeded injector gives the next attempt a real chance; a
+		// deterministic failure would just repeat.
+		if !cfg.Faults && res.Status != StatusInconclusive {
+			return res
+		}
+	}
+}
+
+// attemptSeed derives the per-attempt injector seed. The experiment ID
+// is folded in so seeds do not depend on execution order, and the
+// attempt index reseeds retries.
+func attemptSeed(seed uint64, id string, attempt int) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return seed ^ h ^ (uint64(attempt+1) * 0x9e3779b97f4a7c15)
+}
+
+// runProtected invokes e.Run with panic isolation.
+func runProtected(e Experiment, attempt int, faults bool) (tbl *Table, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ee := &ExperimentError{
+				ID:         e.ID,
+				Attempt:    attempt,
+				PanicValue: r,
+				Stack:      string(debug.Stack()),
+				Err:        fmt.Errorf("panic: %v", r),
+			}
+			if faults {
+				if p, ok := faultinject.LastFired(); ok {
+					ee.FaultPoint = p.String()
+				}
+			}
+			err = ee
+		}
+	}()
+	return e.Run()
+}
+
+// SuperviseAll supervises each experiment in order, never stopping at a
+// failure, and returns every result.
+func SuperviseAll(exps []Experiment, cfg RunConfig) []Result {
+	out := make([]Result, 0, len(exps))
+	for _, e := range exps {
+		out = append(out, Supervise(e, cfg))
+	}
+	return out
+}
+
+// Failed reports how many results are not StatusOK.
+func Failed(results []Result) int {
+	n := 0
+	for _, r := range results {
+		if r.Status != StatusOK {
+			n++
+		}
+	}
+	return n
+}
+
+// SummaryTable renders the per-experiment outcome table printed at the
+// end of a supervised batch. Its contents are deterministic for a fixed
+// seed (no wall-clock values), so two identical runs render identically.
+func SummaryTable(results []Result) *Table {
+	t := &Table{
+		ID:      "summary",
+		Title:   "supervised experiment outcomes",
+		Columns: []string{"experiment", "status", "retries", "Mcycles", "error"},
+	}
+	for _, r := range results {
+		errText := ""
+		if r.Err != nil {
+			errText = summarizeError(r.Err)
+		}
+		t.Rows = append(t.Rows, []string{
+			r.ID, string(r.Status), fmt.Sprint(r.Retries),
+			fmt.Sprintf("%.1f", float64(r.Cycles)/1e6), errText,
+		})
+	}
+	if n := Failed(results); n > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("%d of %d experiments did not complete ok", n, len(results)))
+	}
+	return t
+}
+
+// summarizeError flattens an error to one table-cell-safe line.
+func summarizeError(err error) string {
+	s := strings.ReplaceAll(err.Error(), "\n", " ")
+	s = strings.ReplaceAll(s, ",", ";") // keep the CSV rendering parseable
+	const max = 80
+	if len(s) > max {
+		s = s[:max-1] + "…"
+	}
+	return s
+}

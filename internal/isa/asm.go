@@ -326,7 +326,10 @@ func (a *Asm) Assemble(base uint64) (*Program, error) {
 }
 
 // MustAssemble is Assemble but panics on error; for tests and static
-// kernel stubs where failure is a programming bug.
+// kernel stubs assembled at registration time, where failure is a
+// programming bug. Code built from dynamic input must use Assemble and
+// handle the error — experiment code paths should never reach this
+// panic at runtime (the harness supervisor catches it if one does).
 func (a *Asm) MustAssemble(base uint64) *Program {
 	p, err := a.Assemble(base)
 	if err != nil {

@@ -140,6 +140,9 @@ type Kernel struct {
 	ContextSwitches uint64
 	PageFaults      uint64
 	FPUTraps        uint64
+	// SyscallRestarts counts injected EINTR interruptions transparently
+	// restarted by the dispatch path (faultinject.SyscallEINTR).
+	SyscallRestarts uint64
 }
 
 // syscallCtx carries one in-progress syscall across the thunk boundary.

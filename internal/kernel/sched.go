@@ -23,6 +23,9 @@ func (k *Kernel) Start() error {
 // when every process has exited. It returns an error on an unhandled
 // fault or when the step budget is exhausted with processes still live.
 func (k *Kernel) Run(maxSteps int) error {
+	// Short charge-heavy workloads can finish well inside one periodic
+	// flush interval; publish their cycles when the loop ends.
+	defer k.C.FlushCycleTelemetry()
 	for i := 0; i < maxSteps; i++ {
 		if k.LiveProcs() == 0 {
 			return nil

@@ -111,6 +111,9 @@ func (k *Kernel) buildStubs() {
 }
 
 // patchJump rewrites the first JMP at or after fromPC to land on target.
+// It runs once at kernel construction over the static stub program, so
+// the panic below is a registration-time programming bug in the stub
+// text — it cannot be reached from experiment input.
 func (k *Kernel) patchJump(what string, fromPC, target uint64) {
 	for i := int((fromPC - k.stubs.Base) / isa.InstrBytes); i < len(k.stubs.Code); i++ {
 		if k.stubs.Code[i].Op == isa.JMP {

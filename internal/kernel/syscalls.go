@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"spectrebench/internal/cpu"
+	"spectrebench/internal/faultinject"
 	"spectrebench/internal/isa"
 	"spectrebench/internal/mem"
 )
@@ -87,6 +88,16 @@ func (k *Kernel) dispatchThunk(c *cpu.Core) {
 	k.Syscalls++
 	k.saveCur()
 	p := k.cur
+
+	if c.FI.Fire(faultinject.SyscallEINTR) {
+		// Injected weather: the syscall is interrupted before its
+		// handler runs and transparently restarted (SA_RESTART
+		// semantics). Charge the aborted entry/exit round trip plus the
+		// signal-delivery bookkeeping; dispatch then proceeds as the
+		// restarted invocation, so user code never observes EINTR.
+		k.SyscallRestarts++
+		c.Charge(c.Model.Costs.Syscall + c.Model.Costs.Sysret + 600)
+	}
 
 	nr := c.Regs[isa.R7]
 	ctx := &syscallCtx{proc: p, nr: nr}

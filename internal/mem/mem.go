@@ -45,12 +45,18 @@ func (p *Phys) page(pa uint64) *[PageSize]byte {
 	return pg
 }
 
-// Read64 reads 8 bytes at physical address pa. Accesses may not cross a
-// page boundary; the simulator only issues aligned 8-byte accesses.
+// Read64 reads 8 bytes at physical address pa. The fast path serves
+// accesses within one page (all the core ever issues — it raises an
+// alignment fault for straddling virtual accesses before translation);
+// a physical access that does cross a boundary falls back to the
+// byte-wise path rather than panicking, so library callers can never
+// crash the process with a bad address.
 func (p *Phys) Read64(pa uint64) uint64 {
 	off := pa & PageMask
 	if off+8 > PageSize {
-		panic(fmt.Sprintf("mem: read64 crosses page boundary at %#x", pa))
+		var buf [8]byte
+		p.ReadBytes(pa, buf[:])
+		return binary.LittleEndian.Uint64(buf[:])
 	}
 	pg, ok := p.pages[pa>>PageShift]
 	if !ok {
@@ -59,11 +65,15 @@ func (p *Phys) Read64(pa uint64) uint64 {
 	return binary.LittleEndian.Uint64(pg[off : off+8])
 }
 
-// Write64 writes 8 bytes at physical address pa.
+// Write64 writes 8 bytes at physical address pa, crossing a page
+// boundary byte-wise when needed (see Read64).
 func (p *Phys) Write64(pa uint64, v uint64) {
 	off := pa & PageMask
 	if off+8 > PageSize {
-		panic(fmt.Sprintf("mem: write64 crosses page boundary at %#x", pa))
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], v)
+		p.WriteBytes(pa, buf[:])
+		return
 	}
 	binary.LittleEndian.PutUint64(p.page(pa)[off:off+8], v)
 }

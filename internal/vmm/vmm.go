@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"spectrebench/internal/cpu"
+	"spectrebench/internal/faultinject"
 	"spectrebench/internal/isa"
 	"spectrebench/internal/kernel"
 	"spectrebench/internal/mem"
@@ -166,6 +167,11 @@ func (hv *Hypervisor) applyEntryMitigations(c *cpu.Core) {
 	}
 	if hv.HostMit.MDSClear && c.Model.Vulns.MDS {
 		c.Charge(c.Model.Costs.VerwClear)
+		if c.FI.Fire(faultinject.FBDrainDelay) {
+			// Injected weather: the pre-entry buffer clear stalls; the
+			// scrub still completes before the guest resumes.
+			c.Charge(c.FI.Amount(faultinject.FBDrainDelay, 96))
+		}
 		c.FB.Clear()
 	}
 }
