@@ -10,10 +10,12 @@ package spectrebench
 // is a simulator, not the authors' testbed).
 
 import (
+	"fmt"
 	"testing"
 
 	"spectrebench/internal/attacks"
 	"spectrebench/internal/core"
+	"spectrebench/internal/engine"
 	"spectrebench/internal/harness"
 	"spectrebench/internal/isa"
 	"spectrebench/internal/kernel"
@@ -377,4 +379,60 @@ func BenchmarkAblationSpeculationOff(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = lebenchGeomean(b, m, kernel.Defaults(m))
 	}
+}
+
+// BenchmarkAblationEngineJobs runs a cell-heavy batch (fig3 + whatif
+// share their fully hardened octane/suite cells) through the engine at
+// 1 and 4 workers on cold caches: the parallel/serial wall-clock ratio
+// is the tentpole metric of the scheduler PR.
+func BenchmarkAblationEngineJobs(b *testing.B) {
+	exps := make([]harness.Experiment, 0, 2)
+	for _, id := range []string{"fig3", "whatif-v1hw"} {
+		e, ok := harness.Lookup(id)
+		if !ok {
+			b.Fatalf("unknown experiment %q", id)
+		}
+		exps = append(exps, e)
+	}
+	for _, jobs := range []int{1, 4} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := engine.New(jobs)
+				results := harness.SuperviseAll(exps, harness.RunConfig{Engine: eng})
+				if n := harness.Failed(results); n != 0 {
+					b.Fatalf("%d experiments failed", n)
+				}
+				hits, misses := eng.Stats()
+				eng.Close()
+				if i == b.N-1 {
+					b.ReportMetric(float64(hits), "cache-hits")
+					b.ReportMetric(float64(misses), "cache-misses")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEngineCacheWarm measures a warm-cache re-run: the
+// same batch resubmitted to an engine that has already simulated every
+// cell costs only key construction and cache lookups.
+func BenchmarkAblationEngineCacheWarm(b *testing.B) {
+	e, ok := harness.Lookup("fig3")
+	if !ok {
+		b.Fatal("unknown experiment fig3")
+	}
+	eng := engine.New(1)
+	defer eng.Close()
+	cfg := harness.RunConfig{Engine: eng}
+	if res := harness.Supervise(e, cfg); res.Status != harness.StatusOK {
+		b.Fatalf("warmup: %s: %v", res.Status, res.Err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := harness.Supervise(e, cfg); res.Status != harness.StatusOK {
+			b.Fatalf("warm run: %s: %v", res.Status, res.Err)
+		}
+	}
+	hits, _ := eng.Stats()
+	b.ReportMetric(float64(hits), "cache-hits")
 }

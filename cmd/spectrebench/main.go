@@ -11,23 +11,35 @@
 //	spectrebench -csv run <id>       CSV output instead of text tables
 //	spectrebench -faults -seed 7 run all
 //	                                  run under deterministic fault injection
+//	spectrebench -jobs 8 run all     run on 8 workers (same bytes as -jobs 1)
 //
 // Every experiment runs under a crash-safe supervisor: panics are
 // caught, runaway experiments are stopped by a simulated-cycle
 // watchdog, ambiguous probe readings are retried, and `run` keeps going
 // past failures, printing a summary table and exiting nonzero at the
-// end. Output for a fixed seed is byte-identical across runs.
+// end. Experiments decompose into simulation cells that are memoized
+// and scheduled across a worker pool; output for a fixed seed is
+// byte-identical across runs and across -jobs values.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
+	"spectrebench/internal/engine"
 	"spectrebench/internal/harness"
 )
 
 func main() {
+	os.Exit(mainExitCode())
+}
+
+// mainExitCode is main with the exit code returned instead of called,
+// so the profile-writing defers run before the process exits.
+func mainExitCode() int {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	seed := flag.Uint64("seed", 1, "deterministic seed for fault injection")
 	faults := flag.Bool("faults", false, "enable deterministic fault injection at the named fault points")
@@ -35,8 +47,44 @@ func main() {
 		"per-core watchdog budget in simulated cycles (0 disables)")
 	retries := flag.Int("retries", harness.DefaultRetries,
 		"max re-runs of an inconclusive or fault-injected failing experiment")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0),
+		"worker pool size for experiments and simulation cells")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = usage
 	flag.Parse()
+
+	engine.SetDefaultJobs(*jobs)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spectrebench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "spectrebench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "spectrebench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "spectrebench: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	cfg := harness.RunConfig{
 		Seed:        *seed,
@@ -51,20 +99,21 @@ func main() {
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
 	switch args[0] {
 	case "list":
 		list()
+		return 0
 	case "run":
 		if len(args) < 2 {
 			fmt.Fprintln(os.Stderr, "run: need at least one experiment id (or 'all')")
-			os.Exit(2)
+			return 2
 		}
-		os.Exit(run(args[1:], *csv, cfg))
+		return run(args[1:], *csv, cfg)
 	default:
 		usage()
-		os.Exit(2)
+		return 2
 	}
 }
 
@@ -73,7 +122,8 @@ func usage() {
 
 usage:
   spectrebench list
-  spectrebench [-csv] [-faults] [-seed N] [-cycle-budget N] [-retries N] run <experiment-id>... | all
+  spectrebench [-csv] [-faults] [-seed N] [-cycle-budget N] [-retries N] [-jobs N]
+               [-cpuprofile FILE] [-memprofile FILE] run <experiment-id>... | all
 
 experiments:
 `)
@@ -88,9 +138,9 @@ func list() {
 	}
 }
 
-// run supervises the selected experiments and returns the process exit
-// code: 0 when every experiment completed ok, 1 otherwise (after all of
-// them have run), 2 on a usage error.
+// run supervises the selected experiments on the worker pool and
+// returns the process exit code: 0 when every experiment completed ok,
+// 1 otherwise (after all of them have run), 2 on a usage error.
 func run(ids []string, csv bool, cfg harness.RunConfig) int {
 	var exps []harness.Experiment
 	if len(ids) == 1 && ids[0] == "all" {
@@ -106,28 +156,8 @@ func run(ids []string, csv bool, cfg harness.RunConfig) int {
 		}
 	}
 
-	results := make([]harness.Result, 0, len(exps))
-	for _, e := range exps {
-		res := harness.Supervise(e, cfg)
-		results = append(results, res)
-		switch {
-		case res.Status == harness.StatusOK && csv:
-			fmt.Print(res.Table.CSV())
-		case res.Status == harness.StatusOK:
-			fmt.Print(res.Table.Render())
-			fmt.Printf("(%s, %.1fM simulated cycles)\n\n", e.Paper, float64(res.Cycles)/1e6)
-		default:
-			// Graceful degradation: report inline and keep going.
-			fmt.Printf("%s — %s\n  status: %s\n  error:  %v\n\n", e.ID, e.Title, res.Status, res.Err)
-		}
-	}
-
-	summary := harness.SummaryTable(results)
-	if csv {
-		fmt.Print(summary.CSV())
-	} else {
-		fmt.Print(summary.Render())
-	}
+	results := harness.SuperviseAll(exps, cfg)
+	fmt.Print(harness.RenderResults(results, csv, engine.Default()))
 	if harness.Failed(results) > 0 {
 		return 1
 	}

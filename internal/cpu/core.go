@@ -24,6 +24,7 @@ import (
 	"spectrebench/internal/mem"
 	"spectrebench/internal/model"
 	"spectrebench/internal/pmc"
+	"spectrebench/internal/simscope"
 	"spectrebench/internal/tlb"
 )
 
@@ -193,6 +194,12 @@ type Core struct {
 	// interrupted is the Core.Interrupt flag (async abort hook).
 	interrupted atomic.Bool
 
+	// scope is the simulation scope current when the core was
+	// constructed (nil outside managed runs). Cycle telemetry flushes
+	// into it so per-cell cost attribution stays exact even when many
+	// cells simulate concurrently.
+	scope *simscope.Scope
+
 	// flushedCycles tracks how much of Cycles has been published to the
 	// package-wide telemetry counter.
 	flushedCycles uint64
@@ -267,8 +274,9 @@ func New(m *model.CPU) *Core {
 		msrs:        make(map[uint32]uint64),
 		Thunks:      make(map[uint64]func(*Core)),
 		FI:          faultinject.FromActive(m.Uarch),
-		CycleBudget: DefaultCycleBudget(),
+		scope:       simscope.Current(),
 	}
+	c.CycleBudget = scopeCycleBudget(c.scope)
 	c.L1 = cache.New(m.Costs.Mem,
 		cache.Config{Name: "L1d", SizeBytes: 32 << 10, Ways: 8, HitLatency: m.Costs.CacheL1},
 		cache.Config{Name: "L2", SizeBytes: 512 << 10, Ways: 8, HitLatency: m.Costs.CacheL2 - m.Costs.CacheL1},
@@ -307,6 +315,7 @@ func NewSMTSibling(c *Core) *Core {
 		programs:    c.programs,
 		FI:          c.FI, // siblings share the physical core's weather
 		CycleBudget: c.CycleBudget,
+		scope:       c.scope,
 	}
 	s.msrs[MSRArchCaps] = archCaps(c.Model)
 	return s

@@ -3,6 +3,8 @@ package cpu
 import (
 	"errors"
 	"sync/atomic"
+
+	"spectrebench/internal/simscope"
 )
 
 // ErrCycleBudget is wrapped by the error Step returns when the core's
@@ -30,6 +32,18 @@ func SetDefaultCycleBudget(n uint64) (prev uint64) {
 // DefaultCycleBudget returns the budget new cores start with.
 func DefaultCycleBudget() uint64 { return defaultCycleBudget.Load() }
 
+// scopeCycleBudget resolves the watchdog budget for a core constructed
+// under sc: the budget captured when the scope was scheduled, or the
+// process default outside managed runs. Capturing at scheduling time
+// means a queued cell keeps its budget even if the default is swapped
+// for a later batch.
+func scopeCycleBudget(sc *simscope.Scope) uint64 {
+	if sc != nil && sc.HasBudget {
+		return sc.Budget
+	}
+	return defaultCycleBudget.Load()
+}
+
 // totalCycles aggregates simulated cycles across every core in the
 // process. Cores flush into it periodically (and on halt or watchdog
 // expiry), so readings trail the exact sum by at most a few thousand
@@ -40,10 +54,14 @@ var totalCycles atomic.Uint64
 // TotalCycles returns the process-wide simulated cycle counter.
 func TotalCycles() uint64 { return totalCycles.Load() }
 
-// flushCycleTelemetry publishes this core's not-yet-published cycles.
+// flushCycleTelemetry publishes this core's not-yet-published cycles to
+// the process-wide counter and, when the core was constructed under a
+// simulation scope, to that scope's accumulator (the supervisor's
+// order-independent per-experiment cost attribution).
 func (c *Core) flushCycleTelemetry() {
 	if d := c.Cycles - c.flushedCycles; d > 0 {
 		totalCycles.Add(d)
+		c.scope.AddCycles(d)
 		c.flushedCycles = c.Cycles
 	}
 }

@@ -1,0 +1,435 @@
+// Package engine runs simulation cells — independent units of simulated
+// work — across a bounded pool of workers while keeping every observable
+// result byte-identical to a serial run.
+//
+// # Cells and keys
+//
+// A cell is one (workload, uarch model, mitigation config, seed) tuple.
+// Cells are pure: a cell's value, error and simulated-cycle cost are a
+// function of its key alone. That purity is what makes the two engine
+// features sound:
+//
+//   - Memoization. Submit deduplicates by key, so a cell shared by
+//     several experiments (the OS-ladder sweeps of fig2/fig3/table9,
+//     the LEBench runs shared by fig2 and lebench-detail) simulates
+//     exactly once per process. The first Submit of a key counts as a
+//     miss, every later one as a hit — totals that depend only on the
+//     submitted key multiset, never on scheduling.
+//   - Parallelism. Cells have no ordering constraints between them, so
+//     any worker may run any ready cell; callers gather results in
+//     canonical order via Task.Wait.
+//
+// The cache is keyed by the Key struct itself (Go map equality), not by
+// its hash — a hash collision therefore cannot alias two cells. The hash
+// only seeds the cell's deterministic fault-injection stream.
+//
+// # Scheduling
+//
+// The pool is a classic work-stealing design: each worker owns a deque
+// (LIFO for the owner, to keep an experiment's freshly spawned cells
+// hot; FIFO for thieves, to steal the oldest and largest pending work),
+// plus a global injection queue for submissions from non-worker
+// goroutines. Cells are milliseconds of simulation, so one mutex over
+// all queues costs nothing measurable and keeps the invariants easy to
+// state.
+//
+// Tasks may wait on other tasks (an experiment waits on its cells; a
+// sweep waits on per-model tasks). A worker that blocks in Wait instead
+// helps: it runs other pending tasks until the awaited task completes or
+// no runnable work remains. Because waits only ever point from
+// experiments toward cells (a DAG) and a helping worker can reach every
+// queue, the pool cannot deadlock even at -jobs 1.
+//
+// # Determinism
+//
+// Each keyed task runs under its own simscope.Scope whose fault seed is
+// the key hash and whose activation snapshot and cycle budget were
+// captured at Submit time. Injector streams, fired-fault attribution and
+// cycle accounting are therefore functions of the cell key — independent
+// of worker count, steal order and submission interleaving.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"spectrebench/internal/cpu"
+	"spectrebench/internal/faultinject"
+	"spectrebench/internal/gls"
+	"spectrebench/internal/simscope"
+)
+
+// Key identifies one simulation cell. Two Submits with equal Keys share
+// one execution; every field therefore must capture everything the
+// cell's result depends on.
+type Key struct {
+	// Workload names the computation (e.g. "micro/syscall",
+	// "lebench/run", "vm/lfs/smallfile").
+	Workload string
+	// Uarch is the CPU model name.
+	Uarch string
+	// Config is the canonical encoding of the mitigation configuration
+	// (and any other knobs, e.g. the watchdog budget) the cell runs
+	// under.
+	Config string
+	// Seed roots the cell's fault-injection stream (0 when faults are
+	// off).
+	Seed uint64
+}
+
+// Hash folds the key into the 64-bit fault seed for the cell's scope.
+// Field boundaries are marked so ("ab","c") and ("a","bc") differ.
+func (k Key) Hash() uint64 {
+	h := uint64(14695981039346656037)
+	step := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+		h ^= 0xff
+		h *= 1099511628211
+	}
+	step(k.Workload)
+	step(k.Uarch)
+	step(k.Config)
+	for i := 0; i < 64; i += 8 {
+		h ^= (k.Seed >> i) & 0xff
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("%s/%s/%s/seed=%d", k.Workload, k.Uarch, k.Config, k.Seed)
+}
+
+// PanicError is the structured form a panicking task takes. Its Error
+// string is deterministic (no goroutine IDs or addresses), so rendered
+// output containing it stays byte-identical across runs; the stack is
+// preserved separately for debugging.
+type PanicError struct {
+	// Label names the task ("cell <key>" or the Go label).
+	Label string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack at recovery time.
+	Stack string
+	// FaultPoint names the most recently fired fault-injection point in
+	// the task's scope ("" when none fired).
+	FaultPoint string
+}
+
+func (e *PanicError) Error() string {
+	msg := fmt.Sprintf("%s: panic: %v", e.Label, e.Value)
+	if e.FaultPoint != "" {
+		msg += " [fault-point " + e.FaultPoint + "]"
+	}
+	return msg
+}
+
+// Task is one scheduled unit: a keyed (memoized) cell or an unkeyed
+// helper task. Wait may be called any number of times from any
+// goroutine.
+type Task struct {
+	eng   *Engine
+	key   Key
+	keyed bool
+	label string
+	fn    func() (any, error)
+	// scope is the determinism context the task runs under: a fresh
+	// per-cell scope for keyed tasks, the submitter's (shared) scope for
+	// unkeyed ones.
+	scope *simscope.Scope
+
+	done   chan struct{}
+	val    any
+	err    error
+	cycles uint64 // keyed tasks: simulated cycles attributed to the cell
+}
+
+func (t *Task) describe() string {
+	if t.keyed {
+		return "cell " + t.key.String()
+	}
+	return t.label
+}
+
+// Engine is a work-stealing worker pool with a memoizing cell cache.
+type Engine struct {
+	jobs int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	started bool
+	closed  bool
+
+	cache        map[Key]*Task
+	hits, misses uint64
+
+	global   []*Task   // FIFO injection queue for non-worker submitters
+	deques   [][]*Task // per-worker deques: owner pops the tail, thieves the head
+	workerOf map[uint64]int
+}
+
+// New returns an engine with n workers (n < 1 means GOMAXPROCS). Workers
+// start lazily on first submission.
+func New(n int) *Engine {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{
+		jobs:     n,
+		cache:    make(map[Key]*Task),
+		deques:   make([][]*Task, n),
+		workerOf: make(map[uint64]int),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// Jobs returns the worker count.
+func (e *Engine) Jobs() int { return e.jobs }
+
+// Stats returns the cache hit and miss totals: misses is the number of
+// distinct cells simulated, hits the number of Submits served from the
+// cache. Both depend only on what was submitted, so they are identical
+// across worker counts.
+func (e *Engine) Stats() (hits, misses uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.hits, e.misses
+}
+
+// Submit schedules the cell identified by key, or returns the existing
+// task when the key was already submitted. fn must be pure with respect
+// to key. The cell's fault seed, activation snapshot and cycle budget
+// are fixed here, at submission time, from the submitter's scope.
+func (e *Engine) Submit(key Key, fn func() (any, error)) *Task {
+	parent := simscope.Current()
+	e.mu.Lock()
+	if t, ok := e.cache[key]; ok {
+		e.hits++
+		e.mu.Unlock()
+		return t
+	}
+	e.misses++
+	sc := &simscope.Scope{FaultSeed: key.Hash()}
+	if parent != nil {
+		sc.Fault = parent.Fault
+		sc.Budget, sc.HasBudget = parent.Budget, parent.HasBudget
+		sc.Tag = parent.Tag
+	} else {
+		// Unmanaged submitter (an experiment invoked directly): capture
+		// the globals the scope would otherwise shadow.
+		sc.Fault = faultinject.Snapshot()
+		sc.Budget, sc.HasBudget = cpu.DefaultCycleBudget(), true
+	}
+	t := &Task{eng: e, key: key, keyed: true, fn: fn, scope: sc, done: make(chan struct{})}
+	e.cache[key] = t
+	e.enqueueLocked(t)
+	e.mu.Unlock()
+	return t
+}
+
+// Go schedules an unkeyed task (no memoization) that runs under the
+// submitter's current scope — the building block for fanning one
+// experiment's per-model work across workers while cycle charges and
+// fault attribution keep flowing to the experiment.
+func (e *Engine) Go(label string, fn func() (any, error)) *Task {
+	t := &Task{eng: e, label: label, fn: fn, scope: simscope.Current(), done: make(chan struct{})}
+	e.mu.Lock()
+	e.enqueueLocked(t)
+	e.mu.Unlock()
+	return t
+}
+
+// enqueueLocked places t on the submitting worker's own deque (tail =
+// hottest) or the global queue for outside submitters, starting the
+// workers on first use.
+func (e *Engine) enqueueLocked(t *Task) {
+	if e.closed {
+		panic("engine: submit on closed engine")
+	}
+	if !e.started {
+		e.started = true
+		for i := 0; i < e.jobs; i++ {
+			go e.worker(i)
+		}
+	}
+	if w, ok := e.workerOf[gls.ID()]; ok {
+		e.deques[w] = append(e.deques[w], t)
+	} else {
+		e.global = append(e.global, t)
+	}
+	e.cond.Broadcast()
+}
+
+// dequeueLocked returns a runnable task for worker w: own deque tail
+// first, then the global queue head, then the head of any other deque.
+func (e *Engine) dequeueLocked(w int) *Task {
+	if n := len(e.deques[w]); n > 0 {
+		t := e.deques[w][n-1]
+		e.deques[w][n-1] = nil
+		e.deques[w] = e.deques[w][:n-1]
+		return t
+	}
+	if len(e.global) > 0 {
+		t := e.global[0]
+		e.global[0] = nil
+		e.global = e.global[1:]
+		return t
+	}
+	for i := 1; i <= len(e.deques); i++ {
+		v := (w + i) % len(e.deques)
+		if len(e.deques[v]) > 0 {
+			t := e.deques[v][0]
+			e.deques[v][0] = nil
+			e.deques[v] = e.deques[v][1:]
+			return t
+		}
+	}
+	return nil
+}
+
+func (e *Engine) worker(idx int) {
+	id := gls.ID()
+	e.mu.Lock()
+	e.workerOf[id] = idx
+	for {
+		t := e.dequeueLocked(idx)
+		for t == nil {
+			if e.closed {
+				delete(e.workerOf, id)
+				e.mu.Unlock()
+				return
+			}
+			e.cond.Wait()
+			t = e.dequeueLocked(idx)
+		}
+		e.mu.Unlock()
+		e.run(t)
+		e.mu.Lock()
+	}
+}
+
+// run executes t under its scope (entering nil shadows any scope the
+// helping worker happened to be carrying) and publishes the result.
+func (e *Engine) run(t *Task) {
+	restore := simscope.Enter(t.scope)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				pe := &PanicError{
+					Label: t.describe(),
+					Value: r,
+					Stack: string(debug.Stack()),
+				}
+				if p, ok := t.scope.LastFired(); ok {
+					pe.FaultPoint = faultinject.Point(p).String()
+				}
+				t.err = pe
+			}
+		}()
+		t.val, t.err = t.fn()
+	}()
+	restore()
+	if t.keyed {
+		t.cycles = t.scope.Cycles()
+	}
+	close(t.done)
+}
+
+// workerIndex reports whether the calling goroutine is one of e's
+// workers.
+func (e *Engine) workerIndex() (int, bool) {
+	e.mu.Lock()
+	w, ok := e.workerOf[gls.ID()]
+	e.mu.Unlock()
+	return w, ok
+}
+
+// Wait blocks until the task completes and returns its value and error.
+// A worker that waits helps: it runs other pending tasks rather than
+// idling, which is what keeps -jobs 1 live when an experiment task
+// blocks on its own cells. For keyed tasks, the cell's simulated cycles
+// are charged to the waiter's current scope on every Wait — each
+// requester pays for the cell as if it had simulated it, exactly as the
+// serial engine-less code did, and the sum is independent of execution
+// order.
+func (t *Task) Wait() (any, error) {
+	select {
+	case <-t.done:
+	default:
+		if w, ok := t.eng.workerIndex(); ok {
+			t.eng.help(t, w)
+		}
+		<-t.done
+	}
+	if t.keyed {
+		simscope.Current().AddCycles(t.cycles)
+	}
+	return t.val, t.err
+}
+
+// help runs pending tasks on worker w until t completes or nothing is
+// runnable (t is then in flight on some other worker; the caller
+// blocks).
+func (e *Engine) help(t *Task, w int) {
+	for {
+		select {
+		case <-t.done:
+			return
+		default:
+		}
+		e.mu.Lock()
+		nt := e.dequeueLocked(w)
+		e.mu.Unlock()
+		if nt == nil {
+			return
+		}
+		e.run(nt)
+	}
+}
+
+// Close shuts the worker pool down once idle workers notice (pending
+// queued tasks are abandoned — only call Close after every submitted
+// task has been awaited). Intended for tests that create throwaway
+// engines; the process-default engine is never closed.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	e.closed = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// The process-default engine, used by any managed run that does not
+// carry an explicit engine. Size it with SetDefaultJobs before first
+// use.
+var (
+	defaultMu     sync.Mutex
+	defaultEngine *Engine
+	defaultJobs   int
+)
+
+// SetDefaultJobs fixes the worker count of the process-default engine.
+// It must be called before the first Default call (the CLI does so while
+// parsing flags); afterwards it has no effect.
+func SetDefaultJobs(n int) {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	if defaultEngine == nil {
+		defaultJobs = n
+	}
+}
+
+// Default returns the lazily constructed process-default engine.
+func Default() *Engine {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	if defaultEngine == nil {
+		defaultEngine = New(defaultJobs)
+	}
+	return defaultEngine
+}

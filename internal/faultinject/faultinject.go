@@ -7,9 +7,15 @@
 // same result or return a structured error.
 //
 // Determinism is the contract: an Injector is a pure xorshift PRNG
-// seeded from (activation seed, per-core salt, creation sequence). No
-// wall-clock or math/rand state is ever consulted, so two runs with the
-// same seed fire exactly the same faults at exactly the same points.
+// seeded from (scope fault seed, per-core salt, per-scope creation
+// sequence). No wall-clock or math/rand state is ever consulted, so two
+// runs with the same seed fire exactly the same faults at exactly the
+// same points. When a simscope.Scope is current (the parallel engine and
+// the supervisor always install one), derivation is keyed entirely by
+// the scope — the simulation-cell identity — so the streams a cell sees
+// do not depend on which other cells ran first or on which worker ran
+// them. Without a scope, the legacy process-global derivation counter
+// applies (standalone tests and tools).
 //
 // The package has two layers:
 //
@@ -25,6 +31,8 @@ package faultinject
 import (
 	"fmt"
 	"sync/atomic"
+
+	"spectrebench/internal/simscope"
 )
 
 // Point names one fault-injection site in the simulator.
@@ -142,8 +150,30 @@ func Activate(cfg Config) {
 // cores carry a nil Injector.
 func Deactivate() { active.Store(nil) }
 
+// Snapshot returns the current activation as an opaque handle suitable
+// for simscope.Scope.Fault, or nil when fault injection is inactive.
+// Capturing the snapshot when a cell is scheduled (rather than reading
+// the global when it runs) keeps a queued cell's weather fixed even if
+// the activation is replaced or removed before a worker picks it up.
+func Snapshot() any {
+	a := active.Load()
+	if a == nil {
+		return nil
+	}
+	return a
+}
+
 // Enabled reports whether a global activation is installed.
 func Enabled() bool { return active.Load() != nil }
+
+// ActiveSeed returns the installed activation's root seed, if any.
+func ActiveSeed() (uint64, bool) {
+	a := active.Load()
+	if a == nil {
+		return 0, false
+	}
+	return a.seed, true
+}
 
 // LastFired returns the most recently fired point across the current
 // activation and whether any point has fired at all. The supervisor
@@ -168,7 +198,8 @@ type Injector struct {
 	thresholds [numPoints]uint64
 	checks     [numPoints]uint64
 	fired      [numPoints]uint64
-	act        *activation // nil for standalone injectors
+	act        *activation     // nil for standalone and scoped injectors
+	scope      *simscope.Scope // owning scope for fire attribution, or nil
 }
 
 // New returns a standalone Injector with the default rates. Intended for
@@ -181,12 +212,32 @@ func New(seed uint64) *Injector {
 	return in
 }
 
-// FromActive derives an Injector from the global activation, or returns
-// nil when fault injection is inactive. salt (typically the CPU model
-// name) and the activation's creation sequence decorrelate the streams
-// of multiple cores within one experiment while keeping the whole
-// derivation reproducible.
+// FromActive derives an Injector for a newly constructed core, or
+// returns nil when fault injection is off. salt (typically the CPU model
+// name) and a creation sequence decorrelate the streams of multiple
+// cores within one experiment while keeping the derivation reproducible.
+//
+// When the calling goroutine carries a simscope.Scope, the derivation is
+// fully scope-local: the seed is the scope's FaultSeed, the sequence is
+// the scope's own counter, and the activation is the snapshot captured
+// when the scope was scheduled (a nil snapshot means faults are off for
+// this scope regardless of the global activation). That makes a cell's
+// injector streams a pure function of the cell identity — the property
+// the parallel engine needs for order-independent replay. Without a
+// scope, the legacy global activation and its process-wide counter
+// apply.
 func FromActive(salt string) *Injector {
+	if sc := simscope.Current(); sc != nil {
+		a, _ := sc.Fault.(*activation)
+		if a == nil {
+			return nil
+		}
+		return &Injector{
+			state:      mix(mix(sc.FaultSeed, hashString(salt)), sc.NextSeq()),
+			thresholds: a.thresholds,
+			scope:      sc,
+		}
+	}
 	a := active.Load()
 	if a == nil {
 		return nil
@@ -220,7 +271,9 @@ func (in *Injector) Fire(p Point) bool {
 		return false
 	}
 	in.fired[p]++
-	if in.act != nil {
+	if in.scope != nil {
+		in.scope.NoteFired(uint8(p))
+	} else if in.act != nil {
 		in.act.lastFired.Store(uint32(p) + 1)
 	}
 	return true

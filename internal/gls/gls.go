@@ -1,0 +1,26 @@
+// Package gls provides the one goroutine-identity primitive the
+// simulation-scope layer needs: a stable numeric ID for the calling
+// goroutine. The runtime does not expose goroutine IDs on purpose, so
+// this parses the header line of runtime.Stack — the documented,
+// stable-for-a-decade "goroutine N [state]:" format. The cost (~1µs) is
+// paid only at scope entry/exit and core construction, never inside the
+// simulator's cycle loop.
+package gls
+
+import "runtime"
+
+// ID returns the calling goroutine's ID.
+func ID() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	// Skip "goroutine " (10 bytes) and parse the decimal that follows.
+	var id uint64
+	for i := 10; i < n; i++ {
+		c := buf[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}

@@ -1,0 +1,40 @@
+package gls
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestIDStableWithinGoroutine(t *testing.T) {
+	a, b := ID(), ID()
+	if a == 0 {
+		t.Fatal("ID() = 0, want nonzero")
+	}
+	if a != b {
+		t.Fatalf("ID changed within one goroutine: %d then %d", a, b)
+	}
+}
+
+func TestIDDistinctAcrossGoroutines(t *testing.T) {
+	const n = 16
+	ids := make([]uint64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ids[i] = ID()
+		}(i)
+	}
+	wg.Wait()
+	seen := map[uint64]bool{ID(): true}
+	for i, id := range ids {
+		if id == 0 {
+			t.Fatalf("goroutine %d: ID() = 0", i)
+		}
+		if seen[id] {
+			t.Fatalf("goroutine %d: duplicate ID %d", i, id)
+		}
+		seen[id] = true
+	}
+}

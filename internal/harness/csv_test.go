@@ -1,0 +1,29 @@
+package harness
+
+import "testing"
+
+func TestCSVQuoting(t *testing.T) {
+	tbl := &Table{
+		ID: "t", Title: "t",
+		Columns: []string{"plain", "with,comma"},
+		Rows: [][]string{
+			{`say "hi"`, "line\nbreak"},
+			{"trailing\r", "ok"},
+		},
+	}
+	got := tbl.CSV()
+	want := "plain,\"with,comma\"\n" +
+		"\"say \"\"hi\"\"\",\"line\nbreak\"\n" +
+		"\"trailing\r\",ok\n"
+	if got != want {
+		t.Errorf("CSV() = %q, want %q", got, want)
+	}
+}
+
+func TestCSVCellPassthrough(t *testing.T) {
+	for _, s := range []string{"", "plain", "1.5%", "Ice Lake Server"} {
+		if got := csvCell(s); got != s {
+			t.Errorf("csvCell(%q) = %q, want unquoted passthrough", s, got)
+		}
+	}
+}

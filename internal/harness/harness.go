@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Table is a rendered experiment result.
@@ -60,17 +61,35 @@ func (t *Table) Render() string {
 	return b.String()
 }
 
-// CSV renders the table as comma-separated values (quotes elided: cells
-// in this repository never contain commas).
+// CSV renders the table as RFC 4180 comma-separated values: any cell
+// containing a comma, double quote or line break is quoted, with
+// embedded quotes doubled. Most cells in this repository need no
+// quoting, but error summaries and free-form titles must not be able to
+// corrupt the row structure.
 func (t *Table) CSV() string {
 	var b strings.Builder
-	b.WriteString(strings.Join(t.Columns, ","))
-	b.WriteByte('\n')
-	for _, row := range t.Rows {
-		b.WriteString(strings.Join(row, ","))
+	row := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvCell(c))
+		}
 		b.WriteByte('\n')
 	}
+	row(t.Columns)
+	for _, r := range t.Rows {
+		row(r)
+	}
 	return b.String()
+}
+
+// csvCell quotes one CSV field per RFC 4180 when needed.
+func csvCell(s string) string {
+	if !strings.ContainsAny(s, ",\"\n\r") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
 }
 
 // Experiment is one reproducible artifact of the paper.
@@ -85,29 +104,47 @@ type Experiment struct {
 	Run func() (*Table, error)
 }
 
-var registry = map[string]Experiment{}
+// The registry is a map so Lookup is O(1) and duplicate IDs fail fast at
+// registration; All memoizes its sorted view (invalidated by register)
+// instead of re-sorting on every call. The mutex exists because All and
+// Lookup are now called from engine workers, not just the main
+// goroutine.
+var (
+	registryMu sync.Mutex
+	registry   = map[string]Experiment{}
+	allCache   []Experiment
+)
 
 func register(e Experiment) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
 	if _, dup := registry[e.ID]; dup {
 		panic("harness: duplicate experiment " + e.ID)
 	}
 	registry[e.ID] = e
+	allCache = nil
 }
 
 // Lookup returns the experiment with the given id.
 func Lookup(id string) (Experiment, bool) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
 	e, ok := registry[id]
 	return e, ok
 }
 
 // All returns every experiment sorted by ID.
 func All() []Experiment {
-	out := make([]Experiment, 0, len(registry))
-	for _, e := range registry {
-		out = append(out, e)
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if allCache == nil {
+		allCache = make([]Experiment, 0, len(registry))
+		for _, e := range registry {
+			allCache = append(allCache, e)
+		}
+		sort.Slice(allCache, func(i, j int) bool { return allCache[i].ID < allCache[j].ID })
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	return append([]Experiment(nil), allCache...)
 }
 
 // pct formats a fraction as a percentage.

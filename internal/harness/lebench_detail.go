@@ -19,7 +19,10 @@ func init() {
 // runLEBenchDetail prints every LEBench microbenchmark's individual
 // slowdown on a representative old/new/AMD trio — the per-test data the
 // Figure 2 geomean aggregates (the paper notes per-test variation from
-// near-zero on heavy operations to multiples on null syscalls).
+// near-zero on heavy operations to multiples on null syscalls). Both
+// configurations per model are the same "lebench/run" cells Figure 2's
+// ladder samples, so in a batch run this experiment costs no extra
+// simulation.
 func runLEBenchDetail() (*Table, error) {
 	models := []*model.CPU{model.Broadwell(), model.IceLakeServer(), model.Zen3()}
 	t := &Table{
@@ -30,14 +33,15 @@ func runLEBenchDetail() (*Table, error) {
 		t.Columns = append(t.Columns, m.Uarch)
 	}
 
+	cs := declareCells()
 	type pair struct{ on, off []lebench.Result }
 	data := map[string]pair{}
 	for _, m := range models {
-		on, err := lebench.Run(m, kernel.Defaults(m))
+		on, err := cs.lebenchRun(m, kernel.Defaults(m))
 		if err != nil {
 			return nil, err
 		}
-		off, err := lebench.Run(m, kernel.BootParams{MitigationsOff: true}.Apply(m, kernel.Defaults(m)))
+		off, err := cs.lebenchRun(m, kernel.BootParams{MitigationsOff: true}.Apply(m, kernel.Defaults(m)))
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"spectrebench/internal/engine"
+)
+
+// RenderResults renders a supervised batch exactly as the CLI prints it:
+// each result's table (or failure report) in input order, then the
+// summary table, annotated with eng's cell-cache statistics when eng is
+// non-nil. The CLI and the determinism tests share this function, so
+// "byte-identical output" means the same bytes everywhere.
+//
+// Cache hit/miss totals depend only on the multiset of submitted cell
+// keys — never on worker count or scheduling order — so the stats line
+// is as deterministic as the tables above it.
+func RenderResults(results []Result, csv bool, eng *engine.Engine) string {
+	var b strings.Builder
+	for _, res := range results {
+		switch {
+		case res.Status == StatusOK && csv:
+			b.WriteString(res.Table.CSV())
+		case res.Status == StatusOK:
+			b.WriteString(res.Table.Render())
+			fmt.Fprintf(&b, "(%s, %.1fM simulated cycles)\n\n", res.Paper, float64(res.Cycles)/1e6)
+		default:
+			// Graceful degradation: report inline and keep going.
+			fmt.Fprintf(&b, "%s — %s\n  status: %s\n  error:  %v\n\n", res.ID, res.Title, res.Status, res.Err)
+		}
+	}
+	summary := SummaryTable(results)
+	if eng != nil {
+		summary.Notes = append(summary.Notes, cacheNote(eng))
+	}
+	if csv {
+		b.WriteString(summary.CSV())
+	} else {
+		b.WriteString(summary.Render())
+	}
+	return b.String()
+}
+
+// cacheNote summarizes the engine's cell cache. The worker count is
+// deliberately omitted: output must not vary with -jobs.
+func cacheNote(eng *engine.Engine) string {
+	hits, misses := eng.Stats()
+	total := hits + misses
+	if total == 0 {
+		return "cell cache: no cells scheduled"
+	}
+	return fmt.Sprintf("cell cache: %d cells simulated, %d reused (%.1f%% hit rate)",
+		misses, hits, float64(hits)/float64(total)*100)
+}

@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"spectrebench/internal/cpu"
+	"spectrebench/internal/engine"
 	"spectrebench/internal/isa"
+	"spectrebench/internal/kernel"
 	"spectrebench/internal/model"
 )
 
@@ -26,17 +28,33 @@ func runSMTCost() (*Table, error) {
 		ID: "smt-cost", Title: "Two compute threads: SMT wall cycles vs nosmt, per physical core",
 		Columns: []string{"CPU", "SMT", "SMT (wall)", "nosmt (wall)", "nosmt slowdown"},
 	}
-	for _, m := range model.All() {
+	cs := declareCells()
+	cells := make([]*engine.Task, len(model.All()))
+	for i, m := range model.All() {
 		if !m.SMT {
+			continue
+		}
+		m := m
+		cells[i] = cs.cell("smt/pair-wall", m, kernel.Mitigations{}, func() (any, error) {
+			smtWall, seqWall, err := smtPairWall(m)
+			if err != nil {
+				return nil, err
+			}
+			return smtPair{smt: smtWall, seq: seqWall}, nil
+		})
+	}
+	for i, m := range model.All() {
+		if cells[i] == nil {
 			t.Rows = append(t.Rows, []string{m.Uarch, "", "N/A", "N/A", "N/A"})
 			continue
 		}
-		smtWall, seqWall, err := smtPairWall(m)
+		v, err := cells[i].Wait()
 		if err != nil {
 			return nil, err
 		}
+		p := v.(smtPair)
 		t.Rows = append(t.Rows, []string{
-			m.Uarch, "yes", cyc(smtWall), cyc(seqWall), pct(seqWall/smtWall - 1),
+			m.Uarch, "yes", cyc(p.smt), cyc(p.seq), pct(p.seq/p.smt - 1),
 		})
 	}
 	t.Notes = append(t.Notes,
@@ -44,6 +62,10 @@ func runSMTCost() (*Table, error) {
 		"MDS-vulnerable parts keep SMT on by default despite the cross-thread leak (Table 1's '!')")
 	return t, nil
 }
+
+// smtPair is the "smt/pair-wall" cell's value: wall cycles for the
+// thread pair co-run on SMT siblings vs back-to-back on one core.
+type smtPair struct{ smt, seq float64 }
 
 // smtComputeProgram is a swaptions-like FP loop at the given base.
 func smtComputeProgram(base uint64, dataVA int64) *isa.Program {

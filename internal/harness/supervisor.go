@@ -8,7 +8,9 @@ import (
 
 	"spectrebench/internal/attacks"
 	"spectrebench/internal/cpu"
+	"spectrebench/internal/engine"
 	"spectrebench/internal/faultinject"
+	"spectrebench/internal/simscope"
 )
 
 // ErrInconclusive aliases the probe layer's sentinel so harness callers
@@ -89,6 +91,18 @@ type RunConfig struct {
 	// CycleBudget is the per-core watchdog in simulated cycles; 0 means
 	// DefaultCycleBudget, NoCycleBudget disables the watchdog.
 	CycleBudget uint64
+	// Engine schedules the run's simulation cells and experiment tasks;
+	// nil means the process-default engine. Tests pass throwaway engines
+	// so cache statistics are isolated per run.
+	Engine *engine.Engine
+}
+
+// engine returns the scheduling engine for this config.
+func (cfg RunConfig) engine() *engine.Engine {
+	if cfg.Engine != nil {
+		return cfg.Engine
+	}
+	return engine.Default()
 }
 
 // NoCycleBudget disables the watchdog when placed in
@@ -136,25 +150,42 @@ type Result struct {
 // across workers.
 func Supervise(e Experiment, cfg RunConfig) Result {
 	cfg = cfg.withDefaults()
-	res := Result{ID: e.ID, Paper: e.Paper, Title: e.Title}
-
 	prevBudget := cpu.SetDefaultCycleBudget(cfg.CycleBudget)
 	defer cpu.SetDefaultCycleBudget(prevBudget)
 	if cfg.Faults {
+		faultinject.Activate(faultinject.Config{Seed: cfg.Seed})
 		defer faultinject.Deactivate()
 	}
+	return supervise(e, cfg, cfg.engine())
+}
+
+// supervise runs the attempt loop for one experiment. The caller has
+// already installed the batch-level globals (default budget, fault
+// activation); each attempt gets its own simulation scope carrying the
+// attempt's fault seed, the activation snapshot, the budget, and the
+// engine — everything experiment code and the cells it declares need,
+// with no reads of mutable process state from inside the attempt.
+func supervise(e Experiment, cfg RunConfig, eng *engine.Engine) Result {
+	res := Result{ID: e.ID, Paper: e.Paper, Title: e.Title}
 
 	for attempt := 0; ; attempt++ {
-		if cfg.Faults {
-			// One activation per attempt: the injector is reseeded from
-			// (seed, experiment, attempt), so a retry sees different —
-			// but still reproducible — weather, and a single experiment
-			// re-run in isolation reproduces its `run all` behaviour.
-			faultinject.Activate(faultinject.Config{Seed: attemptSeed(cfg.Seed, e.ID, attempt)})
+		// The scope seed derives from (seed, experiment, attempt), so a
+		// retry sees different — but still reproducible — weather, and a
+		// single experiment re-run in isolation reproduces its `run all`
+		// behaviour.
+		sc := &simscope.Scope{
+			FaultSeed: attemptSeed(cfg.Seed, e.ID, attempt),
+			Budget:    cfg.CycleBudget,
+			HasBudget: true,
+			Tag:       eng,
 		}
-		startCycles := cpu.TotalCycles()
-		tbl, err := runProtected(e, attempt, cfg.Faults)
-		res.Cycles += cpu.TotalCycles() - startCycles
+		if cfg.Faults {
+			sc.Fault = faultinject.Snapshot()
+		}
+		restore := simscope.Enter(sc)
+		tbl, err := runProtected(e, attempt, sc)
+		restore()
+		res.Cycles += sc.Cycles()
 		res.Retries = attempt
 
 		if err == nil {
@@ -195,8 +226,12 @@ func attemptSeed(seed uint64, id string, attempt int) uint64 {
 	return seed ^ h ^ (uint64(attempt+1) * 0x9e3779b97f4a7c15)
 }
 
-// runProtected invokes e.Run with panic isolation.
-func runProtected(e Experiment, attempt int, faults bool) (tbl *Table, err error) {
+// runProtected invokes e.Run with panic isolation. A panic's FaultPoint
+// comes from the attempt scope's last-fired register (cells carry their
+// own scopes, so a fault inside a cell surfaces through the cell's
+// PanicError instead), with the legacy global register as a fallback for
+// injectors constructed outside any scope.
+func runProtected(e Experiment, attempt int, sc *simscope.Scope) (tbl *Table, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			ee := &ExperimentError{
@@ -206,10 +241,10 @@ func runProtected(e Experiment, attempt int, faults bool) (tbl *Table, err error
 				Stack:      string(debug.Stack()),
 				Err:        fmt.Errorf("panic: %v", r),
 			}
-			if faults {
-				if p, ok := faultinject.LastFired(); ok {
-					ee.FaultPoint = p.String()
-				}
+			if p, ok := sc.LastFired(); ok {
+				ee.FaultPoint = faultinject.Point(p).String()
+			} else if p, ok := faultinject.LastFired(); ok {
+				ee.FaultPoint = p.String()
 			}
 			err = ee
 		}
@@ -217,12 +252,40 @@ func runProtected(e Experiment, attempt int, faults bool) (tbl *Table, err error
 	return e.Run()
 }
 
-// SuperviseAll supervises each experiment in order, never stopping at a
-// failure, and returns every result.
+// SuperviseAll supervises every experiment concurrently on the engine's
+// worker pool, never stopping at a failure, and returns the results in
+// input order. Each experiment is an unkeyed engine task; the cells it
+// declares fan out further across the same pool. Gathering in input
+// order (not completion order) is what keeps rendered output
+// byte-identical for any worker count.
 func SuperviseAll(exps []Experiment, cfg RunConfig) []Result {
-	out := make([]Result, 0, len(exps))
-	for _, e := range exps {
-		out = append(out, Supervise(e, cfg))
+	cfg = cfg.withDefaults()
+	prevBudget := cpu.SetDefaultCycleBudget(cfg.CycleBudget)
+	defer cpu.SetDefaultCycleBudget(prevBudget)
+	if cfg.Faults {
+		faultinject.Activate(faultinject.Config{Seed: cfg.Seed})
+		defer faultinject.Deactivate()
+	}
+	eng := cfg.engine()
+
+	tasks := make([]*engine.Task, len(exps))
+	for i, e := range exps {
+		e := e
+		tasks[i] = eng.Go("experiment/"+e.ID, func() (any, error) {
+			return supervise(e, cfg, eng), nil
+		})
+	}
+	out := make([]Result, len(exps))
+	for i, t := range tasks {
+		v, err := t.Wait()
+		if err != nil {
+			// The supervisor itself cannot fail; this is a scheduler-level
+			// panic escaping supervise. Degrade gracefully all the same.
+			out[i] = Result{ID: exps[i].ID, Paper: exps[i].Paper, Title: exps[i].Title,
+				Status: StatusFailed, Err: err}
+			continue
+		}
+		out[i] = v.(Result)
 	}
 	return out
 }

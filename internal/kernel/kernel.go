@@ -109,6 +109,10 @@ type Kernel struct {
 	cur     *Proc
 	lastRun *Proc // most recently descheduled process (for switch-cost accounting after exits)
 	nextPID int
+	// live counts non-exited processes; the scheduler polls it every
+	// step, so it is maintained at the three creation sites and in
+	// exitProc rather than recounted from the map.
+	live int
 
 	// fpuOwner is the process whose state is live in the FPU registers
 	// under lazy FPU switching.
@@ -248,6 +252,7 @@ func (k *Kernel) NewProcess(name string, prog *isa.Program) *Proc {
 
 	k.C.LoadProgram(prog)
 	k.procs[pid] = p
+	k.live++
 	k.ready = append(k.ready, p)
 	return p
 }
@@ -338,12 +343,4 @@ func (k *Kernel) Current() *Proc { return k.cur }
 func (k *Kernel) Proc(pid int) *Proc { return k.procs[pid] }
 
 // LiveProcs returns the number of non-exited processes.
-func (k *Kernel) LiveProcs() int {
-	n := 0
-	for _, p := range k.procs {
-		if p.State != ProcExited {
-			n++
-		}
-	}
-	return n
-}
+func (k *Kernel) LiveProcs() int { return k.live }

@@ -236,6 +236,9 @@ func (k *Kernel) wake(p *Proc) {
 
 // exitProc terminates a process, closing descriptors and waking waiters.
 func (k *Kernel) exitProc(p *Proc, code uint64) {
+	if p.State != ProcExited {
+		k.live--
+	}
 	p.State = ProcExited
 	p.exitCode = code
 	for fd, f := range p.fds {

@@ -342,6 +342,7 @@ func (k *Kernel) forkProc(parent *Proc) *Proc {
 	// Table-copy cost proportional to the address-space size.
 	k.C.Charge(uint64(parent.KPT.Len()) * 6)
 	k.procs[pid] = child
+	k.live++
 	return child
 }
 
@@ -366,6 +367,7 @@ func (k *Kernel) sysThreadSpawn(ctx *syscallCtx) (uint64, bool) {
 	th.UserPC = ctx.args[0]
 	th.Regs[isa.SP] = ctx.args[1]
 	k.procs[pid] = th
+	k.live++
 	k.enqueue(th)
 	return uint64(pid), false
 }

@@ -1,0 +1,129 @@
+// Package simscope carries per-simulation-cell determinism state to the
+// code that needs it without threading a context parameter through every
+// constructor in the simulator.
+//
+// A Scope travels implicitly with a goroutine (Enter/Current, keyed by
+// goroutine ID) and holds everything that used to live in process-global
+// state and therefore broke determinism the moment two experiments ran
+// concurrently:
+//
+//   - the fault-injection seed and the activation snapshot captured when
+//     the cell was scheduled, so injector streams derive from the cell's
+//     identity instead of global creation order;
+//   - the watchdog cycle budget the cell was scheduled under, so a
+//     budget change for a later batch cannot leak into a still-queued
+//     cell;
+//   - a cycle accumulator, replacing the process-wide counter for
+//     per-experiment cost attribution;
+//   - the most recently fired fault point, replacing the global
+//     last-fired register for failure attribution.
+//
+// The package sits below faultinject and cpu in the dependency order and
+// imports nothing but gls, so every simulator layer can consult it.
+package simscope
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"spectrebench/internal/gls"
+)
+
+// Scope is the determinism context for one unit of simulation (a cell or
+// a supervised experiment attempt). The exported fields are set before
+// Enter and read-only afterwards; the accumulators are safe for
+// concurrent use (a scope may be shared by an experiment goroutine and
+// the sweep tasks it fans out).
+type Scope struct {
+	// FaultSeed roots injector derivation for cores constructed under
+	// this scope. For a cell it is the hash of the cell key; for an
+	// experiment attempt it is the (seed, id, attempt) derivation.
+	FaultSeed uint64
+	// Fault is the opaque fault-injection activation snapshot captured
+	// when the scope was created (nil = faults off for this scope, even
+	// if a global activation appears later).
+	Fault any
+	// Budget is the watchdog cycle budget for cores constructed under
+	// this scope (0 = unlimited). Only consulted when HasBudget is set;
+	// otherwise cores fall back to the process default.
+	Budget    uint64
+	HasBudget bool
+	// Tag carries an arbitrary scheduler handle (the harness stores its
+	// engine here so experiment code finds it without a global).
+	Tag any
+
+	seq       atomic.Uint64
+	cycles    atomic.Uint64
+	lastFired atomic.Uint32
+}
+
+// NextSeq returns the next injector-derivation sequence number in this
+// scope (1, 2, ...). Construction order within a scope is deterministic,
+// so the sequence decorrelates sibling cores reproducibly.
+func (s *Scope) NextSeq() uint64 { return s.seq.Add(1) }
+
+// AddCycles charges simulated cycles to the scope.
+func (s *Scope) AddCycles(n uint64) {
+	if s != nil && n > 0 {
+		s.cycles.Add(n)
+	}
+}
+
+// Cycles returns the simulated cycles charged so far.
+func (s *Scope) Cycles() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.cycles.Load()
+}
+
+// NoteFired records p as the most recently fired fault point.
+func (s *Scope) NoteFired(p uint8) {
+	if s != nil {
+		s.lastFired.Store(uint32(p) + 1)
+	}
+}
+
+// LastFired returns the most recently fired fault point and whether any
+// point fired under this scope.
+func (s *Scope) LastFired() (uint8, bool) {
+	if s == nil {
+		return 0, false
+	}
+	v := s.lastFired.Load()
+	if v == 0 {
+		return 0, false
+	}
+	return uint8(v - 1), true
+}
+
+// scopes maps goroutine ID -> *Scope (possibly nil: an explicit
+// "no scope" shadowing an outer one while a worker runs an unscoped
+// task).
+var scopes sync.Map
+
+// Enter installs s (which may be nil) as the calling goroutine's current
+// scope and returns a restore function that reinstates the previous
+// binding. Always call the restore function on the same goroutine.
+func Enter(s *Scope) (restore func()) {
+	id := gls.ID()
+	prev, had := scopes.Load(id)
+	scopes.Store(id, s)
+	return func() {
+		if had {
+			scopes.Store(id, prev)
+		} else {
+			scopes.Delete(id)
+		}
+	}
+}
+
+// Current returns the calling goroutine's scope, or nil.
+func Current() *Scope {
+	v, ok := scopes.Load(gls.ID())
+	if !ok {
+		return nil
+	}
+	s, _ := v.(*Scope)
+	return s
+}

@@ -1,0 +1,85 @@
+package simscope
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestEnterRestore(t *testing.T) {
+	if Current() != nil {
+		t.Fatal("fresh goroutine should have no scope")
+	}
+	outer := &Scope{FaultSeed: 1}
+	restoreOuter := Enter(outer)
+	if Current() != outer {
+		t.Fatal("outer scope not current after Enter")
+	}
+	inner := &Scope{FaultSeed: 2}
+	restoreInner := Enter(inner)
+	if Current() != inner {
+		t.Fatal("inner scope not current after nested Enter")
+	}
+	restoreInner()
+	if Current() != outer {
+		t.Fatal("outer scope not restored")
+	}
+	restoreOuter()
+	if Current() != nil {
+		t.Fatal("scope binding not cleared by final restore")
+	}
+}
+
+func TestEnterNilShadowsOuter(t *testing.T) {
+	outer := &Scope{FaultSeed: 1}
+	restoreOuter := Enter(outer)
+	defer restoreOuter()
+	restoreNil := Enter(nil)
+	if Current() != nil {
+		t.Fatal("Enter(nil) should shadow the outer scope")
+	}
+	restoreNil()
+	if Current() != outer {
+		t.Fatal("outer scope not restored after nil shadow")
+	}
+}
+
+func TestScopesAreGoroutineLocal(t *testing.T) {
+	restore := Enter(&Scope{FaultSeed: 7})
+	defer restore()
+	done := make(chan *Scope)
+	go func() { done <- Current() }()
+	if got := <-done; got != nil {
+		t.Fatalf("scope leaked to a fresh goroutine: %+v", got)
+	}
+}
+
+func TestAccumulators(t *testing.T) {
+	s := &Scope{}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.AddCycles(3)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Cycles(); got != 8*100*3 {
+		t.Fatalf("Cycles() = %d, want %d", got, 8*100*3)
+	}
+	if _, ok := s.LastFired(); ok {
+		t.Fatal("LastFired should start unset")
+	}
+	s.NoteFired(0) // point 0 must round-trip despite the zero value
+	if p, ok := s.LastFired(); !ok || p != 0 {
+		t.Fatalf("LastFired = %d,%v after NoteFired(0)", p, ok)
+	}
+	var nilScope *Scope
+	nilScope.AddCycles(1) // nil-receiver safe
+	nilScope.NoteFired(2)
+	if nilScope.Cycles() != 0 {
+		t.Fatal("nil scope accumulated cycles")
+	}
+}

@@ -7,6 +7,7 @@ package lebench
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"spectrebench/internal/cpu"
 	"spectrebench/internal/isa"
@@ -284,9 +285,11 @@ func buildSelect(a *isa.Asm) {
 	emitSyscall(a, kernel.SysSelect)
 }
 
-var uniqCounter int
+// uniqCounter is atomic because suites assemble concurrently on engine
+// workers; the labels only need process-wide uniqueness, not any
+// particular order.
+var uniqCounter atomic.Int64
 
 func uniq() string {
-	uniqCounter++
-	return fmt.Sprintf("%d", uniqCounter)
+	return fmt.Sprintf("%d", uniqCounter.Add(1))
 }

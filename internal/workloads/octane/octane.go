@@ -72,18 +72,22 @@ type Attribution struct {
 	Mitigated float64
 }
 
-// Attribute reproduces Figure 3 on one CPU: starting from the browser
-// default, successively disable index masking, object mitigations, the
-// other JavaScript mitigations, SSBD, and the remaining OS mitigations,
-// attributing the difference at each rung.
-func Attribute(m *model.CPU) (*Attribution, error) {
-	cfg := BrowserDefault()
-	full, err := RunSuite(m, cfg)
-	if err != nil {
-		return nil, err
-	}
-	attr := &Attribution{CPU: m.Uarch, Mitigated: full}
+// Rung is one configuration of the Figure 3 strip-down ladder: Name is
+// the mitigation whose cost is isolated by comparing this rung's suite
+// cost against the previous one ("full" for the starting default).
+type Rung struct {
+	Name   string
+	Config Config
+}
 
+// Rungs returns the ordered Figure 3 ladder: the browser default first,
+// then each cumulative strip — index masking, object mitigations, the
+// other JavaScript mitigations, SSBD, the remaining OS mitigations —
+// ending fully unmitigated. Exposing the ladder lets callers schedule
+// every rung as an independent (and cacheable) simulation cell.
+func Rungs() []Rung {
+	cfg := BrowserDefault()
+	out := []Rung{{Name: "full", Config: cfg}}
 	steps := []struct {
 		name  string
 		strip func(*Config)
@@ -94,15 +98,22 @@ func Attribute(m *model.CPU) (*Attribution, error) {
 		{"SSBD (seccomp)", func(c *Config) { c.SeccompSSBD = false }},
 		{"other OS", func(c *Config) { c.OtherOS = false }},
 	}
-	prev := full
 	for _, st := range steps {
 		st.strip(&cfg)
-		v, err := RunSuite(m, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("octane rung %q: %w", st.name, err)
-		}
-		attr.Parts = append(attr.Parts, Part{Name: st.name, Overhead: prev - v})
-		prev = v
+		out = append(out, Rung{Name: st.name, Config: cfg})
+	}
+	return out
+}
+
+// AttributeCycles assembles the Figure 3 decomposition from per-rung
+// suite costs given in Rungs() order.
+func AttributeCycles(uarch string, cycles []float64) *Attribution {
+	attr := &Attribution{CPU: uarch, Mitigated: cycles[0]}
+	rungs := Rungs()
+	prev := cycles[0]
+	for i := 1; i < len(rungs); i++ {
+		attr.Parts = append(attr.Parts, Part{Name: rungs[i].Name, Overhead: prev - cycles[i]})
+		prev = cycles[i]
 	}
 	attr.Baseline = prev
 	if attr.Baseline > 0 {
@@ -111,5 +122,22 @@ func Attribute(m *model.CPU) (*Attribution, error) {
 			attr.Parts[i].Overhead /= attr.Baseline
 		}
 	}
-	return attr, nil
+	return attr
+}
+
+// Attribute reproduces Figure 3 on one CPU: starting from the browser
+// default, successively disable index masking, object mitigations, the
+// other JavaScript mitigations, SSBD, and the remaining OS mitigations,
+// attributing the difference at each rung.
+func Attribute(m *model.CPU) (*Attribution, error) {
+	rungs := Rungs()
+	cycles := make([]float64, len(rungs))
+	for i, r := range rungs {
+		v, err := RunSuite(m, r.Config)
+		if err != nil {
+			return nil, fmt.Errorf("octane rung %q: %w", r.Name, err)
+		}
+		cycles[i] = v
+	}
+	return AttributeCycles(m.Uarch, cycles), nil
 }
