@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race bench experiments faults-smoke examples vet cover clean
+.PHONY: all build test test-short test-race bench bench-json experiments faults-smoke examples vet cover clean
 
 all: vet test
 
@@ -25,6 +25,12 @@ test-race:
 # Regenerate every table and figure as testing.B benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Record the block-cache performance baseline: wall-clock ns for
+# `run all` with the decoded basic-block cache on/off (asserting the
+# outputs are byte-identical) plus the ablation benchmark ns/op, as JSON.
+bench-json:
+	GO="$(GO)" sh scripts/bench_json.sh BENCH_PR3.json
 
 # Run the full experiment registry through the CLI.
 experiments:

@@ -15,6 +15,7 @@ import (
 
 	"spectrebench/internal/attacks"
 	"spectrebench/internal/core"
+	"spectrebench/internal/cpu"
 	"spectrebench/internal/engine"
 	"spectrebench/internal/harness"
 	"spectrebench/internal/isa"
@@ -407,6 +408,41 @@ func BenchmarkAblationEngineJobs(b *testing.B) {
 				if i == b.N-1 {
 					b.ReportMetric(float64(hits), "cache-hits")
 					b.ReportMetric(float64(misses), "cache-misses")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBlockCache runs the same cell-heavy batch with the
+// decoded basic-block cache enabled and disabled: the on/off wall-clock
+// ratio is the tentpole metric of the block-cache PR. Output is
+// byte-identical either way (CI diffs the full `run all` output), so the
+// two sub-benchmarks measure pure interpreter speed. Engines are created
+// per iteration so every run simulates on cold memoization caches.
+func BenchmarkAblationBlockCache(b *testing.B) {
+	exps := make([]harness.Experiment, 0, 2)
+	for _, id := range []string{"fig3", "whatif-v1hw"} {
+		e, ok := harness.Lookup(id)
+		if !ok {
+			b.Fatalf("unknown experiment %q", id)
+		}
+		exps = append(exps, e)
+	}
+	for _, on := range []bool{true, false} {
+		name := "blockcache=on"
+		if !on {
+			name = "blockcache=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			prev := cpu.SetDefaultBlockCache(on)
+			defer cpu.SetDefaultBlockCache(prev)
+			for i := 0; i < b.N; i++ {
+				eng := engine.New(1)
+				results := harness.SuperviseAll(exps, harness.RunConfig{Engine: eng})
+				eng.Close()
+				if n := harness.Failed(results); n != 0 {
+					b.Fatalf("%d experiments failed", n)
 				}
 			}
 		})

@@ -29,6 +29,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"spectrebench/internal/cpu"
 	"spectrebench/internal/engine"
 	"spectrebench/internal/harness"
 )
@@ -49,12 +50,23 @@ func mainExitCode() int {
 		"max re-runs of an inconclusive or fault-injected failing experiment")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0),
 		"worker pool size for experiments and simulation cells")
+	blockcache := flag.String("blockcache", "on",
+		"decoded basic-block cache for the CPU interpreter: on|off (ablation; output is byte-identical either way)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = usage
 	flag.Parse()
 
 	engine.SetDefaultJobs(*jobs)
+	switch *blockcache {
+	case "on":
+		cpu.SetDefaultBlockCache(true)
+	case "off":
+		cpu.SetDefaultBlockCache(false)
+	default:
+		fmt.Fprintf(os.Stderr, "spectrebench: -blockcache must be on or off, got %q\n", *blockcache)
+		return 2
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

@@ -25,9 +25,18 @@ type Cache struct {
 	MemLatency uint64 // cycles for a miss past the last level (only used when Next == nil)
 	Next       *Cache
 
-	sets  int
-	ways  int
-	lines []cacheLine // sets*ways entries
+	sets int
+	ways int
+	mask uint64 // sets-1 when sets is a power of two, else 0 with pow2 false
+	pow2 bool
+	// lines[set] holds that set's ways, allocated lazily on the first
+	// insert into the set (and the outer slice on the first insert into
+	// the level). Most cores touch a tiny fraction of the outer levels —
+	// the LLC alone is 128K ways — and eagerly zeroing megabytes of tag
+	// state per core dominated construction cost in profiles. An empty
+	// set and an unallocated one are indistinguishable, so laziness is
+	// invisible to the simulation.
+	lines [][]cacheLine
 
 	// Statistics.
 	Hits, Misses uint64
@@ -69,7 +78,10 @@ func New(memLatency uint64, levels ...Config) *Cache {
 			HitLatency: cfg.HitLatency,
 			sets:       sets,
 			ways:       cfg.Ways,
-			lines:      make([]cacheLine, sets*cfg.Ways),
+		}
+		if sets&(sets-1) == 0 {
+			c.mask = uint64(sets - 1)
+			c.pow2 = true
 		}
 		if prev != nil {
 			prev.Next = c
@@ -84,15 +96,28 @@ func New(memLatency uint64, levels ...Config) *Cache {
 	return first
 }
 
+func (c *Cache) setIndex(pa uint64) int {
+	if c.pow2 {
+		return int((pa >> LineShift) & c.mask)
+	}
+	return int((pa >> LineShift) % uint64(c.sets))
+}
+
+// set returns pa's set, or nil when it has never been filled.
 func (c *Cache) set(pa uint64) []cacheLine {
-	idx := int((pa >> LineShift) % uint64(c.sets))
-	return c.lines[idx*c.ways : (idx+1)*c.ways]
+	if c.lines == nil {
+		return nil
+	}
+	return c.lines[c.setIndex(pa)]
 }
 
 // lookup returns the way holding pa's line, or nil.
 func (c *Cache) lookup(pa uint64) *cacheLine {
-	tag := LineBase(pa)
 	set := c.set(pa)
+	if set == nil {
+		return nil
+	}
+	tag := LineBase(pa)
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
 			return &set[i]
@@ -103,8 +128,16 @@ func (c *Cache) lookup(pa uint64) *cacheLine {
 
 // insert fills pa's line, evicting LRU if needed.
 func (c *Cache) insert(pa uint64) {
+	if c.lines == nil {
+		c.lines = make([][]cacheLine, c.sets)
+	}
+	idx := c.setIndex(pa)
+	set := c.lines[idx]
+	if set == nil {
+		set = make([]cacheLine, c.ways)
+		c.lines[idx] = set
+	}
 	tag := LineBase(pa)
-	set := c.set(pa)
 	victim := &set[0]
 	for i := range set {
 		if !set[i].valid {
@@ -159,11 +192,12 @@ func (c *Cache) Touch(pa uint64) {
 
 // Flush evicts pa's line from this level and all inner levels (clflush).
 func (c *Cache) Flush(pa uint64) {
-	tag := LineBase(pa)
-	set := c.set(pa)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			set[i].valid = false
+	if set := c.set(pa); set != nil {
+		tag := LineBase(pa)
+		for i := range set {
+			if set[i].valid && set[i].tag == tag {
+				set[i].valid = false
+			}
 		}
 	}
 	if c.Next != nil {
@@ -172,10 +206,14 @@ func (c *Cache) Flush(pa uint64) {
 }
 
 // FlushAll invalidates every line at this level only (the L1TF mitigation
-// flushes just the L1).
+// flushes just the L1). Allocated sets are cleared in place rather than
+// dropped so frequent flushes (every kernel entry under the L1TF
+// mitigation) do not churn the allocator.
 func (c *Cache) FlushAll() {
-	for i := range c.lines {
-		c.lines[i].valid = false
+	for _, set := range c.lines {
+		for i := range set {
+			set[i].valid = false
+		}
 	}
 }
 
@@ -191,9 +229,11 @@ func (c *Cache) FlushAllLevels() {
 // Used by the L1TF leak model and by tests.
 func (c *Cache) Contents() []uint64 {
 	var out []uint64
-	for i := range c.lines {
-		if c.lines[i].valid {
-			out = append(out, c.lines[i].tag)
+	for _, set := range c.lines {
+		for i := range set {
+			if set[i].valid {
+				out = append(out, set[i].tag)
+			}
 		}
 	}
 	return out

@@ -1,0 +1,404 @@
+// Decoded basic-block cache: the fast path of the interpreter.
+//
+// Step pays a fixed per-instruction tax that has nothing to do with the
+// instruction itself: a fetch-side TLB set walk, a binary search over
+// loaded programs, a thunk-map probe, and per-instruction charge/PMC
+// bookkeeping. StepBlock amortises that tax over straight-line runs. On
+// first execution a run is decoded once into a block of pre-resolved
+// *isa.Instruction pointers; replay then dispatches simple ALU ops
+// inline, accumulating their cycle and instruction counts and publishing
+// them in batches, while every op with microarchitectural side effects
+// (memory, branches, system ops — anything that can open a transient
+// window, consult the fault injector, or trap) still routes through the
+// reference execute switch unchanged.
+//
+// Block boundaries. A block is a maximal straight-line run that stays
+// inside one program, one page, and one fetch context. It ends at (and
+// includes) the first isa.IsBlockEnd instruction — any control transfer
+// plus every serializing or privilege-sensitive op (SYSCALL/SYSRET/IRET,
+// MOVCR3, WRMSR, HLT, ...) — and ends before a page boundary, a
+// registered thunk address, the end of the program, or maxBlockLen.
+// Because everything that can change the fetch context (privilege,
+// CR3/PCID, MSRs, loaded code) is itself a block terminator or runs in
+// host code outside block replay, the context validated at dispatch is
+// stable for the whole block.
+//
+// Exactness. `run all` must stay byte-identical with the cache on or
+// off, for every -jobs value, with and without -faults. That dictates
+// the two things the fast path does NOT batch:
+//
+//   - The fetch TLB probe stays per-instruction (via a pinned tlb.SetRef
+//     with Lookup's exact scan order and LRU/hit/miss bookkeeping):
+//     fetch hits advance the TLB's LRU clock, and batching them would
+//     change eviction order against interleaved data accesses — and the
+//     per-hit faultinject.TLBGlitch consultation draws from the
+//     injector's PRNG stream, whose order is the determinism contract.
+//   - Accumulated cycles are published before every reference-path
+//     execute call, telemetry flush, hook and trap delivery: a load can
+//     open a speculative window whose transient RDTSC reads c.Cycles, so
+//     the architectural clock must be current at every such boundary.
+//
+// Invalidation. Blocks hold instruction pointers into the core's
+// programs slice, so they die with the code view: codeState.gen is
+// bumped by LoadProgram (the JIT recompilation path), RegisterThunk, and
+// SMT sibling creation, and the per-core cache is discarded wholesale at
+// the next dispatch. CR3 swaps (PTI), privilege changes, SpecEnabled/MSR
+// writes and TLB flushes — including fault-injected TLBGlitch drops —
+// need no invalidation at all: the fetch context is revalidated on every
+// dispatch, the TLB is consulted per instruction, and every cost that
+// such state can alter is either read live (cmov fusing at dispatch is
+// host-configured setup state) or charged on the reference path.
+package cpu
+
+import (
+	"sync/atomic"
+
+	"spectrebench/internal/faultinject"
+	"spectrebench/internal/isa"
+	"spectrebench/internal/mem"
+	"spectrebench/internal/pmc"
+)
+
+// maxBlockLen caps decoded block length: long enough to swallow the
+// unrolled bodies the workloads run, short enough that a block never
+// outruns its 4 KiB page (1024 instructions).
+const maxBlockLen = 64
+
+// defaultBlockCache is the package default copied into new cores — the
+// -blockcache=on|off ablation flag. On unless turned off.
+var defaultBlockCacheOff atomic.Bool
+
+// SetDefaultBlockCache sets whether newly constructed cores use the
+// decoded basic-block fast path, returning the previous default. The
+// -blockcache flag calls this once at startup; tests flip it around
+// ablation comparisons.
+func SetDefaultBlockCache(on bool) (prev bool) {
+	return !defaultBlockCacheOff.Swap(!on)
+}
+
+// DefaultBlockCache reports the current package default.
+func DefaultBlockCache() bool { return !defaultBlockCacheOff.Load() }
+
+// codeState is the fetch-path bookkeeping shared between SMT siblings.
+type codeState struct {
+	// hasThunks gates the per-step thunk probe: cores with no
+	// registered thunks (guest user-mode cores) skip the map lookup on
+	// every step. Maintained by RegisterThunk — which is why direct
+	// Thunks writes are not allowed.
+	hasThunks bool
+	// gen is the code generation. It is bumped whenever the mapping
+	// from code addresses to behaviour may have changed — LoadProgram,
+	// RegisterThunk, SMT sibling creation — and decoded blocks built
+	// under an older generation are discarded at the next dispatch.
+	gen uint64
+}
+
+// block is one decoded straight-line run. It stores only instruction
+// pointers (into the owning program's Code array); op class and costs
+// are read live at replay so blocks never cache anything a config change
+// could invalidate.
+type block struct {
+	pc  uint64 // entry address
+	vpn uint64 // the single page all instructions fetch from
+	ins []*isa.Instruction
+}
+
+// blockFor returns the decoded block headed at pc, building and caching
+// it on first use. A nil return means pc cannot head a block (no decoded
+// instruction there, or a thunk traps the address) and the caller must
+// take the reference path; nil is cached too, since that fact can only
+// change with a generation bump.
+func (c *Core) blockFor(pc uint64) *block {
+	if c.blocks == nil || c.blocksGen != c.code.gen {
+		if c.blocks == nil {
+			c.blocks = make(map[uint64]*block, 64)
+		} else {
+			clear(c.blocks)
+		}
+		c.blocksGen = c.code.gen
+	}
+	b, ok := c.blocks[pc]
+	if !ok {
+		b = c.buildBlock(pc)
+		c.blocks[pc] = b
+	}
+	return b
+}
+
+// buildBlock decodes the straight-line run headed at pc.
+func (c *Core) buildBlock(pc uint64) *block {
+	if _, ok := c.Thunks[pc]; ok {
+		return nil
+	}
+	p := c.findProgram(pc)
+	if p == nil {
+		return nil
+	}
+	b := &block{pc: pc, vpn: mem.VPN(pc)}
+	for va := pc; ; va += isa.InstrBytes {
+		if va != pc {
+			if mem.VPN(va) != b.vpn {
+				break
+			}
+			if _, ok := c.Thunks[va]; ok {
+				break
+			}
+		}
+		in := p.At(va)
+		if in == nil {
+			break
+		}
+		b.ins = append(b.ins, in)
+		if in.Op.IsBlockEnd() || len(b.ins) >= maxBlockLen {
+			break
+		}
+	}
+	if len(b.ins) == 0 {
+		return nil
+	}
+	return b
+}
+
+// syncPending publishes the fast path's accumulated cycle and
+// instruction counts into the architectural counters. It must run (and
+// does) before anything that can observe them: every reference-path
+// execute call (a load may open a transient window whose RDTSC reads
+// c.Cycles), telemetry flushes, trap delivery, hooks, and StepBlock
+// return. Outside StepBlock both accumulators are always zero.
+func (c *Core) syncPending() {
+	if c.pendCycles != 0 {
+		c.Cycles += c.pendCycles
+		c.PMC.Add(pmc.Cycles, c.pendCycles)
+		c.pendCycles = 0
+	}
+	if c.pendInstret != 0 {
+		c.PMC.Add(pmc.Instructions, c.pendInstret)
+		c.pendInstret = 0
+	}
+}
+
+// StepBlock executes up to limit architectural instructions through the
+// decoded-block fast path. It behaves exactly like calling Step up to
+// limit times, stopping after any step that ran a thunk, delivered a
+// trap, retired a block-ending instruction, or returned an error. It
+// returns the number of Step-equivalents consumed (at least 1) and the
+// error, if any, from the last of them — so `n, err := c.StepBlock(k)`
+// advances the machine precisely as some `for i := 0; i < n; i++ {
+// err = c.Step() }` would have.
+func (c *Core) StepBlock(limit int) (int, error) {
+	if limit <= 0 {
+		return 0, nil
+	}
+	if !c.BlockCache {
+		return 1, c.Step()
+	}
+
+	// First-step preamble, in exactly Step's order.
+	if c.halted {
+		return 1, ErrHalted
+	}
+	if c.CycleBudget != 0 && c.Cycles >= c.CycleBudget {
+		c.flushCycleTelemetry()
+		return 1, c.budgetErr()
+	}
+	if c.interrupted.Load() {
+		c.interrupted.Store(false)
+		c.flushCycleTelemetry()
+		return 1, c.interruptedErr()
+	}
+	if c.Instret&0xfff == 0 && c.Instret != 0 {
+		c.flushCycleTelemetry()
+	}
+	if c.code.hasThunks {
+		if fn, ok := c.Thunks[c.PC]; ok {
+			fn(c)
+			return 1, nil
+		}
+	}
+
+	b := c.blockFor(c.PC)
+	if b == nil {
+		// Unfetchable or thunk-trapped address: reference path. (The
+		// repeated preamble inside Step is idempotent here.)
+		return 1, c.Step()
+	}
+	// Fetch context, validated once per dispatch. Everything that can
+	// change it — privilege transitions, MOVCR3, traps, thunks — ends a
+	// block, so it is stable until we return.
+	pt := c.PageTable()
+	if pt == nil {
+		return 1, c.Step()
+	}
+	user := c.Priv == PrivUser
+	pcid := mem.CR3PCID(c.CR3)
+	set := c.TLB.SetFor(b.vpn)
+	cost := c.Model.Costs
+	cmovCost := cost.ALU
+	if c.FusedCmovGuards {
+		cmovCost = 0
+	}
+
+	n := 0
+	for _, in := range b.ins {
+		if n >= limit {
+			break
+		}
+		if n > 0 {
+			// Per-step preamble for the instructions after the first,
+			// identical to Step's (with pending counts folded in).
+			if c.halted {
+				c.syncPending()
+				return n + 1, ErrHalted
+			}
+			if c.CycleBudget != 0 && c.Cycles+c.pendCycles >= c.CycleBudget {
+				c.syncPending()
+				c.flushCycleTelemetry()
+				return n + 1, c.budgetErr()
+			}
+			if c.interrupted.Load() {
+				c.interrupted.Store(false)
+				c.syncPending()
+				c.flushCycleTelemetry()
+				return n + 1, c.interruptedErr()
+			}
+			if c.Instret&0xfff == 0 {
+				c.syncPending()
+				c.flushCycleTelemetry()
+			}
+		}
+
+		// Fetch: per-instruction TLB probe on the pinned set, with
+		// Lookup's exact bookkeeping and the reference glitch/miss
+		// handling (interior thunk probes are elided — block building
+		// proved the addresses thunk-free for this generation).
+		pte, hit := set.Lookup(b.vpn, pcid)
+		if hit {
+			if c.FI.Fire(faultinject.TLBGlitch) {
+				// Injected weather: a shootdown IPI lands between
+				// lookup and use; drop the entry and take the walk.
+				c.TLB.FlushVPN(b.vpn)
+				hit = false
+			} else if f := checkPTE(pte, mem.AccessFetch, user); f != mem.FaultNone {
+				c.syncPending()
+				return n + 1, c.deliverTrap(Fault{Kind: FaultPage, VA: c.PC, Access: mem.AccessFetch, PC: c.PC})
+			}
+		}
+		if !hit {
+			c.syncPending()
+			if _, _, mf := c.xlateWalk(pt, c.PC, b.vpn, pcid, user, mem.AccessFetch, true); mf != mem.FaultNone {
+				return n + 1, c.deliverTrap(Fault{Kind: FaultPage, VA: c.PC, Access: mem.AccessFetch, PC: c.PC})
+			}
+		}
+
+		// Execute. Simple ALU ops — no faults, no microarchitectural
+		// side effects, no injector consultation — run inline with
+		// their charges accumulated; everything else takes the
+		// reference execute switch with fully published counters.
+		switch in.Op {
+		case isa.NOP:
+			c.pendCycles += cost.ALU
+		case isa.MOVI:
+			c.pendCycles += cost.ALU
+			c.Regs[in.Dst] = uint64(in.Imm)
+		case isa.MOV:
+			c.pendCycles += cost.ALU
+			c.Regs[in.Dst] = c.Regs[in.Src1]
+		case isa.ADD:
+			c.pendCycles += cost.ALU
+			c.Regs[in.Dst] += c.Regs[in.Src1]
+		case isa.ADDI:
+			c.pendCycles += cost.ALU
+			c.Regs[in.Dst] += uint64(in.Imm)
+		case isa.SUB:
+			c.pendCycles += cost.ALU
+			c.Regs[in.Dst] -= c.Regs[in.Src1]
+		case isa.SUBI:
+			c.pendCycles += cost.ALU
+			c.Regs[in.Dst] -= uint64(in.Imm)
+		case isa.MUL:
+			c.pendCycles += cost.Mul
+			c.Regs[in.Dst] *= c.Regs[in.Src1]
+		case isa.AND:
+			c.pendCycles += cost.ALU
+			c.Regs[in.Dst] &= c.Regs[in.Src1]
+		case isa.ANDI:
+			c.pendCycles += cost.ALU
+			c.Regs[in.Dst] &= uint64(in.Imm)
+		case isa.OR:
+			c.pendCycles += cost.ALU
+			c.Regs[in.Dst] |= c.Regs[in.Src1]
+		case isa.XOR:
+			c.pendCycles += cost.ALU
+			c.Regs[in.Dst] ^= c.Regs[in.Src1]
+		case isa.SHLI:
+			c.pendCycles += cost.ALU
+			c.Regs[in.Dst] <<= uint64(in.Imm)
+		case isa.SHRI:
+			c.pendCycles += cost.ALU
+			c.Regs[in.Dst] >>= uint64(in.Imm)
+		case isa.CMP:
+			c.pendCycles += cost.ALU
+			a, b := c.Regs[in.Dst], c.Regs[in.Src1]
+			c.FlagEQ, c.FlagLT = a == b, a < b
+		case isa.CMPI:
+			c.pendCycles += cost.ALU
+			a, b := c.Regs[in.Dst], uint64(in.Imm)
+			c.FlagEQ, c.FlagLT = a == b, a < b
+		case isa.CMOVEQ:
+			c.pendCycles += cmovCost
+			if c.FlagEQ {
+				c.Regs[in.Dst] = c.Regs[in.Src1]
+			}
+		case isa.CMOVNE:
+			c.pendCycles += cmovCost
+			if !c.FlagEQ {
+				c.Regs[in.Dst] = c.Regs[in.Src1]
+			}
+		case isa.CMOVLT:
+			c.pendCycles += cmovCost
+			if c.FlagLT {
+				c.Regs[in.Dst] = c.Regs[in.Src1]
+			}
+		case isa.CMOVGE:
+			c.pendCycles += cmovCost
+			if !c.FlagLT {
+				c.Regs[in.Dst] = c.Regs[in.Src1]
+			}
+		default:
+			c.syncPending()
+			pcBefore := c.PC
+			next, f := c.execute(in)
+			if f != nil {
+				return n + 1, c.deliverTrap(*f)
+			}
+			if c.OnRetire != nil {
+				c.OnRetire(c.PC, in)
+			}
+			c.PC = next
+			c.Instret++
+			c.PMC.Add(pmc.Instructions, 1)
+			c.SB.Tick()
+			n++
+			if in.Op.IsBlockEnd() || next != pcBefore+isa.InstrBytes {
+				return n, nil
+			}
+			continue
+		}
+
+		// Fast-op postlude (reference retirement order, with the
+		// instruction count deferred).
+		if c.OnRetire != nil {
+			c.syncPending()
+			c.OnRetire(c.PC, in)
+		}
+		c.PC += isa.InstrBytes
+		c.Instret++
+		c.pendInstret++
+		if c.SB.Len() != 0 {
+			c.SB.Tick()
+		}
+		n++
+	}
+	c.syncPending()
+	return n, nil
+}

@@ -241,8 +241,32 @@ type Core struct {
 	// reaches a registered address, the handler runs instead of decoding
 	// an instruction; it must set PC (or halt) before returning. Kernel
 	// syscall dispatch and JIT runtime helpers use this to jump from
-	// simulated code into Go.
+	// simulated code into Go. Install handlers with RegisterThunk, not by
+	// writing the map directly: registration maintains the cached
+	// has-thunks flag and invalidates decoded blocks spanning the address.
 	Thunks map[uint64]func(*Core)
+
+	// BlockCache enables the decoded basic-block fast path (StepBlock).
+	// New cores copy the package default set via SetDefaultBlockCache
+	// (the -blockcache ablation flag); with it off, StepBlock degrades to
+	// plain Step.
+	BlockCache bool
+
+	// code is fetch-path bookkeeping shared between SMT siblings, which
+	// see the same Thunks map and start from the same loaded programs.
+	code *codeState
+
+	// blocks caches decoded basic blocks keyed by entry PC, valid for
+	// code generation blocksGen only. Per-logical-core (blocks hold
+	// *isa.Instruction pointers into this core's programs slice).
+	blocks    map[uint64]*block
+	blocksGen uint64
+
+	// pendCycles/pendInstret are StepBlock's unpublished charge and
+	// instruction-count accumulators; zero whenever StepBlock is not
+	// executing (see syncPending).
+	pendCycles  uint64
+	pendInstret uint64
 
 	programs []*isa.Program // sorted by Base
 
@@ -273,6 +297,8 @@ func New(m *model.CPU) *Core {
 		SpecEnabled: true,
 		msrs:        make(map[uint32]uint64),
 		Thunks:      make(map[uint64]func(*Core)),
+		BlockCache:  DefaultBlockCache(),
+		code:        &codeState{},
 		FI:          faultinject.FromActive(m.Uarch),
 		scope:       simscope.Current(),
 	}
@@ -312,12 +338,19 @@ func NewSMTSibling(c *Core) *Core {
 		SpecEnabled: true,
 		msrs:        make(map[uint32]uint64),
 		Thunks:      c.Thunks,
+		BlockCache:  c.BlockCache,
+		code:        c.code, // shared: thunk installs invalidate both threads
 		programs:    c.programs,
 		FI:          c.FI, // siblings share the physical core's weather
 		CycleBudget: c.CycleBudget,
 		scope:       c.scope,
 	}
 	s.msrs[MSRArchCaps] = archCaps(c.Model)
+	// Sibling creation is a code-visibility event: the sibling starts
+	// from c's programs slice, but the two cores append to their own
+	// copies afterwards. Invalidate conservatively so neither thread
+	// replays a block decoded under the pre-fork view.
+	c.code.gen++
 	return s
 }
 
@@ -340,6 +373,10 @@ func archCaps(m *model.CPU) uint64 {
 // LoadProgram makes a program fetchable. The caller is responsible for
 // mapping its address range in the relevant page tables.
 func (c *Core) LoadProgram(p *isa.Program) {
+	// Any load may change what an already-decoded block would fetch
+	// (replacement is the JIT recompilation path; an append can populate
+	// a previously unfetchable range), so retire every decoded block.
+	c.code.gen++
 	// Replace any program previously loaded at the same base (JIT
 	// recompilation path).
 	for i, q := range c.programs {
@@ -352,6 +389,18 @@ func (c *Core) LoadProgram(p *isa.Program) {
 	sort.Slice(c.programs, func(i, j int) bool { return c.programs[i].Base < c.programs[j].Base })
 }
 
+// RegisterThunk installs a host-Go handler at a magic code address. All
+// thunk installation must go through here rather than writing Thunks
+// directly: registration maintains the cached has-thunks flag that lets
+// thunk-free cores (guest user-mode cores) skip the per-step map probe,
+// and it invalidates decoded blocks that would otherwise run straight
+// through the newly trapped address.
+func (c *Core) RegisterThunk(pc uint64, fn func(*Core)) {
+	c.Thunks[pc] = fn
+	c.code.hasThunks = true
+	c.code.gen++
+}
+
 // findInstruction locates the instruction at va, or nil.
 func (c *Core) findInstruction(va uint64) *isa.Instruction {
 	i := sort.Search(len(c.programs), func(i int) bool { return c.programs[i].Base > va })
@@ -359,6 +408,18 @@ func (c *Core) findInstruction(va uint64) *isa.Instruction {
 		return nil
 	}
 	return c.programs[i-1].At(va)
+}
+
+// findProgram locates the loaded program containing va, or nil.
+func (c *Core) findProgram(va uint64) *isa.Program {
+	i := sort.Search(len(c.programs), func(i int) bool { return c.programs[i].Base > va })
+	if i == 0 {
+		return nil
+	}
+	if p := c.programs[i-1]; p.At(va) != nil {
+		return p
+	}
+	return nil
 }
 
 // MSR returns the current value of an MSR.
@@ -415,11 +476,16 @@ func (c *Core) charge(n uint64) {
 func (c *Core) Charge(n uint64) { c.charge(n) }
 
 // Reset clears volatile execution state but keeps loaded programs,
-// memory contents and configuration.
+// memory contents and configuration. That includes the faulting-load
+// leak context and the eIBRS kernel-entry count: a reused core must not
+// carry Meltdown-family leak state or bimodal-predictor history from a
+// previous experiment into the next.
 func (c *Core) Reset() {
 	c.Regs = [isa.NumRegs]uint64{}
 	c.FRegs = [isa.NumFRegs]float64{}
 	c.FlagEQ, c.FlagLT = false, false
 	c.halted = false
 	c.GSSwapped = false
+	c.pendingLeak = pendingLeak{}
+	c.kernelEntries = 0
 }

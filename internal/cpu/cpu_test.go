@@ -218,11 +218,11 @@ func TestSyscallLStarStubAndThunk(t *testing.T) {
 	pt.MapRange(kstub, kstub, 1, false, false, false, true)
 	dispatch := kstub + 0x800
 	var handled bool
-	c.Thunks[dispatch] = func(cc *Core) {
+	c.RegisterThunk(dispatch, func(cc *Core) {
 		handled = true
 		cc.Regs[isa.R0] = 7
 		cc.PC = kstub + 2*isa.InstrBytes // to the sysret
-	}
+	})
 	a := isa.NewAsm()
 	a.Swapgs()
 	a.Jmp("dispatch_pad") // placeholder: real stubs jump to the thunk address
@@ -861,7 +861,10 @@ func TestEIBRSBimodalKernelEntries(t *testing.T) {
 	var costs []uint64
 	for i := 0; i < 3*m.Spec.EIBRSBimodalPeriod; i++ {
 		start := c.Cycles
-		c.Reset()
+		// ClearHalt, not Reset: Reset now deliberately clears the
+		// eIBRS kernel-entry count, and this test measures bimodal
+		// behaviour accumulating across syscalls on one live core.
+		c.ClearHalt()
 		c.PC = p.Base
 		if err := c.RunUntilHalt(100); err != nil {
 			t.Fatal(err)

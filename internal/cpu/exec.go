@@ -23,22 +23,27 @@ func (c *Core) Step() error {
 	}
 	if c.CycleBudget != 0 && c.Cycles >= c.CycleBudget {
 		c.flushCycleTelemetry()
-		return fmt.Errorf("%w: %d cycles (budget %d) at pc=%#x",
-			ErrCycleBudget, c.Cycles, c.CycleBudget, c.PC)
+		return c.budgetErr()
 	}
 	if c.interrupted.Load() {
 		c.interrupted.Store(false)
 		c.flushCycleTelemetry()
-		return fmt.Errorf("%w at pc=%#x", ErrInterrupted, c.PC)
+		return c.interruptedErr()
 	}
-	if c.Instret&0xfff == 0 {
+	// Telemetry cadence: every 4096 retired instructions. Instret == 0
+	// is excluded — a fresh core has nothing to publish and the very
+	// first step must not pay the flush.
+	if c.Instret&0xfff == 0 && c.Instret != 0 {
 		c.flushCycleTelemetry()
 	}
 
-	// Magic host-Go thunks preempt fetch.
-	if fn, ok := c.Thunks[c.PC]; ok {
-		fn(c)
-		return nil
+	// Magic host-Go thunks preempt fetch. Cores with no registered
+	// thunks (guest user-mode cores) skip the map probe entirely.
+	if c.code.hasThunks {
+		if fn, ok := c.Thunks[c.PC]; ok {
+			fn(c)
+			return nil
+		}
 	}
 
 	in, f := c.fetch(c.PC)
@@ -61,26 +66,44 @@ func (c *Core) Step() error {
 	return nil
 }
 
+// budgetErr builds the watchdog error Step and StepBlock return when the
+// cycle budget is exhausted.
+func (c *Core) budgetErr() error {
+	return fmt.Errorf("%w: %d cycles (budget %d) at pc=%#x",
+		ErrCycleBudget, c.Cycles, c.CycleBudget, c.PC)
+}
+
+// interruptedErr builds the error returned after consuming an Interrupt.
+func (c *Core) interruptedErr() error {
+	return fmt.Errorf("%w at pc=%#x", ErrInterrupted, c.PC)
+}
+
 // Run executes up to maxSteps instructions, stopping early on HLT or an
-// unhandled fault.
+// unhandled fault. It drives the decoded-block fast path when the core's
+// BlockCache is enabled; the observable behaviour is identical to
+// calling Step maxSteps times.
 func (c *Core) Run(maxSteps int) error {
-	for i := 0; i < maxSteps; i++ {
-		if err := c.Step(); err != nil {
+	for i := 0; i < maxSteps; {
+		n, err := c.StepBlock(maxSteps - i)
+		if err != nil {
 			return err
 		}
+		i += n
 	}
 	return nil
 }
 
 // RunUntilHalt executes until HLT, an unhandled fault, or the step limit.
 func (c *Core) RunUntilHalt(maxSteps int) error {
-	for i := 0; i < maxSteps; i++ {
-		if err := c.Step(); err != nil {
+	for i := 0; i < maxSteps; {
+		n, err := c.StepBlock(maxSteps - i)
+		if err != nil {
 			if errors.Is(err, ErrHalted) {
 				return nil
 			}
 			return err
 		}
+		i += n
 	}
 	return fmt.Errorf("cpu: no HLT within %d steps (pc=%#x)", maxSteps, c.PC)
 }

@@ -44,7 +44,15 @@ func (c *Core) xlate(va uint64, acc mem.Access, charge bool) (pa uint64, pte mem
 		}
 	}
 
-	// TLB miss: walk the page table.
+	return c.xlateWalk(pt, va, vpn, pcid, user, acc, charge)
+}
+
+// xlateWalk is the TLB-miss tail of xlate: charge the walk, translate
+// through the active page table (and the nested table for guests), and
+// install the result. The decoded-block fetch path calls it directly
+// after its own pinned-set TLB probe misses, so miss handling is one
+// shared code path with identical counters and charges.
+func (c *Core) xlateWalk(pt *mem.PageTable, va, vpn uint64, pcid uint16, user bool, acc mem.Access, charge bool) (pa uint64, pte mem.PTE, fault mem.FaultKind) {
 	if charge {
 		c.charge(c.Model.Costs.TLBMiss)
 		c.PMC.Add(pmc.TLBMisses, 1)

@@ -19,6 +19,12 @@ const (
 //
 // It returns the wall-clock cycles of the pair (the later finisher) and
 // stops when both cores halt or maxSteps is exhausted.
+//
+// The pair deliberately steps per instruction, never through the
+// decoded-block fast path: the whole point of the interleaving is that
+// each single instruction's cycle charge decides which thread's memory
+// traffic hits the shared L1/fill buffers next, and replaying a block
+// on one thread would reorder that traffic against the sibling.
 func RunSMTPair(a, b *Core, maxSteps int) (uint64, error) {
 	if a.L1 != b.L1 || a.FB != b.FB {
 		return 0, errors.New("cpu: RunSMTPair needs sibling cores sharing a physical core")

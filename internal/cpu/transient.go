@@ -64,10 +64,12 @@ func (c *Core) speculate(startPC uint64, seed func(*txn)) {
 
 	pc := startPC
 	for depth := 0; depth < c.Model.SpecDepth; depth++ {
-		if _, ok := c.Thunks[pc]; ok {
-			// Host thunks are opaque to speculation: the front end
-			// cannot decode past them.
-			return
+		if c.code.hasThunks {
+			if _, ok := c.Thunks[pc]; ok {
+				// Host thunks are opaque to speculation: the front end
+				// cannot decode past them.
+				return
+			}
 		}
 		if _, _, mf := c.xlate(pc, mem.AccessFetch, false); mf != mem.FaultNone {
 			return

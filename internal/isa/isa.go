@@ -248,6 +248,18 @@ func (op Op) IsSerializing() bool {
 	return false
 }
 
+// IsBlockEnd reports whether the opcode terminates a decoded basic
+// block: any control transfer (the successor PC is dynamic) plus every
+// serializing or privilege-sensitive operation, which may change the
+// fetch context — privilege level, CR3, MSRs, loaded programs — before
+// the next instruction. The decoded-block cache in internal/cpu builds
+// straight-line blocks up to and including the first such instruction,
+// so everything it replays on the fast path is guaranteed not to
+// invalidate the block it is running in.
+func (op Op) IsBlockEnd() bool {
+	return op.IsBranch() || op.IsSerializing() || op == SWAPGS
+}
+
 // IsFPU reports whether the opcode touches floating-point state and thus
 // traps when the FPU is disabled (the LazyFP mechanism).
 func (op Op) IsFPU() bool {

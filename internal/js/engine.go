@@ -127,10 +127,10 @@ const heapLimit = jsHeapBase + jsHeapPages*4096
 
 func (rt *runtime) install() {
 	c := rt.c
-	c.Thunks[thunkAlloc] = rt.alloc
-	c.Thunks[thunkReport] = rt.report
-	c.Thunks[thunkClock] = rt.clockThunk
-	c.Thunks[thunkPropMiss] = rt.propMiss
+	c.RegisterThunk(thunkAlloc, rt.alloc)
+	c.RegisterThunk(thunkReport, rt.report)
+	c.RegisterThunk(thunkClock, rt.clockThunk)
+	c.RegisterThunk(thunkPropMiss, rt.propMiss)
 }
 
 func (rt *runtime) fail(format string, args ...any) {

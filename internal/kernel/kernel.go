@@ -176,8 +176,8 @@ func New(c *cpu.Core, mit Mitigations) *Kernel {
 	c.LoadProgram(k.stubs)
 	c.SetMSR(cpu.MSRLStar, k.entryPC)
 	c.OnTrap = k.handleTrap
-	c.Thunks[k.dispatchThunkPC()] = k.dispatchThunk
-	c.Thunks[k.postThunkPC()] = k.postThunk
+	c.RegisterThunk(k.dispatchThunkPC(), k.dispatchThunk)
+	c.RegisterThunk(k.postThunkPC(), k.postThunk)
 
 	// Boot-time SPEC_CTRL: eIBRS is enabled once and left on.
 	if mit.SpectreV2 == V2EIBRS {

@@ -26,7 +26,7 @@ func (k *Kernel) Run(maxSteps int) error {
 	// Short charge-heavy workloads can finish well inside one periodic
 	// flush interval; publish their cycles when the loop ends.
 	defer k.C.FlushCycleTelemetry()
-	for i := 0; i < maxSteps; i++ {
+	for i := 0; i < maxSteps; {
 		if k.LiveProcs() == 0 {
 			return nil
 		}
@@ -35,7 +35,13 @@ func (k *Kernel) Run(maxSteps int) error {
 			// deterministic workloads in this repository that is a bug.
 			return errors.New("kernel: deadlock (all processes blocked)")
 		}
-		if err := k.C.Step(); err != nil {
+		// StepBlock batches straight-line runs through the decoded-block
+		// fast path; it stops at every thunk, trap and control-flow edge,
+		// so the liveness checks above still run at each scheduling
+		// boundary exactly as with per-instruction stepping.
+		n, err := k.C.StepBlock(maxSteps - i)
+		i += n
+		if err != nil {
 			if errors.Is(err, cpu.ErrHalted) && k.cur != nil {
 				// A stray HLT in user mode is treated as exit.
 				k.exitProc(k.cur, 0)

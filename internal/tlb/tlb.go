@@ -23,6 +23,8 @@ type Entry struct {
 type TLB struct {
 	sets  int
 	ways  int
+	mask  uint64 // sets-1 when sets is a power of two, else 0 with pow2 false
+	pow2  bool
 	lines []Entry
 	clock uint64
 
@@ -31,12 +33,56 @@ type TLB struct {
 
 // New returns a TLB with the given geometry.
 func New(sets, ways int) *TLB {
-	return &TLB{sets: sets, ways: ways, lines: make([]Entry, sets*ways)}
+	t := &TLB{sets: sets, ways: ways, lines: make([]Entry, sets*ways)}
+	if sets > 0 && sets&(sets-1) == 0 {
+		t.mask = uint64(sets - 1)
+		t.pow2 = true
+	}
+	return t
 }
 
 func (t *TLB) set(vpn uint64) []Entry {
-	idx := int(vpn % uint64(t.sets))
+	var idx int
+	if t.pow2 {
+		idx = int(vpn & t.mask)
+	} else {
+		idx = int(vpn % uint64(t.sets))
+	}
 	return t.lines[idx*t.ways : (idx+1)*t.ways]
+}
+
+// SetRef pins the set that holds translations for one VPN. The CPU
+// core's decoded-block fetch path resolves the set once per basic block
+// (the block never crosses a page, so the set index is fixed) and then
+// performs per-instruction lookups against the pinned slice without
+// recomputing the index. The backing array is allocated once in New and
+// flush operations invalidate entries in place, so a SetRef stays valid
+// across flushes, inserts and evictions for the lifetime of the TLB.
+type SetRef struct {
+	t   *TLB
+	set []Entry
+}
+
+// SetFor returns a SetRef for vpn's set.
+func (t *TLB) SetFor(vpn uint64) SetRef {
+	return SetRef{t: t, set: t.set(vpn)}
+}
+
+// Lookup is exactly TLB.Lookup restricted to the pinned set: same scan
+// order, same LRU-clock and hit/miss bookkeeping, so interleaving SetRef
+// and TLB lookups is indistinguishable from using TLB.Lookup alone.
+func (r SetRef) Lookup(vpn uint64, pcid uint16) (mem.PTE, bool) {
+	for i := range r.set {
+		e := &r.set[i]
+		if e.valid && e.vpn == vpn && (e.global || e.pcid == pcid) {
+			r.t.clock++
+			e.used = r.t.clock
+			r.t.Hits++
+			return e.pte, true
+		}
+	}
+	r.t.Misses++
+	return mem.PTE{}, false
 }
 
 // Lookup returns the cached PTE for vpn under pcid. Global entries match
@@ -108,10 +154,12 @@ func (t *TLB) FlushPCID(pcid uint16) {
 }
 
 // FlushVPN invalidates any entry for vpn regardless of PCID (invlpg).
+// Only vpn's own set can hold such entries, so only it is scanned.
 func (t *TLB) FlushVPN(vpn uint64) {
-	for i := range t.lines {
-		if t.lines[i].valid && t.lines[i].vpn == vpn {
-			t.lines[i].valid = false
+	set := t.set(vpn)
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			set[i].valid = false
 		}
 	}
 }

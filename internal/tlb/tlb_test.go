@@ -144,3 +144,65 @@ func TestInsertLookupProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSetRefMatchesLookup drives a SetRef and the plain Lookup path over
+// the same access sequence on two identically-populated TLBs and checks
+// the results, counters, and subsequent eviction behaviour agree — the
+// decoded-block fast path depends on SetRef being observationally
+// identical to Lookup.
+func TestSetRefMatchesLookup(t *testing.T) {
+	mk := func() *TLB {
+		tl := New(4, 2)
+		tl.Insert(8, 1, pte(0x8000, false)) // set 0
+		tl.Insert(12, 1, pte(0xc000, true)) // set 0, global
+		return tl
+	}
+	a, b := mk(), mk()
+	ref := a.SetFor(8)
+	seq := []struct {
+		vpn  uint64
+		pcid uint16
+	}{{8, 1}, {12, 9}, {8, 2}, {16, 1}, {8, 1}}
+	for i, s := range seq {
+		gotA, okA := ref.Lookup(s.vpn, s.pcid)
+		gotB, okB := b.Lookup(s.vpn, s.pcid)
+		if okA != okB || gotA != gotB {
+			t.Fatalf("access %d (%d,%d): SetRef (%+v,%v) vs Lookup (%+v,%v)",
+				i, s.vpn, s.pcid, gotA, okA, gotB, okB)
+		}
+	}
+	if a.Hits != b.Hits || a.Misses != b.Misses {
+		t.Fatalf("counters diverged: SetRef %d/%d vs Lookup %d/%d", a.Hits, a.Misses, b.Hits, b.Misses)
+	}
+	// The LRU clocks must have advanced identically: insert a third entry
+	// into the full set and check both TLBs evict the same victim.
+	a.Insert(16, 1, pte(0x10000, false))
+	b.Insert(16, 1, pte(0x10000, false))
+	for _, vpn := range []uint64{8, 12, 16} {
+		_, okA := a.Lookup(vpn, 1)
+		_, okB := b.Lookup(vpn, 1)
+		if okA != okB {
+			t.Fatalf("post-eviction vpn %d: SetRef-side %v vs Lookup-side %v", vpn, okA, okB)
+		}
+	}
+}
+
+// TestSetRefValidAcrossFlush checks the documented pinning contract: a
+// SetRef taken before a full flush still works afterwards (entries are
+// invalidated in place, never reallocated).
+func TestSetRefValidAcrossFlush(t *testing.T) {
+	tl := New(4, 2)
+	tl.Insert(8, 1, pte(0x8000, false))
+	ref := tl.SetFor(8)
+	if _, ok := ref.Lookup(8, 1); !ok {
+		t.Fatal("pre-flush lookup missed")
+	}
+	tl.FlushAll()
+	if _, ok := ref.Lookup(8, 1); ok {
+		t.Fatal("SetRef saw a stale entry after FlushAll")
+	}
+	tl.Insert(8, 1, pte(0x8000, false))
+	if _, ok := ref.Lookup(8, 1); !ok {
+		t.Fatal("SetRef missed an entry inserted after FlushAll")
+	}
+}

@@ -1,0 +1,67 @@
+#!/bin/sh
+# bench_json.sh — emit BENCH_PR3.json: the recorded performance baseline
+# for the decoded basic-block cache PR.
+#
+# Measures:
+#   - wall-clock ns for `spectrebench -jobs 1 run all` with the block
+#     cache on and off (the headline speedup; outputs are also diffed to
+#     re-assert byte identity),
+#   - ns/op for the block-cache and engine ablation benchmarks
+#     (go test -bench, -benchtime 1x).
+#
+# Usage: scripts/bench_json.sh [output.json]   (default BENCH_PR3.json)
+set -eu
+
+out=${1:-BENCH_PR3.json}
+go=${GO:-go}
+bin=$(mktemp /tmp/spectrebench.XXXXXX)
+on_txt=$(mktemp /tmp/sb_on.XXXXXX)
+off_txt=$(mktemp /tmp/sb_off.XXXXXX)
+bench_txt=$(mktemp /tmp/sb_bench.XXXXXX)
+trap 'rm -f "$bin" "$on_txt" "$off_txt" "$bench_txt"' EXIT
+
+$go build -o "$bin" ./cmd/spectrebench
+
+wall_ns() { # wall_ns <blockcache mode> <output file>
+    start=$(date +%s%N)
+    "$bin" -jobs 1 -blockcache "$1" run all >"$2"
+    end=$(date +%s%N)
+    echo $((end - start))
+}
+
+on_ns=$(wall_ns on "$on_txt")
+off_ns=$(wall_ns off "$off_txt")
+
+if ! cmp -s "$on_txt" "$off_txt"; then
+    echo "bench_json.sh: FATAL: run all output differs between -blockcache=on and off" >&2
+    diff "$off_txt" "$on_txt" >&2 || true
+    exit 1
+fi
+
+$go test -run '^$' -bench 'BenchmarkAblation(BlockCache|EngineJobs)' -benchtime 1x . | tee "$bench_txt" >&2
+
+bench_metric() { # bench_metric <benchmark name substring>
+    awk -v pat="$1" '$0 ~ pat { print $3; exit }' "$bench_txt"
+}
+
+speedup=$(awk -v on="$on_ns" -v off="$off_ns" 'BEGIN { printf "%.2f", off / on }')
+
+cat >"$out" <<EOF
+{
+  "pr": 3,
+  "description": "decoded basic-block cache baseline: wall-clock ns for 'spectrebench -jobs 1 run all' and ns/op for the ablation benchmarks",
+  "run_all_jobs1": {
+    "blockcache_on_ns": $on_ns,
+    "blockcache_off_ns": $off_ns,
+    "speedup_off_over_on": $speedup,
+    "output_identical": true
+  },
+  "bench_ns_per_op": {
+    "AblationBlockCache/blockcache=on": $(bench_metric 'AblationBlockCache/blockcache=on'),
+    "AblationBlockCache/blockcache=off": $(bench_metric 'AblationBlockCache/blockcache=off'),
+    "AblationEngineJobs/jobs=1": $(bench_metric 'AblationEngineJobs/jobs=1'),
+    "AblationEngineJobs/jobs=4": $(bench_metric 'AblationEngineJobs/jobs=4')
+  }
+}
+EOF
+echo "wrote $out (speedup ${speedup}x)" >&2
