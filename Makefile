@@ -26,11 +26,12 @@ test-race:
 bench:
 	$(GO) test -bench=. -benchmem
 
-# Record the block-cache performance baseline: wall-clock ns for
-# `run all` with the decoded basic-block cache on/off (asserting the
-# outputs are byte-identical) plus the ablation benchmark ns/op, as JSON.
+# Record the scaling baseline: the `run all` wall-clock curve across
+# -jobs 1,2,4,8 and the -corepool on/off ablation (asserting all outputs
+# are byte-identical) plus the ablation benchmark ns/op and allocs/op,
+# as JSON.
 bench-json:
-	GO="$(GO)" sh scripts/bench_json.sh BENCH_PR3.json
+	GO="$(GO)" sh scripts/bench_json.sh BENCH_PR4.json
 
 # Run the full experiment registry through the CLI.
 experiments:

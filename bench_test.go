@@ -395,7 +395,7 @@ func BenchmarkAblationEngineJobs(b *testing.B) {
 		}
 		exps = append(exps, e)
 	}
-	for _, jobs := range []int{1, 4} {
+	for _, jobs := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				eng := engine.New(jobs)
@@ -439,6 +439,43 @@ func BenchmarkAblationBlockCache(b *testing.B) {
 			defer cpu.SetDefaultBlockCache(prev)
 			for i := 0; i < b.N; i++ {
 				eng := engine.New(1)
+				results := harness.SuperviseAll(exps, harness.RunConfig{Engine: eng})
+				eng.Close()
+				if n := harness.Failed(results); n != 0 {
+					b.Fatalf("%d experiments failed", n)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCorePool runs the cell-heavy batch with the CPU core
+// pool enabled and disabled: the on/off allocation and wall-clock deltas
+// are the tentpole metric of the pooled-cores PR. Output is
+// byte-identical either way (the determinism suite and CI both diff it),
+// so the two sub-benchmarks isolate pure construction/GC cost; watch the
+// B/op and allocs/op columns. Engines are created per iteration so every
+// run simulates on cold memoization caches.
+func BenchmarkAblationCorePool(b *testing.B) {
+	exps := make([]harness.Experiment, 0, 2)
+	for _, id := range []string{"fig3", "whatif-v1hw"} {
+		e, ok := harness.Lookup(id)
+		if !ok {
+			b.Fatalf("unknown experiment %q", id)
+		}
+		exps = append(exps, e)
+	}
+	for _, on := range []bool{true, false} {
+		name := "corepool=on"
+		if !on {
+			name = "corepool=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			prev := cpu.SetDefaultCorePool(on)
+			defer cpu.SetDefaultCorePool(prev)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng := engine.New(4)
 				results := harness.SuperviseAll(exps, harness.RunConfig{Engine: eng})
 				eng.Close()
 				if n := harness.Failed(results); n != 0 {

@@ -52,6 +52,8 @@ func mainExitCode() int {
 		"worker pool size for experiments and simulation cells")
 	blockcache := flag.String("blockcache", "on",
 		"decoded basic-block cache for the CPU interpreter: on|off (ablation; output is byte-identical either way)")
+	corepool := flag.String("corepool", "on",
+		"recycle CPU core structures between simulation cells: on|off (ablation; output is byte-identical either way)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = usage
@@ -65,6 +67,15 @@ func mainExitCode() int {
 		cpu.SetDefaultBlockCache(false)
 	default:
 		fmt.Fprintf(os.Stderr, "spectrebench: -blockcache must be on or off, got %q\n", *blockcache)
+		return 2
+	}
+	switch *corepool {
+	case "on":
+		cpu.SetDefaultCorePool(true)
+	case "off":
+		cpu.SetDefaultCorePool(false)
+	default:
+		fmt.Fprintf(os.Stderr, "spectrebench: -corepool must be on or off, got %q\n", *corepool)
 		return 2
 	}
 
@@ -135,6 +146,7 @@ func usage() {
 usage:
   spectrebench list
   spectrebench [-csv] [-faults] [-seed N] [-cycle-budget N] [-retries N] [-jobs N]
+               [-blockcache on|off] [-corepool on|off]
                [-cpuprofile FILE] [-memprofile FILE] run <experiment-id>... | all
 
 experiments:

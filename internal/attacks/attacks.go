@@ -115,6 +115,7 @@ func SpectreV1(m *model.CPU, mit SpectreV1Mitigation) (byte, bool, error) {
 	const secret = 0x5a
 	const secretOff = 400 // elements past the bounds
 	c := pocCore(m)
+	defer c.Recycle()
 	c.Phys.Write64(pocData+secretOff*8, secret)
 
 	a := isa.NewAsm()
@@ -178,6 +179,7 @@ type MeltdownConfig struct {
 func Meltdown(m *model.CPU, cfg MeltdownConfig) (byte, bool, error) {
 	const secret = 0x61
 	c := pocCore(m)
+	defer c.Recycle()
 	c.Phys.Write64(pocKernel, secret)
 	if cfg.PTIUnmapped {
 		pt := c.PageTable()
@@ -219,6 +221,7 @@ type MDSConfig struct {
 func MDS(m *model.CPU, cfg MDSConfig) (byte, bool, error) {
 	const secret = 0x77
 	c := pocCore(m)
+	defer c.Recycle()
 
 	if cfg.CrossSMT {
 		// The sibling thread's loads deposit into the shared buffers.
@@ -256,6 +259,7 @@ func MDS(m *model.CPU, cfg MDSConfig) (byte, bool, error) {
 func SSB(m *model.CPU, ssbd bool) (byte, bool, error) {
 	const secret = 0x42
 	c := pocCore(m)
+	defer c.Recycle()
 	if ssbd {
 		c.SetMSR(cpu.MSRSpecCtrl, cpu.SpecCtrlSSBD)
 	}
@@ -287,6 +291,7 @@ func SSB(m *model.CPU, ssbd bool) (byte, bool, error) {
 func L1TF(m *model.CPU, inversion bool) (byte, bool, error) {
 	const secret = 0x33
 	c := pocCore(m)
+	defer c.Recycle()
 	// The victim's secret is resident in the L1 at a host physical
 	// address the attacker cannot architecturally reach.
 	secretPA := uint64(0xdead000)
@@ -328,6 +333,7 @@ func L1TF(m *model.CPU, inversion bool) (byte, bool, error) {
 func LazyFP(m *model.CPU, eager bool) (byte, bool, error) {
 	const secret = 0x2c
 	c := pocCore(m)
+	defer c.Recycle()
 	if eager {
 		c.FPUEnabled = true
 		c.FRegs[3] = 0 // current process's state is loaded
@@ -376,6 +382,7 @@ type SpectreV2Config struct {
 // transiently (observed via the divider-active counter, §6).
 func SpectreV2(m *model.CPU, cfg SpectreV2Config) (bool, error) {
 	c := pocCore(m)
+	defer c.Recycle()
 	if cfg.IBRS {
 		if !m.Spec.IBRS {
 			return false, fmt.Errorf("attacks: %s does not implement IBRS", m.Uarch)

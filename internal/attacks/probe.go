@@ -96,6 +96,7 @@ const resultSlot = kernel.UserDataBase + 0x3e00
 // an error wrapping ErrInconclusive instead of guessing.
 func runScenario(m *model.CPU, ibrs bool, s Scenario) (bool, error) {
 	c := cpu.New(m)
+	defer c.Recycle()
 	// Mitigations off: the probe studies the hardware, not the kernel.
 	mit := kernel.BootParams{MitigationsOff: true}.Apply(m, kernel.Defaults(m))
 	k := kernel.New(c, mit)

@@ -16,6 +16,7 @@ import (
 // It returns whether the gadget's divide executed transiently.
 func SpectreRSB(m *model.CPU, stuffed bool) (bool, error) {
 	c := pocCore(m)
+	defer c.Recycle()
 
 	a := isa.NewAsm()
 	a.Jmp("main")

@@ -184,6 +184,32 @@ func (b *BTB) FlushAll() {
 	}
 }
 
+// Reset returns the BTB to the observable state of NewBTB(cfg),
+// reusing the entry array when the geometry matches (the common case:
+// recycled cores of the same uarch). Unlike FlushAll it does not count
+// as a flush — reuse is host-side recycling, not a simulated IBPB.
+func (b *BTB) Reset(cfg BTBConfig) {
+	if cfg.Sets <= 0 {
+		cfg.Sets = 512
+	}
+	if cfg.Ways <= 0 {
+		cfg.Ways = 4
+	}
+	if cfg.HistoryDepth <= 0 {
+		cfg.HistoryDepth = 16
+	}
+	if cfg.Sets*cfg.Ways != len(b.lines) {
+		b.lines = make([]btbEntry, cfg.Sets*cfg.Ways)
+	} else {
+		for i := range b.lines {
+			b.lines[i] = btbEntry{}
+		}
+	}
+	b.cfg = cfg
+	b.clock = 0
+	b.Predictions, b.Mispredicts, b.Flushes = 0, 0, 0
+}
+
 // FlushMode invalidates only entries trained in the given mode. Used to
 // model the periodic kernel-entry BTB scrub the paper observed on eIBRS
 // parts (§6.2.2).
@@ -305,6 +331,17 @@ func NewCondPredictor(bits int) *CondPredictor {
 		p.counters[i] = 2
 	}
 	return p
+}
+
+// Reset returns the predictor to its freshly constructed state —
+// every counter back to weakly-taken, history and statistics zeroed —
+// reusing the counter table.
+func (p *CondPredictor) Reset() {
+	for i := range p.counters {
+		p.counters[i] = 2
+	}
+	p.history = 0
+	p.Predictions, p.Mispredicts = 0, 0
 }
 
 func (p *CondPredictor) idx(pc uint64) uint64 {

@@ -85,6 +85,13 @@ func (s *StoreBuffer) Lookup(addr uint64) (StoreEntry, bool) {
 // Drain empties the buffer (sfence / serialising events).
 func (s *StoreBuffer) Drain() { s.entries = s.entries[:0] }
 
+// Reset returns the buffer to its freshly constructed state, reusing
+// the entry array (host-side recycling; no simulated event).
+func (s *StoreBuffer) Reset() {
+	s.entries = s.entries[:0]
+	s.Forwards = 0
+}
+
 // Len returns the number of in-flight stores.
 func (s *StoreBuffer) Len() int { return len(s.entries) }
 
@@ -144,3 +151,15 @@ func (f *FillBuffer) Clear() {
 
 // Size returns the slot count.
 func (f *FillBuffer) Size() int { return len(f.slots) }
+
+// Reset returns the buffer to its freshly constructed state: all slots
+// zeroed — a recycled core must not leak a previous cell's values
+// through the MDS sampling channel — with position and the clear
+// counter back to zero. Unlike Clear it does not count as a VERW.
+func (f *FillBuffer) Reset() {
+	for i := range f.slots {
+		f.slots[i] = 0
+	}
+	f.pos = 0
+	f.Clears = 0
+}

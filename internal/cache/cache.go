@@ -239,6 +239,27 @@ func (c *Cache) Contents() []uint64 {
 	return out
 }
 
+// Reset returns this and all inner levels to the observable state of a
+// freshly constructed hierarchy while keeping every lazily allocated
+// line array: all lines are invalidated in place, statistics and the
+// LRU clock return to zero. An invalid line is indistinguishable from a
+// never-allocated one (lookup checks the valid bit, insert reuses the
+// array), so a Reset hierarchy behaves byte-for-byte like a new one —
+// the property the CPU core pool depends on — without re-zeroing
+// megabytes of tag state per reuse.
+func (c *Cache) Reset() {
+	for _, set := range c.lines {
+		for i := range set {
+			set[i] = cacheLine{}
+		}
+	}
+	c.Hits, c.Misses = 0, 0
+	c.clock = 0
+	if c.Next != nil {
+		c.Next.Reset()
+	}
+}
+
 // ResetStats zeroes hit/miss counters at this and inner levels.
 func (c *Cache) ResetStats() {
 	c.Hits, c.Misses = 0, 0

@@ -277,11 +277,32 @@ type Core struct {
 	ssbSeen       map[uint64]uint8
 	inTransient   bool
 	halted        bool
+
+	// noPool excludes this core from the recycle pool: SMT siblings
+	// share microarchitectural structures, so recycling either half
+	// would alias them across cells.
+	noPool bool
+
+	// poolGen counts checkouts from the core pool. Each recycle path
+	// (explicit Recycle, scope release) holds the generation it was
+	// armed with and advances it by compare-and-swap, so a core is
+	// returned to the pool exactly once per checkout.
+	poolGen atomic.Uint64
 }
 
 // New constructs a core for the given CPU model with its own memory
-// system and predictor state.
+// system and predictor state. When core pooling is enabled (the
+// default; see SetDefaultCorePool) the geometry-sized structures come
+// from a per-uarch recycle pool, and the core is returned to it when
+// the current simulation scope is released.
 func New(m *model.CPU) *Core {
+	sc := simscope.Current()
+	if DefaultCorePool() {
+		if c := checkoutPooled(m, sc); c != nil {
+			retainOnScope(c, sc)
+			return c
+		}
+	}
 	c := &Core{
 		Model:       m,
 		Phys:        mem.NewPhys(),
@@ -299,8 +320,8 @@ func New(m *model.CPU) *Core {
 		Thunks:      make(map[uint64]func(*Core)),
 		BlockCache:  DefaultBlockCache(),
 		code:        &codeState{},
-		FI:          faultinject.FromActive(m.Uarch),
-		scope:       simscope.Current(),
+		FI:          faultinject.FromActiveScope(sc, m.Uarch),
+		scope:       sc,
 	}
 	c.CycleBudget = scopeCycleBudget(c.scope)
 	c.L1 = cache.New(m.Costs.Mem,
@@ -314,12 +335,15 @@ func New(m *model.CPU) *Core {
 		HistoryDepth: m.Spec.BTBHistoryDepth,
 	})
 	c.msrs[MSRArchCaps] = archCaps(m)
+	retainOnScope(c, sc)
 	return c
 }
 
 // NewSMTSibling returns a second logical CPU sharing the physical core's
 // memory system, caches, fill buffers and predictors with c — the
-// configuration MDS attacks exploit cross-thread.
+// configuration MDS attacks exploit cross-thread. Both halves of the
+// pair are excluded from the core pool: the shared structures would
+// otherwise be recycled twice.
 func NewSMTSibling(c *Core) *Core {
 	s := &Core{
 		Model:       c.Model,
@@ -346,6 +370,8 @@ func NewSMTSibling(c *Core) *Core {
 		scope:       c.scope,
 	}
 	s.msrs[MSRArchCaps] = archCaps(c.Model)
+	c.noPool = true
+	s.noPool = true
 	// Sibling creation is a code-visibility event: the sibling starts
 	// from c's programs slice, but the two cores append to their own
 	// copies afterwards. Invalidate conservatively so neither thread

@@ -19,19 +19,38 @@
 //     any worker may run any ready cell; callers gather results in
 //     canonical order via Task.Wait.
 //
-// The cache is keyed by the Key struct itself (Go map equality), not by
-// its hash — a hash collision therefore cannot alias two cells. The hash
-// only seeds the cell's deterministic fault-injection stream.
+// The cache is keyed by the Key struct itself (sync.Map equality), not
+// by its hash — a hash collision therefore cannot alias two cells. The
+// hash only seeds the cell's deterministic fault-injection stream.
 //
 // # Scheduling
 //
-// The pool is a classic work-stealing design: each worker owns a deque
-// (LIFO for the owner, to keep an experiment's freshly spawned cells
-// hot; FIFO for thieves, to steal the oldest and largest pending work),
-// plus a global injection queue for submissions from non-worker
-// goroutines. Cells are milliseconds of simulation, so one mutex over
-// all queues costs nothing measurable and keeps the invariants easy to
-// state.
+// The pool is a sharded work-stealing design built so that no two
+// workers contend on a lock unless one is actually stealing from the
+// other:
+//
+//   - The memo cache is a sync.Map consulted lock-free on the Submit
+//     fast path; a racing first submission is resolved by LoadOrStore,
+//     so exactly one task per key is ever scheduled and the hit/miss
+//     totals stay scheduling-independent.
+//   - Each worker owns a deque under its own mutex (LIFO for the owner,
+//     to keep an experiment's freshly spawned cells hot; FIFO for
+//     thieves, to steal the oldest and largest pending work), plus a
+//     global injection queue — its own shard — for submissions from
+//     non-worker goroutines. Submission, dequeue and memo lookup never
+//     serialize on a pool-wide lock.
+//   - Idle workers park on a condition variable. Publication uses a
+//     store-buffer-proof handshake: a parking worker registers as a
+//     sleeper and then re-checks the push sequence counter; a submitter
+//     bumps the counter after the task is visible and then checks for
+//     sleepers. Whichever order the two interleave in, one side sees
+//     the other, so a wakeup cannot be lost while the signal itself
+//     stays off the submission fast path.
+//
+// Workers resolve their goroutine ID once at startup and thread it
+// through scope entry and helping joins (simscope.EnterG/CurrentG), so
+// the scheduler's hot paths never pay the runtime.Stack parse behind
+// gls.ID.
 //
 // Tasks may wait on other tasks (an experiment waits on its cells; a
 // sweep waits on per-model tasks). A worker that blocks in Wait instead
@@ -47,6 +66,15 @@
 // captured at Submit time. Injector streams, fired-fault attribution and
 // cycle accounting are therefore functions of the cell key — independent
 // of worker count, steal order and submission interleaving.
+//
+// # Resource recycling
+//
+// A keyed task's scope is released (simscope.Scope.Release) after the
+// task completes and its cycle total has been published. Resource
+// layers — the CPU core pool — register reclamation on the scope at
+// construction time, so every core a cell builds is recycled exactly
+// when the cell can no longer touch it, without the engine knowing what
+// a core is.
 package engine
 
 import (
@@ -54,6 +82,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"spectrebench/internal/cpu"
 	"spectrebench/internal/faultinject"
@@ -156,21 +185,71 @@ func (t *Task) describe() string {
 	return t.label
 }
 
-// Engine is a work-stealing worker pool with a memoizing cell cache.
+// shard is one lockable task queue: a worker's deque or the global
+// injection queue. The owner pushes and pops at the tail; thieves and
+// global consumers pop at the head.
+type shard struct {
+	mu    sync.Mutex
+	tasks []*Task
+}
+
+func (s *shard) push(t *Task) {
+	s.mu.Lock()
+	s.tasks = append(s.tasks, t)
+	s.mu.Unlock()
+}
+
+// popTail removes the newest task (owner side, LIFO).
+func (s *shard) popTail() *Task {
+	s.mu.Lock()
+	n := len(s.tasks)
+	if n == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	t := s.tasks[n-1]
+	s.tasks[n-1] = nil
+	s.tasks = s.tasks[:n-1]
+	s.mu.Unlock()
+	return t
+}
+
+// popHead removes the oldest task (thief/global side, FIFO).
+func (s *shard) popHead() *Task {
+	s.mu.Lock()
+	if len(s.tasks) == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	t := s.tasks[0]
+	s.tasks[0] = nil
+	s.tasks = s.tasks[1:]
+	s.mu.Unlock()
+	return t
+}
+
+// Engine is a sharded work-stealing worker pool with a lock-free
+// memoizing cell cache.
 type Engine struct {
 	jobs int
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	started bool
-	closed  bool
+	cache        sync.Map // Key -> *Task
+	hits, misses atomic.Uint64
 
-	cache        map[Key]*Task
-	hits, misses uint64
+	shards   []shard  // per-worker deques
+	global   shard    // injection queue for non-worker submitters
+	workerOf sync.Map // goroutine ID -> worker index
 
-	global   []*Task   // FIFO injection queue for non-worker submitters
-	deques   [][]*Task // per-worker deques: owner pops the tail, thieves the head
-	workerOf map[uint64]int
+	startOnce sync.Once
+	closed    atomic.Bool
+
+	// Parking. sleepers is written only under idleMu but read without it
+	// on the submission fast path; pushSeq is bumped after every enqueue.
+	// See the package doc for the lost-wakeup argument.
+	idleMu   sync.Mutex
+	cond     *sync.Cond
+	sleepers atomic.Int64
+	pushSeq  atomic.Uint64
 }
 
 // New returns an engine with n workers (n < 1 means GOMAXPROCS). Workers
@@ -180,12 +259,10 @@ func New(n int) *Engine {
 		n = runtime.GOMAXPROCS(0)
 	}
 	e := &Engine{
-		jobs:     n,
-		cache:    make(map[Key]*Task),
-		deques:   make([][]*Task, n),
-		workerOf: make(map[uint64]int),
+		jobs:   n,
+		shards: make([]shard, n),
 	}
-	e.cond = sync.NewCond(&e.mu)
+	e.cond = sync.NewCond(&e.idleMu)
 	return e
 }
 
@@ -197,9 +274,7 @@ func (e *Engine) Jobs() int { return e.jobs }
 // cache. Both depend only on what was submitted, so they are identical
 // across worker counts.
 func (e *Engine) Stats() (hits, misses uint64) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.hits, e.misses
+	return e.hits.Load(), e.misses.Load()
 }
 
 // Submit schedules the cell identified by key, or returns the existing
@@ -207,14 +282,12 @@ func (e *Engine) Stats() (hits, misses uint64) {
 // to key. The cell's fault seed, activation snapshot and cycle budget
 // are fixed here, at submission time, from the submitter's scope.
 func (e *Engine) Submit(key Key, fn func() (any, error)) *Task {
-	parent := simscope.Current()
-	e.mu.Lock()
-	if t, ok := e.cache[key]; ok {
-		e.hits++
-		e.mu.Unlock()
-		return t
+	if v, ok := e.cache.Load(key); ok {
+		e.hits.Add(1)
+		return v.(*Task)
 	}
-	e.misses++
+	gid := gls.ID()
+	parent := simscope.CurrentG(gid)
 	sc := &simscope.Scope{FaultSeed: key.Hash()}
 	if parent != nil {
 		sc.Fault = parent.Fault
@@ -227,9 +300,16 @@ func (e *Engine) Submit(key Key, fn func() (any, error)) *Task {
 		sc.Budget, sc.HasBudget = cpu.DefaultCycleBudget(), true
 	}
 	t := &Task{eng: e, key: key, keyed: true, fn: fn, scope: sc, done: make(chan struct{})}
-	e.cache[key] = t
-	e.enqueueLocked(t)
-	e.mu.Unlock()
+	if v, loaded := e.cache.LoadOrStore(key, t); loaded {
+		// Another submitter raced us to the same key; its task is the
+		// cell. The scope built above is discarded — it was derived from
+		// the key and the same batch-wide activation/budget, so which
+		// racer wins is unobservable.
+		e.hits.Add(1)
+		return v.(*Task)
+	}
+	e.misses.Add(1)
+	e.enqueue(t, gid)
 	return t
 }
 
@@ -238,55 +318,52 @@ func (e *Engine) Submit(key Key, fn func() (any, error)) *Task {
 // experiment's per-model work across workers while cycle charges and
 // fault attribution keep flowing to the experiment.
 func (e *Engine) Go(label string, fn func() (any, error)) *Task {
-	t := &Task{eng: e, label: label, fn: fn, scope: simscope.Current(), done: make(chan struct{})}
-	e.mu.Lock()
-	e.enqueueLocked(t)
-	e.mu.Unlock()
+	gid := gls.ID()
+	t := &Task{eng: e, label: label, fn: fn, scope: simscope.CurrentG(gid), done: make(chan struct{})}
+	e.enqueue(t, gid)
 	return t
 }
 
-// enqueueLocked places t on the submitting worker's own deque (tail =
+// enqueue places t on the submitting worker's own deque (tail =
 // hottest) or the global queue for outside submitters, starting the
-// workers on first use.
-func (e *Engine) enqueueLocked(t *Task) {
-	if e.closed {
+// workers on first use and waking a parked worker if there is one.
+func (e *Engine) enqueue(t *Task, gid uint64) {
+	if e.closed.Load() {
 		panic("engine: submit on closed engine")
 	}
-	if !e.started {
-		e.started = true
-		for i := 0; i < e.jobs; i++ {
-			go e.worker(i)
-		}
-	}
-	if w, ok := e.workerOf[gls.ID()]; ok {
-		e.deques[w] = append(e.deques[w], t)
+	e.startOnce.Do(e.start)
+	if w, ok := e.workerOf.Load(gid); ok {
+		e.shards[w.(int)].push(t)
 	} else {
-		e.global = append(e.global, t)
+		e.global.push(t)
 	}
-	e.cond.Broadcast()
+	// Publication handshake: the task is visible in its queue before the
+	// sequence bump, and the bump happens before the sleeper check.
+	e.pushSeq.Add(1)
+	if e.sleepers.Load() > 0 {
+		e.idleMu.Lock()
+		e.cond.Signal()
+		e.idleMu.Unlock()
+	}
 }
 
-// dequeueLocked returns a runnable task for worker w: own deque tail
-// first, then the global queue head, then the head of any other deque.
-func (e *Engine) dequeueLocked(w int) *Task {
-	if n := len(e.deques[w]); n > 0 {
-		t := e.deques[w][n-1]
-		e.deques[w][n-1] = nil
-		e.deques[w] = e.deques[w][:n-1]
+func (e *Engine) start() {
+	for i := 0; i < e.jobs; i++ {
+		go e.worker(i)
+	}
+}
+
+// dequeue returns a runnable task for worker w: own deque tail first,
+// then the global queue head, then the head of any other deque.
+func (e *Engine) dequeue(w int) *Task {
+	if t := e.shards[w].popTail(); t != nil {
 		return t
 	}
-	if len(e.global) > 0 {
-		t := e.global[0]
-		e.global[0] = nil
-		e.global = e.global[1:]
+	if t := e.global.popHead(); t != nil {
 		return t
 	}
-	for i := 1; i <= len(e.deques); i++ {
-		v := (w + i) % len(e.deques)
-		if len(e.deques[v]) > 0 {
-			t := e.deques[v][0]
-			e.deques[v][0] = nil
-			e.deques[v] = e.deques[v][1:]
+	for i := 1; i < len(e.shards); i++ {
+		if t := e.shards[(w+i)%len(e.shards)].popHead(); t != nil {
 			return t
 		}
 	}
@@ -295,29 +372,37 @@ func (e *Engine) dequeueLocked(w int) *Task {
 
 func (e *Engine) worker(idx int) {
 	id := gls.ID()
-	e.mu.Lock()
-	e.workerOf[id] = idx
+	e.workerOf.Store(id, idx)
 	for {
-		t := e.dequeueLocked(idx)
-		for t == nil {
-			if e.closed {
-				delete(e.workerOf, id)
-				e.mu.Unlock()
-				return
-			}
-			e.cond.Wait()
-			t = e.dequeueLocked(idx)
+		// Sample the push sequence before scanning: a task enqueued
+		// after the scan passed its shard bumps the sequence, which the
+		// parking check below observes.
+		seq := e.pushSeq.Load()
+		if t := e.dequeue(idx); t != nil {
+			e.run(t, id)
+			continue
 		}
-		e.mu.Unlock()
-		e.run(t)
-		e.mu.Lock()
+		if e.closed.Load() {
+			e.workerOf.Delete(id)
+			return
+		}
+		e.idleMu.Lock()
+		e.sleepers.Add(1)
+		if e.pushSeq.Load() == seq && !e.closed.Load() {
+			e.cond.Wait()
+		}
+		e.sleepers.Add(-1)
+		e.idleMu.Unlock()
 	}
 }
 
 // run executes t under its scope (entering nil shadows any scope the
-// helping worker happened to be carrying) and publishes the result.
-func (e *Engine) run(t *Task) {
-	restore := simscope.Enter(t.scope)
+// helping worker happened to be carrying) and publishes the result. gid
+// is the calling goroutine's ID, resolved once by the caller. A keyed
+// task's scope is released afterwards, returning the cell's pooled
+// resources.
+func (e *Engine) run(t *Task, gid uint64) {
+	restore := simscope.EnterG(gid, t.scope)
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -339,15 +424,10 @@ func (e *Engine) run(t *Task) {
 		t.cycles = t.scope.Cycles()
 	}
 	close(t.done)
-}
-
-// workerIndex reports whether the calling goroutine is one of e's
-// workers.
-func (e *Engine) workerIndex() (int, bool) {
-	e.mu.Lock()
-	w, ok := e.workerOf[gls.ID()]
-	e.mu.Unlock()
-	return w, ok
+	if t.keyed {
+		// The cell owns its scope; unkeyed tasks borrow the submitter's.
+		t.scope.Release()
+	}
 }
 
 // Wait blocks until the task completes and returns its value and error.
@@ -361,14 +441,19 @@ func (e *Engine) workerIndex() (int, bool) {
 func (t *Task) Wait() (any, error) {
 	select {
 	case <-t.done:
-	default:
-		if w, ok := t.eng.workerIndex(); ok {
-			t.eng.help(t, w)
+		if t.keyed {
+			simscope.Current().AddCycles(t.cycles)
 		}
-		<-t.done
+		return t.val, t.err
+	default:
 	}
+	gid := gls.ID()
+	if w, ok := t.eng.workerOf.Load(gid); ok {
+		t.eng.help(t, w.(int), gid)
+	}
+	<-t.done
 	if t.keyed {
-		simscope.Current().AddCycles(t.cycles)
+		simscope.CurrentG(gid).AddCycles(t.cycles)
 	}
 	return t.val, t.err
 }
@@ -376,20 +461,18 @@ func (t *Task) Wait() (any, error) {
 // help runs pending tasks on worker w until t completes or nothing is
 // runnable (t is then in flight on some other worker; the caller
 // blocks).
-func (e *Engine) help(t *Task, w int) {
+func (e *Engine) help(t *Task, w int, gid uint64) {
 	for {
 		select {
 		case <-t.done:
 			return
 		default:
 		}
-		e.mu.Lock()
-		nt := e.dequeueLocked(w)
-		e.mu.Unlock()
+		nt := e.dequeue(w)
 		if nt == nil {
 			return
 		}
-		e.run(nt)
+		e.run(nt, gid)
 	}
 }
 
@@ -398,10 +481,10 @@ func (e *Engine) help(t *Task, w int) {
 // task has been awaited). Intended for tests that create throwaway
 // engines; the process-default engine is never closed.
 func (e *Engine) Close() {
-	e.mu.Lock()
-	e.closed = true
+	e.closed.Store(true)
+	e.idleMu.Lock()
 	e.cond.Broadcast()
-	e.mu.Unlock()
+	e.idleMu.Unlock()
 }
 
 // The process-default engine, used by any managed run that does not

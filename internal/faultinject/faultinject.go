@@ -227,7 +227,17 @@ func New(seed uint64) *Injector {
 // scope, the legacy global activation and its process-wide counter
 // apply.
 func FromActive(salt string) *Injector {
-	if sc := simscope.Current(); sc != nil {
+	return FromActiveScope(simscope.Current(), salt)
+}
+
+// FromActiveScope is FromActive with the caller's scope already
+// resolved. Core construction resolves its scope once and passes it to
+// every scope-dependent derivation, instead of paying a goroutine-ID
+// parse per consult; the derivation itself is identical to FromActive,
+// so pooled-core reinitialisation draws the same injector stream a
+// fresh construction would.
+func FromActiveScope(sc *simscope.Scope, salt string) *Injector {
+	if sc != nil {
 		a, _ := sc.Fault.(*activation)
 		if a == nil {
 			return nil

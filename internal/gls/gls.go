@@ -2,14 +2,26 @@
 // simulation-scope layer needs: a stable numeric ID for the calling
 // goroutine. The runtime does not expose goroutine IDs on purpose, so
 // this parses the header line of runtime.Stack — the documented,
-// stable-for-a-decade "goroutine N [state]:" format. The cost (~1µs) is
-// paid only at scope entry/exit and core construction, never inside the
-// simulator's cycle loop.
+// stable-for-a-decade "goroutine N [state]:" format.
+//
+// Parsing costs ~1µs per call, which is invisible at core-construction
+// frequency but not on a scheduler's submit/wait/steal path. Long-lived
+// goroutines that make many identity-keyed lookups — the engine's
+// workers above all — should therefore call ID once, keep the result,
+// and use the *G variants of the simscope API (EnterG, CurrentG) plus
+// the engine's internal id-threading instead of re-parsing at every
+// scope entry. ID itself stays allocation-free: the stack snapshot
+// lands in a stack buffer and only the leading decimal is read.
 package gls
 
 import "runtime"
 
 // ID returns the calling goroutine's ID.
+//
+// Callers on hot paths should cache the result for the lifetime of the
+// goroutine rather than re-parsing: the value is stable from the
+// goroutine's birth to its exit and is never reused while the goroutine
+// is alive.
 func ID() uint64 {
 	var buf [64]byte
 	n := runtime.Stack(buf[:], false)

@@ -1,9 +1,11 @@
 package harness
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 
+	"spectrebench/internal/cpu"
 	"spectrebench/internal/engine"
 )
 
@@ -71,6 +73,38 @@ func TestParallelDeterminismWithFaults(t *testing.T) {
 	for _, jobs := range []int{4, runtime.GOMAXPROCS(0)} {
 		if got := renderBatch(t, exps, jobs, true); got != want {
 			t.Errorf("faulted jobs=%d output differs from jobs=1\n--- jobs=1 ---\n%s\n--- jobs=%d ---\n%s", jobs, want, jobs, got)
+		}
+	}
+}
+
+// TestAblationMatrixDeterminism is PR4's hard constraint in test form:
+// the rendered output is byte-identical across the full ablation matrix
+// — every -jobs value × core pooling on/off × fault injection on/off.
+// Core reuse (reinit instead of reconstruct) and the sharded scheduler
+// must both be invisible in the output.
+func TestAblationMatrixDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation matrix batch runs are slow")
+	}
+	exps := lookupAll(t, []string{"table3", "fig3", "whatif-v1hw", "lebench-detail"})
+
+	prev := cpu.DefaultCorePool()
+	defer cpu.SetDefaultCorePool(prev)
+
+	for _, faults := range []bool{false, true} {
+		cpu.SetDefaultCorePool(true)
+		want := renderBatch(t, exps, 1, faults)
+		for _, jobs := range []int{1, 4, 8} {
+			for _, pool := range []bool{true, false} {
+				if jobs == 1 && pool {
+					continue // the reference configuration itself
+				}
+				cpu.SetDefaultCorePool(pool)
+				name := fmt.Sprintf("jobs=%d/corepool=%v/faults=%v", jobs, pool, faults)
+				if got := renderBatch(t, exps, jobs, faults); got != want {
+					t.Errorf("%s output differs from jobs=1/corepool=on\n--- want ---\n%s\n--- got ---\n%s", name, want, got)
+				}
+			}
 		}
 	}
 }

@@ -774,6 +774,7 @@ func vmLEBenchSuite(m *model.CPU, hostMit kernel.Mitigations) (float64, error) {
 	for _, b := range lebench.Suite() {
 		hv := newGuest(m, hostMit)
 		cyc, err := lebench.RunOn(hv.C, hv.GuestKernel, b)
+		hv.Close()
 		if err != nil {
 			return 0, err
 		}

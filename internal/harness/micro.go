@@ -38,6 +38,7 @@ func microCore(m *model.CPU) *cpu.Core {
 func measureLoop(m *model.CPU, kernelMode bool, setup func(c *cpu.Core), body func(a *isa.Asm)) (float64, error) {
 	run := func(withBody bool) (float64, error) {
 		c := microCore(m)
+		defer c.Recycle()
 		if kernelMode {
 			c.Priv = cpu.PrivKernel
 		}
@@ -197,6 +198,7 @@ func MeasureIndirect(m *model.CPU, v IndirectVariant) (float64, error) {
 	// the program manually here.
 	run := func(withBody bool) (float64, error) {
 		c := microCore(m)
+		defer c.Recycle()
 		setup(c)
 		a := isa.NewAsm()
 		a.MovI(isa.R9, microIters)

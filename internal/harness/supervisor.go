@@ -186,6 +186,10 @@ func supervise(e Experiment, cfg RunConfig, eng *engine.Engine) Result {
 		tbl, err := runProtected(e, attempt, sc)
 		restore()
 		res.Cycles += sc.Cycles()
+		// The attempt is over: recycle any cores constructed directly
+		// under the attempt scope (cells own separate scopes released by
+		// the engine).
+		sc.Release()
 		res.Retries = attempt
 
 		if err == nil {

@@ -59,6 +59,7 @@ func (e *Engine) RunProgram(prog *Program, maxSteps int) (*Result, error) {
 	}
 
 	c := cpu.New(e.cpuModel)
+	defer c.Recycle()
 	if e.CPUSetup != nil {
 		e.CPUSetup(c)
 	}

@@ -55,6 +55,12 @@ type Scope struct {
 	seq       atomic.Uint64
 	cycles    atomic.Uint64
 	lastFired atomic.Uint32
+
+	// releaseMu guards releases: a scope shared by an experiment attempt
+	// and the sweep tasks it fans out sees concurrent Defer calls.
+	releaseMu sync.Mutex
+	releases  []func()
+	released  bool
 }
 
 // NextSeq returns the next injector-derivation sequence number in this
@@ -97,6 +103,43 @@ func (s *Scope) LastFired() (uint8, bool) {
 	return uint8(v - 1), true
 }
 
+// Defer registers fn to run when the scope is released. The scope owner
+// (the engine for per-cell scopes, the supervisor for attempt scopes)
+// calls Release exactly once, after every task running under the scope
+// has completed — which is what lets resource layers (the CPU core pool)
+// hang reclamation off the scope without knowing who scheduled it.
+// Registering on an already-released scope drops fn silently: cleanups
+// here are reclamation opportunities (recycle a core into a pool), and
+// for those, leaking to the garbage collector is always safe while
+// running early against a live resource never is.
+func (s *Scope) Defer(fn func()) {
+	if s == nil {
+		return
+	}
+	s.releaseMu.Lock()
+	if !s.released {
+		s.releases = append(s.releases, fn)
+	}
+	s.releaseMu.Unlock()
+}
+
+// Release runs the scope's deferred cleanups (LIFO, like defer) and
+// marks the scope released. Safe to call more than once; later calls are
+// no-ops. Call only when no task can still be running under the scope.
+func (s *Scope) Release() {
+	if s == nil {
+		return
+	}
+	s.releaseMu.Lock()
+	fns := s.releases
+	s.releases = nil
+	s.released = true
+	s.releaseMu.Unlock()
+	for i := len(fns) - 1; i >= 0; i-- {
+		fns[i]()
+	}
+}
+
 // scopes maps goroutine ID -> *Scope (possibly nil: an explicit
 // "no scope" shadowing an outer one while a worker runs an unscoped
 // task).
@@ -106,7 +149,15 @@ var scopes sync.Map
 // scope and returns a restore function that reinstates the previous
 // binding. Always call the restore function on the same goroutine.
 func Enter(s *Scope) (restore func()) {
-	id := gls.ID()
+	return EnterG(gls.ID(), s)
+}
+
+// EnterG is Enter for a caller that has already resolved its goroutine
+// ID (engine workers cache theirs once at startup): it skips the
+// runtime.Stack parse that dominates Enter's cost on the worker path.
+// id must be the calling goroutine's own ID, and the restore function
+// must run on that same goroutine.
+func EnterG(id uint64, s *Scope) (restore func()) {
 	prev, had := scopes.Load(id)
 	scopes.Store(id, s)
 	return func() {
@@ -120,7 +171,13 @@ func Enter(s *Scope) (restore func()) {
 
 // Current returns the calling goroutine's scope, or nil.
 func Current() *Scope {
-	v, ok := scopes.Load(gls.ID())
+	return CurrentG(gls.ID())
+}
+
+// CurrentG is Current with the goroutine ID supplied by the caller
+// (see EnterG).
+func CurrentG(id uint64) *Scope {
+	v, ok := scopes.Load(id)
 	if !ok {
 		return nil
 	}

@@ -175,5 +175,18 @@ func (t *TLB) Valid() int {
 	return n
 }
 
+// Reset returns the TLB to the observable state of a freshly
+// constructed one, reusing the entry array: every entry is zeroed, the
+// LRU clock and all statistics return to zero. Unlike FlushAll it does
+// not count as a flush — reuse is host-side recycling, not a simulated
+// TLB event.
+func (t *TLB) Reset() {
+	for i := range t.lines {
+		t.lines[i] = Entry{}
+	}
+	t.clock = 0
+	t.Hits, t.Misses, t.Flushes = 0, 0, 0
+}
+
 // ResetStats zeroes the hit/miss/flush counters.
 func (t *TLB) ResetStats() { t.Hits, t.Misses, t.Flushes = 0, 0, 0 }

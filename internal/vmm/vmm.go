@@ -91,6 +91,11 @@ func (hv *Hypervisor) Boot() {
 	hv.MapGuestMemory(0, 1<<40)
 }
 
+// Close recycles the guest core into the CPU core pool. Call it only
+// when the machine is dead — no guest or host code will touch the
+// hypervisor again.
+func (hv *Hypervisor) Close() { hv.C.Recycle() }
+
 // Console returns everything the guest wrote to the console port.
 func (hv *Hypervisor) Console() []byte { return hv.console }
 

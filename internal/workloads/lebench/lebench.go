@@ -76,9 +76,12 @@ func Run(m *model.CPU, mit kernel.Mitigations) ([]Result, error) {
 	return out, nil
 }
 
-// runOne measures one benchmark on a fresh machine.
+// runOne measures one benchmark on a fresh machine. The machine is dead
+// once the per-iteration cycle count is extracted, so the core goes
+// straight back to the pool.
 func runOne(m *model.CPU, mit kernel.Mitigations, b Benchmark) (float64, error) {
 	c := cpu.New(m)
+	defer c.Recycle()
 	k := kernel.New(c, mit)
 	return RunOn(c, k, b)
 }

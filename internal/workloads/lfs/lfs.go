@@ -40,6 +40,7 @@ type Result struct {
 // and exit counts. hostMit controls the host's VM-boundary mitigations.
 func Run(m *model.CPU, hostMit, guestMit kernel.Mitigations, name string) (*Result, error) {
 	hv := vmm.New(m, hostMit, guestMit, 4096)
+	defer hv.Close()
 	hv.Boot()
 	k := hv.GuestKernel
 

@@ -62,6 +62,7 @@ func Run(m *model.CPU, mit kernel.Mitigations, name string) (float64, error) {
 	}
 
 	c := cpu.New(m)
+	defer c.Recycle()
 	k := kernel.New(c, mit)
 
 	a := isa.NewAsm()
