@@ -26,12 +26,12 @@ test-race:
 bench:
 	$(GO) test -bench=. -benchmem
 
-# Record the scaling baseline: the `run all` wall-clock curve across
-# -jobs 1,2,4,8 and the -corepool on/off ablation (asserting all outputs
-# are byte-identical) plus the ablation benchmark ns/op and allocs/op,
-# as JSON.
+# Record the performance baseline: the -memfast on/off ablation (timed
+# interleaved at -jobs 1), the `run all` wall-clock curve across -jobs,
+# and the ablation benchmark ns/op (asserting all outputs are
+# byte-identical), as JSON.
 bench-json:
-	GO="$(GO)" sh scripts/bench_json.sh BENCH_PR4.json
+	GO="$(GO)" sh scripts/bench_json.sh BENCH_PR5.json
 
 # Run the full experiment registry through the CLI.
 experiments:

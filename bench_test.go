@@ -449,6 +449,43 @@ func BenchmarkAblationBlockCache(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationMemFast runs the cell-heavy batch with the
+// memory-path fast path (epoch-stamped cache/TLB flushes, MRU way
+// hints, translation and page caching) enabled and disabled: the
+// on/off wall-clock ratio is the tentpole metric of the memory-path
+// PR. Output is byte-identical either way (CI diffs the full `run all`
+// output), so the two sub-benchmarks measure pure memory-model speed.
+// Engines are created per iteration so every run simulates on cold
+// memoization caches.
+func BenchmarkAblationMemFast(b *testing.B) {
+	exps := make([]harness.Experiment, 0, 2)
+	for _, id := range []string{"fig3", "whatif-v1hw"} {
+		e, ok := harness.Lookup(id)
+		if !ok {
+			b.Fatalf("unknown experiment %q", id)
+		}
+		exps = append(exps, e)
+	}
+	for _, on := range []bool{true, false} {
+		name := "memfast=on"
+		if !on {
+			name = "memfast=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			prev := cpu.SetDefaultMemFast(on)
+			defer cpu.SetDefaultMemFast(prev)
+			for i := 0; i < b.N; i++ {
+				eng := engine.New(1)
+				results := harness.SuperviseAll(exps, harness.RunConfig{Engine: eng})
+				eng.Close()
+				if n := harness.Failed(results); n != 0 {
+					b.Fatalf("%d experiments failed", n)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblationCorePool runs the cell-heavy batch with the CPU core
 // pool enabled and disabled: the on/off allocation and wall-clock deltas
 // are the tentpole metric of the pooled-cores PR. Output is

@@ -54,6 +54,8 @@ func mainExitCode() int {
 		"decoded basic-block cache for the CPU interpreter: on|off (ablation; output is byte-identical either way)")
 	corepool := flag.String("corepool", "on",
 		"recycle CPU core structures between simulation cells: on|off (ablation; output is byte-identical either way)")
+	memfast := flag.String("memfast", "on",
+		"memory-path fast path (epoch-stamped flushes, MRU way hits, translation/page caching): on|off (ablation; output is byte-identical either way)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = usage
@@ -76,6 +78,15 @@ func mainExitCode() int {
 		cpu.SetDefaultCorePool(false)
 	default:
 		fmt.Fprintf(os.Stderr, "spectrebench: -corepool must be on or off, got %q\n", *corepool)
+		return 2
+	}
+	switch *memfast {
+	case "on":
+		cpu.SetDefaultMemFast(true)
+	case "off":
+		cpu.SetDefaultMemFast(false)
+	default:
+		fmt.Fprintf(os.Stderr, "spectrebench: -memfast must be on or off, got %q\n", *memfast)
 		return 2
 	}
 
@@ -146,7 +157,7 @@ func usage() {
 usage:
   spectrebench list
   spectrebench [-csv] [-faults] [-seed N] [-cycle-budget N] [-retries N] [-jobs N]
-               [-blockcache on|off] [-corepool on|off]
+               [-blockcache on|off] [-corepool on|off] [-memfast on|off]
                [-cpuprofile FILE] [-memprofile FILE] run <experiment-id>... | all
 
 experiments:

@@ -3,9 +3,35 @@
 // memory. Tag state is all that transient-execution side channels need:
 // FLUSH+RELOAD observes hit/miss latency, and the L1TF attack leaks
 // whatever physical line currently resides in the L1.
+//
+// # Memory-path fast path
+//
+// Two host-side optimisations keep the simulated model byte-identical
+// while removing the dominant per-access costs (the -memfast ablation
+// flag toggles both; see SetFastPath):
+//
+//   - Epoch-stamped invalidation. Every line carries the validity epoch
+//     it was filled under; a line is live only when its epoch matches
+//     the level's current epoch. FlushAll and Reset then invalidate the
+//     whole level by bumping the epoch — O(1) instead of O(lines) — the
+//     exact discipline the L1TF mitigation needs, since it flushes the
+//     L1 on every VM entry and the real hardware pays O(1) for that,
+//     not a walk over 4096 tag slots. Probe, Contents, Flush and the
+//     replacement scan all consult the epoch, so post-flush state is
+//     indistinguishable from the eager-clear implementation.
+//   - MRU way hints. Each set remembers the way of its most recent hit
+//     or fill; repeat hits check that way first and skip the way scan.
+//     The hint is only a hint — tag, valid bit and epoch are verified
+//     before use — so the hit/miss outcome, LRU updates and statistics
+//     are exactly those of the full scan (a tag can occupy at most one
+//     way per level, making "the hinted match" and "the scanned match"
+//     the same line).
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // LineSize is the cache line size in bytes.
 const LineSize = 64
@@ -15,6 +41,20 @@ const LineShift = 6
 
 // LineBase returns the line-aligned base of a physical address.
 func LineBase(pa uint64) uint64 { return pa &^ uint64(LineSize-1) }
+
+// fastOff is inverted so the zero value means the fast path is on
+// (mirrors cpu's defaultBlockCacheOff).
+var fastOff atomic.Bool
+
+// SetFastPath enables or disables the package's memory-path fast path
+// (epoch-bump flushes and MRU way hints) for subsequently constructed
+// or Reset caches, returning the previous setting. Both modes produce
+// byte-identical simulated state; the -memfast flag and the
+// differential tests flip this around comparisons.
+func SetFastPath(on bool) (prev bool) { return !fastOff.Swap(!on) }
+
+// FastPath reports whether the fast path is enabled for new caches.
+func FastPath() bool { return !fastOff.Load() }
 
 // Cache is one level of a physically-tagged set-associative cache with
 // LRU replacement. Levels are chained through Next; the last level's
@@ -29,6 +69,7 @@ type Cache struct {
 	ways int
 	mask uint64 // sets-1 when sets is a power of two, else 0 with pow2 false
 	pow2 bool
+	fast bool // captured from FastPath at New/Reset
 	// lines[set] holds that set's ways, allocated lazily on the first
 	// insert into the set (and the outer slice on the first insert into
 	// the level). Most cores touch a tiny fraction of the outer levels —
@@ -37,6 +78,18 @@ type Cache struct {
 	// set and an unallocated one are indistinguishable, so laziness is
 	// invisible to the simulation.
 	lines [][]cacheLine
+	// mru[set] is 1+way of the set's most recent hit or fill (0 = no
+	// hint). Purely a host-side accelerator: every use re-validates the
+	// hinted line, so a stale hint costs one extra compare, never a
+	// wrong answer. Allocated alongside lines.
+	mru []uint16
+
+	// epoch is the level's current validity epoch. A line is live only
+	// when line.epoch == epoch; FlushAll and Reset invalidate in O(1) by
+	// bumping it (fast path) or eagerly clear valid bits (reference
+	// path) — the two representations satisfy the same liveness
+	// predicate, so they can be mixed freely.
+	epoch uint64
 
 	// Statistics.
 	Hits, Misses uint64
@@ -48,6 +101,7 @@ type cacheLine struct {
 	valid bool
 	tag   uint64 // line base physical address
 	used  uint64 // LRU timestamp
+	epoch uint64 // validity epoch the line was filled under
 }
 
 // Config describes one cache level.
@@ -78,6 +132,7 @@ func New(memLatency uint64, levels ...Config) *Cache {
 			HitLatency: cfg.HitLatency,
 			sets:       sets,
 			ways:       cfg.Ways,
+			fast:       FastPath(),
 		}
 		if sets&(sets-1) == 0 {
 			c.mask = uint64(sets - 1)
@@ -111,25 +166,52 @@ func (c *Cache) set(pa uint64) []cacheLine {
 	return c.lines[c.setIndex(pa)]
 }
 
-// lookup returns the way holding pa's line, or nil.
+// live reports whether a line currently holds a valid fill.
+func (c *Cache) live(l *cacheLine) bool {
+	return l.valid && l.epoch == c.epoch
+}
+
+// lookup returns the way holding pa's line, or nil. At most one way per
+// set can hold a given tag (fills happen only after a full-scan miss),
+// so serving the lookup from the MRU hint when it validates is
+// indistinguishable from the scan.
 func (c *Cache) lookup(pa uint64) *cacheLine {
-	set := c.set(pa)
+	if c.lines == nil {
+		return nil
+	}
+	idx := c.setIndex(pa)
+	set := c.lines[idx]
 	if set == nil {
 		return nil
 	}
 	tag := LineBase(pa)
+	if c.fast {
+		if w := c.mru[idx]; w != 0 {
+			l := &set[w-1]
+			if l.valid && l.epoch == c.epoch && l.tag == tag {
+				return l
+			}
+		}
+	}
 	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+		if set[i].valid && set[i].epoch == c.epoch && set[i].tag == tag {
+			if c.fast {
+				c.mru[idx] = uint16(i + 1)
+			}
 			return &set[i]
 		}
 	}
 	return nil
 }
 
-// insert fills pa's line, evicting LRU if needed.
+// insert fills pa's line, evicting LRU if needed. Dead ways — never
+// filled, eagerly invalidated, or stamped with a stale epoch — are
+// claimed first, in way order, exactly as the eager-clear implementation
+// claimed `!valid` ways.
 func (c *Cache) insert(pa uint64) {
 	if c.lines == nil {
 		c.lines = make([][]cacheLine, c.sets)
+		c.mru = make([]uint16, c.sets)
 	}
 	idx := c.setIndex(pa)
 	set := c.lines[idx]
@@ -139,37 +221,52 @@ func (c *Cache) insert(pa uint64) {
 	}
 	tag := LineBase(pa)
 	victim := &set[0]
+	way := 0
 	for i := range set {
-		if !set[i].valid {
+		if !c.live(&set[i]) {
 			victim = &set[i]
+			way = i
 			break
 		}
 		if set[i].used < victim.used {
 			victim = &set[i]
+			way = i
 		}
 	}
 	c.clock++
-	*victim = cacheLine{valid: true, tag: tag, used: c.clock}
+	*victim = cacheLine{valid: true, tag: tag, used: c.clock, epoch: c.epoch}
+	c.mru[idx] = uint16(way + 1)
 }
 
 // Access simulates a load or store of the line containing pa and returns
 // the access latency in cycles. On a miss the line is filled at this and
 // all inner levels (inclusive hierarchy).
+//
+// The walk is iterative and allocation-free: one downward pass
+// accumulates per-level charges until the first hitting level (or
+// memory), then a second pass fills every level that missed. Per-level
+// state (clock, statistics, tag arrays) is independent across levels, so
+// the flattened walk is state-identical to the recursive one.
 func (c *Cache) Access(pa uint64) uint64 {
-	if line := c.lookup(pa); line != nil {
-		c.clock++
-		line.used = c.clock
-		c.Hits++
-		return c.HitLatency
-	}
-	c.Misses++
 	var lat uint64
-	if c.Next != nil {
-		lat = c.HitLatency + c.Next.Access(pa)
-	} else {
-		lat = c.HitLatency + c.MemLatency
+	hitLevel := (*Cache)(nil)
+	for lvl := c; lvl != nil; lvl = lvl.Next {
+		lat += lvl.HitLatency
+		if line := lvl.lookup(pa); line != nil {
+			lvl.clock++
+			line.used = lvl.clock
+			lvl.Hits++
+			hitLevel = lvl
+			break
+		}
+		lvl.Misses++
+		if lvl.Next == nil {
+			lat += lvl.MemLatency
+		}
 	}
-	c.insert(pa)
+	for lvl := c; lvl != hitLevel; lvl = lvl.Next {
+		lvl.insert(pa)
+	}
 	return lat
 }
 
@@ -182,34 +279,39 @@ func (c *Cache) Probe(pa uint64) bool { return c.lookup(pa) != nil }
 // charging latency (used for prefetch-style fills during transient
 // execution, where the committed instruction stream never waits).
 func (c *Cache) Touch(pa uint64) {
-	if c.lookup(pa) == nil {
-		c.insert(pa)
-	}
-	if c.Next != nil {
-		c.Next.Touch(pa)
+	for lvl := c; lvl != nil; lvl = lvl.Next {
+		if lvl.lookup(pa) == nil {
+			lvl.insert(pa)
+		}
 	}
 }
 
 // Flush evicts pa's line from this level and all inner levels (clflush).
 func (c *Cache) Flush(pa uint64) {
-	if set := c.set(pa); set != nil {
-		tag := LineBase(pa)
-		for i := range set {
-			if set[i].valid && set[i].tag == tag {
-				set[i].valid = false
+	for lvl := c; lvl != nil; lvl = lvl.Next {
+		if set := lvl.set(pa); set != nil {
+			tag := LineBase(pa)
+			for i := range set {
+				if set[i].valid && set[i].tag == tag {
+					set[i].valid = false
+				}
 			}
 		}
-	}
-	if c.Next != nil {
-		c.Next.Flush(pa)
 	}
 }
 
 // FlushAll invalidates every line at this level only (the L1TF mitigation
-// flushes just the L1). Allocated sets are cleared in place rather than
-// dropped so frequent flushes (every kernel entry under the L1TF
-// mitigation) do not churn the allocator.
+// flushes just the L1). On the fast path this is a single epoch bump —
+// O(1) regardless of how many lines are allocated — which matters
+// because the L1TF mitigation flushes on every VM entry and the
+// simulator must charge the flush's simulated cycles, not an O(cache)
+// host walk. The reference path clears valid bits in place; both leave
+// every line dead under the same liveness predicate.
 func (c *Cache) FlushAll() {
+	if c.fast {
+		c.epoch++
+		return
+	}
 	for _, set := range c.lines {
 		for i := range set {
 			set[i].valid = false
@@ -231,7 +333,7 @@ func (c *Cache) Contents() []uint64 {
 	var out []uint64
 	for _, set := range c.lines {
 		for i := range set {
-			if set[i].valid {
+			if c.live(&set[i]) {
 				out = append(out, set[i].tag)
 			}
 		}
@@ -241,17 +343,28 @@ func (c *Cache) Contents() []uint64 {
 
 // Reset returns this and all inner levels to the observable state of a
 // freshly constructed hierarchy while keeping every lazily allocated
-// line array: all lines are invalidated in place, statistics and the
-// LRU clock return to zero. An invalid line is indistinguishable from a
-// never-allocated one (lookup checks the valid bit, insert reuses the
-// array), so a Reset hierarchy behaves byte-for-byte like a new one —
+// line array: all lines are invalidated (an epoch bump on the fast
+// path, in-place zeroing on the reference path), statistics and the
+// LRU clock return to zero. A dead line is indistinguishable from a
+// never-allocated one (lookup checks liveness, insert claims dead ways
+// first), so a Reset hierarchy behaves byte-for-byte like a new one —
 // the property the CPU core pool depends on — without re-zeroing
-// megabytes of tag state per reuse.
+// megabytes of tag state per reuse. Reset also re-captures the
+// package-wide fast-path setting, so pooled caches honour an ablation
+// flip at their next checkout.
 func (c *Cache) Reset() {
-	for _, set := range c.lines {
-		for i := range set {
-			set[i] = cacheLine{}
+	c.fast = FastPath()
+	if c.fast {
+		c.epoch++
+	} else {
+		for _, set := range c.lines {
+			for i := range set {
+				set[i] = cacheLine{}
+			}
 		}
+		// Stale epoch stamps from a previous fast-path life would leak
+		// liveness if the epoch counter were rewound; it never is, and
+		// eagerly cleared lines are dead under any epoch.
 	}
 	c.Hits, c.Misses = 0, 0
 	c.clock = 0

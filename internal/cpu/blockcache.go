@@ -116,11 +116,30 @@ func (c *Core) blockFor(pc uint64) *block {
 			clear(c.blocks)
 		}
 		c.blocksGen = c.code.gen
+		c.lastBlock, c.prevBlock = nil, nil
+	}
+	// Two-entry dispatch memo: a hot loop re-dispatches the same one or
+	// two entry PCs every iteration (the loop body, plus the block after
+	// a conditional branch), so remembering the previous resolutions
+	// skips the map probe. The rebuild branch above clears the memo on
+	// every generation bump, so it can never outlive the blocks it
+	// points into.
+	if c.lastBlock != nil && c.lastBlockPC == pc {
+		return c.lastBlock
+	}
+	if c.prevBlock != nil && c.prevBlockPC == pc {
+		c.lastBlock, c.prevBlock = c.prevBlock, c.lastBlock
+		c.lastBlockPC, c.prevBlockPC = c.prevBlockPC, c.lastBlockPC
+		return c.lastBlock
 	}
 	b, ok := c.blocks[pc]
 	if !ok {
 		b = c.buildBlock(pc)
 		c.blocks[pc] = b
+	}
+	if b != nil {
+		c.prevBlock, c.prevBlockPC = c.lastBlock, c.lastBlockPC
+		c.lastBlock, c.lastBlockPC = b, pc
 	}
 	return b
 }
@@ -232,7 +251,7 @@ func (c *Core) StepBlock(limit int) (int, error) {
 	user := c.Priv == PrivUser
 	pcid := mem.CR3PCID(c.CR3)
 	set := c.TLB.SetFor(b.vpn)
-	cost := c.Model.Costs
+	cost := &c.Model.Costs
 	cmovCost := cost.ALU
 	if c.FusedCmovGuards {
 		cmovCost = 0
@@ -270,8 +289,24 @@ func (c *Core) StepBlock(limit int) (int, error) {
 		// Fetch: per-instruction TLB probe on the pinned set, with
 		// Lookup's exact bookkeeping and the reference glitch/miss
 		// handling (interior thunk probes are elided — block building
-		// proved the addresses thunk-free for this generation).
-		pte, hit := set.Lookup(b.vpn, pcid)
+		// proved the addresses thunk-free for this generation). On the
+		// memfast path, a probe whose previous hit is still guarded by
+		// the TLB generation replays via Rehit instead of rescanning;
+		// CR3 cannot change inside a block (MOVCR3 ends one), but the
+		// generation can (a data access in the reference execute switch
+		// may insert), which the guard catches.
+		var pte mem.PTE
+		var hit bool
+		if c.MemFast && c.xcFetch.hit(c, b.vpn) {
+			pte = c.TLB.Rehit(c.xcFetch.e)
+			hit = true
+		} else if e, ok := set.LookupH(b.vpn, pcid); ok {
+			pte = e.PTE()
+			hit = true
+			if c.MemFast {
+				c.xcFetch.fill(c, b.vpn, e)
+			}
+		}
 		if hit {
 			if c.FI.Fire(faultinject.TLBGlitch) {
 				// Injected weather: a shootdown IPI lands between

@@ -252,6 +252,23 @@ type Core struct {
 	// plain Step.
 	BlockCache bool
 
+	// MemFast enables the memory-path fast path: the core-side
+	// last-translation and page-table pointer caches (see memfast.go).
+	// New cores copy the package default set via SetDefaultMemFast (the
+	// -memfast ablation flag). The cache/TLB/Phys structures capture the
+	// corresponding package settings themselves at construction/Reset.
+	MemFast bool
+
+	// xcFetch/xcData are the per-stream last-translation caches (fetch
+	// and data accesses age independently — a data access to a new page
+	// must not evict the hot fetch translation). lastPT caches the CR3
+	// root → page-table resolution; registry bindings are immutable, so
+	// it can only go stale when PTs itself is replaced (pool reinit).
+	xcFetch    xlateCache
+	xcData     xlateCache
+	lastPTRoot uint64
+	lastPT     *mem.PageTable
+
 	// code is fetch-path bookkeeping shared between SMT siblings, which
 	// see the same Thunks map and start from the same loaded programs.
 	code *codeState
@@ -259,8 +276,14 @@ type Core struct {
 	// blocks caches decoded basic blocks keyed by entry PC, valid for
 	// code generation blocksGen only. Per-logical-core (blocks hold
 	// *isa.Instruction pointers into this core's programs slice).
-	blocks    map[uint64]*block
-	blocksGen uint64
+	// lastBlock/prevBlock memoise the two previous blockFor resolutions
+	// (cleared whenever blocks is).
+	blocks      map[uint64]*block
+	blocksGen   uint64
+	lastBlock   *block
+	lastBlockPC uint64
+	prevBlock   *block
+	prevBlockPC uint64
 
 	// pendCycles/pendInstret are StepBlock's unpublished charge and
 	// instruction-count accumulators; zero whenever StepBlock is not
@@ -319,6 +342,7 @@ func New(m *model.CPU) *Core {
 		msrs:        make(map[uint32]uint64),
 		Thunks:      make(map[uint64]func(*Core)),
 		BlockCache:  DefaultBlockCache(),
+		MemFast:     DefaultMemFast(),
 		code:        &codeState{},
 		FI:          faultinject.FromActiveScope(sc, m.Uarch),
 		scope:       sc,
@@ -363,6 +387,7 @@ func NewSMTSibling(c *Core) *Core {
 		msrs:        make(map[uint32]uint64),
 		Thunks:      c.Thunks,
 		BlockCache:  c.BlockCache,
+		MemFast:     c.MemFast,
 		code:        c.code, // shared: thunk installs invalidate both threads
 		programs:    c.programs,
 		FI:          c.FI, // siblings share the physical core's weather
@@ -482,8 +507,23 @@ func (c *Core) Halted() bool { return c.halted }
 func (c *Core) ClearHalt() { c.halted = false }
 
 // PageTable returns the active page table (resolving CR3), or nil.
+// Registry bindings are immutable — tables are only ever added, and a
+// root resolves to the same *PageTable for the registry's lifetime — so
+// the resolution is cached per core on the fast path. (Table contents
+// mutate in place behind the same pointer; that is invisible here.)
 func (c *Core) PageTable() *mem.PageTable {
-	return c.PTs.Lookup(mem.CR3Root(c.CR3))
+	root := mem.CR3Root(c.CR3)
+	if c.MemFast {
+		if c.lastPT != nil && c.lastPTRoot == root {
+			return c.lastPT
+		}
+		if pt := c.PTs.Lookup(root); pt != nil {
+			c.lastPTRoot, c.lastPT = root, pt
+			return pt
+		}
+		return nil
+	}
+	return c.PTs.Lookup(root)
 }
 
 // SetPageTable points CR3 at pt without charging the mov-cr3 cost

@@ -185,7 +185,7 @@ func (c *Core) indirectPredictionAllowed() (allowed bool, extraCost uint64) {
 
 // execute runs one instruction. It returns the next PC, or a fault.
 func (c *Core) execute(in *isa.Instruction) (uint64, *Fault) {
-	cost := c.Model.Costs
+	cost := &c.Model.Costs
 	next := c.PC + isa.InstrBytes
 
 	// Lazy-FPU trap check (the LazyFP attack surface).

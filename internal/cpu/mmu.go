@@ -21,21 +21,60 @@ func crossesPage(va uint64) bool {
 // committed stream, but it does install TLB entries and leave the PTE
 // visible to the leak models.
 func (c *Core) xlate(va uint64, acc mem.Access, charge bool) (pa uint64, pte mem.PTE, fault mem.FaultKind) {
+	vpn := mem.VPN(va)
+	user := c.Priv == PrivUser
+
+	if c.MemFast {
+		// Last-translation cache: if the entry that served this access
+		// stream's previous translation is provably still the scan's
+		// first match (same VPN, same CR3, unchanged TLB generation),
+		// replay the hit against it — identical LRU/Hits bookkeeping via
+		// Rehit, identical injector draw, identical permission check —
+		// and skip both the registry lookup and the set scan. The
+		// registry lookup is skipped soundly: the cache was filled after
+		// a translation under this exact CR3, and registry bindings are
+		// never removed, so PageTable() cannot have become nil.
+		xc := &c.xcData
+		if acc == mem.AccessFetch {
+			xc = &c.xcFetch
+		}
+		if xc.hit(c, vpn) {
+			pte = c.TLB.Rehit(xc.e)
+			if charge && c.FI.Fire(faultinject.TLBGlitch) {
+				// Injected weather: a shootdown IPI lands between lookup
+				// and use; drop the entry and take the walk below. (The
+				// flush bumps the TLB generation, emptying this cache.)
+				c.TLB.FlushVPN(vpn)
+				return c.xlateWalk(c.PageTable(), va, vpn, mem.CR3PCID(c.CR3), user, acc, charge)
+			}
+			fault = checkPTE(pte, acc, user)
+			if fault != mem.FaultNone {
+				return 0, pte, fault
+			}
+			return pte.Phys | (va & mem.PageMask), pte, mem.FaultNone
+		}
+	}
+
 	pt := c.PageTable()
 	if pt == nil {
 		return 0, mem.PTE{}, mem.FaultNotPresent
 	}
-	vpn := mem.VPN(va)
 	pcid := mem.CR3PCID(c.CR3)
-	user := c.Priv == PrivUser
 
-	if cached, ok := c.TLB.Lookup(vpn, pcid); ok {
+	if e, ok := c.TLB.LookupH(vpn, pcid); ok {
 		if charge && c.FI.Fire(faultinject.TLBGlitch) {
 			// Injected weather: a shootdown IPI lands between lookup
 			// and use; drop the entry and take the walk below.
 			c.TLB.FlushVPN(vpn)
 		} else {
-			pte = cached
+			if c.MemFast {
+				if acc == mem.AccessFetch {
+					c.xcFetch.fill(c, vpn, e)
+				} else {
+					c.xcData.fill(c, vpn, e)
+				}
+			}
+			pte = e.PTE()
 			fault = checkPTE(pte, acc, user)
 			if fault != mem.FaultNone {
 				return 0, pte, fault

@@ -163,6 +163,11 @@ func (c *Core) reinit(m *model.CPU, sc *simscope.Scope) {
 	c.FusedCmovGuards = false
 	clear(c.Thunks)
 	c.BlockCache = DefaultBlockCache()
+	c.MemFast = DefaultMemFast()
+	// Translation and page-table caches refer to the previous cell's
+	// registry and would be stale even with the generation guard (the
+	// TLB generation is monotonic across Reset, but PTs was replaced).
+	c.clearXlateCaches()
 
 	// Fetch-path bookkeeping. The codeState is exclusively owned here
 	// (SMT pairs are never pooled), so reset it in place; decoded blocks
@@ -170,6 +175,8 @@ func (c *Core) reinit(m *model.CPU, sc *simscope.Scope) {
 	*c.code = codeState{}
 	clear(c.blocks)
 	c.blocksGen = 0
+	c.lastBlock, c.lastBlockPC = nil, 0
+	c.prevBlock, c.prevBlockPC = nil, 0
 	c.pendCycles, c.pendInstret = 0, 0
 	c.programs = nil
 
@@ -216,8 +223,11 @@ func (c *Core) recycle(gen uint64) {
 	c.Phys, c.PTs = nil, nil
 	c.Nested = nil
 	c.programs = nil
+	c.clearXlateCaches() // lastPT would pin the previous cell's page table
 	clear(c.Thunks)
 	clear(c.blocks)
+	c.lastBlock, c.lastBlockPC = nil, 0
+	c.prevBlock, c.prevBlockPC = nil, 0
 	c.OnSyscall, c.OnTrap, c.OnVMExit, c.OnRetire = nil, nil, nil, nil
 	c.FI = nil
 	c.scope = nil

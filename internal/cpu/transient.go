@@ -92,7 +92,7 @@ func (c *Core) speculate(startPC uint64, seed func(*txn)) {
 // transientStep executes one instruction µarchitecturally. It returns
 // the next transient PC and whether the window continues.
 func (c *Core) transientStep(t *txn, pc uint64, in *isa.Instruction) (uint64, bool) {
-	cost := c.Model.Costs
+	cost := &c.Model.Costs
 	next := pc + isa.InstrBytes
 
 	if in.Op.IsFPU() && !c.FPUEnabled && !t.fpuOK {

@@ -78,9 +78,11 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 
@@ -403,7 +405,7 @@ func (e *Engine) worker(idx int) {
 // resources.
 func (e *Engine) run(t *Task, gid uint64) {
 	restore := simscope.EnterG(gid, t.scope)
-	func() {
+	body := func() {
 		defer func() {
 			if r := recover(); r != nil {
 				pe := &PanicError{
@@ -418,7 +420,21 @@ func (e *Engine) run(t *Task, gid uint64) {
 			}
 		}()
 		t.val, t.err = t.fn()
-	}()
+	}
+	if t.keyed {
+		// Attribute profile samples to the cell: with many cells
+		// interleaving on the worker pool, a flat -cpuprofile can only
+		// say "StepBlock is hot"; the labels say which workload on which
+		// microarchitecture under which configuration owns the samples
+		// (pprof -tagfocus / the sample label view).
+		pprof.Do(context.Background(), pprof.Labels(
+			"workload", t.key.Workload,
+			"uarch", t.key.Uarch,
+			"config", t.key.Config,
+		), func(context.Context) { body() })
+	} else {
+		body()
+	}
 	restore()
 	if t.keyed {
 		t.cycles = t.scope.Cycles()

@@ -109,6 +109,38 @@ func TestAblationMatrixDeterminism(t *testing.T) {
 	}
 }
 
+// TestMemFastMatrixDeterminism is PR5's hard constraint in test form:
+// the rendered output is byte-identical across -memfast on/off × -jobs
+// × fault injection on/off. Epoch-stamped flushes, MRU way hints, and
+// the translation/page caches are host-side accelerators and must be
+// invisible in the output.
+func TestMemFastMatrixDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation matrix batch runs are slow")
+	}
+	exps := lookupAll(t, []string{"table3", "fig3", "whatif-v1hw"})
+
+	prev := cpu.DefaultMemFast()
+	defer cpu.SetDefaultMemFast(prev)
+
+	for _, faults := range []bool{false, true} {
+		cpu.SetDefaultMemFast(true)
+		want := renderBatch(t, exps, 1, faults)
+		for _, jobs := range []int{1, 4} {
+			for _, fast := range []bool{true, false} {
+				if jobs == 1 && fast {
+					continue // the reference configuration itself
+				}
+				cpu.SetDefaultMemFast(fast)
+				name := fmt.Sprintf("jobs=%d/memfast=%v/faults=%v", jobs, fast, faults)
+				if got := renderBatch(t, exps, jobs, faults); got != want {
+					t.Errorf("%s output differs from jobs=1/memfast=on\n--- want ---\n%s\n--- got ---\n%s", name, want, got)
+				}
+			}
+		}
+	}
+}
+
 // TestCellCacheDedupesSharedCells pins the cache's reason to exist:
 // whatif-v1hw's unfused arm is fig3's fully hardened rung, so running
 // both in one batch serves at least one cell from cache.

@@ -7,7 +7,23 @@ package mem
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 )
+
+// fastOff is inverted so the zero value means the fast path is on.
+var fastOff atomic.Bool
+
+// SetFastPath enables or disables the last-page pointer cache for
+// subsequently constructed Phys instances, returning the previous
+// setting. The cache is purely host-side — pages are never removed from
+// a Phys, so a cached page pointer can never go stale — and exists
+// behind a switch only so the -memfast ablation exercises the reference
+// map-lookup path.
+func SetFastPath(on bool) (prev bool) { return !fastOff.Swap(!on) }
+
+// FastPath reports whether the fast path is enabled for new Phys
+// instances.
+func FastPath() bool { return !fastOff.Load() }
 
 // PageSize is the architectural page size.
 const PageSize = 4096
@@ -28,22 +44,60 @@ func PageBase(addr uint64) uint64 { return addr &^ uint64(PageMask) }
 // first touch. All values are stored little-endian.
 type Phys struct {
 	pages map[uint64]*[PageSize]byte
+	// Last-page cache: consecutive accesses overwhelmingly land on the
+	// page of the previous access (straight-line code, stack traffic,
+	// array sweeps), so remembering the last resolved page skips the
+	// map hash on repeats. Pages are never deleted, so the pointer can
+	// never dangle; lastPg==nil means no page cached (PPN 0 is a real
+	// page number, so the pointer is the sentinel, not the PPN).
+	lastPPN uint64
+	lastPg  *[PageSize]byte
+	fast    bool
 }
 
 // NewPhys returns empty physical memory.
 func NewPhys() *Phys {
-	return &Phys{pages: make(map[uint64]*[PageSize]byte)}
+	return &Phys{pages: make(map[uint64]*[PageSize]byte), fast: FastPath()}
 }
 
 func (p *Phys) page(pa uint64) *[PageSize]byte {
 	ppn := pa >> PageShift
+	if p.fast && p.lastPg != nil && p.lastPPN == ppn {
+		return p.lastPg
+	}
 	pg, ok := p.pages[ppn]
 	if !ok {
 		pg = new([PageSize]byte)
 		p.pages[ppn] = pg
 	}
+	if p.fast {
+		p.lastPPN, p.lastPg = ppn, pg
+	}
 	return pg
 }
+
+// lookup resolves pa's page without allocating, caching a successful
+// resolution. Absent pages are deliberately not cached as absent: the
+// next access may allocate the page through page(), and a negative
+// cache would have to be invalidated there — not worth it for a case
+// (reads of never-written pages) that returns zero anyway.
+func (p *Phys) lookup(pa uint64) (*[PageSize]byte, bool) {
+	ppn := pa >> PageShift
+	if p.fast && p.lastPg != nil && p.lastPPN == ppn {
+		return p.lastPg, true
+	}
+	pg, ok := p.pages[ppn]
+	if ok && p.fast {
+		p.lastPPN, p.lastPg = ppn, pg
+	}
+	return pg, ok
+}
+
+// PageFor returns the backing array for pa's page, allocating it on
+// first touch. The pointer stays valid for the lifetime of the Phys
+// (pages are never removed); callers such as the decoded-block
+// interpreter may hold it to bypass per-access resolution entirely.
+func (p *Phys) PageFor(pa uint64) *[PageSize]byte { return p.page(pa) }
 
 // Read64 reads 8 bytes at physical address pa. The fast path serves
 // accesses within one page (all the core ever issues — it raises an
@@ -58,7 +112,7 @@ func (p *Phys) Read64(pa uint64) uint64 {
 		p.ReadBytes(pa, buf[:])
 		return binary.LittleEndian.Uint64(buf[:])
 	}
-	pg, ok := p.pages[pa>>PageShift]
+	pg, ok := p.lookup(pa)
 	if !ok {
 		return 0
 	}
@@ -87,7 +141,7 @@ func (p *Phys) ReadBytes(pa uint64, buf []byte) {
 		if n > uint64(len(buf)) {
 			n = uint64(len(buf))
 		}
-		if pg, ok := p.pages[pa>>PageShift]; ok {
+		if pg, ok := p.lookup(pa); ok {
 			copy(buf[:n], pg[off:off+n])
 		} else {
 			for i := range buf[:n] {
@@ -183,6 +237,13 @@ func (pt *PageTable) Map(vpn uint64, pte PTE) {
 // MapRange identity-populates npages pages beginning at va onto physical
 // memory beginning at pa with the given permissions.
 func (pt *PageTable) MapRange(va, pa uint64, npages int, writable, user, nx bool, global bool) {
+	if len(pt.entries) == 0 && npages > 8 {
+		// First large range into a fresh table: size the map up front so
+		// the insert loop doesn't rehash log(npages) times. Tables are
+		// built per simulation cell, so construction cost is on the hot
+		// path of every sweep.
+		pt.entries = make(map[uint64]PTE, npages)
+	}
 	for i := 0; i < npages; i++ {
 		pt.Map(VPN(va)+uint64(i), PTE{
 			Phys:     PageBase(pa) + uint64(i)*PageSize,
@@ -212,6 +273,9 @@ func (pt *PageTable) Len() int { return len(pt.entries) }
 // reg. Used by fork and by PTI to derive the user-visible table.
 func (pt *PageTable) Clone(reg *Registry, pcid uint16) *PageTable {
 	n := reg.NewTable(pcid)
+	// Pre-size for the copy: PTI clones every process table, so clone
+	// cost (and its rehashing in particular) is paid per cell.
+	n.entries = make(map[uint64]PTE, len(pt.entries))
 	for vpn, pte := range pt.entries {
 		n.entries[vpn] = pte
 	}

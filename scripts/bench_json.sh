@@ -1,26 +1,29 @@
 #!/bin/sh
-# bench_json.sh — emit BENCH_PR4.json: the recorded performance baseline
-# for the scaling PR (pooled cores + sharded scheduler).
+# bench_json.sh — emit BENCH_PR5.json: the recorded performance baseline
+# for the memory-path fast-path PR (epoch-stamped caches, MRU way hits,
+# translation & page caching).
 #
 # Measures:
-#   - the wall-clock scaling curve for `spectrebench run all` at
-#     -jobs 1, 2, 4, 8 with the core pool on,
-#   - the corepool on/off ablation at -jobs 1 and 4 (allocation churn is
-#     the target; wall clock is reported honestly),
-#   - ns/op for the corepool, block-cache and engine ablation benchmarks
-#     (go test -bench, -benchtime 1x).
+#   - the memfast on/off ablation for `spectrebench run all` at -jobs 1
+#     (the headline single-worker speedup) and -jobs 4. The two -jobs 1
+#     variants are timed interleaved — each repetition runs on then off
+#     back to back — so host noise hits both sides of the ratio equally,
+#   - the wall-clock scaling curve at -jobs 1, 4, 8 with memfast on,
+#   - ns/op for the memfast, corepool and block-cache ablation
+#     benchmarks (go test -bench, -benchtime 1x).
 #
-# Every measured run's output is diffed against the -jobs 1 reference:
-# the matrix must be byte-identical or the script fails. Wall-clock
-# numbers are only meaningful relative to the host — the JSON records
-# nproc so a 1-CPU container's flat curve isn't mistaken for a
-# scheduler regression.
+# Every measured run's output is diffed against the -jobs 1/memfast=on
+# reference: the matrix must be byte-identical or the script fails.
+# Wall-clock numbers are only meaningful relative to the host — the
+# JSON records nproc so a 1-CPU container's flat scaling curve isn't
+# mistaken for a scheduler regression.
 #
-# Usage: scripts/bench_json.sh [output.json]   (default BENCH_PR4.json)
+# Usage: scripts/bench_json.sh [output.json]   (default BENCH_PR5.json)
 set -eu
 
-out=${1:-BENCH_PR4.json}
+out=${1:-BENCH_PR5.json}
 go=${GO:-go}
+reps=${BENCH_REPS:-5}
 bin=$(mktemp /tmp/spectrebench.XXXXXX)
 ref_txt=$(mktemp /tmp/sb_ref.XXXXXX)
 got_txt=$(mktemp /tmp/sb_got.XXXXXX)
@@ -29,15 +32,20 @@ trap 'rm -f "$bin" "$ref_txt" "$got_txt" "$bench_txt"' EXIT
 
 $go build -o "$bin" ./cmd/spectrebench
 
-# Best-of-3 wall clock: the minimum is the least noisy estimator on a
+# One timed run; prints wall-clock ns.
+one_ns() { # one_ns <jobs> <memfast mode> <output file>
+    start=$(date +%s%N)
+    "$bin" -jobs "$1" -memfast "$2" run all >"$3"
+    end=$(date +%s%N)
+    echo $((end - start))
+}
+
+# Best-of-N wall clock: the minimum is the least noisy estimator on a
 # shared host, and every repetition's output is still checked below.
-wall_ns() { # wall_ns <jobs> <corepool mode> <output file>
+wall_ns() { # wall_ns <jobs> <memfast mode> <output file>
     best=0
-    for _rep in 1 2 3; do
-        start=$(date +%s%N)
-        "$bin" -jobs "$1" -corepool "$2" run all >"$3"
-        end=$(date +%s%N)
-        ns=$((end - start))
+    for _rep in $(seq "$reps"); do
+        ns=$(one_ns "$1" "$2" "$3")
         if [ "$best" -eq 0 ] || [ "$ns" -lt "$best" ]; then best=$ns; fi
     done
     echo "$best"
@@ -45,23 +53,34 @@ wall_ns() { # wall_ns <jobs> <corepool mode> <output file>
 
 check_identical() { # check_identical <label> <output file>
     if ! cmp -s "$ref_txt" "$2"; then
-        echo "bench_json.sh: FATAL: run all output for $1 differs from jobs=1/corepool=on" >&2
+        echo "bench_json.sh: FATAL: run all output for $1 differs from jobs=1/memfast=on" >&2
         diff "$ref_txt" "$2" >&2 || true
         exit 1
     fi
 }
 
-# Scaling curve, corepool on (reference is jobs=1).
-jobs1_ns=$(wall_ns 1 on "$ref_txt")
-jobs2_ns=$(wall_ns 2 on "$got_txt");   check_identical "jobs=2" "$got_txt"
+# Reference output (also warms the page cache for the timed reps).
+"$bin" -jobs 1 -memfast on run all >"$ref_txt"
+
+# Headline ablation, interleaved: each repetition times memfast on and
+# off back to back so drift on a noisy host cancels out of the ratio.
+on1_ns=0
+off1_ns=0
+for _rep in $(seq "$reps"); do
+    ns=$(one_ns 1 on "$got_txt")
+    if [ "$on1_ns" -eq 0 ] || [ "$ns" -lt "$on1_ns" ]; then on1_ns=$ns; fi
+    check_identical "jobs=1/memfast=on" "$got_txt"
+    ns=$(one_ns 1 off "$got_txt")
+    if [ "$off1_ns" -eq 0 ] || [ "$ns" -lt "$off1_ns" ]; then off1_ns=$ns; fi
+    check_identical "jobs=1/memfast=off" "$got_txt"
+done
+
+# Scaling curve, memfast on, and the jobs=4 ablation point.
 jobs4_ns=$(wall_ns 4 on "$got_txt");   check_identical "jobs=4" "$got_txt"
 jobs8_ns=$(wall_ns 8 on "$got_txt");   check_identical "jobs=8" "$got_txt"
+off4_ns=$(wall_ns 4 off "$got_txt");   check_identical "jobs=4/memfast=off" "$got_txt"
 
-# Core-pool ablation.
-off1_ns=$(wall_ns 1 off "$got_txt");   check_identical "jobs=1/corepool=off" "$got_txt"
-off4_ns=$(wall_ns 4 off "$got_txt");   check_identical "jobs=4/corepool=off" "$got_txt"
-
-$go test -run '^$' -bench 'BenchmarkAblation(CorePool|BlockCache|EngineJobs)' -benchmem -benchtime 1x . | tee "$bench_txt" >&2
+$go test -run '^$' -bench 'BenchmarkAblation(MemFast|CorePool|BlockCache)' -benchmem -benchtime 1x . | tee "$bench_txt" >&2
 
 bench_col() { # bench_col <benchmark name substring> <awk column>
     awk -v pat="$1" -v col="$2" '$0 ~ pat { print $col; exit }' "$bench_txt"
@@ -69,43 +88,45 @@ bench_col() { # bench_col <benchmark name substring> <awk column>
 
 ratio() { awk -v a="$1" -v b="$2" 'BEGIN { printf "%.2f", a / b }'; }
 
+# The PR-4 recorded single-worker wall clock, for the cross-PR speedup
+# line. The checked-in BENCH_PR4.json is the committed baseline; fall
+# back to the fresh memfast=off number if it is missing.
+pr4_jobs1_ns=$(awk -F': ' '/"jobs1_corepool_on"/ { gsub(/[^0-9]/, "", $2); print $2; exit }' BENCH_PR4.json 2>/dev/null || true)
+[ -n "$pr4_jobs1_ns" ] || pr4_jobs1_ns=$off1_ns
+
 cat >"$out" <<EOF
 {
-  "pr": 4,
-  "description": "scaling baseline: wall-clock ns for 'spectrebench run all' across -jobs and -corepool, plus ablation benchmark ns/op and allocs/op",
+  "pr": 5,
+  "description": "memory-path fast-path baseline: wall-clock ns for 'spectrebench run all' across -jobs and -memfast, plus ablation benchmark ns/op",
   "host": {
     "nproc": $(nproc),
-    "note": "wall-clock scaling is bounded by nproc; on a 1-CPU host the curve is flat and only the corepool allocation delta is meaningful"
+    "note": "best-of-$reps interleaved wall clocks; scaling is bounded by nproc, so on a 1-CPU host the jobs curve is flat and only the memfast ratio is meaningful"
   },
   "run_all_wall_ns": {
-    "jobs1_corepool_on": $jobs1_ns,
-    "jobs2_corepool_on": $jobs2_ns,
-    "jobs4_corepool_on": $jobs4_ns,
-    "jobs8_corepool_on": $jobs8_ns,
-    "jobs1_corepool_off": $off1_ns,
-    "jobs4_corepool_off": $off4_ns,
-    "speedup_jobs4_over_jobs1": $(ratio "$jobs1_ns" "$jobs4_ns"),
-    "corepool_speedup_jobs4": $(ratio "$off4_ns" "$jobs4_ns"),
+    "jobs1_memfast_on": $on1_ns,
+    "jobs1_memfast_off": $off1_ns,
+    "jobs4_memfast_on": $jobs4_ns,
+    "jobs4_memfast_off": $off4_ns,
+    "jobs8_memfast_on": $jobs8_ns,
+    "memfast_speedup_jobs1": $(ratio "$off1_ns" "$on1_ns"),
+    "speedup_vs_pr4_jobs1_baseline": $(ratio "$pr4_jobs1_ns" "$on1_ns"),
+    "pr4_jobs1_baseline_ns": $pr4_jobs1_ns,
+    "memfast_speedup_jobs4": $(ratio "$off4_ns" "$jobs4_ns"),
+    "speedup_jobs4_over_jobs1": $(ratio "$on1_ns" "$jobs4_ns"),
     "output_identical_across_matrix": true
   },
   "bench_ns_per_op": {
+    "AblationMemFast/memfast=on": $(bench_col 'AblationMemFast/memfast=on' 3),
+    "AblationMemFast/memfast=off": $(bench_col 'AblationMemFast/memfast=off' 3),
     "AblationCorePool/corepool=on": $(bench_col 'AblationCorePool/corepool=on' 3),
     "AblationCorePool/corepool=off": $(bench_col 'AblationCorePool/corepool=off' 3),
     "AblationBlockCache/blockcache=on": $(bench_col 'AblationBlockCache/blockcache=on' 3),
-    "AblationBlockCache/blockcache=off": $(bench_col 'AblationBlockCache/blockcache=off' 3),
-    "AblationEngineJobs/jobs=1": $(bench_col 'AblationEngineJobs/jobs=1' 3),
-    "AblationEngineJobs/jobs=2": $(bench_col 'AblationEngineJobs/jobs=2' 3),
-    "AblationEngineJobs/jobs=4": $(bench_col 'AblationEngineJobs/jobs=4' 3),
-    "AblationEngineJobs/jobs=8": $(bench_col 'AblationEngineJobs/jobs=8' 3)
+    "AblationBlockCache/blockcache=off": $(bench_col 'AblationBlockCache/blockcache=off' 3)
   },
   "bench_bytes_per_op": {
     "AblationCorePool/corepool=on": $(bench_col 'AblationCorePool/corepool=on' 5),
     "AblationCorePool/corepool=off": $(bench_col 'AblationCorePool/corepool=off' 5)
-  },
-  "bench_allocs_per_op": {
-    "AblationCorePool/corepool=on": $(bench_col 'AblationCorePool/corepool=on' 7),
-    "AblationCorePool/corepool=off": $(bench_col 'AblationCorePool/corepool=off' 7)
   }
 }
 EOF
-echo "wrote $out (jobs4 speedup $(ratio "$jobs1_ns" "$jobs4_ns")x, corepool speedup $(ratio "$off4_ns" "$jobs4_ns")x)" >&2
+echo "wrote $out (memfast jobs1 speedup $(ratio "$off1_ns" "$on1_ns")x)" >&2
