@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race bench bench-json experiments faults-smoke examples vet cover clean
+.PHONY: all build test test-short test-race bench bench-json experiments faults-smoke serve-smoke examples vet cover clean
 
 all: vet test
 
@@ -41,6 +41,11 @@ experiments:
 # deterministic fault injection at a fixed seed.
 faults-smoke:
 	$(GO) run ./cmd/spectrebench -faults -seed 1 run all
+
+# Sweep-as-a-service lifecycle smoke: cold sweep, warm (100% store-hit)
+# sweep after a restart, kill -9 mid-sweep, recovery, graceful drain.
+serve-smoke:
+	GO="$(GO)" sh scripts/serve_smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -12,6 +12,9 @@
 //	spectrebench -faults -seed 7 run all
 //	                                  run under deterministic fault injection
 //	spectrebench -jobs 8 run all     run on 8 workers (same bytes as -jobs 1)
+//	spectrebench -store DIR run all  persist simulation cells across runs
+//	spectrebench -store DIR serve    sweep-as-a-service HTTP daemon
+//	spectrebench client run all      run a sweep against a daemon
 //
 // Every experiment runs under a crash-safe supervisor: panics are
 // caught, runaway experiments are stopped by a simulated-cycle
@@ -20,18 +23,34 @@
 // end. Experiments decompose into simulation cells that are memoized
 // and scheduled across a worker pool; output for a fixed seed is
 // byte-identical across runs and across -jobs values.
+//
+// With -store, completed cells are additionally persisted to a
+// crash-safe on-disk store and replayed on later runs (or by the serve
+// daemon), without changing a single output byte: store bookkeeping
+// prints to stderr only. `serve` exposes the same sweeps over HTTP with
+// admission control, per-request deadlines and graceful drain on
+// SIGTERM; `client` submits sweeps to a daemon with retry and
+// exponential backoff, printing results byte-identical to a local run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
+	"time"
 
 	"spectrebench/internal/cpu"
 	"spectrebench/internal/engine"
 	"spectrebench/internal/harness"
+	"spectrebench/internal/server"
+	"spectrebench/internal/store"
 )
 
 func main() {
@@ -58,6 +77,17 @@ func mainExitCode() int {
 		"memory-path fast path (epoch-stamped flushes, MRU way hits, translation/page caching): on|off (ablation; output is byte-identical either way)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	storeDir := flag.String("store", "",
+		"persist simulation cells to this crash-safe on-disk store (run, serve)")
+	addr := flag.String("addr", "127.0.0.1:8077", "listen address (serve) / daemon address (client)")
+	maxInflight := flag.Int("max-inflight", 4,
+		"serve: max concurrently admitted sweeps before refusing with 429")
+	requestTimeout := flag.Duration("request-timeout", 5*time.Minute,
+		"serve: wall-clock cap per sweep; client: requested sweep deadline")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
+		"serve: how long SIGTERM waits for in-flight sweeps before exiting")
+	httpRetries := flag.Int("http-retries", 4,
+		"client: max retries of a sweep after a transient error (connection refused, 429, 503)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -144,7 +174,21 @@ func mainExitCode() int {
 			fmt.Fprintln(os.Stderr, "run: need at least one experiment id (or 'all')")
 			return 2
 		}
-		return run(args[1:], *csv, cfg)
+		return run(args[1:], *csv, cfg, *storeDir)
+	case "serve":
+		return serve(serveOptions{
+			storeDir:       *storeDir,
+			addr:           *addr,
+			maxInflight:    *maxInflight,
+			requestTimeout: *requestTimeout,
+			drainTimeout:   *drainTimeout,
+		})
+	case "client":
+		if len(args) < 3 || args[1] != "run" {
+			fmt.Fprintln(os.Stderr, "client: usage: spectrebench [-addr HOST:PORT] client run <experiment-id>... | all")
+			return 2
+		}
+		return clientRun(args[2:], *csv, cfg, *addr, *httpRetries, *requestTimeout)
 	default:
 		usage()
 		return 2
@@ -158,7 +202,13 @@ usage:
   spectrebench list
   spectrebench [-csv] [-faults] [-seed N] [-cycle-budget N] [-retries N] [-jobs N]
                [-blockcache on|off] [-corepool on|off] [-memfast on|off]
-               [-cpuprofile FILE] [-memprofile FILE] run <experiment-id>... | all
+               [-cpuprofile FILE] [-memprofile FILE] [-store DIR]
+               run <experiment-id>... | all
+  spectrebench [-store DIR] [-addr HOST:PORT] [-max-inflight N]
+               [-request-timeout D] [-drain-timeout D] [-jobs N] serve
+  spectrebench [-addr HOST:PORT] [-http-retries N] [-request-timeout D]
+               [-csv] [-faults] [-seed N] [-cycle-budget N] [-retries N]
+               client run <experiment-id>... | all
 
 experiments:
 `)
@@ -175,8 +225,11 @@ func list() {
 
 // run supervises the selected experiments on the worker pool and
 // returns the process exit code: 0 when every experiment completed ok,
-// 1 otherwise (after all of them have run), 2 on a usage error.
-func run(ids []string, csv bool, cfg harness.RunConfig) int {
+// 1 otherwise (after all of them have run), 2 on a usage error. With a
+// store directory, completed cells persist across invocations; store
+// bookkeeping goes to stderr so stdout stays byte-identical to a
+// store-less run.
+func run(ids []string, csv bool, cfg harness.RunConfig, storeDir string) int {
 	var exps []harness.Experiment
 	if len(ids) == 1 && ids[0] == "all" {
 		exps = harness.All()
@@ -191,9 +244,166 @@ func run(ids []string, csv bool, cfg harness.RunConfig) int {
 		}
 	}
 
+	if storeDir != "" {
+		st, err := store.Open(storeDir, store.Options{
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "spectrebench: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spectrebench: -store: %v\n", err)
+			return 2
+		}
+		engine.Default().SetSecondLevel(st)
+		defer func() {
+			fmt.Fprintln(os.Stderr, "spectrebench: "+st.Note())
+			if err := st.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "spectrebench: store close: %v\n", err)
+			}
+		}()
+	}
+
 	results := harness.SuperviseAll(exps, cfg)
 	fmt.Print(harness.RenderResults(results, csv, engine.Default()))
 	if harness.Failed(results) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// serveOptions carries the serve subcommand's flags.
+type serveOptions struct {
+	storeDir       string
+	addr           string
+	maxInflight    int
+	requestTimeout time.Duration
+	drainTimeout   time.Duration
+}
+
+// serve runs the sweep-as-a-service daemon until SIGTERM/SIGINT, then
+// drains: no new sweeps are admitted, in-flight sweeps get
+// drain-timeout to finish, and the engine and store shut down cleanly
+// so every committed cell is readable by the next daemon.
+func serve(opts serveOptions) int {
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "spectrebench: "+format+"\n", args...)
+	}
+
+	var st *store.Store
+	if opts.storeDir != "" {
+		var err error
+		st, err = store.Open(opts.storeDir, store.Options{Logf: logf})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spectrebench: -store: %v\n", err)
+			return 2
+		}
+		engine.Default().SetSecondLevel(st)
+		logf("%s", st.Note())
+	}
+
+	srv := server.New(server.Config{
+		Engine:         engine.Default(),
+		Store:          st,
+		MaxInflight:    opts.maxInflight,
+		RequestTimeout: opts.requestTimeout,
+		Logf:           logf,
+	})
+	httpSrv := &http.Server{Addr: opts.addr, Handler: srv.Handler()}
+
+	ln, err := net.Listen("tcp", opts.addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spectrebench: serve: %v\n", err)
+		return 2
+	}
+	logf("serving on http://%s (store: %s)", ln.Addr(), storeDesc(st))
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, os.Interrupt)
+
+	select {
+	case sig := <-sigCh:
+		logf("received %v, draining (timeout %s)", sig, opts.drainTimeout)
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "spectrebench: serve: %v\n", err)
+		closeStore(st, logf)
+		return 1
+	}
+
+	// Drain: refuse new sweeps, let in-flight work finish, then shut
+	// down the listener, the engine and the store — in that order, so a
+	// sweep completing during the drain still commits its cells.
+	srv.BeginDrain()
+	drainCtx, cancel := context.WithTimeout(context.Background(), opts.drainTimeout)
+	defer cancel()
+	if !srv.WaitIdle(drainCtx) {
+		logf("drain timeout: abandoning in-flight work")
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	httpSrv.Shutdown(shutCtx)
+	engine.CloseDefault()
+	closeStore(st, logf)
+	logf("shut down cleanly")
+	return 0
+}
+
+func storeDesc(st *store.Store) string {
+	if st == nil {
+		return "none (memo cache only)"
+	}
+	return st.Dir()
+}
+
+func closeStore(st *store.Store, logf func(string, ...any)) {
+	if st == nil {
+		return
+	}
+	logf("%s", st.Note())
+	if err := st.Close(); err != nil {
+		logf("store close: %v", err)
+	}
+}
+
+// clientRun submits one sweep to a daemon and prints the results
+// byte-identically to a local run: per-experiment blocks in request
+// order on stdout, the server-rendered summary after them, transport
+// chatter on stderr. Transient failures (daemon restarting, admission
+// control) are retried with exponential backoff.
+func clientRun(ids []string, csv bool, cfg harness.RunConfig, addr string, retries int, timeout time.Duration) int {
+	req := server.SweepRequest{
+		Experiments: ids,
+		Seed:        cfg.Seed,
+		Faults:      cfg.Faults,
+		CSV:         csv,
+		TimeoutMs:   timeout.Milliseconds(),
+	}
+	budget := cfg.CycleBudget
+	req.CycleBudget = &budget
+	retriesVal := cfg.Retries
+	req.Retries = &retriesVal
+
+	cl := &server.Client{
+		BaseURL:    "http://" + addr,
+		MaxRetries: retries,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "spectrebench: "+format+"\n", args...)
+		},
+	}
+	resp, err := cl.Sweep(context.Background(), req)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spectrebench: client: %v\n", err)
+		return 1
+	}
+	for _, rec := range resp.Results {
+		if rec != nil {
+			fmt.Print(rec.Rendered)
+		}
+	}
+	fmt.Print(resp.Summary.Rendered)
+	if resp.Summary.Failed > 0 || resp.Summary.TimedOut {
 		return 1
 	}
 	return 0

@@ -79,6 +79,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -91,6 +92,29 @@ import (
 	"spectrebench/internal/gls"
 	"spectrebench/internal/simscope"
 )
+
+// ErrClosed is returned (via Task.Wait) by tasks submitted to an engine
+// that has been closed. A daemon that drains and closes its engine on
+// shutdown sees straggler submissions fail with this typed error
+// instead of panicking or deadlocking.
+var ErrClosed = errors.New("engine: closed")
+
+// SecondLevel is a pluggable second-level cell cache behind the
+// in-process memo map — in production, the on-disk content-addressed
+// store (internal/store). The engine consults it on every first
+// submission of a key and publishes every successfully computed cell
+// back to it.
+//
+// Determinism contract: Get must return exactly what a prior Put stored
+// for the key — the cell's value and its simulated-cycle cost — so a
+// replayed cell is indistinguishable from a fresh simulation in both
+// rendered output and cycle accounting. Implementations must be safe
+// for concurrent use by the worker pool and must degrade (miss / drop)
+// rather than fail: neither method returns an error.
+type SecondLevel interface {
+	Get(key Key) (val any, cycles uint64, ok bool)
+	Put(key Key, val any, cycles uint64)
+}
 
 // Key identifies one simulation cell. Two Submits with equal Keys share
 // one execution; every field therefore must capture everything the
@@ -242,6 +266,11 @@ type Engine struct {
 	global   shard    // injection queue for non-worker submitters
 	workerOf sync.Map // goroutine ID -> worker index
 
+	// second is the optional second-level cell cache (atomic.Value of
+	// secondLevelBox). Install with SetSecondLevel before the first
+	// Submit.
+	second atomic.Value
+
 	startOnce sync.Once
 	closed    atomic.Bool
 
@@ -271,6 +300,25 @@ func New(n int) *Engine {
 // Jobs returns the worker count.
 func (e *Engine) Jobs() int { return e.jobs }
 
+// secondLevelBox wraps a SecondLevel for atomic.Value (which rejects
+// bare interface values of varying dynamic type).
+type secondLevelBox struct{ sl SecondLevel }
+
+// SetSecondLevel installs sl as the engine's second-level cell cache.
+// Call before the first Submit; cells already resolved through the
+// first-level memo are not retroactively published.
+func (e *Engine) SetSecondLevel(sl SecondLevel) {
+	e.second.Store(secondLevelBox{sl})
+}
+
+// secondLevel returns the installed second-level cache, or nil.
+func (e *Engine) secondLevel() SecondLevel {
+	if v := e.second.Load(); v != nil {
+		return v.(secondLevelBox).sl
+	}
+	return nil
+}
+
 // Stats returns the cache hit and miss totals: misses is the number of
 // distinct cells simulated, hits the number of Submits served from the
 // cache. Both depend only on what was submitted, so they are identical
@@ -287,6 +335,9 @@ func (e *Engine) Submit(key Key, fn func() (any, error)) *Task {
 	if v, ok := e.cache.Load(key); ok {
 		e.hits.Add(1)
 		return v.(*Task)
+	}
+	if e.closed.Load() {
+		return e.closedTask("cell " + key.String())
 	}
 	gid := gls.ID()
 	parent := simscope.CurrentG(gid)
@@ -311,7 +362,29 @@ func (e *Engine) Submit(key Key, fn func() (any, error)) *Task {
 		return v.(*Task)
 	}
 	e.misses.Add(1)
+	// Second-level (store) lookup. A hit completes the task in place —
+	// value and simulated-cycle cost replayed exactly as a fresh run
+	// would have produced them — without ever scheduling it. The hit
+	// still counts as a first-level miss: the memo statistics stay a
+	// function of the submitted key multiset, so rendered output is
+	// byte-identical between cold and warm stores; the store keeps its
+	// own hit counters for operational telemetry.
+	if sl := e.secondLevel(); sl != nil {
+		if val, cycles, ok := sl.Get(key); ok {
+			t.val, t.cycles = val, cycles
+			t.scope.Release()
+			close(t.done)
+			return t
+		}
+	}
 	e.enqueue(t, gid)
+	return t
+}
+
+// closedTask returns a pre-completed task carrying ErrClosed.
+func (e *Engine) closedTask(label string) *Task {
+	t := &Task{eng: e, label: label, err: ErrClosed, done: make(chan struct{})}
+	close(t.done)
 	return t
 }
 
@@ -320,6 +393,9 @@ func (e *Engine) Submit(key Key, fn func() (any, error)) *Task {
 // experiment's per-model work across workers while cycle charges and
 // fault attribution keep flowing to the experiment.
 func (e *Engine) Go(label string, fn func() (any, error)) *Task {
+	if e.closed.Load() {
+		return e.closedTask(label)
+	}
 	gid := gls.ID()
 	t := &Task{eng: e, label: label, fn: fn, scope: simscope.CurrentG(gid), done: make(chan struct{})}
 	e.enqueue(t, gid)
@@ -330,9 +406,6 @@ func (e *Engine) Go(label string, fn func() (any, error)) *Task {
 // hottest) or the global queue for outside submitters, starting the
 // workers on first use and waking a parked worker if there is one.
 func (e *Engine) enqueue(t *Task, gid uint64) {
-	if e.closed.Load() {
-		panic("engine: submit on closed engine")
-	}
 	e.startOnce.Do(e.start)
 	if w, ok := e.workerOf.Load(gid); ok {
 		e.shards[w.(int)].push(t)
@@ -346,6 +419,13 @@ func (e *Engine) enqueue(t *Task, gid uint64) {
 		e.idleMu.Lock()
 		e.cond.Signal()
 		e.idleMu.Unlock()
+	}
+	// A Close that raced this submission may have drained the queues
+	// before our push became visible to it; re-checking here closes the
+	// window — whichever side runs second sees the other's write and
+	// fails the task instead of stranding it.
+	if e.closed.Load() {
+		e.failPending()
 	}
 }
 
@@ -443,6 +523,14 @@ func (e *Engine) run(t *Task, gid uint64) {
 	if t.keyed {
 		// The cell owns its scope; unkeyed tasks borrow the submitter's.
 		t.scope.Release()
+		// Publish the freshly computed cell to the second-level store.
+		// Only clean successes are stored: errors, panics and
+		// watchdog-stopped cells must re-run next time.
+		if t.err == nil && t.val != nil {
+			if sl := e.secondLevel(); sl != nil {
+				sl.Put(t.key, t.val, t.cycles)
+			}
+		}
 	}
 }
 
@@ -492,15 +580,41 @@ func (e *Engine) help(t *Task, w int, gid uint64) {
 	}
 }
 
-// Close shuts the worker pool down once idle workers notice (pending
-// queued tasks are abandoned — only call Close after every submitted
-// task has been awaited). Intended for tests that create throwaway
-// engines; the process-default engine is never closed.
+// Close shuts the worker pool down: workers exit once their queues are
+// empty, and any task still queued (or submitted afterwards) completes
+// with ErrClosed instead of being stranded — Wait never deadlocks
+// across a Close. Idempotent, so a daemon's shutdown path can call it
+// unconditionally. Call after draining for clean results; tasks failed
+// by Close report ErrClosed, they are not cancelled mid-run.
 func (e *Engine) Close() {
-	e.closed.Store(true)
+	if !e.closed.CompareAndSwap(false, true) {
+		return
+	}
 	e.idleMu.Lock()
 	e.cond.Broadcast()
 	e.idleMu.Unlock()
+	e.failPending()
+}
+
+// failPending drains every queue and completes the drained tasks with
+// ErrClosed. Pops are mutually exclusive with the workers', so a task
+// is either run once or failed once, never both.
+func (e *Engine) failPending() {
+	fail := func(t *Task) {
+		t.err = ErrClosed
+		close(t.done)
+		if t.keyed {
+			t.scope.Release()
+		}
+	}
+	for t := e.global.popHead(); t != nil; t = e.global.popHead() {
+		fail(t)
+	}
+	for i := range e.shards {
+		for t := e.shards[i].popHead(); t != nil; t = e.shards[i].popHead() {
+			fail(t)
+		}
+	}
 }
 
 // The process-default engine, used by any managed run that does not
@@ -531,4 +645,18 @@ func Default() *Engine {
 		defaultEngine = New(defaultJobs)
 	}
 	return defaultEngine
+}
+
+// CloseDefault closes the process-default engine if it has been
+// constructed. The closed engine stays installed: later Default()
+// callers get an engine whose submissions fail with ErrClosed — the
+// deterministic daemon-shutdown behaviour — rather than a fresh pool
+// resurrecting behind the shutdown path's back. Idempotent.
+func CloseDefault() {
+	defaultMu.Lock()
+	e := defaultEngine
+	defaultMu.Unlock()
+	if e != nil {
+		e.Close()
+	}
 }

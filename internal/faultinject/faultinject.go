@@ -130,11 +130,16 @@ func threshold(rate float64) uint64 {
 	return uint64(rate * float64(^uint64(0)))
 }
 
-// Activate installs cfg as the process-global fault-injection state.
-// Cores constructed afterwards derive their Injector from it. The
-// derivation counter restarts at zero, so activating the same config
-// again reproduces the previous run exactly.
-func Activate(cfg Config) {
+// NewActivation builds an activation snapshot from cfg without
+// installing anything globally, returning an opaque handle suitable for
+// simscope.Scope.Fault. This is the daemon-safe entry point: a server
+// supervising several concurrently running batches gives each batch its
+// own activation through its scopes, so two sweeps with different seeds
+// or rates cannot interfere through process state. Scoped injector
+// derivation reads only the activation's thresholds (the stream seed
+// comes from the scope), so an activation built here is
+// indistinguishable from one installed by Activate with the same cfg.
+func NewActivation(cfg Config) any {
 	a := &activation{seed: cfg.Seed}
 	for p := Point(0); p < numPoints; p++ {
 		rate := defaultRates[p]
@@ -143,7 +148,15 @@ func Activate(cfg Config) {
 		}
 		a.thresholds[p] = threshold(rate)
 	}
-	active.Store(a)
+	return a
+}
+
+// Activate installs cfg as the process-global fault-injection state.
+// Cores constructed afterwards derive their Injector from it. The
+// derivation counter restarts at zero, so activating the same config
+// again reproduces the previous run exactly.
+func Activate(cfg Config) {
+	active.Store(NewActivation(cfg).(*activation))
 }
 
 // Deactivate removes the global activation; subsequently constructed

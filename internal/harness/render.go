@@ -19,27 +19,43 @@ import (
 func RenderResults(results []Result, csv bool, eng *engine.Engine) string {
 	var b strings.Builder
 	for _, res := range results {
-		switch {
-		case res.Status == StatusOK && csv:
-			b.WriteString(res.Table.CSV())
-		case res.Status == StatusOK:
-			b.WriteString(res.Table.Render())
-			fmt.Fprintf(&b, "(%s, %.1fM simulated cycles)\n\n", res.Paper, float64(res.Cycles)/1e6)
-		default:
-			// Graceful degradation: report inline and keep going.
-			fmt.Fprintf(&b, "%s — %s\n  status: %s\n  error:  %v\n\n", res.ID, res.Title, res.Status, res.Err)
-		}
+		b.WriteString(RenderResult(res, csv))
 	}
+	b.WriteString(RenderSummary(results, csv, eng))
+	return b.String()
+}
+
+// RenderResult renders one supervised result exactly as it appears in
+// the batch output: the table (text or CSV) for a completed
+// experiment, or the inline failure block for anything else. The
+// server streams this per-experiment, so a result fetched over HTTP is
+// byte-identical to the same result rendered locally.
+func RenderResult(res Result, csv bool) string {
+	var b strings.Builder
+	switch {
+	case res.Status == StatusOK && csv:
+		b.WriteString(res.Table.CSV())
+	case res.Status == StatusOK:
+		b.WriteString(res.Table.Render())
+		fmt.Fprintf(&b, "(%s, %.1fM simulated cycles)\n\n", res.Paper, float64(res.Cycles)/1e6)
+	default:
+		// Graceful degradation: report inline and keep going.
+		fmt.Fprintf(&b, "%s — %s\n  status: %s\n  error:  %v\n\n", res.ID, res.Title, res.Status, res.Err)
+	}
+	return b.String()
+}
+
+// RenderSummary renders the batch summary table, annotated with eng's
+// cell-cache note when eng is non-nil.
+func RenderSummary(results []Result, csv bool, eng *engine.Engine) string {
 	summary := SummaryTable(results)
 	if eng != nil {
 		summary.Notes = append(summary.Notes, cacheNote(eng))
 	}
 	if csv {
-		b.WriteString(summary.CSV())
-	} else {
-		b.WriteString(summary.Render())
+		return summary.CSV()
 	}
-	return b.String()
+	return summary.Render()
 }
 
 // cacheNote summarizes the engine's cell cache. The worker count is

@@ -1,0 +1,25 @@
+package harness
+
+import (
+	"encoding/gob"
+
+	"spectrebench/internal/attacks"
+	"spectrebench/internal/workloads/lebench"
+)
+
+// Cell values travel through the on-disk cell store (internal/store) as
+// gob-encoded interfaces, so every concrete type an experiment returns
+// from a cell must be registered with encoding/gob. Scalar results
+// (float64) and plain string rows ([]string) are covered by gob's
+// built-in registrations; everything structured is named here.
+//
+// A type that is NOT registered does not break anything: the store
+// skips the entry on Put (counted in store Stats.PutErrors) and the
+// cell simply re-simulates on the next run. Registering it here is what
+// promotes a cell from "always simulated" to "served from the store".
+func init() {
+	gob.Register([]lebench.Result(nil))  // "lebench/run" suite results
+	gob.Register(&attacks.ProbeResult{}) // "attacks/probe/*" BTB poisoning rows
+	gob.Register(SMTPair{})              // "smt/pair-wall" co-run vs sequential walls
+	gob.Register([]string(nil))          // "attacks/security-row" rendered rows
+}

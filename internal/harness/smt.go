@@ -40,7 +40,7 @@ func runSMTCost() (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			return smtPair{smt: smtWall, seq: seqWall}, nil
+			return SMTPair{SMT: smtWall, Seq: seqWall}, nil
 		})
 	}
 	for i, m := range model.All() {
@@ -52,9 +52,9 @@ func runSMTCost() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		p := v.(smtPair)
+		p := v.(SMTPair)
 		t.Rows = append(t.Rows, []string{
-			m.Uarch, "yes", cyc(p.smt), cyc(p.seq), pct(p.seq/p.smt - 1),
+			m.Uarch, "yes", cyc(p.SMT), cyc(p.Seq), pct(p.Seq/p.SMT - 1),
 		})
 	}
 	t.Notes = append(t.Notes,
@@ -63,9 +63,11 @@ func runSMTCost() (*Table, error) {
 	return t, nil
 }
 
-// smtPair is the "smt/pair-wall" cell's value: wall cycles for the
-// thread pair co-run on SMT siblings vs back-to-back on one core.
-type smtPair struct{ smt, seq float64 }
+// SMTPair is the "smt/pair-wall" cell's value: wall cycles for the
+// thread pair co-run on SMT siblings vs back-to-back on one core. Its
+// fields are exported so the value round-trips through the gob-encoded
+// cell store (internal/store) like every other cell value.
+type SMTPair struct{ SMT, Seq float64 }
 
 // smtComputeProgram is a swaptions-like FP loop at the given base.
 func smtComputeProgram(base uint64, dataVA int64) *isa.Program {

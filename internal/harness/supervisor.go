@@ -156,16 +156,16 @@ func Supervise(e Experiment, cfg RunConfig) Result {
 		faultinject.Activate(faultinject.Config{Seed: cfg.Seed})
 		defer faultinject.Deactivate()
 	}
-	return supervise(e, cfg, cfg.engine())
+	return supervise(e, cfg, cfg.engine(), faultinject.Snapshot())
 }
 
-// supervise runs the attempt loop for one experiment. The caller has
-// already installed the batch-level globals (default budget, fault
-// activation); each attempt gets its own simulation scope carrying the
-// attempt's fault seed, the activation snapshot, the budget, and the
-// engine — everything experiment code and the cells it declares need,
-// with no reads of mutable process state from inside the attempt.
-func supervise(e Experiment, cfg RunConfig, eng *engine.Engine) Result {
+// supervise runs the attempt loop for one experiment. snap is the
+// fault-injection activation snapshot for this batch (nil when faults
+// are off); each attempt gets its own simulation scope carrying the
+// attempt's fault seed, the snapshot, the budget, and the engine —
+// everything experiment code and the cells it declares need, with no
+// reads of mutable process state from inside the attempt.
+func supervise(e Experiment, cfg RunConfig, eng *engine.Engine, snap any) Result {
 	res := Result{ID: e.ID, Paper: e.Paper, Title: e.Title}
 
 	for attempt := 0; ; attempt++ {
@@ -180,7 +180,7 @@ func supervise(e Experiment, cfg RunConfig, eng *engine.Engine) Result {
 			Tag:       eng,
 		}
 		if cfg.Faults {
-			sc.Fault = faultinject.Snapshot()
+			sc.Fault = snap
 		}
 		restore := simscope.Enter(sc)
 		tbl, err := runProtected(e, attempt, sc)
@@ -270,23 +270,59 @@ func SuperviseAll(exps []Experiment, cfg RunConfig) []Result {
 		faultinject.Activate(faultinject.Config{Seed: cfg.Seed})
 		defer faultinject.Deactivate()
 	}
-	eng := cfg.engine()
+	return superviseBatch(exps, cfg, faultinject.Snapshot(), nil)
+}
 
+// SuperviseEach is SuperviseAll for daemons: it supervises every
+// experiment concurrently on the engine pool without touching any
+// process-global state (no fault activation install, no default-budget
+// swap), so concurrent batches with different seeds, rates or budgets
+// cannot interfere — every determinism parameter travels in the
+// attempt scopes. Scoped code paths (everything the supervisor and
+// engine run) read only the scope; output for a given cfg is
+// byte-identical to a CLI run with the same cfg.
+//
+// done, when non-nil, is invoked as each experiment completes — in
+// completion order, from worker goroutines — which is what lets a
+// server stream results while the batch is still running. The returned
+// slice is always in input order.
+func SuperviseEach(exps []Experiment, cfg RunConfig, done func(int, Result)) []Result {
+	cfg = cfg.withDefaults()
+	var snap any
+	if cfg.Faults {
+		snap = faultinject.NewActivation(faultinject.Config{Seed: cfg.Seed})
+	}
+	return superviseBatch(exps, cfg, snap, done)
+}
+
+// superviseBatch fans the experiments out as unkeyed engine tasks and
+// gathers the results in input order (the ordering that keeps rendered
+// output byte-identical for any worker count).
+func superviseBatch(exps []Experiment, cfg RunConfig, snap any, done func(int, Result)) []Result {
+	eng := cfg.engine()
 	tasks := make([]*engine.Task, len(exps))
 	for i, e := range exps {
-		e := e
+		i, e := i, e
 		tasks[i] = eng.Go("experiment/"+e.ID, func() (any, error) {
-			return supervise(e, cfg, eng), nil
+			r := supervise(e, cfg, eng, snap)
+			if done != nil {
+				done(i, r)
+			}
+			return r, nil
 		})
 	}
 	out := make([]Result, len(exps))
 	for i, t := range tasks {
 		v, err := t.Wait()
 		if err != nil {
-			// The supervisor itself cannot fail; this is a scheduler-level
-			// panic escaping supervise. Degrade gracefully all the same.
+			// A scheduler-level failure (a panic escaping supervise, or
+			// ErrClosed from an engine shut down mid-batch). Degrade
+			// gracefully all the same.
 			out[i] = Result{ID: exps[i].ID, Paper: exps[i].Paper, Title: exps[i].Title,
 				Status: StatusFailed, Err: err}
+			if done != nil {
+				done(i, out[i])
+			}
 			continue
 		}
 		out[i] = v.(Result)

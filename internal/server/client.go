@@ -1,0 +1,251 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Client talks to a spectrebench serve daemon with retry and
+// exponential backoff on transient errors: connection refusals (daemon
+// restarting), 429 (admission control saturated) and 503 (draining) are
+// retried after a delay; 4xx request errors are not. A Retry-After
+// header, when present, overrides the computed backoff — the server
+// knows its own load better than the client's clock does.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8077".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// MaxRetries bounds re-attempts after a transient failure (default
+	// 4; 0 keeps the default, negative disables retries).
+	MaxRetries int
+	// BaseDelay seeds the exponential backoff (default 250ms); MaxDelay
+	// caps it (default 5s).
+	BaseDelay, MaxDelay time.Duration
+	// Logf, when non-nil, receives one line per retry.
+	Logf func(format string, args ...any)
+
+	// OnRecord, when non-nil, is invoked for every NDJSON record as it
+	// arrives (streaming consumers); Sweep still returns the full list.
+	OnRecord func(Record)
+}
+
+// SweepResponse is a fully collected sweep.
+type SweepResponse struct {
+	// Results holds the per-experiment records in request (index) order;
+	// an entry is nil only if the server never reported that index.
+	Results []*Record
+	// Summary is the final summary record.
+	Summary Record
+}
+
+// transientError marks a failure worth retrying.
+type transientError struct {
+	err        error
+	retryAfter time.Duration // 0 = use backoff
+}
+
+func (t *transientError) Error() string { return t.err.Error() }
+func (t *transientError) Unwrap() error { return t.err }
+
+// Sweep posts req and collects the streamed response, retrying whole
+// requests on transient errors. Retrying the whole sweep is safe:
+// results are deterministic and cells completed by an abandoned attempt
+// sit in the daemon's caches, so a retry converges instead of
+// recomputing.
+func (c *Client) Sweep(ctx context.Context, req SweepRequest) (*SweepResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	retries := c.MaxRetries
+	if retries == 0 {
+		retries = 4
+	} else if retries < 0 {
+		retries = 0
+	}
+	baseDelay := c.BaseDelay
+	if baseDelay <= 0 {
+		baseDelay = 250 * time.Millisecond
+	}
+	maxDelay := c.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 5 * time.Second
+	}
+
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := c.sweepOnce(ctx, body)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		var te *transientError
+		if !errors.As(err, &te) || attempt >= retries {
+			return nil, lastErr
+		}
+		delay := baseDelay << uint(attempt)
+		if delay > maxDelay {
+			delay = maxDelay
+		}
+		if te.retryAfter > 0 {
+			delay = te.retryAfter
+		}
+		c.logf("client: transient error (%v), retrying in %s (attempt %d/%d)",
+			te.err, delay, attempt+1, retries)
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return nil, fmt.Errorf("%w (last error: %v)", ctx.Err(), lastErr)
+		}
+	}
+}
+
+// sweepOnce performs one POST /sweep attempt.
+func (c *Client) sweepOnce(ctx context.Context, body []byte) (*SweepResponse, error) {
+	httpc := c.HTTPClient
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/sweep", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := httpc.Do(hreq)
+	if err != nil {
+		// Connection-level failure: daemon not up yet or restarting.
+		return nil, &transientError{err: err}
+	}
+	defer resp.Body.Close()
+
+	switch {
+	case resp.StatusCode == http.StatusOK:
+	case resp.StatusCode == http.StatusTooManyRequests,
+		resp.StatusCode == http.StatusServiceUnavailable,
+		resp.StatusCode >= 500:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, &transientError{
+			err:        fmt.Errorf("server %s: %s", resp.Status, bytes.TrimSpace(msg)),
+			retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("server %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+
+	out := &SweepResponse{}
+	sawSummary := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("malformed response record: %w", err)
+		}
+		if c.OnRecord != nil {
+			c.OnRecord(rec)
+		}
+		switch rec.Type {
+		case "summary":
+			out.Summary = rec
+			sawSummary = true
+		default:
+			for len(out.Results) <= rec.Index {
+				out.Results = append(out.Results, nil)
+			}
+			r := rec
+			out.Results[rec.Index] = &r
+		}
+	}
+	if err := sc.Err(); err != nil {
+		// Stream cut mid-response (daemon killed): whole-request retry.
+		return nil, &transientError{err: fmt.Errorf("response stream interrupted: %w", err)}
+	}
+	if !sawSummary {
+		return nil, &transientError{err: errors.New("response stream ended without summary record")}
+	}
+	return out, nil
+}
+
+// Healthz fetches the daemon's health state.
+func (c *Client) Healthz(ctx context.Context) (status string, err error) {
+	body, _, err := c.get(ctx, "/healthz")
+	if err != nil {
+		return "", err
+	}
+	var h struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(body, &h); err != nil {
+		return "", err
+	}
+	return h.Status, nil
+}
+
+// Statsz fetches the daemon's statistics snapshot.
+func (c *Client) Statsz(ctx context.Context) (*StatsSnapshot, error) {
+	body, _, err := c.get(ctx, "/statsz")
+	if err != nil {
+		return nil, err
+	}
+	var s StatsSnapshot
+	if err := json.Unmarshal(body, &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// get performs a plain GET without retries (health probes are the
+// caller's loop to drive).
+func (c *Client) get(ctx context.Context, path string) ([]byte, int, error) {
+	httpc := c.HTTPClient
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := httpc.Do(hreq)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, resp.StatusCode, err
+	}
+	return body, resp.StatusCode, nil
+}
+
+// parseRetryAfter parses a Retry-After header in seconds form; 0 when
+// absent or unparseable.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+func (c *Client) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}

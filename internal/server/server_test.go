@@ -1,0 +1,319 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"spectrebench/internal/engine"
+	"spectrebench/internal/harness"
+	"spectrebench/internal/store"
+)
+
+// synthRegistry builds Lookup/All hooks over synthetic experiments.
+func synthRegistry(exps ...harness.Experiment) (func(string) (harness.Experiment, bool), func() []harness.Experiment) {
+	byID := map[string]harness.Experiment{}
+	for _, e := range exps {
+		byID[e.ID] = e
+	}
+	lookup := func(id string) (harness.Experiment, bool) { e, ok := byID[id]; return e, ok }
+	all := func() []harness.Experiment { return exps }
+	return lookup, all
+}
+
+func okExp(id string) harness.Experiment {
+	return harness.Experiment{ID: id, Paper: "test", Title: "synthetic " + id, Run: func() (*harness.Table, error) {
+		return &harness.Table{ID: id, Title: "t", Columns: []string{"v"}, Rows: [][]string{{id}}}, nil
+	}}
+}
+
+// blockingExp runs until release is closed.
+func blockingExp(id string, release <-chan struct{}) harness.Experiment {
+	return harness.Experiment{ID: id, Paper: "test", Title: "blocks", Run: func() (*harness.Table, error) {
+		<-release
+		return &harness.Table{ID: id, Columns: []string{"v"}, Rows: [][]string{{id}}}, nil
+	}}
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Engine == nil {
+		eng := engine.New(4)
+		t.Cleanup(eng.Close)
+		cfg.Engine = eng
+	}
+	srv := New(cfg)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return srv, hs
+}
+
+// TestSweepStreamsResultsInRequestOrder: a sweep returns one rendered
+// record per experiment plus a summary, and the client reassembles
+// them in request order whatever order they completed in.
+func TestSweepStreamsResultsInRequestOrder(t *testing.T) {
+	lookup, all := synthRegistry(okExp("a"), okExp("b"), okExp("c"))
+	_, hs := newTestServer(t, Config{Lookup: lookup, All: all})
+
+	cl := &Client{BaseURL: hs.URL}
+	resp, err := cl.Sweep(context.Background(), SweepRequest{Experiments: []string{"a", "b", "c"}})
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(resp.Results))
+	}
+	for i, id := range []string{"a", "b", "c"} {
+		rec := resp.Results[i]
+		if rec == nil || rec.ID != id || rec.Status != string(harness.StatusOK) {
+			t.Errorf("results[%d] = %+v, want id=%s status=ok", i, rec, id)
+		}
+		if rec != nil && !strings.Contains(rec.Rendered, id) {
+			t.Errorf("results[%d].Rendered does not contain %q:\n%s", i, id, rec.Rendered)
+		}
+	}
+	if resp.Summary.Failed != 0 || resp.Summary.TimedOut {
+		t.Errorf("summary = %+v, want failed=0 timedOut=false", resp.Summary)
+	}
+	if resp.Summary.Stats == nil {
+		t.Error("summary carries no stats snapshot")
+	}
+}
+
+// TestAdmissionControlRefusesWith429: with MaxInflight=1 and one sweep
+// parked, the next sweep is refused immediately with 429 and a
+// Retry-After hint — admission control sheds load, it never queues.
+func TestAdmissionControlRefusesWith429(t *testing.T) {
+	release := make(chan struct{})
+	lookup, all := synthRegistry(blockingExp("slow", release), okExp("fast"))
+	srv, hs := newTestServer(t, Config{Lookup: lookup, All: all, MaxInflight: 1})
+
+	errCh := make(chan error, 1)
+	go func() {
+		cl := &Client{BaseURL: hs.URL, MaxRetries: -1}
+		_, err := cl.Sweep(context.Background(), SweepRequest{Experiments: []string{"slow"}})
+		errCh <- err
+	}()
+	// Wait until the first sweep holds the admission slot.
+	for i := 0; srv.Stats().Server.Inflight == 0; i++ {
+		if i > 500 {
+			t.Fatal("first sweep never admitted")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	resp, err := http.Post(hs.URL+"/sweep", "application/json", strings.NewReader(`{"experiments":["fast"]}`))
+	if err != nil {
+		t.Fatalf("second sweep: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("second sweep status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 carries no Retry-After hint")
+	}
+
+	close(release)
+	if err := <-errCh; err != nil {
+		t.Fatalf("first sweep failed: %v", err)
+	}
+	if rej := srv.Stats().Server.Rejected; rej != 1 {
+		t.Errorf("rejected=%d, want 1", rej)
+	}
+}
+
+// TestDrainRefusesNewWorkAndFlipsHealthz: BeginDrain turns /healthz 503
+// and refuses sweeps with Retry-After, while WaitIdle completes once
+// in-flight work is done.
+func TestDrainRefusesNewWorkAndFlipsHealthz(t *testing.T) {
+	lookup, all := synthRegistry(okExp("a"))
+	srv, hs := newTestServer(t, Config{Lookup: lookup, All: all})
+
+	resp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz before drain: %d", resp.StatusCode)
+	}
+
+	srv.BeginDrain()
+	resp, err = http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h struct {
+		Status string `json:"status"`
+	}
+	json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || h.Status != "draining" {
+		t.Errorf("healthz during drain: %d %q, want 503 draining", resp.StatusCode, h.Status)
+	}
+
+	resp, err = http.Post(hs.URL+"/sweep", "application/json", strings.NewReader(`{"experiments":["a"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("sweep during drain: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("drain refusal carries no Retry-After hint")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if !srv.WaitIdle(ctx) {
+		t.Error("WaitIdle did not complete on an idle server")
+	}
+}
+
+// TestRequestDeadlineReturnsPartialResults: a sweep that outlives its
+// deadline still streams everything that finished, marks the rest as
+// deadline records, and flags the summary — graceful degradation, not
+// a hung connection. The admission slot stays held until the abandoned
+// work completes.
+func TestRequestDeadlineReturnsPartialResults(t *testing.T) {
+	release := make(chan struct{})
+	lookup, all := synthRegistry(okExp("fast"), blockingExp("stuck", release))
+	srv, hs := newTestServer(t, Config{Lookup: lookup, All: all, MaxInflight: 1})
+
+	cl := &Client{BaseURL: hs.URL, MaxRetries: -1}
+	resp, err := cl.Sweep(context.Background(),
+		SweepRequest{Experiments: []string{"fast", "stuck"}, TimeoutMs: 300})
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if !resp.Summary.TimedOut {
+		t.Error("summary not flagged timedOut")
+	}
+	if rec := resp.Results[0]; rec == nil || rec.Status != string(harness.StatusOK) {
+		t.Errorf("fast experiment record = %+v, want ok (partial results must be delivered)", rec)
+	}
+	if rec := resp.Results[1]; rec == nil || rec.Type != "deadline" {
+		t.Errorf("stuck experiment record = %+v, want a deadline record", rec)
+	}
+
+	// The abandoned batch still owns the admission slot.
+	if got := srv.Stats().Server.Inflight; got != 1 {
+		t.Errorf("inflight after timed-out response = %d, want 1 (slot held until work finishes)", got)
+	}
+	close(release)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if !srv.WaitIdle(ctx) {
+		t.Fatal("batch never finished after release")
+	}
+}
+
+// TestClientRetriesTransientErrorsWithBackoff: connection-level and
+// 429/503 failures are retried with backoff (honoring Retry-After) and
+// a mid-stream cut is retried as a whole request; a 400 is not
+// retried.
+func TestClientRetriesTransientErrorsWithBackoff(t *testing.T) {
+	var calls int
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		switch calls {
+		case 1:
+			w.Header().Set("Retry-After", "0") // unparseable-as-positive → backoff path
+			http.Error(w, "saturated", http.StatusTooManyRequests)
+		case 2:
+			// Stream cut after one record, before the summary.
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.Write([]byte(`{"type":"result","index":0,"id":"a","status":"ok"}` + "\n"))
+		default:
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.Write([]byte(`{"type":"result","index":0,"id":"a","status":"ok","rendered":"A\n"}` + "\n"))
+			w.Write([]byte(`{"type":"summary","total":1,"failed":0}` + "\n"))
+		}
+	})
+	hs := httptest.NewServer(h)
+	defer hs.Close()
+
+	cl := &Client{BaseURL: hs.URL, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond, Logf: t.Logf}
+	resp, err := cl.Sweep(context.Background(), SweepRequest{Experiments: []string{"a"}})
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("server saw %d calls, want 3 (429, cut stream, success)", calls)
+	}
+	if resp.Results[0] == nil || resp.Results[0].Rendered != "A\n" {
+		t.Errorf("final result = %+v", resp.Results[0])
+	}
+
+	// 400s are the caller's bug, not weather: no retry.
+	calls = 0
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		http.Error(w, "no experiments requested", http.StatusBadRequest)
+	}))
+	defer bad.Close()
+	cl2 := &Client{BaseURL: bad.URL, BaseDelay: time.Millisecond}
+	if _, err := cl2.Sweep(context.Background(), SweepRequest{}); err == nil {
+		t.Fatal("400 did not surface as an error")
+	}
+	if calls != 1 {
+		t.Errorf("400 retried (%d calls), must not be", calls)
+	}
+}
+
+// TestHTTPFetchByteIdenticalToLocalRun is the cross-check the issue
+// asks for: the rendered block for a real experiment fetched over HTTP
+// — cold store, then warm store on a fresh daemon — is byte-identical
+// to the same experiment supervised locally.
+func TestHTTPFetchByteIdenticalToLocalRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real experiment batch is slow")
+	}
+	const id = "table3"
+	exp, ok := harness.Lookup(id)
+	if !ok {
+		t.Fatalf("experiment %q not registered", id)
+	}
+
+	localEng := engine.New(2)
+	defer localEng.Close()
+	local := harness.RenderResult(harness.SuperviseEach([]harness.Experiment{exp},
+		harness.RunConfig{Seed: 7, Retries: harness.DefaultRetries, Engine: localEng}, nil)[0], false)
+
+	dir := t.TempDir()
+	fetch := func(label string) string {
+		st, err := store.Open(dir, store.Options{NoSync: true, Logf: t.Logf})
+		if err != nil {
+			t.Fatalf("%s: store.Open: %v", label, err)
+		}
+		defer st.Close()
+		eng := engine.New(2)
+		defer eng.Close()
+		eng.SetSecondLevel(st)
+		_, hs := newTestServer(t, Config{Engine: eng, Store: st})
+		cl := &Client{BaseURL: hs.URL}
+		resp, err := cl.Sweep(context.Background(), SweepRequest{Experiments: []string{id}, Seed: 7})
+		if err != nil {
+			t.Fatalf("%s: Sweep: %v", label, err)
+		}
+		if resp.Results[0] == nil {
+			t.Fatalf("%s: no record for %s", label, id)
+		}
+		return resp.Results[0].Rendered
+	}
+
+	cold := fetch("cold")
+	if cold != local {
+		t.Errorf("cold HTTP fetch differs from local run\n--- local ---\n%s\n--- http cold ---\n%s", local, cold)
+	}
+	warm := fetch("warm")
+	if warm != local {
+		t.Errorf("warm HTTP fetch differs from local run\n--- local ---\n%s\n--- http warm ---\n%s", local, warm)
+	}
+}

@@ -1,0 +1,492 @@
+// Package store is the crash-safe, on-disk, content-addressed
+// simulation-cell store behind `spectrebench serve` and `run -store`:
+// the second level of the engine's cell cache, shared across processes
+// and restarts.
+//
+// Determinism makes the store sound: a cell's value and simulated-cycle
+// cost are a pure function of its engine.Key (PR 2/4/5's byte-identity
+// guarantees), so a stored result replayed into a later run renders the
+// exact bytes a fresh simulation would. The store's own job is to make
+// that cache survive crashes:
+//
+//   - Writes are atomic. An entry is encoded to a temporary file in the
+//     same directory, synced, and renamed into place. A crash — up to
+//     and including kill -9 mid-write — leaves either the complete new
+//     entry or no entry, never a torn one visible under a committed
+//     name. Stale *.tmp files are swept on the next open.
+//   - Every entry carries a CRC32 checksum over its payload, plus a
+//     magic/version header and an exact length. Get re-verifies the
+//     checksum on every read, so a flipped bit on disk is detected, not
+//     replayed into results.
+//   - Open runs a recovery scan instead of trusting the directory:
+//     entries that are truncated, zero-length, bit-flipped or otherwise
+//     undecodable are moved to quarantine/ (preserved for forensics,
+//     never deleted) and the rest of the store keeps serving. A damaged
+//     entry costs a re-simulation, not an outage.
+//   - An exclusive lock file (flock) makes a store single-writer: a
+//     second daemon opening the same directory gets ErrLocked
+//     immediately instead of silently interleaving writes. The kernel
+//     releases the lock when the owner dies, however it dies.
+//
+// # Layout
+//
+//	<dir>/LOCK             flock'd while the store is open; holds the owner pid
+//	<dir>/cells/<key-hash>[-n].cell   one entry per cell (n disambiguates hash collisions)
+//	<dir>/quarantine/      damaged entries moved aside by the recovery scan
+//
+// An entry file is:
+//
+//	"SBC1" | crc32(payload) BE | len(payload) BE | payload
+//
+// where the payload is three gob values — the full engine.Key (the
+// content address; the file name is only its 64-bit hash, so a hash
+// collision degrades to a probe sequence, never aliases), the cell's
+// simulated-cycle cost, and the cell value. The key and cycles decode
+// cheaply during the open scan; the value is decoded only on Get, after
+// the checksum has been verified.
+//
+// Cell values cross the gob boundary as interfaces, so every concrete
+// cell value type must be registered with encoding/gob (the harness
+// registers its types in an init; see internal/harness). A value whose
+// type is not registered is skipped on Put and counted in
+// Stats.PutErrors — the store degrades to a smaller cache, it never
+// fails a run.
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+
+	"spectrebench/internal/engine"
+)
+
+// ErrLocked reports that another process holds the store's exclusive
+// lock (a second daemon pointed at a live store directory).
+var ErrLocked = errors.New("store: directory is locked by another process")
+
+var magic = [4]byte{'S', 'B', 'C', '1'}
+
+const (
+	lockName       = "LOCK"
+	cellsDirName   = "cells"
+	quarantineName = "quarantine"
+	cellExt        = ".cell"
+	tmpExt         = ".tmp"
+	headerLen      = 12 // magic + crc32 + payload length
+)
+
+// Options configures Open.
+type Options struct {
+	// NoSync skips the fsync before each rename. Committed entries are
+	// then atomic against process death (kill -9) but not against power
+	// loss. Tests and benchmarks use it; daemons should not.
+	NoSync bool
+	// Logf, when non-nil, receives recovery and degradation notices
+	// (quarantined entries, skipped writes). The store never logs to a
+	// default destination on its own.
+	Logf func(format string, args ...any)
+}
+
+// Stats is a snapshot of the store's counters. The scan fields are
+// fixed at Open; the rest accumulate over the store's lifetime.
+type Stats struct {
+	// Entries is the number of committed, valid entries currently
+	// indexed.
+	Entries int
+	// Hits / Misses count Get outcomes.
+	Hits, Misses uint64
+	// Puts counts entries committed by this process; PutErrors counts
+	// Put attempts skipped or failed (unregistered value type, I/O
+	// error).
+	Puts, PutErrors uint64
+	// Quarantined counts entries moved to quarantine/ — by the open
+	// recovery scan and by Get checksum failures since.
+	Quarantined uint64
+	// TmpSwept counts abandoned temporary files removed at Open (the
+	// debris of a crash mid-write).
+	TmpSwept int
+}
+
+// Store is an open cell store. It is safe for concurrent use by the
+// engine's workers.
+type Store struct {
+	dir      string
+	cellsDir string
+	opts     Options
+	lockFile *os.File
+
+	mu     sync.RWMutex
+	index  map[engine.Key]indexEntry
+	names  map[string]bool // committed file base names, for collision probing
+	tmpSeq atomic.Uint64
+
+	closed atomic.Bool
+
+	hits, misses, puts, putErrors, quarantined atomic.Uint64
+	tmpSwept                                   int
+}
+
+// indexEntry locates one committed cell on disk.
+type indexEntry struct {
+	file   string // base name under cells/
+	cycles uint64
+}
+
+// diskKey mirrors engine.Key in the payload so the full key string is
+// stored alongside the hash-derived file name (the content address).
+// It is engine.Key itself: the struct has only exported fields.
+
+// Open opens (creating if necessary) the store rooted at dir, acquires
+// its exclusive lock, and runs the recovery scan. The returned store
+// must be closed to release the lock (the kernel also releases it if
+// the process dies).
+func Open(dir string, opts Options) (*Store, error) {
+	s := &Store{
+		dir:      dir,
+		cellsDir: filepath.Join(dir, cellsDirName),
+		opts:     opts,
+		index:    map[engine.Key]indexEntry{},
+		names:    map[string]bool{},
+	}
+	for _, d := range []string{dir, s.cellsDir, filepath.Join(dir, quarantineName)} {
+		if err := os.MkdirAll(d, 0o777); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	if err := s.acquireLock(); err != nil {
+		return nil, err
+	}
+	if err := s.recoverScan(); err != nil {
+		s.releaseLock()
+		return nil, err
+	}
+	return s, nil
+}
+
+// acquireLock flocks <dir>/LOCK exclusively and non-blocking, writing
+// the owner pid for diagnostics.
+func (s *Store) acquireLock() error {
+	f, err := os.OpenFile(filepath.Join(s.dir, lockName), os.O_RDWR|os.O_CREATE, 0o666)
+	if err != nil {
+		return fmt.Errorf("store: lock: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		owner, _ := os.ReadFile(filepath.Join(s.dir, lockName))
+		f.Close()
+		if len(owner) > 0 {
+			return fmt.Errorf("%w (dir %s, held by pid %s)", ErrLocked, s.dir, strings.TrimSpace(string(owner)))
+		}
+		return fmt.Errorf("%w (dir %s)", ErrLocked, s.dir)
+	}
+	f.Truncate(0)
+	fmt.Fprintf(f, "%d\n", os.Getpid())
+	s.lockFile = f
+	return nil
+}
+
+func (s *Store) releaseLock() {
+	if s.lockFile != nil {
+		syscall.Flock(int(s.lockFile.Fd()), syscall.LOCK_UN)
+		s.lockFile.Close()
+		s.lockFile = nil
+	}
+}
+
+// recoverScan walks cells/: abandoned *.tmp files are removed, every
+// *.cell file is validated (header, length, checksum, key decode) and
+// either indexed or quarantined. The scan order is sorted so collision
+// chains resolve deterministically.
+func (s *Store) recoverScan() error {
+	entries, err := os.ReadDir(s.cellsDir)
+	if err != nil {
+		return fmt.Errorf("store: scan: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, de := range entries {
+		if de.IsDir() {
+			continue
+		}
+		names = append(names, de.Name())
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		path := filepath.Join(s.cellsDir, name)
+		if strings.HasSuffix(name, tmpExt) {
+			os.Remove(path)
+			s.tmpSwept++
+			s.logf("store: swept abandoned temp file %s", name)
+			continue
+		}
+		if !strings.HasSuffix(name, cellExt) {
+			continue
+		}
+		key, cycles, _, err := readEntry(path, false)
+		if err != nil {
+			s.quarantine(name, err)
+			continue
+		}
+		if _, dup := s.index[key]; dup {
+			// Two committed files claim one key (should be impossible;
+			// defensive): keep the first, set the second aside.
+			s.quarantine(name, errors.New("duplicate key"))
+			continue
+		}
+		s.index[key] = indexEntry{file: name, cycles: cycles}
+		s.names[name] = true
+	}
+	return nil
+}
+
+// quarantine moves a damaged entry into quarantine/ under a
+// non-clobbering name. Removal of the source is the one thing that must
+// succeed; if even the rename fails the file is left in place and the
+// entry simply stays unindexed.
+func (s *Store) quarantine(name string, cause error) {
+	src := filepath.Join(s.cellsDir, name)
+	dst := filepath.Join(s.dir, quarantineName, name)
+	for i := 1; ; i++ {
+		if _, err := os.Lstat(dst); os.IsNotExist(err) {
+			break
+		}
+		dst = filepath.Join(s.dir, quarantineName, fmt.Sprintf("%s.%d", name, i))
+	}
+	if err := os.Rename(src, dst); err != nil {
+		s.logf("store: quarantine of %s failed: %v (entry left unindexed)", name, err)
+	}
+	s.quarantined.Add(1)
+	s.logf("store: quarantined %s: %v", name, cause)
+}
+
+func (s *Store) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// readEntry reads and validates one entry file: magic, exact length,
+// CRC32 over the payload, then gob-decodes the key and cycle count, and
+// — only when wantValue is set — the value itself.
+func readEntry(path string, wantValue bool) (key engine.Key, cycles uint64, val any, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return key, 0, nil, err
+	}
+	if len(raw) == 0 {
+		return key, 0, nil, errors.New("zero-length entry")
+	}
+	if len(raw) < headerLen {
+		return key, 0, nil, fmt.Errorf("truncated header (%d bytes)", len(raw))
+	}
+	if !bytes.Equal(raw[:4], magic[:]) {
+		return key, 0, nil, fmt.Errorf("bad magic %q", raw[:4])
+	}
+	wantCRC := binary.BigEndian.Uint32(raw[4:8])
+	plen := binary.BigEndian.Uint32(raw[8:12])
+	payload := raw[headerLen:]
+	if uint32(len(payload)) != plen {
+		return key, 0, nil, fmt.Errorf("payload length %d, header says %d", len(payload), plen)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return key, 0, nil, fmt.Errorf("checksum mismatch (stored %08x, computed %08x)", wantCRC, got)
+	}
+	dec := gob.NewDecoder(bytes.NewReader(payload))
+	if err := dec.Decode(&key); err != nil {
+		return key, 0, nil, fmt.Errorf("key decode: %w", err)
+	}
+	if err := dec.Decode(&cycles); err != nil {
+		return key, 0, nil, fmt.Errorf("cycles decode: %w", err)
+	}
+	if wantValue {
+		if err := dec.Decode(&val); err != nil {
+			return key, 0, nil, fmt.Errorf("value decode: %w", err)
+		}
+	}
+	return key, cycles, val, nil
+}
+
+// Get returns the stored value and simulated-cycle cost for key. It
+// satisfies engine.SecondLevel: a miss — including a read or decode
+// failure, which also quarantines the damaged file — is (nil, 0,
+// false), never an error. The checksum is re-verified on every read.
+func (s *Store) Get(key engine.Key) (val any, cycles uint64, ok bool) {
+	if s.closed.Load() {
+		return nil, 0, false
+	}
+	s.mu.RLock()
+	ent, found := s.index[key]
+	s.mu.RUnlock()
+	if !found {
+		s.misses.Add(1)
+		return nil, 0, false
+	}
+	gotKey, cycles, val, err := readEntry(filepath.Join(s.cellsDir, ent.file), true)
+	if err == nil && gotKey != key {
+		err = fmt.Errorf("entry holds key %v", gotKey)
+	}
+	if err != nil {
+		// Self-healing read path: drop the entry and set the file aside
+		// so the cell re-simulates from here on.
+		s.mu.Lock()
+		if cur, still := s.index[key]; still && cur.file == ent.file {
+			delete(s.index, key)
+			delete(s.names, ent.file)
+			s.quarantine(ent.file, err)
+		}
+		s.mu.Unlock()
+		s.misses.Add(1)
+		return nil, 0, false
+	}
+	s.hits.Add(1)
+	return val, cycles, true
+}
+
+// Put commits (key, val, cycles) atomically: encode, write to a
+// temporary file, sync (unless Options.NoSync), rename into place. It
+// satisfies engine.SecondLevel; failures are counted and logged, never
+// returned — a broken disk degrades the cache, not the run.
+func (s *Store) Put(key engine.Key, val any, cycles uint64) {
+	if err := s.put(key, val, cycles); err != nil {
+		s.putErrors.Add(1)
+		s.logf("store: put %s: %v", key.String(), err)
+	}
+}
+
+func (s *Store) put(key engine.Key, val any, cycles uint64) error {
+	if s.closed.Load() {
+		return errors.New("store closed")
+	}
+	if val == nil {
+		return errors.New("nil value")
+	}
+	s.mu.RLock()
+	_, dup := s.index[key]
+	s.mu.RUnlock()
+	if dup {
+		// Deterministic cells make re-puts value-identical; skip the
+		// write instead of churning the file.
+		return nil
+	}
+
+	var payload bytes.Buffer
+	enc := gob.NewEncoder(&payload)
+	if err := enc.Encode(&key); err != nil {
+		return err
+	}
+	if err := enc.Encode(cycles); err != nil {
+		return err
+	}
+	if err := enc.Encode(&val); err != nil {
+		return err // typically: concrete type not registered with gob
+	}
+	buf := make([]byte, headerLen+payload.Len())
+	copy(buf, magic[:])
+	binary.BigEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload.Bytes()))
+	binary.BigEndian.PutUint32(buf[8:12], uint32(payload.Len()))
+	copy(buf[headerLen:], payload.Bytes())
+
+	tmp := filepath.Join(s.cellsDir, fmt.Sprintf("put-%d-%d%s", os.Getpid(), s.tmpSeq.Add(1), tmpExt))
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o666)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if !s.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+
+	s.mu.Lock()
+	if _, dup := s.index[key]; dup {
+		s.mu.Unlock()
+		os.Remove(tmp)
+		return nil
+	}
+	name := s.pickNameLocked(key)
+	if err := os.Rename(tmp, filepath.Join(s.cellsDir, name)); err != nil {
+		s.mu.Unlock()
+		os.Remove(tmp)
+		return err
+	}
+	s.index[key] = indexEntry{file: name, cycles: cycles}
+	s.names[name] = true
+	s.mu.Unlock()
+	s.puts.Add(1)
+	return nil
+}
+
+// pickNameLocked chooses the entry file name for key: the key hash,
+// with a probe suffix in the (astronomically unlikely) event two
+// distinct keys share a 64-bit hash. Caller holds mu.
+func (s *Store) pickNameLocked(key engine.Key) string {
+	base := fmt.Sprintf("%016x", key.Hash())
+	name := base + cellExt
+	for i := 1; s.names[name]; i++ {
+		name = fmt.Sprintf("%s-%d%s", base, i, cellExt)
+	}
+	return name
+}
+
+// Len returns the number of committed entries currently indexed.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.index)
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Entries:     s.Len(),
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Puts:        s.puts.Load(),
+		PutErrors:   s.putErrors.Load(),
+		Quarantined: s.quarantined.Load(),
+		TmpSwept:    s.tmpSwept,
+	}
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close releases the exclusive lock and marks the store closed.
+// Idempotent; Get/Put after Close are misses/no-ops, matching the
+// engine's drain-then-close shutdown order.
+func (s *Store) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	s.releaseLock()
+	return nil
+}
+
+// Note reports the store's effectiveness in one batch-summary line,
+// mirroring the engine's cell-cache note. Printed to stderr by the CLI
+// so stdout stays byte-identical between cold and warm runs.
+func (s *Store) Note() string {
+	st := s.Stats()
+	return fmt.Sprintf("cell store: %d entries, %d hits, %d misses, %d written, %d quarantined (dir %s)",
+		st.Entries, st.Hits, st.Misses, st.Puts, st.Quarantined, s.dir)
+}

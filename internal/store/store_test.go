@@ -1,0 +1,363 @@
+package store
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+
+	"spectrebench/internal/engine"
+)
+
+// structVal is a registered structured cell value for round-trip tests.
+type structVal struct {
+	Name string
+	Xs   []float64
+}
+
+func init() { gob.Register(structVal{}) }
+
+func testKey(i int) engine.Key {
+	return engine.Key{Workload: "test/cell", Uarch: "skylake", Config: fmt.Sprintf("case=%d", i)}
+}
+
+func openT(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir, Options{NoSync: true, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s
+}
+
+// cellFile returns the on-disk path of key's committed entry.
+func cellFile(t *testing.T, dir string, key engine.Key) string {
+	t.Helper()
+	path := filepath.Join(dir, cellsDirName, fmt.Sprintf("%016x%s", key.Hash(), cellExt))
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("entry file for %s: %v", key.String(), err)
+	}
+	return path
+}
+
+// TestRoundTripAcrossReopen pins the basic contract: heterogeneous
+// values put into one store come back bit-equal from a fresh Open of
+// the same directory.
+func TestRoundTripAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	vals := map[int]any{
+		0: float64(3.25),
+		1: []string{"row-a", "row-b"},
+		2: structVal{Name: "pair", Xs: []float64{1, 2.5}},
+	}
+
+	s := openT(t, dir)
+	for i, v := range vals {
+		s.Put(testKey(i), v, uint64(1000+i))
+	}
+	if st := s.Stats(); st.Puts != 3 || st.PutErrors != 0 {
+		t.Fatalf("puts=%d putErrors=%d, want 3/0", st.Puts, st.PutErrors)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2 := openT(t, dir)
+	defer s2.Close()
+	if s2.Len() != 3 {
+		t.Fatalf("reopened Len=%d, want 3", s2.Len())
+	}
+	for i, want := range vals {
+		got, cycles, ok := s2.Get(testKey(i))
+		if !ok {
+			t.Fatalf("key %d: miss after reopen", i)
+		}
+		if cycles != uint64(1000+i) {
+			t.Errorf("key %d: cycles=%d, want %d", i, cycles, 1000+i)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("key %d: value %#v, want %#v", i, got, want)
+		}
+	}
+}
+
+// TestRecoveryQuarantinesExactlyTheDamagedEntries is the crash-safety
+// core: after every damage mode the issue names — truncation, bit
+// flips, zero-length files, plus bad magic and abandoned temp files —
+// a fresh Open must quarantine exactly the damaged entries and serve
+// every undamaged one.
+func TestRecoveryQuarantinesExactlyTheDamagedEntries(t *testing.T) {
+	dir := t.TempDir()
+	const n = 8
+	s := openT(t, dir)
+	for i := 0; i < n; i++ {
+		s.Put(testKey(i), float64(i)*1.5, uint64(100+i))
+	}
+	files := make([]string, n)
+	for i := 0; i < n; i++ {
+		files[i] = cellFile(t, dir, testKey(i))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	damaged := map[int]string{1: "truncated", 2: "bit-flipped", 3: "zero-length", 4: "bad-magic"}
+	// Truncate entry 1 mid-payload.
+	fi, err := os.Stat(files[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(files[1], fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload bit of entry 2.
+	raw, err := os.ReadFile(files[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x40
+	if err := os.WriteFile(files[2], raw, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	// Zero out entry 3 (crash before any byte reached the file).
+	if err := os.Truncate(files[3], 0); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt entry 4's magic.
+	raw4, err := os.ReadFile(files[4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw4[0] = 'X'
+	if err := os.WriteFile(files[4], raw4, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	// Leave an abandoned temp file (crash mid-write) and a stray
+	// non-entry file (must be ignored, not quarantined).
+	if err := os.WriteFile(filepath.Join(dir, cellsDirName, "put-999-1.tmp"), []byte("partial"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, cellsDirName, "README"), []byte("not a cell"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openT(t, dir)
+	defer s2.Close()
+	st := s2.Stats()
+	if st.Quarantined != uint64(len(damaged)) {
+		t.Errorf("quarantined=%d, want %d", st.Quarantined, len(damaged))
+	}
+	if st.TmpSwept != 1 {
+		t.Errorf("tmpSwept=%d, want 1", st.TmpSwept)
+	}
+	if s2.Len() != n-len(damaged) {
+		t.Errorf("Len=%d, want %d", s2.Len(), n-len(damaged))
+	}
+	for i := 0; i < n; i++ {
+		val, cycles, ok := s2.Get(testKey(i))
+		if _, bad := damaged[i]; bad {
+			if ok {
+				t.Errorf("key %d (%s): served despite damage", i, damaged[i])
+			}
+			continue
+		}
+		if !ok {
+			t.Errorf("key %d: undamaged entry not served", i)
+			continue
+		}
+		if val != float64(i)*1.5 || cycles != uint64(100+i) {
+			t.Errorf("key %d: got (%v, %d), want (%v, %d)", i, val, cycles, float64(i)*1.5, 100+i)
+		}
+	}
+
+	// The damaged files are set aside, not deleted: operators can
+	// inspect them.
+	qents, err := os.ReadDir(filepath.Join(dir, quarantineName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qents) != len(damaged) {
+		t.Errorf("quarantine/ holds %d files, want %d", len(qents), len(damaged))
+	}
+}
+
+// TestGetSelfHealsCorruptionDiscoveredOnRead covers rot that appears
+// after the open scan: a Get that fails the checksum quarantines the
+// entry and degrades to a miss instead of returning garbage.
+func TestGetSelfHealsCorruptionDiscoveredOnRead(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	defer s.Close()
+	s.Put(testKey(0), 42.0, 7)
+	path := cellFile(t, dir, testKey(0))
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[headerLen+2] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, ok := s.Get(testKey(0)); ok {
+		t.Fatal("corrupt entry served")
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Errorf("quarantined=%d, want 1", st.Quarantined)
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len=%d after self-heal, want 0", s.Len())
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("damaged file still present at %s", path)
+	}
+}
+
+// TestExclusiveLock pins single-writer semantics: a second Open of a
+// live store fails with ErrLocked and succeeds after Close.
+func TestExclusiveLock(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second Open: %v, want ErrLocked", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openT(t, dir)
+	s2.Close()
+}
+
+// unregistered is deliberately NOT gob-registered.
+type unregistered struct{ X int }
+
+// TestPutDegradesOnUnregisteredType: an unencodable value must not
+// error the caller or corrupt the store — it is counted and skipped.
+func TestPutDegradesOnUnregisteredType(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	defer s.Close()
+	s.Put(testKey(0), unregistered{1}, 5)
+	if st := s.Stats(); st.PutErrors != 1 || st.Puts != 0 {
+		t.Errorf("putErrors=%d puts=%d, want 1/0", st.PutErrors, st.Puts)
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len=%d, want 0", s.Len())
+	}
+}
+
+// TestClosedStoreDegrades: Get and Put after Close are a miss and a
+// no-op (the daemon's drain path closes the store while stragglers may
+// still publish).
+func TestClosedStoreDegrades(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	s.Put(testKey(0), 1.0, 1)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("second Close:", err)
+	}
+	if _, _, ok := s.Get(testKey(0)); ok {
+		t.Error("Get served after Close")
+	}
+	s.Put(testKey(1), 2.0, 2)
+	if st := s.Stats(); st.Puts != 1 {
+		t.Errorf("puts=%d after post-close Put, want 1", st.Puts)
+	}
+}
+
+// killHelperEnv gates the re-exec helper below.
+const killHelperEnv = "SPECTREBENCH_STORE_KILL_HELPER"
+
+// TestKillNineMidWriteNeverCorruptsCommittedEntries re-executes the
+// test binary as a writer child that puts entries as fast as it can,
+// SIGKILLs it mid-stream, and reopens the directory: every committed
+// entry must read back intact, nothing may be quarantined, and the
+// only debris allowed is swept temp files. Repeated for several
+// kill/reopen rounds on the same directory.
+func TestKillNineMidWriteNeverCorruptsCommittedEntries(t *testing.T) {
+	if dir := os.Getenv(killHelperEnv); dir != "" {
+		killHelperMain(dir)
+		return
+	}
+	if testing.Short() {
+		t.Skip("subprocess kill rounds are slow")
+	}
+
+	dir := t.TempDir()
+	prev := 0
+	for round := 0; round < 3; round++ {
+		cmd := exec.Command(os.Args[0], "-test.run=TestKillNineMidWriteNeverCorruptsCommittedEntries$")
+		cmd.Env = append(os.Environ(), killHelperEnv+"="+dir)
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("round %d: start helper: %v", round, err)
+		}
+		time.Sleep(150 * time.Millisecond)
+		if err := cmd.Process.Kill(); err != nil {
+			t.Fatalf("round %d: kill: %v", round, err)
+		}
+		cmd.Wait() // reaps; exit status is the kill signal, ignore
+
+		s := openT(t, dir)
+		st := s.Stats()
+		if st.Quarantined != 0 {
+			t.Fatalf("round %d: %d committed entries quarantined after kill -9", round, st.Quarantined)
+		}
+		// The helper writes keys sequentially, so the committed set is a
+		// prefix; verify every indexed entry round-trips with the value
+		// the helper derives from its index.
+		got := 0
+		for ; ; got++ {
+			val, cycles, ok := s.Get(killKey(got))
+			if !ok {
+				break
+			}
+			if want := killVal(got); val != want || cycles != uint64(got) {
+				t.Fatalf("round %d: entry %d: got (%v, %d), want (%v, %d)", round, got, val, cycles, want, got)
+			}
+		}
+		if got != s.Len() {
+			t.Fatalf("round %d: verified prefix %d != Len %d (committed set is not a clean prefix)", round, got, s.Len())
+		}
+		if got < prev {
+			t.Fatalf("round %d: entries went backwards (%d -> %d)", round, prev, got)
+		}
+		prev = got
+		if err := s.Close(); err != nil {
+			t.Fatalf("round %d: close: %v", round, err)
+		}
+	}
+	if prev == 0 {
+		t.Skip("helper committed no entries before the kill; nothing exercised")
+	}
+}
+
+func killKey(i int) engine.Key {
+	return engine.Key{Workload: "kill/cell", Uarch: "skylake", Config: "i=" + strconv.Itoa(i)}
+}
+
+func killVal(i int) float64 { return float64(i)*2.5 + 0.25 }
+
+// killHelperMain is the writer child: it opens the store and puts
+// sequential entries until SIGKILLed. NoSync keeps the write rate high
+// (the contract under test is atomicity against process death, which
+// rename gives with or without the fsync).
+func killHelperMain(dir string) {
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kill helper:", err)
+		os.Exit(1)
+	}
+	for i := 0; ; i++ {
+		s.Put(killKey(i), killVal(i), uint64(i))
+	}
+}

@@ -1,0 +1,136 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end crash-safety smoke for sweep-as-a-service.
+#
+# Drives the real daemon binary through its whole lifecycle:
+#
+#   1. cold sweep    — fresh store dir, daemon up, client sweep; every
+#                      cell is simulated and persisted.
+#   2. warm sweep    — daemon restarted (graceful SIGTERM) on the same
+#                      store dir so the first-level memo is empty; the
+#                      same sweep must be served 100% from the store
+#                      (/statsz: store misses 0, nothing written) and
+#                      its output must be byte-identical to the cold
+#                      sweep.
+#   3. kill -9       — fresh store dir, daemon SIGKILLed mid-sweep.
+#   4. recovery      — daemon restarted on the killed store dir; the
+#                      recovery scan must quarantine nothing (committed
+#                      entries survive kill -9 intact), and a full
+#                      sweep must again match the cold output byte for
+#                      byte.
+#   5. drain         — final graceful SIGTERM must exit 0.
+#
+# Usage: scripts/serve_smoke.sh
+# Env:   GO (toolchain, default go), ADDR (default 127.0.0.1:8077),
+#        SWEEP (experiment ids, default "table3 fig3 whatif-v1hw").
+set -eu
+
+go=${GO:-go}
+addr=${ADDR:-127.0.0.1:8077}
+sweep=${SWEEP:-"table3 fig3 whatif-v1hw"}
+
+work=$(mktemp -d /tmp/sb_serve_smoke.XXXXXX)
+bin=$work/spectrebench
+daemon_pid=""
+
+cleanup() {
+    [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+log() { echo "serve_smoke: $*" >&2; }
+
+$go build -o "$bin" ./cmd/spectrebench
+
+# start_daemon <store-dir> <log-file>
+start_daemon() {
+    "$bin" -store "$1" -addr "$addr" serve >/dev/null 2>"$2" &
+    daemon_pid=$!
+    i=0
+    until curl -fsS "http://$addr/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            log "daemon did not become healthy; log follows"
+            cat "$2" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+# stop_daemon_graceful <log-file> — SIGTERM, wait, require exit 0.
+stop_daemon_graceful() {
+    kill -TERM "$daemon_pid"
+    if ! wait "$daemon_pid"; then
+        log "daemon did not exit cleanly on SIGTERM; log follows"
+        cat "$1" >&2
+        exit 1
+    fi
+    daemon_pid=""
+}
+
+store1=$work/store1
+store2=$work/store2
+
+# --- 1. cold sweep ---------------------------------------------------
+log "phase 1: cold sweep into fresh store"
+start_daemon "$store1" "$work/daemon1.log"
+# shellcheck disable=SC2086
+"$bin" -addr "$addr" client run $sweep >"$work/cold.txt"
+stop_daemon_graceful "$work/daemon1.log"
+[ -s "$work/cold.txt" ] || { log "cold sweep produced no output"; exit 1; }
+
+# --- 2. warm sweep on a restarted daemon -----------------------------
+# The restart empties the in-memory memo cache, so every cell the warm
+# sweep needs must come from the persistent store.
+log "phase 2: warm sweep after daemon restart"
+start_daemon "$store1" "$work/daemon2.log"
+# shellcheck disable=SC2086
+"$bin" -addr "$addr" client run $sweep >"$work/warm.txt"
+curl -fsS "http://$addr/statsz" >"$work/statsz.json"
+stop_daemon_graceful "$work/daemon2.log"
+
+diff "$work/cold.txt" "$work/warm.txt" \
+    || { log "warm sweep output differs from cold sweep"; exit 1; }
+
+# The StatsSnapshot serializes the store block first, so the first
+# hits/misses/puts fields in the document are the store's.
+store_hits=$(grep -m1 '"hits"' "$work/statsz.json" | tr -dc '0-9')
+store_misses=$(grep -m1 '"misses"' "$work/statsz.json" | tr -dc '0-9')
+store_puts=$(grep -m1 '"puts"' "$work/statsz.json" | tr -dc '0-9')
+log "warm store stats: hits=$store_hits misses=$store_misses puts=$store_puts"
+[ "$store_hits" -gt 0 ] || { log "warm sweep had no store hits"; exit 1; }
+[ "$store_misses" -eq 0 ] || { log "warm sweep missed the store $store_misses times (want 100% hit)"; exit 1; }
+[ "$store_puts" -eq 0 ] || { log "warm sweep wrote $store_puts entries (replay must not churn the store)"; exit 1; }
+
+# --- 3. kill -9 mid-sweep --------------------------------------------
+log "phase 3: SIGKILL mid-sweep into fresh store"
+start_daemon "$store2" "$work/daemon3.log"
+# shellcheck disable=SC2086
+"$bin" -addr "$addr" -http-retries -1 client run $sweep >"$work/killed.txt" 2>/dev/null &
+client_pid=$!
+sleep 0.7
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+wait "$client_pid" 2>/dev/null || true # the interrupted client may fail; that is its job
+
+# --- 4. recovery on the killed store ---------------------------------
+log "phase 4: restart on the killed store and re-sweep"
+start_daemon "$store2" "$work/daemon4.log"
+# shellcheck disable=SC2086
+"$bin" -addr "$addr" client run $sweep >"$work/recovered.txt"
+curl -fsS "http://$addr/statsz" >"$work/statsz2.json"
+
+quarantined=$(grep -m1 '"quarantined"' "$work/statsz2.json" | tr -dc '0-9')
+[ "${quarantined:-0}" -eq 0 ] \
+    || { log "recovery quarantined $quarantined entries after kill -9 (committed entries must survive intact)"; exit 1; }
+
+diff "$work/cold.txt" "$work/recovered.txt" \
+    || { log "post-recovery sweep output differs from cold sweep"; exit 1; }
+
+# --- 5. graceful drain ------------------------------------------------
+log "phase 5: graceful SIGTERM drain"
+stop_daemon_graceful "$work/daemon4.log"
+
+log "ok: cold == warm == post-kill-recovery, warm sweep 100% store-served, clean drains"
