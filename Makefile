@@ -26,12 +26,12 @@ test-race:
 bench:
 	$(GO) test -bench=. -benchmem
 
-# Record the performance baseline: the -memfast on/off ablation (timed
-# interleaved at -jobs 1), the `run all` wall-clock curve across -jobs,
-# and the ablation benchmark ns/op (asserting all outputs are
+# Record the performance baseline: the -superblock x -checkpoint
+# ablation matrix (timed interleaved at -jobs 1), the jobs-4 pair, and
+# the ablation benchmark ns/op (asserting all outputs are
 # byte-identical), as JSON.
 bench-json:
-	GO="$(GO)" sh scripts/bench_json.sh BENCH_PR5.json
+	GO="$(GO)" sh scripts/bench_json.sh BENCH_PR7.json
 
 # Run the full experiment registry through the CLI.
 experiments:

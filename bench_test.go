@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"spectrebench/internal/attacks"
+	"spectrebench/internal/checkpoint"
 	"spectrebench/internal/core"
 	"spectrebench/internal/cpu"
 	"spectrebench/internal/engine"
@@ -545,4 +546,81 @@ func BenchmarkAblationEngineCacheWarm(b *testing.B) {
 	}
 	hits, _ := eng.Stats()
 	b.ReportMetric(float64(hits), "cache-hits")
+}
+
+// BenchmarkAblationSuperblock runs the cell-heavy batch with superblock
+// chaining enabled and disabled (block cache on in both arms): the
+// on/off wall-clock ratio isolates what trace formation buys over plain
+// block dispatch. Output is byte-identical either way (the determinism
+// suite and CI both diff it), so the two sub-benchmarks measure pure
+// dispatch-loop speed. Engines are created per iteration so every run
+// simulates on cold memoization caches.
+func BenchmarkAblationSuperblock(b *testing.B) {
+	exps := make([]harness.Experiment, 0, 2)
+	for _, id := range []string{"fig3", "whatif-v1hw"} {
+		e, ok := harness.Lookup(id)
+		if !ok {
+			b.Fatalf("unknown experiment %q", id)
+		}
+		exps = append(exps, e)
+	}
+	for _, on := range []bool{true, false} {
+		name := "superblock=on"
+		if !on {
+			name = "superblock=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			prev := cpu.SetDefaultSuperblock(on)
+			defer cpu.SetDefaultSuperblock(prev)
+			for i := 0; i < b.N; i++ {
+				eng := engine.New(1)
+				results := harness.SuperviseAll(exps, harness.RunConfig{Engine: eng})
+				eng.Close()
+				if n := harness.Failed(results); n != 0 {
+					b.Fatalf("%d experiments failed", n)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCheckpoint runs the cell-heavy batch with
+// checkpointed warmup enabled and disabled: with it on, cells fork
+// kernel stubs, COW page-table templates, JIT compiles and assembled
+// workload programs from the process-wide registry instead of
+// rebuilding them per cell. The registry is cleared before every
+// iteration, so the "on" arm pays first-touch builds and then forks —
+// exactly the cold-process `run all` profile. Output is byte-identical
+// either way.
+func BenchmarkAblationCheckpoint(b *testing.B) {
+	exps := make([]harness.Experiment, 0, 2)
+	for _, id := range []string{"fig3", "whatif-v1hw"} {
+		e, ok := harness.Lookup(id)
+		if !ok {
+			b.Fatalf("unknown experiment %q", id)
+		}
+		exps = append(exps, e)
+	}
+	for _, on := range []bool{true, false} {
+		name := "checkpoint=on"
+		if !on {
+			name = "checkpoint=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			prev := checkpoint.SetDefault(on)
+			defer func() {
+				checkpoint.SetDefault(prev)
+				checkpoint.Clear()
+			}()
+			for i := 0; i < b.N; i++ {
+				checkpoint.Clear()
+				eng := engine.New(1)
+				results := harness.SuperviseAll(exps, harness.RunConfig{Engine: eng})
+				eng.Close()
+				if n := harness.Failed(results); n != 0 {
+					b.Fatalf("%d experiments failed", n)
+				}
+			}
+		})
+	}
 }

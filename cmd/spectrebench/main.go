@@ -46,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	checkpointpkg "spectrebench/internal/checkpoint"
 	"spectrebench/internal/cpu"
 	"spectrebench/internal/engine"
 	"spectrebench/internal/harness"
@@ -75,6 +76,10 @@ func mainExitCode() int {
 		"recycle CPU core structures between simulation cells: on|off (ablation; output is byte-identical either way)")
 	memfast := flag.String("memfast", "on",
 		"memory-path fast path (epoch-stamped flushes, MRU way hits, translation/page caching): on|off (ablation; output is byte-identical either way)")
+	superblock := flag.String("superblock", "on",
+		"superblock chaining: follow resolved branch exits block-to-block (trace formation): on|off (ablation; output is byte-identical either way)")
+	checkpoint := flag.String("checkpoint", "on",
+		"checkpointed warmup: fork cells sharing a warmup prefix from copy-on-write snapshots: on|off (ablation; output is byte-identical either way)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	storeDir := flag.String("store", "",
@@ -117,6 +122,24 @@ func mainExitCode() int {
 		cpu.SetDefaultMemFast(false)
 	default:
 		fmt.Fprintf(os.Stderr, "spectrebench: -memfast must be on or off, got %q\n", *memfast)
+		return 2
+	}
+	switch *superblock {
+	case "on":
+		cpu.SetDefaultSuperblock(true)
+	case "off":
+		cpu.SetDefaultSuperblock(false)
+	default:
+		fmt.Fprintf(os.Stderr, "spectrebench: -superblock must be on or off, got %q\n", *superblock)
+		return 2
+	}
+	switch *checkpoint {
+	case "on":
+		checkpointpkg.SetDefault(true)
+	case "off":
+		checkpointpkg.SetDefault(false)
+	default:
+		fmt.Fprintf(os.Stderr, "spectrebench: -checkpoint must be on or off, got %q\n", *checkpoint)
 		return 2
 	}
 
@@ -202,6 +225,7 @@ usage:
   spectrebench list
   spectrebench [-csv] [-faults] [-seed N] [-cycle-budget N] [-retries N] [-jobs N]
                [-blockcache on|off] [-corepool on|off] [-memfast on|off]
+               [-superblock on|off] [-checkpoint on|off]
                [-cpuprofile FILE] [-memprofile FILE] [-store DIR]
                run <experiment-id>... | all
   spectrebench [-store DIR] [-addr HOST:PORT] [-max-inflight N]

@@ -79,6 +79,21 @@ func SetDefaultBlockCache(on bool) (prev bool) {
 // DefaultBlockCache reports the current package default.
 func DefaultBlockCache() bool { return !defaultBlockCacheOff.Load() }
 
+// defaultSuperblockOff is the package default for superblock chaining —
+// the -superblock=on|off ablation flag. On unless turned off.
+var defaultSuperblockOff atomic.Bool
+
+// SetDefaultSuperblock sets whether newly constructed cores chain block
+// exits (superblock/trace formation), returning the previous default.
+// The -superblock flag calls this once at startup; tests flip it around
+// ablation comparisons.
+func SetDefaultSuperblock(on bool) (prev bool) {
+	return !defaultSuperblockOff.Swap(!on)
+}
+
+// DefaultSuperblock reports the current package default.
+func DefaultSuperblock() bool { return !defaultSuperblockOff.Load() }
+
 // codeState is the fetch-path bookkeeping shared between SMT siblings.
 type codeState struct {
 	// hasThunks gates the per-step thunk probe: cores with no
@@ -101,6 +116,33 @@ type block struct {
 	pc  uint64 // entry address
 	vpn uint64 // the single page all instructions fetch from
 	ins []*isa.Instruction
+
+	// chainPC/chainTo memoise the last resolved exit edge (superblock
+	// chaining): a branch out of this block whose target resolved to
+	// chainPC links straight to the decoded successor, skipping the
+	// dispatch memo and map probe on stable edges (loop back-edges,
+	// unconditional jumps). The link can only name a block of the same
+	// code generation — blocks are discarded wholesale on a generation
+	// bump, taking every chain link with them — and Reset/pool reinit
+	// clear the cache outright (clearDecodedBlocks), so a recycled core
+	// can never replay a stale chain.
+	chainPC uint64
+	chainTo *block
+}
+
+// chainNext resolves the successor block for a chained exit from b at
+// pc, memoising the edge on b. A nil return (thunk-trapped or
+// unfetchable successor) means the caller must return to its dispatch
+// loop, which handles thunks and the reference path.
+func (c *Core) chainNext(b *block, pc uint64) *block {
+	if b.chainTo != nil && b.chainPC == pc {
+		return b.chainTo
+	}
+	nb := c.blockFor(pc)
+	if nb != nil {
+		b.chainPC, b.chainTo = pc, nb
+	}
+	return nb
 }
 
 // blockFor returns the decoded block headed at pc, building and caching
@@ -243,197 +285,321 @@ func (c *Core) StepBlock(limit int) (int, error) {
 	}
 	// Fetch context, validated once per dispatch. Everything that can
 	// change it — privilege transitions, MOVCR3, traps, thunks — ends a
-	// block, so it is stable until we return.
+	// block, so it is stable until we return; superblock chaining only
+	// follows exits that provably leave it intact (plain control
+	// transfers), so it stays valid across chained blocks too.
 	pt := c.PageTable()
 	if pt == nil {
 		return 1, c.Step()
 	}
 	user := c.Priv == PrivUser
 	pcid := mem.CR3PCID(c.CR3)
-	set := c.TLB.SetFor(b.vpn)
 	cost := &c.Model.Costs
 	cmovCost := cost.ALU
 	if c.FusedCmovGuards {
 		cmovCost = 0
 	}
+	sb := c.Superblock
 
 	n := 0
-	for _, in := range b.ins {
-		if n >= limit {
-			break
-		}
-		if n > 0 {
-			// Per-step preamble for the instructions after the first,
-			// identical to Step's (with pending counts folded in).
-			if c.halted {
-				c.syncPending()
-				return n + 1, ErrHalted
+chain:
+	for {
+		set := c.TLB.SetFor(b.vpn)
+		for _, in := range b.ins {
+			if n >= limit {
+				break chain
 			}
-			if c.CycleBudget != 0 && c.Cycles+c.pendCycles >= c.CycleBudget {
-				c.syncPending()
-				c.flushCycleTelemetry()
-				return n + 1, c.budgetErr()
+			if n > 0 {
+				// Per-step preamble for the instructions after the first,
+				// identical to Step's (with pending counts folded in). A
+				// chained block's first instruction takes the same path:
+				// these are exactly the checks the caller's next StepBlock
+				// entry would have run, and the thunk probe is provably a
+				// miss (block heads are thunk-free for this generation).
+				if c.halted {
+					c.syncPending()
+					return n + 1, ErrHalted
+				}
+				if c.CycleBudget != 0 && c.Cycles+c.pendCycles >= c.CycleBudget {
+					c.syncPending()
+					c.flushCycleTelemetry()
+					return n + 1, c.budgetErr()
+				}
+				if c.interrupted.Load() {
+					c.interrupted.Store(false)
+					c.syncPending()
+					c.flushCycleTelemetry()
+					return n + 1, c.interruptedErr()
+				}
+				if c.Instret&0xfff == 0 {
+					c.syncPending()
+					c.flushCycleTelemetry()
+				}
 			}
-			if c.interrupted.Load() {
-				c.interrupted.Store(false)
-				c.syncPending()
-				c.flushCycleTelemetry()
-				return n + 1, c.interruptedErr()
-			}
-			if c.Instret&0xfff == 0 {
-				c.syncPending()
-				c.flushCycleTelemetry()
-			}
-		}
 
-		// Fetch: per-instruction TLB probe on the pinned set, with
-		// Lookup's exact bookkeeping and the reference glitch/miss
-		// handling (interior thunk probes are elided — block building
-		// proved the addresses thunk-free for this generation). On the
-		// memfast path, a probe whose previous hit is still guarded by
-		// the TLB generation replays via Rehit instead of rescanning;
-		// CR3 cannot change inside a block (MOVCR3 ends one), but the
-		// generation can (a data access in the reference execute switch
-		// may insert), which the guard catches.
-		var pte mem.PTE
-		var hit bool
-		if c.MemFast && c.xcFetch.hit(c, b.vpn) {
-			pte = c.TLB.Rehit(c.xcFetch.e)
-			hit = true
-		} else if e, ok := set.LookupH(b.vpn, pcid); ok {
-			pte = e.PTE()
-			hit = true
-			if c.MemFast {
-				c.xcFetch.fill(c, b.vpn, e)
+			// Fetch: per-instruction TLB probe on the pinned set, with
+			// Lookup's exact bookkeeping and the reference glitch/miss
+			// handling (interior thunk probes are elided — block building
+			// proved the addresses thunk-free for this generation). On the
+			// memfast path, a probe whose previous hit is still guarded by
+			// the TLB generation replays via Rehit instead of rescanning;
+			// CR3 cannot change inside a block (MOVCR3 ends one), but the
+			// generation can (a data access in the reference execute switch
+			// may insert), which the guard catches.
+			var pte mem.PTE
+			var hit bool
+			if c.MemFast && c.xcFetch.hit(c, b.vpn) {
+				pte = c.TLB.Rehit(c.xcFetch.e)
+				hit = true
+			} else if e, ok := set.LookupH(b.vpn, pcid); ok {
+				pte = e.PTE()
+				hit = true
+				if c.MemFast {
+					c.xcFetch.fill(c, b.vpn, e)
+				}
 			}
-		}
-		if hit {
-			if c.FI.Fire(faultinject.TLBGlitch) {
-				// Injected weather: a shootdown IPI lands between
-				// lookup and use; drop the entry and take the walk.
-				c.TLB.FlushVPN(b.vpn)
-				hit = false
-			} else if f := checkPTE(pte, mem.AccessFetch, user); f != mem.FaultNone {
+			if hit {
+				if c.FI.Fire(faultinject.TLBGlitch) {
+					// Injected weather: a shootdown IPI lands between
+					// lookup and use; drop the entry and take the walk.
+					c.TLB.FlushVPN(b.vpn)
+					hit = false
+				} else if f := checkPTE(pte, mem.AccessFetch, user); f != mem.FaultNone {
+					c.syncPending()
+					return n + 1, c.deliverTrap(Fault{Kind: FaultPage, VA: c.PC, Access: mem.AccessFetch, PC: c.PC})
+				}
+			}
+			if !hit {
 				c.syncPending()
-				return n + 1, c.deliverTrap(Fault{Kind: FaultPage, VA: c.PC, Access: mem.AccessFetch, PC: c.PC})
+				if _, _, mf := c.xlateWalk(pt, c.PC, b.vpn, pcid, user, mem.AccessFetch, true); mf != mem.FaultNone {
+					return n + 1, c.deliverTrap(Fault{Kind: FaultPage, VA: c.PC, Access: mem.AccessFetch, PC: c.PC})
+				}
 			}
-		}
-		if !hit {
-			c.syncPending()
-			if _, _, mf := c.xlateWalk(pt, c.PC, b.vpn, pcid, user, mem.AccessFetch, true); mf != mem.FaultNone {
-				return n + 1, c.deliverTrap(Fault{Kind: FaultPage, VA: c.PC, Access: mem.AccessFetch, PC: c.PC})
-			}
-		}
 
-		// Execute. Simple ALU ops — no faults, no microarchitectural
-		// side effects, no injector consultation — run inline with
-		// their charges accumulated; everything else takes the
-		// reference execute switch with fully published counters.
-		switch in.Op {
-		case isa.NOP:
-			c.pendCycles += cost.ALU
-		case isa.MOVI:
-			c.pendCycles += cost.ALU
-			c.Regs[in.Dst] = uint64(in.Imm)
-		case isa.MOV:
-			c.pendCycles += cost.ALU
-			c.Regs[in.Dst] = c.Regs[in.Src1]
-		case isa.ADD:
-			c.pendCycles += cost.ALU
-			c.Regs[in.Dst] += c.Regs[in.Src1]
-		case isa.ADDI:
-			c.pendCycles += cost.ALU
-			c.Regs[in.Dst] += uint64(in.Imm)
-		case isa.SUB:
-			c.pendCycles += cost.ALU
-			c.Regs[in.Dst] -= c.Regs[in.Src1]
-		case isa.SUBI:
-			c.pendCycles += cost.ALU
-			c.Regs[in.Dst] -= uint64(in.Imm)
-		case isa.MUL:
-			c.pendCycles += cost.Mul
-			c.Regs[in.Dst] *= c.Regs[in.Src1]
-		case isa.AND:
-			c.pendCycles += cost.ALU
-			c.Regs[in.Dst] &= c.Regs[in.Src1]
-		case isa.ANDI:
-			c.pendCycles += cost.ALU
-			c.Regs[in.Dst] &= uint64(in.Imm)
-		case isa.OR:
-			c.pendCycles += cost.ALU
-			c.Regs[in.Dst] |= c.Regs[in.Src1]
-		case isa.XOR:
-			c.pendCycles += cost.ALU
-			c.Regs[in.Dst] ^= c.Regs[in.Src1]
-		case isa.SHLI:
-			c.pendCycles += cost.ALU
-			c.Regs[in.Dst] <<= uint64(in.Imm)
-		case isa.SHRI:
-			c.pendCycles += cost.ALU
-			c.Regs[in.Dst] >>= uint64(in.Imm)
-		case isa.CMP:
-			c.pendCycles += cost.ALU
-			a, b := c.Regs[in.Dst], c.Regs[in.Src1]
-			c.FlagEQ, c.FlagLT = a == b, a < b
-		case isa.CMPI:
-			c.pendCycles += cost.ALU
-			a, b := c.Regs[in.Dst], uint64(in.Imm)
-			c.FlagEQ, c.FlagLT = a == b, a < b
-		case isa.CMOVEQ:
-			c.pendCycles += cmovCost
-			if c.FlagEQ {
+			// Superblock inline branches: with chaining on, plain direct
+			// control transfers — the ops that end every hot loop body —
+			// retire here with the reference path's exact predictor,
+			// history and charge sequence, then link straight into the
+			// successor block. They cannot fault, cannot touch the fetch
+			// context, and consult the injector only through speculate(),
+			// which the reference path reaches with identical state: the
+			// accumulated counters are published before any observer
+			// (speculate's transient window reads c.Cycles) exactly as
+			// the reference path's syncPending-before-execute does.
+			if sb {
+				switch in.Op {
+				case isa.JMP:
+					c.pendCycles += cost.ALU
+					c.BHB.Record(c.PC, in.Target)
+					if c.OnRetire != nil {
+						c.syncPending()
+						c.OnRetire(c.PC, in)
+					}
+					c.PC = in.Target
+					c.Instret++
+					c.pendInstret++
+					if c.SB.Len() != 0 {
+						c.SB.Tick()
+					}
+					n++
+					if n < limit {
+						if nb := c.chainNext(b, c.PC); nb != nil {
+							b = nb
+							continue chain
+						}
+					}
+					break chain
+				case isa.JEQ, isa.JNE, isa.JLT, isa.JGE:
+					c.pendCycles += cost.ALU
+					taken := c.condTaken(in.Op)
+					predicted := c.Cond.Update(c.PC, taken)
+					next := c.PC + isa.InstrBytes
+					if predicted != taken {
+						// Misprediction: the wrong path runs transiently
+						// — the Spectre V1 window. Publish the pending
+						// counters first; the transient window observes
+						// the architectural clock.
+						wrongPC := next
+						if predicted {
+							wrongPC = in.Target
+						}
+						c.syncPending()
+						c.speculate(wrongPC, nil)
+						c.pendCycles += cost.Mispredict
+						c.PMC.Add(pmc.BranchMispredicts, 1)
+					}
+					if taken {
+						c.BHB.Record(c.PC, in.Target)
+						next = in.Target
+					}
+					if c.OnRetire != nil {
+						c.syncPending()
+						c.OnRetire(c.PC, in)
+					}
+					c.PC = next
+					c.Instret++
+					c.pendInstret++
+					if c.SB.Len() != 0 {
+						c.SB.Tick()
+					}
+					n++
+					if n < limit {
+						if nb := c.chainNext(b, c.PC); nb != nil {
+							b = nb
+							continue chain
+						}
+					}
+					break chain
+				}
+			}
+
+			// Execute. Simple ALU ops — no faults, no microarchitectural
+			// side effects, no injector consultation — run inline with
+			// their charges accumulated; everything else takes the
+			// reference execute switch with fully published counters.
+			switch in.Op {
+			case isa.NOP:
+				c.pendCycles += cost.ALU
+			case isa.MOVI:
+				c.pendCycles += cost.ALU
+				c.Regs[in.Dst] = uint64(in.Imm)
+			case isa.MOV:
+				c.pendCycles += cost.ALU
 				c.Regs[in.Dst] = c.Regs[in.Src1]
+			case isa.ADD:
+				c.pendCycles += cost.ALU
+				c.Regs[in.Dst] += c.Regs[in.Src1]
+			case isa.ADDI:
+				c.pendCycles += cost.ALU
+				c.Regs[in.Dst] += uint64(in.Imm)
+			case isa.SUB:
+				c.pendCycles += cost.ALU
+				c.Regs[in.Dst] -= c.Regs[in.Src1]
+			case isa.SUBI:
+				c.pendCycles += cost.ALU
+				c.Regs[in.Dst] -= uint64(in.Imm)
+			case isa.MUL:
+				c.pendCycles += cost.Mul
+				c.Regs[in.Dst] *= c.Regs[in.Src1]
+			case isa.AND:
+				c.pendCycles += cost.ALU
+				c.Regs[in.Dst] &= c.Regs[in.Src1]
+			case isa.ANDI:
+				c.pendCycles += cost.ALU
+				c.Regs[in.Dst] &= uint64(in.Imm)
+			case isa.OR:
+				c.pendCycles += cost.ALU
+				c.Regs[in.Dst] |= c.Regs[in.Src1]
+			case isa.XOR:
+				c.pendCycles += cost.ALU
+				c.Regs[in.Dst] ^= c.Regs[in.Src1]
+			case isa.SHLI:
+				c.pendCycles += cost.ALU
+				c.Regs[in.Dst] <<= uint64(in.Imm)
+			case isa.SHRI:
+				c.pendCycles += cost.ALU
+				c.Regs[in.Dst] >>= uint64(in.Imm)
+			case isa.CMP:
+				c.pendCycles += cost.ALU
+				a, b := c.Regs[in.Dst], c.Regs[in.Src1]
+				c.FlagEQ, c.FlagLT = a == b, a < b
+			case isa.CMPI:
+				c.pendCycles += cost.ALU
+				a, b := c.Regs[in.Dst], uint64(in.Imm)
+				c.FlagEQ, c.FlagLT = a == b, a < b
+			case isa.CMOVEQ:
+				c.pendCycles += cmovCost
+				if c.FlagEQ {
+					c.Regs[in.Dst] = c.Regs[in.Src1]
+				}
+			case isa.CMOVNE:
+				c.pendCycles += cmovCost
+				if !c.FlagEQ {
+					c.Regs[in.Dst] = c.Regs[in.Src1]
+				}
+			case isa.CMOVLT:
+				c.pendCycles += cmovCost
+				if c.FlagLT {
+					c.Regs[in.Dst] = c.Regs[in.Src1]
+				}
+			case isa.CMOVGE:
+				c.pendCycles += cmovCost
+				if !c.FlagLT {
+					c.Regs[in.Dst] = c.Regs[in.Src1]
+				}
+			default:
+				c.syncPending()
+				pcBefore := c.PC
+				next, f := c.execute(in)
+				if f != nil {
+					return n + 1, c.deliverTrap(*f)
+				}
+				if c.OnRetire != nil {
+					c.OnRetire(c.PC, in)
+				}
+				c.PC = next
+				c.Instret++
+				c.PMC.Add(pmc.Instructions, 1)
+				c.SB.Tick()
+				n++
+				if in.Op.IsBlockEnd() || next != pcBefore+isa.InstrBytes {
+					// Chain through reference-path control transfers too
+					// (calls, returns, indirect branches): they cannot
+					// change the fetch context either. Serializing ops
+					// (syscalls, CR3/MSR writes, HLT) can, and return to
+					// the caller as before.
+					if sb && n < limit && chainSafe(in.Op) {
+						if nb := c.chainNext(b, c.PC); nb != nil {
+							b = nb
+							continue chain
+						}
+					}
+					return n, nil
+				}
+				continue
 			}
-		case isa.CMOVNE:
-			c.pendCycles += cmovCost
-			if !c.FlagEQ {
-				c.Regs[in.Dst] = c.Regs[in.Src1]
-			}
-		case isa.CMOVLT:
-			c.pendCycles += cmovCost
-			if c.FlagLT {
-				c.Regs[in.Dst] = c.Regs[in.Src1]
-			}
-		case isa.CMOVGE:
-			c.pendCycles += cmovCost
-			if !c.FlagLT {
-				c.Regs[in.Dst] = c.Regs[in.Src1]
-			}
-		default:
-			c.syncPending()
-			pcBefore := c.PC
-			next, f := c.execute(in)
-			if f != nil {
-				return n + 1, c.deliverTrap(*f)
-			}
+
+			// Fast-op postlude (reference retirement order, with the
+			// instruction count deferred).
 			if c.OnRetire != nil {
+				c.syncPending()
 				c.OnRetire(c.PC, in)
 			}
-			c.PC = next
+			c.PC += isa.InstrBytes
 			c.Instret++
-			c.PMC.Add(pmc.Instructions, 1)
-			c.SB.Tick()
-			n++
-			if in.Op.IsBlockEnd() || next != pcBefore+isa.InstrBytes {
-				return n, nil
+			c.pendInstret++
+			if c.SB.Len() != 0 {
+				c.SB.Tick()
 			}
-			continue
+			n++
 		}
-
-		// Fast-op postlude (reference retirement order, with the
-		// instruction count deferred).
-		if c.OnRetire != nil {
-			c.syncPending()
-			c.OnRetire(c.PC, in)
+		// Block exhausted without a block-ending op (page boundary,
+		// maxBlockLen, thunk-adjacent or program end): the successor is
+		// the sequential next instruction, which is chainable the same
+		// way a jump target is.
+		if !sb || n >= limit {
+			break
 		}
-		c.PC += isa.InstrBytes
-		c.Instret++
-		c.pendInstret++
-		if c.SB.Len() != 0 {
-			c.SB.Tick()
+		nb := c.chainNext(b, c.PC)
+		if nb == nil {
+			break
 		}
-		n++
+		b = nb
 	}
 	c.syncPending()
 	return n, nil
+}
+
+// chainSafe reports whether op is a control transfer a superblock chain
+// may follow: it transfers control without touching privilege, CR3/PCID,
+// MSRs, loaded code or the halt flag, so the fetch context validated at
+// dispatch is still valid at its target. Every other block-ending op is
+// serializing and returns to the dispatch loop.
+func chainSafe(op isa.Op) bool {
+	switch op {
+	case isa.JMP, isa.JEQ, isa.JNE, isa.JLT, isa.JGE,
+		isa.CALL, isa.RET, isa.CALLIND, isa.JMPIND:
+		return true
+	}
+	return false
 }

@@ -259,6 +259,14 @@ type Core struct {
 	// corresponding package settings themselves at construction/Reset.
 	MemFast bool
 
+	// Superblock enables superblock chaining on top of the block cache:
+	// StepBlock follows resolved branch exits directly into the successor
+	// block (trace formation) instead of returning to the caller's
+	// dispatch loop. New cores copy the package default set via
+	// SetDefaultSuperblock (the -superblock ablation flag). It has no
+	// effect with BlockCache off.
+	Superblock bool
+
 	// xcFetch/xcData are the per-stream last-translation caches (fetch
 	// and data accesses age independently — a data access to a new page
 	// must not evict the hot fetch translation). lastPT caches the CR3
@@ -343,6 +351,7 @@ func New(m *model.CPU) *Core {
 		Thunks:      make(map[uint64]func(*Core)),
 		BlockCache:  DefaultBlockCache(),
 		MemFast:     DefaultMemFast(),
+		Superblock:  DefaultSuperblock(),
 		code:        &codeState{},
 		FI:          faultinject.FromActiveScope(sc, m.Uarch),
 		scope:       sc,
@@ -388,6 +397,7 @@ func NewSMTSibling(c *Core) *Core {
 		Thunks:      c.Thunks,
 		BlockCache:  c.BlockCache,
 		MemFast:     c.MemFast,
+		Superblock:  c.Superblock,
 		code:        c.code, // shared: thunk installs invalidate both threads
 		programs:    c.programs,
 		FI:          c.FI, // siblings share the physical core's weather
@@ -554,4 +564,16 @@ func (c *Core) Reset() {
 	c.GSSwapped = false
 	c.pendingLeak = pendingLeak{}
 	c.kernelEntries = 0
+	c.clearDecodedBlocks()
+}
+
+// clearDecodedBlocks drops the decoded-block cache, the dispatch memo
+// and every superblock chain link hanging off the cached blocks. Reset,
+// pool reinit and recycle all route through here: a recycled or reset
+// core must never replay a chain formed over a previous owner's code.
+func (c *Core) clearDecodedBlocks() {
+	clear(c.blocks)
+	c.blocksGen = 0
+	c.lastBlock, c.lastBlockPC = nil, 0
+	c.prevBlock, c.prevBlockPC = nil, 0
 }

@@ -164,6 +164,7 @@ func (c *Core) reinit(m *model.CPU, sc *simscope.Scope) {
 	clear(c.Thunks)
 	c.BlockCache = DefaultBlockCache()
 	c.MemFast = DefaultMemFast()
+	c.Superblock = DefaultSuperblock()
 	// Translation and page-table caches refer to the previous cell's
 	// registry and would be stale even with the generation guard (the
 	// TLB generation is monotonic across Reset, but PTs was replaced).
@@ -173,10 +174,7 @@ func (c *Core) reinit(m *model.CPU, sc *simscope.Scope) {
 	// (SMT pairs are never pooled), so reset it in place; decoded blocks
 	// reference the previous cell's programs and must go.
 	*c.code = codeState{}
-	clear(c.blocks)
-	c.blocksGen = 0
-	c.lastBlock, c.lastBlockPC = nil, 0
-	c.prevBlock, c.prevBlockPC = nil, 0
+	c.clearDecodedBlocks()
 	c.pendCycles, c.pendInstret = 0, 0
 	c.programs = nil
 
@@ -225,9 +223,7 @@ func (c *Core) recycle(gen uint64) {
 	c.programs = nil
 	c.clearXlateCaches() // lastPT would pin the previous cell's page table
 	clear(c.Thunks)
-	clear(c.blocks)
-	c.lastBlock, c.lastBlockPC = nil, 0
-	c.prevBlock, c.prevBlockPC = nil, 0
+	c.clearDecodedBlocks()
 	c.OnSyscall, c.OnTrap, c.OnVMExit, c.OnRetire = nil, nil, nil, nil
 	c.FI = nil
 	c.scope = nil

@@ -319,3 +319,70 @@ func TestSMTPairNeverPooled(t *testing.T) {
 		t.Fatalf("SMT core was pooled anyway")
 	}
 }
+
+// TestResetClearsChainLinks is the regression test for superblock state
+// on reuse: Reset (and therefore pool reinit and recycle, which route
+// through the same clearDecodedBlocks) must drop every decoded block,
+// the chain links hanging off them, and the dispatch memo, so a reused
+// core can never replay a trace formed over a previous owner's code.
+func TestResetClearsChainLinks(t *testing.T) {
+	c := newUserCore(t, model.SkylakeClient())
+	c.Superblock = true
+	a := isa.NewAsm()
+	a.MovI(isa.R1, 0)
+	a.Label("loop")
+	a.AddI(isa.R1, 1)
+	a.CmpI(isa.R1, 60)
+	a.Jne("loop")
+	a.Hlt()
+	run(t, c, a.MustAssemble(codeBase))
+
+	linked := false
+	for _, b := range c.blocks {
+		if b != nil && b.chainTo != nil {
+			linked = true
+		}
+	}
+	if !linked {
+		t.Fatal("hot loop formed no chain links; the regression test covers nothing")
+	}
+	c.Reset()
+	if len(c.blocks) != 0 {
+		t.Errorf("Reset left %d decoded blocks (and their chain links) cached", len(c.blocks))
+	}
+	if c.lastBlock != nil || c.prevBlock != nil {
+		t.Error("Reset left the block dispatch memo populated")
+	}
+}
+
+// TestReinitClearsChainLinksAndSuperblock checks the pool path directly:
+// a dirty core with hot chains reinitialised for a new scope must come
+// back with no decoded blocks and with Superblock restored to the
+// package default, exactly like a fresh construction.
+func TestReinitClearsChainLinksAndSuperblock(t *testing.T) {
+	prevPool := SetDefaultCorePool(false)
+	defer SetDefaultCorePool(prevPool)
+	m := model.SkylakeClient()
+	c := New(m)
+	c.Superblock = !DefaultSuperblock() // cell-local override must not survive reuse
+	mapStd(c)
+	a := isa.NewAsm()
+	a.MovI(isa.R1, 0)
+	a.Label("loop")
+	a.AddI(isa.R1, 1)
+	a.CmpI(isa.R1, 40)
+	a.Jne("loop")
+	a.Hlt()
+	run(t, c, a.MustAssemble(codeBase))
+
+	c.reinit(m, newScope(4242))
+	if len(c.blocks) != 0 {
+		t.Errorf("reinit left %d decoded blocks cached", len(c.blocks))
+	}
+	if c.lastBlock != nil || c.prevBlock != nil {
+		t.Error("reinit left the block dispatch memo populated")
+	}
+	if c.Superblock != DefaultSuperblock() {
+		t.Error("reinit did not restore Superblock to the package default")
+	}
+}

@@ -172,7 +172,7 @@ func New(c *cpu.Core, mit Mitigations) *Kernel {
 
 		nextModBase: KernModBase,
 	}
-	k.buildStubs()
+	k.loadStubs()
 	c.LoadProgram(k.stubs)
 	c.SetMSR(cpu.MSRLStar, k.entryPC)
 	c.OnTrap = k.handleTrap
@@ -205,9 +205,58 @@ func (k *Kernel) mapTrampolineInto(pt *mem.PageTable) {
 	pt.MapRange(KernDataBase, KernDataBase, 1, true, false, true, true)
 }
 
+// populateProcTables installs a new process's mappings: the kernel's
+// global footprint plus the user code/data/stack windows into kpt, and
+// the user windows plus the trampoline into upt (nil without PTI). Both
+// the cold NewProcess path and the checkpoint template builder call
+// this, so forked tables are the cold tables by construction.
+func (k *Kernel) populateProcTables(kpt, upt *mem.PageTable, physBase uint64, codePages int, extra []Region) {
+	k.mapKernelInto(kpt)
+
+	// User mappings. Physical backing is identity-mapped from a
+	// per-process physical window so processes do not alias.
+	kpt.MapRange(UserCodeBase, physBase+UserCodeBase, codePages, false, true, false, false)
+	kpt.MapRange(UserDataBase, physBase+UserDataBase, 512, true, true, true, false)
+	stackBase := uint64(UserStackTop - UserStackPgs*mem.PageSize)
+	kpt.MapRange(stackBase, physBase+stackBase, UserStackPgs, true, true, true, false)
+	for _, r := range extra {
+		kpt.MapRange(r.VA, physBase+r.VA, r.Pages, r.Writable, true, r.NX, false)
+	}
+
+	if upt != nil {
+		upt.MapRange(UserCodeBase, physBase+UserCodeBase, codePages, false, true, false, false)
+		upt.MapRange(UserDataBase, physBase+UserDataBase, 512, true, true, true, false)
+		upt.MapRange(stackBase, physBase+stackBase, UserStackPgs, true, true, true, false)
+		for _, r := range extra {
+			upt.MapRange(r.VA, physBase+r.VA, r.Pages, r.Writable, true, r.NX, false)
+		}
+		k.mapTrampolineInto(upt)
+	}
+}
+
+// Region describes an extra user mapping installed at process creation
+// in addition to the standard code/data/stack windows. The physical
+// backing is identity-mapped from the process's physical window, like
+// every other user mapping.
+type Region struct {
+	VA       uint64
+	Pages    int
+	Writable bool
+	NX       bool
+}
+
 // NewProcess creates a process running prog (based at UserCodeBase),
 // with a stack and a data region mapped.
 func (k *Kernel) NewProcess(name string, prog *isa.Program) *Proc {
+	return k.NewProcessWithRegions(name, prog, nil)
+}
+
+// NewProcessWithRegions creates a process with extra user mappings
+// beyond the standard windows (the JS engine maps its heap and IC site
+// table this way). Folding the regions into process creation lets the
+// checkpoint template cover them too: the region list is part of the
+// template key, so a forked table carries the full address space.
+func (k *Kernel) NewProcessWithRegions(name string, prog *isa.Program, extra []Region) *Proc {
 	pid := k.nextPID
 	k.nextPID++
 	kpcid := uint16(pid * 2 % 4096)
@@ -222,26 +271,31 @@ func (k *Kernel) NewProcess(name string, prog *isa.Program) *Proc {
 		nextFD:   3,
 		mmapNext: UserMmapBase,
 	}
-	p.KPT = k.C.PTs.NewTable(kpcid)
-	k.mapKernelInto(p.KPT)
-
-	// User mappings. Physical backing is identity-mapped from a
-	// per-process physical window so processes do not alias.
+	// Page tables. The mappings are a pure function of (PTI, codePages,
+	// pid), so under checkpointed warmup they are forked from a frozen
+	// template instead of being repopulated entry by entry; the cold
+	// path below builds the identical tables in place.
 	physBase := uint64(pid) << 32
 	codePages := int(prog.SizeBytes()/mem.PageSize) + 1
-	p.KPT.MapRange(UserCodeBase, physBase+UserCodeBase, codePages, false, true, false, false)
-	p.KPT.MapRange(UserDataBase, physBase+UserDataBase, 512, true, true, true, false)
-	stackBase := uint64(UserStackTop - UserStackPgs*mem.PageSize)
-	p.KPT.MapRange(stackBase, physBase+stackBase, UserStackPgs, true, true, true, false)
-
-	if k.Mit.PTI {
-		p.UPT = k.C.PTs.NewTable(upcid)
-		p.UPT.MapRange(UserCodeBase, physBase+UserCodeBase, codePages, false, true, false, false)
-		p.UPT.MapRange(UserDataBase, physBase+UserDataBase, 512, true, true, true, false)
-		p.UPT.MapRange(stackBase, physBase+stackBase, UserStackPgs, true, true, true, false)
-		k.mapTrampolineInto(p.UPT)
+	if img, ok := k.procTableImage(pid, codePages, extra); ok {
+		p.KPT = k.C.PTs.NewTableFrom(img.kpt, kpcid)
+		if k.Mit.PTI {
+			p.UPT = k.C.PTs.NewTableFrom(img.upt, upcid)
+		} else {
+			p.UPT = p.KPT
+		}
 	} else {
-		p.UPT = p.KPT
+		p.KPT = k.C.PTs.NewTable(kpcid)
+		var upt *mem.PageTable
+		if k.Mit.PTI {
+			upt = k.C.PTs.NewTable(upcid)
+		}
+		k.populateProcTables(p.KPT, upt, physBase, codePages, extra)
+		if upt != nil {
+			p.UPT = upt
+		} else {
+			p.UPT = p.KPT
+		}
 	}
 
 	// FPU save area in kernel data space.

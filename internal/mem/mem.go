@@ -44,15 +44,24 @@ func PageBase(addr uint64) uint64 { return addr &^ uint64(PageMask) }
 // first touch. All values are stored little-endian.
 type Phys struct {
 	pages map[uint64]*[PageSize]byte
+	// base is the frozen snapshot layer when this Phys was forked with
+	// NewPhysFrom (nil otherwise). Reads fall through to it; the first
+	// write to a shared page copies it into pages (copy-on-write).
+	base map[uint64]*[PageSize]byte
 	// Last-page cache: consecutive accesses overwhelmingly land on the
 	// page of the previous access (straight-line code, stack traffic,
 	// array sweeps), so remembering the last resolved page skips the
 	// map hash on repeats. Pages are never deleted, so the pointer can
 	// never dangle; lastPg==nil means no page cached (PPN 0 is a real
 	// page number, so the pointer is the sentinel, not the PPN).
-	lastPPN uint64
-	lastPg  *[PageSize]byte
-	fast    bool
+	// lastPg only ever holds private pages; base pages get their own
+	// read-side cache (lastBPg) so a writer can never be handed a
+	// frozen snapshot page.
+	lastPPN  uint64
+	lastPg   *[PageSize]byte
+	lastBPPN uint64
+	lastBPg  *[PageSize]byte
+	fast     bool
 }
 
 // NewPhys returns empty physical memory.
@@ -68,6 +77,14 @@ func (p *Phys) page(pa uint64) *[PageSize]byte {
 	pg, ok := p.pages[ppn]
 	if !ok {
 		pg = new([PageSize]byte)
+		if bpg, shared := p.base[ppn]; shared {
+			// Copy-on-write: privatise the snapshot page, and drop it
+			// from the base read cache so reads see the private copy.
+			*pg = *bpg
+			if p.lastBPg != nil && p.lastBPPN == ppn {
+				p.lastBPg = nil
+			}
+		}
 		p.pages[ppn] = pg
 	}
 	if p.fast {
@@ -86,11 +103,26 @@ func (p *Phys) lookup(pa uint64) (*[PageSize]byte, bool) {
 	if p.fast && p.lastPg != nil && p.lastPPN == ppn {
 		return p.lastPg, true
 	}
-	pg, ok := p.pages[ppn]
-	if ok && p.fast {
-		p.lastPPN, p.lastPg = ppn, pg
+	if pg, ok := p.pages[ppn]; ok {
+		if p.fast {
+			p.lastPPN, p.lastPg = ppn, pg
+		}
+		return pg, ok
 	}
-	return pg, ok
+	if p.base != nil {
+		// The private layer missed, so a base hit cannot be shadowed;
+		// page() invalidates this cache when it privatises a page.
+		if p.fast && p.lastBPg != nil && p.lastBPPN == ppn {
+			return p.lastBPg, true
+		}
+		if pg, ok := p.base[ppn]; ok {
+			if p.fast {
+				p.lastBPPN, p.lastBPg = ppn, pg
+			}
+			return pg, true
+		}
+	}
+	return nil, false
 }
 
 // PageFor returns the backing array for pa's page, allocating it on
@@ -168,8 +200,17 @@ func (p *Phys) WriteBytes(pa uint64, buf []byte) {
 }
 
 // PopulatedPages returns the number of physical pages that have been
-// touched (useful for tests and memory accounting).
-func (p *Phys) PopulatedPages() int { return len(p.pages) }
+// touched (useful for tests and memory accounting), counting snapshot
+// pages not yet privatised exactly once.
+func (p *Phys) PopulatedPages() int {
+	n := len(p.pages)
+	for ppn := range p.base {
+		if _, ok := p.pages[ppn]; !ok {
+			n++
+		}
+	}
+	return n
+}
 
 // PTE is a page-table entry. The simulator uses a flat VPN→PTE map per
 // table rather than a radix tree; the radix walk cost is folded into the
@@ -227,11 +268,21 @@ type PageTable struct {
 	Root    uint64 // unique id, assigned by the Registry
 	PCID    uint16 // process-context id used to tag TLB entries
 	entries map[uint64]PTE
+	// base is the frozen template layer when this table was forked with
+	// NewTableFrom (nil for plain tables). Lookups fall through to it;
+	// Map shadows it in entries and Unmap records a hole over it. An
+	// entry present in both layers counts once; entries and holes are
+	// disjoint by construction (Map clears the hole).
+	base  map[uint64]PTE
+	holes map[uint64]struct{}
 }
 
 // Map installs a PTE for virtual page vpn.
 func (pt *PageTable) Map(vpn uint64, pte PTE) {
 	pt.entries[vpn] = pte
+	if pt.holes != nil {
+		delete(pt.holes, vpn)
+	}
 }
 
 // MapRange identity-populates npages pages beginning at va onto physical
@@ -257,22 +308,64 @@ func (pt *PageTable) MapRange(va, pa uint64, npages int, writable, user, nx bool
 }
 
 // Unmap removes the mapping for vpn.
-func (pt *PageTable) Unmap(vpn uint64) { delete(pt.entries, vpn) }
+func (pt *PageTable) Unmap(vpn uint64) {
+	delete(pt.entries, vpn)
+	if pt.base != nil {
+		if _, ok := pt.base[vpn]; ok {
+			if pt.holes == nil {
+				pt.holes = make(map[uint64]struct{})
+			}
+			pt.holes[vpn] = struct{}{}
+		}
+	}
+}
 
 // Lookup returns the PTE for vpn. ok is false when there is no entry at
 // all (distinct from an entry with Present=false, which matters for L1TF).
 func (pt *PageTable) Lookup(vpn uint64) (PTE, bool) {
-	pte, ok := pt.entries[vpn]
-	return pte, ok
+	if pte, ok := pt.entries[vpn]; ok {
+		return pte, ok
+	}
+	if pt.base != nil {
+		if _, hole := pt.holes[vpn]; !hole {
+			pte, ok := pt.base[vpn]
+			return pte, ok
+		}
+	}
+	return PTE{}, false
 }
 
-// Len returns the number of installed entries.
-func (pt *PageTable) Len() int { return len(pt.entries) }
+// Len returns the number of installed entries. Forked tables count a
+// vpn mapped in both layers once — fork's table-copy charge in the
+// kernel depends on this matching a freshly populated table exactly.
+func (pt *PageTable) Len() int {
+	if pt.base == nil {
+		return len(pt.entries)
+	}
+	n := len(pt.entries) + len(pt.base) - len(pt.holes)
+	for vpn := range pt.entries {
+		if _, ok := pt.base[vpn]; ok {
+			n--
+		}
+	}
+	return n
+}
 
 // Clone returns a deep copy of the table with a new identity assigned by
-// reg. Used by fork and by PTI to derive the user-visible table.
+// reg. Used by fork and by PTI to derive the user-visible table. Cloning
+// a forked table shares the frozen base layer and copies only the
+// mutable overlay — the base is immutable, so sharing it preserves
+// deep-copy semantics at a fraction of the cost (fork-heavy benchmarks
+// clone kernel-sized tables every iteration).
 func (pt *PageTable) Clone(reg *Registry, pcid uint16) *PageTable {
 	n := reg.NewTable(pcid)
+	n.base = pt.base
+	if len(pt.holes) > 0 {
+		n.holes = make(map[uint64]struct{}, len(pt.holes))
+		for vpn := range pt.holes {
+			n.holes[vpn] = struct{}{}
+		}
+	}
 	// Pre-size for the copy: PTI clones every process table, so clone
 	// cost (and its rehashing in particular) is paid per cell.
 	n.entries = make(map[uint64]PTE, len(pt.entries))
@@ -285,6 +378,11 @@ func (pt *PageTable) Clone(reg *Registry, pcid uint16) *PageTable {
 // Translate checks a single access against the table.
 func (pt *PageTable) Translate(va uint64, acc Access, user bool) (pa uint64, pte PTE, fault FaultKind) {
 	pte, ok := pt.entries[VPN(va)]
+	if !ok && pt.base != nil {
+		if _, hole := pt.holes[VPN(va)]; !hole {
+			pte, ok = pt.base[VPN(va)]
+		}
+	}
 	if !ok || !pte.Present {
 		return 0, pte, FaultNotPresent
 	}

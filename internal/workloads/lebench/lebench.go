@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"spectrebench/internal/checkpoint"
 	"spectrebench/internal/cpu"
 	"spectrebench/internal/isa"
 	"spectrebench/internal/kernel"
@@ -90,6 +91,51 @@ func runOne(m *model.CPU, mit kernel.Mitigations, b Benchmark) (float64, error) 
 // uses this to run the suite inside a guest). It returns per-iteration
 // cycles.
 func RunOn(c *cpu.Core, k *kernel.Kernel, b Benchmark) (float64, error) {
+	prog, err := benchProgram(b)
+	if err != nil {
+		return 0, err
+	}
+	p := k.NewProcess("lebench-"+b.Name, prog)
+	if err := k.RunProcessToCompletion(60_000_000); err != nil {
+		return 0, err
+	}
+	elapsedPA := (uint64(p.PID) << 32) + kernel.UserDataBase + 0x3f00
+	elapsed := c.Phys.Read64(elapsedPA)
+	if elapsed == 0 {
+		return 0, fmt.Errorf("no elapsed time recorded")
+	}
+	return float64(elapsed) / float64(b.Iters), nil
+}
+
+// assembled carries a benchmark program (or its deterministic assembly
+// failure) through the checkpoint registry.
+type assembled struct {
+	prog *isa.Program
+	err  error
+}
+
+// benchProgram assembles b's driver program. The emitted code is a pure
+// function of the benchmark definition (label uniquifiers vary between
+// builds but resolve to identical targets before assembly), so under
+// checkpointed warmup each benchmark is assembled once per process and
+// the immutable program is shared by every machine that runs it — host
+// and guest alike.
+func benchProgram(b Benchmark) (*isa.Program, error) {
+	v, ok := checkpoint.Get("lebench/prog|"+b.Name, func() any {
+		prog, err := assembleBench(b)
+		return &assembled{prog: prog, err: err}
+	})
+	if !ok {
+		return assembleBench(b)
+	}
+	asm := v.(*assembled)
+	return asm.prog, asm.err
+}
+
+// assembleBench emits and assembles one benchmark's driver: prologue,
+// one warm-up iteration, the measured loop bracketed by TSC reads, and
+// the exit path.
+func assembleBench(b Benchmark) (*isa.Program, error) {
 	a := isa.NewAsm()
 	prologue(a, b)
 	// Warm-up iteration (populates TLB, caches, predictor state).
@@ -113,21 +159,7 @@ func RunOn(c *cpu.Core, k *kernel.Kernel, b Benchmark) (float64, error) {
 	}
 	a.MovI(isa.R1, 0)
 	emitSyscall(a, kernel.SysExit)
-
-	prog, err := a.Assemble(kernel.UserCodeBase)
-	if err != nil {
-		return 0, err
-	}
-	p := k.NewProcess("lebench-"+b.Name, prog)
-	if err := k.RunProcessToCompletion(60_000_000); err != nil {
-		return 0, err
-	}
-	elapsedPA := (uint64(p.PID) << 32) + kernel.UserDataBase + 0x3f00
-	elapsed := c.Phys.Read64(elapsedPA)
-	if elapsed == 0 {
-		return 0, fmt.Errorf("no elapsed time recorded")
-	}
-	return float64(elapsed) / float64(b.Iters), nil
+	return a.Assemble(kernel.UserCodeBase)
 }
 
 func emitSyscall(a *isa.Asm, nr int64) {

@@ -7,6 +7,7 @@ package lfs
 import (
 	"fmt"
 
+	"spectrebench/internal/checkpoint"
 	"spectrebench/internal/fs"
 	"spectrebench/internal/isa"
 	"spectrebench/internal/kernel"
@@ -61,7 +62,7 @@ func Run(m *model.CPU, hostMit, guestMit kernel.Mitigations, name string) (*Resu
 		return fl
 	}
 
-	prog, err := buildProgram(name)
+	prog, err := benchProgram(name)
 	if err != nil {
 		return nil, err
 	}
@@ -76,6 +77,31 @@ func Run(m *model.CPU, hostMit, guestMit kernel.Mitigations, name string) (*Resu
 func emitSyscall(a *isa.Asm, nr int64) {
 	a.MovI(isa.R7, nr)
 	a.Syscall()
+}
+
+// assembled carries a guest program (or its deterministic assembly
+// failure) through the checkpoint registry.
+type assembled struct {
+	prog *isa.Program
+	err  error
+}
+
+// benchProgram assembles the guest program for the named benchmark,
+// reusing the checkpointed assembly across runs — the emitted code
+// depends only on the name, and the program is immutable once built.
+// Only the host-side assembly is checkpointed; the VM itself (disk
+// format traffic included) always runs cold, because formatting charges
+// guest cycles and VM exits that appear in the measured output.
+func benchProgram(name string) (*isa.Program, error) {
+	v, ok := checkpoint.Get("lfs/prog|"+name, func() any {
+		prog, err := buildProgram(name)
+		return &assembled{prog: prog, err: err}
+	})
+	if !ok {
+		return buildProgram(name)
+	}
+	asm := v.(*assembled)
+	return asm.prog, asm.err
 }
 
 // buildProgram emits the guest user program for the benchmark.

@@ -9,6 +9,7 @@ package parsec
 import (
 	"fmt"
 
+	"spectrebench/internal/checkpoint"
 	"spectrebench/internal/cpu"
 	"spectrebench/internal/isa"
 	"spectrebench/internal/kernel"
@@ -65,13 +66,7 @@ func Run(m *model.CPU, mit kernel.Mitigations, name string) (float64, error) {
 	defer c.Recycle()
 	k := kernel.New(c, mit)
 
-	a := isa.NewAsm()
-	bench.Build(a)
-	// Exit with the checksum stored for validation.
-	a.MovI(isa.R1, 0)
-	a.MovI(isa.R7, kernel.SysExit)
-	a.Syscall()
-	prog, err := a.Assemble(kernel.UserCodeBase)
+	prog, err := benchProgram(bench)
 	if err != nil {
 		return 0, err
 	}
@@ -84,6 +79,39 @@ func Run(m *model.CPU, mit kernel.Mitigations, name string) (float64, error) {
 		return 0, fmt.Errorf("parsec %s: no checksum recorded", name)
 	}
 	return float64(c.Cycles - start), nil
+}
+
+// assembled carries a benchmark program (or its deterministic assembly
+// failure) through the checkpoint registry.
+type assembled struct {
+	prog *isa.Program
+	err  error
+}
+
+// benchProgram assembles b's program, reusing the checkpointed assembly
+// when the same kernel has run before — the emitted code depends only
+// on the benchmark name, and the program is immutable once assembled.
+func benchProgram(b *Benchmark) (*isa.Program, error) {
+	v, ok := checkpoint.Get("parsec/prog|"+b.Name, func() any {
+		prog, err := assembleBench(b)
+		return &assembled{prog: prog, err: err}
+	})
+	if !ok {
+		return assembleBench(b)
+	}
+	asm := v.(*assembled)
+	return asm.prog, asm.err
+}
+
+// assembleBench emits the kernel body followed by the exit path.
+func assembleBench(b *Benchmark) (*isa.Program, error) {
+	a := isa.NewAsm()
+	b.Build(a)
+	// Exit with the checksum stored for validation.
+	a.MovI(isa.R1, 0)
+	a.MovI(isa.R7, kernel.SysExit)
+	a.Syscall()
+	return a.Assemble(kernel.UserCodeBase)
 }
 
 // buildSwaptions emits the HJM-path-pricing-like kernel: per simulated

@@ -1,27 +1,27 @@
 #!/bin/sh
-# bench_json.sh — emit BENCH_PR5.json: the recorded performance baseline
-# for the memory-path fast-path PR (epoch-stamped caches, MRU way hits,
-# translation & page caching).
+# bench_json.sh — emit BENCH_PR7.json: the recorded performance baseline
+# for the superblock-chaining + checkpointed-warmup PR.
 #
 # Measures:
-#   - the memfast on/off ablation for `spectrebench run all` at -jobs 1
-#     (the headline single-worker speedup) and -jobs 4. The two -jobs 1
-#     variants are timed interleaved — each repetition runs on then off
-#     back to back — so host noise hits both sides of the ratio equally,
-#   - the wall-clock scaling curve at -jobs 1, 4, 8 with memfast on,
-#   - ns/op for the memfast, corepool and block-cache ablation
-#     benchmarks (go test -bench, -benchtime 1x).
+#   - the 2x2 -superblock x -checkpoint ablation for `spectrebench run
+#     all` at -jobs 1. All four variants are timed interleaved — each
+#     repetition cycles through the whole matrix back to back — so host
+#     noise hits every side of every ratio equally. The headline number
+#     is both-on versus both-off,
+#   - the same both-on/both-off pair at -jobs 4,
+#   - ns/op for the superblock, checkpoint, memfast and block-cache
+#     ablation benchmarks (go test -bench, -benchtime 1x).
 #
-# Every measured run's output is diffed against the -jobs 1/memfast=on
+# Every measured run's output is diffed against the -jobs 1/all-on
 # reference: the matrix must be byte-identical or the script fails.
 # Wall-clock numbers are only meaningful relative to the host — the
 # JSON records nproc so a 1-CPU container's flat scaling curve isn't
 # mistaken for a scheduler regression.
 #
-# Usage: scripts/bench_json.sh [output.json]   (default BENCH_PR5.json)
+# Usage: scripts/bench_json.sh [output.json]   (default BENCH_PR7.json)
 set -eu
 
-out=${1:-BENCH_PR5.json}
+out=${1:-BENCH_PR7.json}
 go=${GO:-go}
 reps=${BENCH_REPS:-5}
 bin=$(mktemp /tmp/spectrebench.XXXXXX)
@@ -33,19 +33,19 @@ trap 'rm -f "$bin" "$ref_txt" "$got_txt" "$bench_txt"' EXIT
 $go build -o "$bin" ./cmd/spectrebench
 
 # One timed run; prints wall-clock ns.
-one_ns() { # one_ns <jobs> <memfast mode> <output file>
+one_ns() { # one_ns <jobs> <superblock mode> <checkpoint mode> <output file>
     start=$(date +%s%N)
-    "$bin" -jobs "$1" -memfast "$2" run all >"$3"
+    "$bin" -jobs "$1" -superblock "$2" -checkpoint "$3" run all >"$4"
     end=$(date +%s%N)
     echo $((end - start))
 }
 
 # Best-of-N wall clock: the minimum is the least noisy estimator on a
 # shared host, and every repetition's output is still checked below.
-wall_ns() { # wall_ns <jobs> <memfast mode> <output file>
+wall_ns() { # wall_ns <jobs> <superblock> <checkpoint> <output file>
     best=0
     for _rep in $(seq "$reps"); do
-        ns=$(one_ns "$1" "$2" "$3")
+        ns=$(one_ns "$1" "$2" "$3" "$4")
         if [ "$best" -eq 0 ] || [ "$ns" -lt "$best" ]; then best=$ns; fi
     done
     echo "$best"
@@ -53,34 +53,39 @@ wall_ns() { # wall_ns <jobs> <memfast mode> <output file>
 
 check_identical() { # check_identical <label> <output file>
     if ! cmp -s "$ref_txt" "$2"; then
-        echo "bench_json.sh: FATAL: run all output for $1 differs from jobs=1/memfast=on" >&2
+        echo "bench_json.sh: FATAL: run all output for $1 differs from jobs=1/superblock=on/checkpoint=on" >&2
         diff "$ref_txt" "$2" >&2 || true
         exit 1
     fi
 }
 
 # Reference output (also warms the page cache for the timed reps).
-"$bin" -jobs 1 -memfast on run all >"$ref_txt"
+"$bin" -jobs 1 -superblock on -checkpoint on run all >"$ref_txt"
 
-# Headline ablation, interleaved: each repetition times memfast on and
-# off back to back so drift on a noisy host cancels out of the ratio.
-on1_ns=0
-off1_ns=0
+# Headline ablation, interleaved: each repetition cycles the full 2x2
+# flag matrix back to back so drift on a noisy host cancels out of
+# every ratio.
+on_on_ns=0; off_on_ns=0; on_off_ns=0; off_off_ns=0
 for _rep in $(seq "$reps"); do
-    ns=$(one_ns 1 on "$got_txt")
-    if [ "$on1_ns" -eq 0 ] || [ "$ns" -lt "$on1_ns" ]; then on1_ns=$ns; fi
-    check_identical "jobs=1/memfast=on" "$got_txt"
-    ns=$(one_ns 1 off "$got_txt")
-    if [ "$off1_ns" -eq 0 ] || [ "$ns" -lt "$off1_ns" ]; then off1_ns=$ns; fi
-    check_identical "jobs=1/memfast=off" "$got_txt"
+    ns=$(one_ns 1 on on "$got_txt")
+    if [ "$on_on_ns" -eq 0 ] || [ "$ns" -lt "$on_on_ns" ]; then on_on_ns=$ns; fi
+    check_identical "jobs=1/superblock=on/checkpoint=on" "$got_txt"
+    ns=$(one_ns 1 off on "$got_txt")
+    if [ "$off_on_ns" -eq 0 ] || [ "$ns" -lt "$off_on_ns" ]; then off_on_ns=$ns; fi
+    check_identical "jobs=1/superblock=off/checkpoint=on" "$got_txt"
+    ns=$(one_ns 1 on off "$got_txt")
+    if [ "$on_off_ns" -eq 0 ] || [ "$ns" -lt "$on_off_ns" ]; then on_off_ns=$ns; fi
+    check_identical "jobs=1/superblock=on/checkpoint=off" "$got_txt"
+    ns=$(one_ns 1 off off "$got_txt")
+    if [ "$off_off_ns" -eq 0 ] || [ "$ns" -lt "$off_off_ns" ]; then off_off_ns=$ns; fi
+    check_identical "jobs=1/superblock=off/checkpoint=off" "$got_txt"
 done
 
-# Scaling curve, memfast on, and the jobs=4 ablation point.
-jobs4_ns=$(wall_ns 4 on "$got_txt");   check_identical "jobs=4" "$got_txt"
-jobs8_ns=$(wall_ns 8 on "$got_txt");   check_identical "jobs=8" "$got_txt"
-off4_ns=$(wall_ns 4 off "$got_txt");   check_identical "jobs=4/memfast=off" "$got_txt"
+# The jobs=4 pair: both-on versus both-off.
+jobs4_on_ns=$(wall_ns 4 on on "$got_txt");    check_identical "jobs=4/all-on" "$got_txt"
+jobs4_off_ns=$(wall_ns 4 off off "$got_txt"); check_identical "jobs=4/all-off" "$got_txt"
 
-$go test -run '^$' -bench 'BenchmarkAblation(MemFast|CorePool|BlockCache)' -benchmem -benchtime 1x . | tee "$bench_txt" >&2
+$go test -run '^$' -bench 'BenchmarkAblation(Superblock|Checkpoint|MemFast|BlockCache)' -benchmem -benchtime 1x . | tee "$bench_txt" >&2
 
 bench_col() { # bench_col <benchmark name substring> <awk column>
     awk -v pat="$1" -v col="$2" '$0 ~ pat { print $col; exit }' "$bench_txt"
@@ -88,45 +93,45 @@ bench_col() { # bench_col <benchmark name substring> <awk column>
 
 ratio() { awk -v a="$1" -v b="$2" 'BEGIN { printf "%.2f", a / b }'; }
 
-# The PR-4 recorded single-worker wall clock, for the cross-PR speedup
-# line. The checked-in BENCH_PR4.json is the committed baseline; fall
-# back to the fresh memfast=off number if it is missing.
-pr4_jobs1_ns=$(awk -F': ' '/"jobs1_corepool_on"/ { gsub(/[^0-9]/, "", $2); print $2; exit }' BENCH_PR4.json 2>/dev/null || true)
-[ -n "$pr4_jobs1_ns" ] || pr4_jobs1_ns=$off1_ns
+# The PR-5 recorded single-worker wall clock, for the cross-PR speedup
+# line. The checked-in BENCH_PR5.json is the committed baseline; fall
+# back to the fresh both-off number if it is missing.
+pr5_jobs1_ns=$(awk -F': ' '/"jobs1_memfast_on"/ { gsub(/[^0-9]/, "", $2); print $2; exit }' BENCH_PR5.json 2>/dev/null || true)
+[ -n "$pr5_jobs1_ns" ] || pr5_jobs1_ns=$off_off_ns
 
 cat >"$out" <<EOF
 {
-  "pr": 5,
-  "description": "memory-path fast-path baseline: wall-clock ns for 'spectrebench run all' across -jobs and -memfast, plus ablation benchmark ns/op",
+  "pr": 7,
+  "description": "superblock chaining + checkpointed warmup baseline: wall-clock ns for 'spectrebench run all' across -jobs, -superblock and -checkpoint, plus ablation benchmark ns/op",
   "host": {
     "nproc": $(nproc),
-    "note": "best-of-$reps interleaved wall clocks; scaling is bounded by nproc, so on a 1-CPU host the jobs curve is flat and only the memfast ratio is meaningful"
+    "note": "best-of-$reps interleaved wall clocks; scaling is bounded by nproc, so on a 1-CPU host the jobs curve is flat and only the flag ratios are meaningful"
   },
   "run_all_wall_ns": {
-    "jobs1_memfast_on": $on1_ns,
-    "jobs1_memfast_off": $off1_ns,
-    "jobs4_memfast_on": $jobs4_ns,
-    "jobs4_memfast_off": $off4_ns,
-    "jobs8_memfast_on": $jobs8_ns,
-    "memfast_speedup_jobs1": $(ratio "$off1_ns" "$on1_ns"),
-    "speedup_vs_pr4_jobs1_baseline": $(ratio "$pr4_jobs1_ns" "$on1_ns"),
-    "pr4_jobs1_baseline_ns": $pr4_jobs1_ns,
-    "memfast_speedup_jobs4": $(ratio "$off4_ns" "$jobs4_ns"),
-    "speedup_jobs4_over_jobs1": $(ratio "$on1_ns" "$jobs4_ns"),
+    "jobs1_superblock_on_checkpoint_on": $on_on_ns,
+    "jobs1_superblock_off_checkpoint_on": $off_on_ns,
+    "jobs1_superblock_on_checkpoint_off": $on_off_ns,
+    "jobs1_superblock_off_checkpoint_off": $off_off_ns,
+    "jobs4_all_on": $jobs4_on_ns,
+    "jobs4_all_off": $jobs4_off_ns,
+    "combined_speedup_jobs1": $(ratio "$off_off_ns" "$on_on_ns"),
+    "superblock_speedup_jobs1": $(ratio "$off_on_ns" "$on_on_ns"),
+    "checkpoint_speedup_jobs1": $(ratio "$on_off_ns" "$on_on_ns"),
+    "combined_speedup_jobs4": $(ratio "$jobs4_off_ns" "$jobs4_on_ns"),
+    "speedup_vs_pr5_jobs1_baseline": $(ratio "$pr5_jobs1_ns" "$on_on_ns"),
+    "pr5_jobs1_baseline_ns": $pr5_jobs1_ns,
     "output_identical_across_matrix": true
   },
   "bench_ns_per_op": {
+    "AblationSuperblock/superblock=on": $(bench_col 'AblationSuperblock/superblock=on' 3),
+    "AblationSuperblock/superblock=off": $(bench_col 'AblationSuperblock/superblock=off' 3),
+    "AblationCheckpoint/checkpoint=on": $(bench_col 'AblationCheckpoint/checkpoint=on' 3),
+    "AblationCheckpoint/checkpoint=off": $(bench_col 'AblationCheckpoint/checkpoint=off' 3),
     "AblationMemFast/memfast=on": $(bench_col 'AblationMemFast/memfast=on' 3),
     "AblationMemFast/memfast=off": $(bench_col 'AblationMemFast/memfast=off' 3),
-    "AblationCorePool/corepool=on": $(bench_col 'AblationCorePool/corepool=on' 3),
-    "AblationCorePool/corepool=off": $(bench_col 'AblationCorePool/corepool=off' 3),
     "AblationBlockCache/blockcache=on": $(bench_col 'AblationBlockCache/blockcache=on' 3),
     "AblationBlockCache/blockcache=off": $(bench_col 'AblationBlockCache/blockcache=off' 3)
-  },
-  "bench_bytes_per_op": {
-    "AblationCorePool/corepool=on": $(bench_col 'AblationCorePool/corepool=on' 5),
-    "AblationCorePool/corepool=off": $(bench_col 'AblationCorePool/corepool=off' 5)
   }
 }
 EOF
-echo "wrote $out (memfast jobs1 speedup $(ratio "$off1_ns" "$on1_ns")x)" >&2
+echo "wrote $out (combined jobs1 speedup $(ratio "$off_off_ns" "$on_on_ns")x)" >&2
