@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race bench bench-json experiments faults-smoke serve-smoke examples vet cover clean
+.PHONY: all build test test-short test-race bench bench-json grid-bench experiments faults-smoke serve-smoke examples vet cover clean
 
 all: vet test
 
@@ -32,6 +32,13 @@ bench:
 # byte-identical), as JSON.
 bench-json:
 	GO="$(GO)" sh scripts/bench_json.sh BENCH_PR7.json
+
+# Record the million-cell sweep baseline: verify gridbench output is
+# byte-identical across -dedup x -plan x -jobs x -faults x store
+# cold/warm, then time the 2x2 -dedup x -plan matrix at 100k cells
+# (override with GRID_CELLS=10000 for a quick run), as JSON.
+grid-bench:
+	GO="$(GO)" sh scripts/grid_bench.sh BENCH_PR8.json
 
 # Run the full experiment registry through the CLI.
 experiments:

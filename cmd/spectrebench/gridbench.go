@@ -1,0 +1,94 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"spectrebench/internal/engine"
+	"spectrebench/internal/faultinject"
+	"spectrebench/internal/grid"
+	"spectrebench/internal/harness"
+	"spectrebench/internal/store"
+)
+
+// gridbench runs the synthetic boot-param configuration grid — the
+// million-cell sweep throughput benchmark. One line per cell on stdout
+// in submission order plus a deterministic trailer, so output is
+// byte-identical across -jobs × -dedup × -plan × -store settings (and
+// across -faults runs at a fixed seed); timing and engine statistics
+// go to stderr.
+func gridbench(n int, cfg harness.RunConfig, storeDir string, verbose bool) int {
+	if n <= 0 {
+		fmt.Fprintln(os.Stderr, "spectrebench: gridbench: -cells must be positive")
+		return 2
+	}
+	var seed uint64
+	if cfg.Faults {
+		seed = cfg.Seed
+		faultinject.Activate(faultinject.Config{Seed: cfg.Seed})
+		defer faultinject.Deactivate()
+	}
+	cells := grid.Cells(n, seed)
+
+	eng := engine.Default()
+	// The canonicalizer is installed in every mode: with -dedup off it
+	// no longer folds cells onto shared class tasks, but it still keys
+	// each cell's fault seed and store identity canonically, which is
+	// what keeps the ablation byte-identical.
+	eng.SetCanonicalizer(grid.Canonicalizer(cells))
+
+	if storeDir != "" {
+		st, err := store.Open(storeDir, store.Options{
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "spectrebench: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spectrebench: -store: %v\n", err)
+			return 2
+		}
+		eng.SetSecondLevel(st)
+		defer func() {
+			fmt.Fprintln(os.Stderr, "spectrebench: "+st.Note())
+			if err := st.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "spectrebench: store close: %v\n", err)
+			}
+		}()
+	}
+
+	start := time.Now()
+	tasks := make([]*engine.Task, len(cells))
+	for i, c := range cells {
+		c := c
+		tasks[i] = eng.Submit(c.Display, c.Run)
+	}
+	failed := 0
+	for i, t := range tasks {
+		c := cells[i]
+		v, err := t.Wait()
+		if err != nil {
+			failed++
+			fmt.Printf("%s %s error: %v\n", c.Display.Uarch, c.Display.Config, err)
+			continue
+		}
+		fmt.Printf("%s %s = %.2f cyc\n", c.Display.Uarch, c.Display.Config, v.(float64))
+	}
+	elapsed := time.Since(start)
+	classes := grid.Classes(cells)
+	fmt.Printf("grid: %d cells, %d classes, %d failed\n", len(cells), classes, failed)
+
+	d := eng.StatsDetail()
+	fmt.Fprintf(os.Stderr,
+		"spectrebench: gridbench: %d cells in %.2fs (%.0f cells/sec, jobs=%d, dedup=%v, plan=%v, dedup ratio %.1fx)\n",
+		len(cells), elapsed.Seconds(), float64(len(cells))/elapsed.Seconds(),
+		eng.Jobs(), eng.DedupEnabled(), eng.PlanEnabled(),
+		float64(len(cells))/float64(classes))
+	if verbose {
+		fmt.Fprintf(os.Stderr, "spectrebench: engine: %s\n", d)
+	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}

@@ -15,6 +15,8 @@
 //	spectrebench -store DIR run all  persist simulation cells across runs
 //	spectrebench -store DIR serve    sweep-as-a-service HTTP daemon
 //	spectrebench client run all      run a sweep against a daemon
+//	spectrebench -cells 100000 gridbench
+//	                                  sweep a synthetic boot-param config grid
 //
 // Every experiment runs under a crash-safe supervisor: panics are
 // caught, runaway experiments are stopped by a simulated-cycle
@@ -80,6 +82,12 @@ func mainExitCode() int {
 		"superblock chaining: follow resolved branch exits block-to-block (trace formation): on|off (ablation; output is byte-identical either way)")
 	checkpoint := flag.String("checkpoint", "on",
 		"checkpointed warmup: fork cells sharing a warmup prefix from copy-on-write snapshots: on|off (ablation; output is byte-identical either way)")
+	dedup := flag.String("dedup", "on",
+		"canonical-key dedup: fold cells whose configs lower to the same effective mitigation set into one simulation: on|off (ablation; output is byte-identical either way)")
+	plan := flag.String("plan", "on",
+		"prefix-locality planner: bucket pending cells by shared warmup prefix so workers drain one bucket at a time: on|off (ablation; output is byte-identical either way)")
+	cells := flag.Int("cells", 10000, "gridbench: number of synthetic grid cells to sweep")
+	verbose := flag.Bool("v", false, "print the engine's cell-cache breakdown to stderr after run/gridbench")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	storeDir := flag.String("store", "",
@@ -97,6 +105,24 @@ func mainExitCode() int {
 	flag.Parse()
 
 	engine.SetDefaultJobs(*jobs)
+	switch *dedup {
+	case "on":
+		engine.SetDedupDefault(true)
+	case "off":
+		engine.SetDedupDefault(false)
+	default:
+		fmt.Fprintf(os.Stderr, "spectrebench: -dedup must be on or off, got %q\n", *dedup)
+		return 2
+	}
+	switch *plan {
+	case "on":
+		engine.SetPlanDefault(true)
+	case "off":
+		engine.SetPlanDefault(false)
+	default:
+		fmt.Fprintf(os.Stderr, "spectrebench: -plan must be on or off, got %q\n", *plan)
+		return 2
+	}
 	switch *blockcache {
 	case "on":
 		cpu.SetDefaultBlockCache(true)
@@ -197,7 +223,9 @@ func mainExitCode() int {
 			fmt.Fprintln(os.Stderr, "run: need at least one experiment id (or 'all')")
 			return 2
 		}
-		return run(args[1:], *csv, cfg, *storeDir)
+		return run(args[1:], *csv, cfg, *storeDir, *verbose)
+	case "gridbench":
+		return gridbench(*cells, cfg, *storeDir, *verbose)
 	case "serve":
 		return serve(serveOptions{
 			storeDir:       *storeDir,
@@ -225,9 +253,11 @@ usage:
   spectrebench list
   spectrebench [-csv] [-faults] [-seed N] [-cycle-budget N] [-retries N] [-jobs N]
                [-blockcache on|off] [-corepool on|off] [-memfast on|off]
-               [-superblock on|off] [-checkpoint on|off]
-               [-cpuprofile FILE] [-memprofile FILE] [-store DIR]
-               run <experiment-id>... | all
+               [-superblock on|off] [-checkpoint on|off] [-dedup on|off]
+               [-plan on|off] [-cpuprofile FILE] [-memprofile FILE] [-store DIR]
+               [-v] run <experiment-id>... | all
+  spectrebench [-cells N] [-faults] [-seed N] [-jobs N] [-dedup on|off]
+               [-plan on|off] [-store DIR] [-v] gridbench
   spectrebench [-store DIR] [-addr HOST:PORT] [-max-inflight N]
                [-request-timeout D] [-drain-timeout D] [-jobs N] serve
   spectrebench [-addr HOST:PORT] [-http-retries N] [-request-timeout D]
@@ -253,7 +283,7 @@ func list() {
 // store directory, completed cells persist across invocations; store
 // bookkeeping goes to stderr so stdout stays byte-identical to a
 // store-less run.
-func run(ids []string, csv bool, cfg harness.RunConfig, storeDir string) int {
+func run(ids []string, csv bool, cfg harness.RunConfig, storeDir string, verbose bool) int {
 	var exps []harness.Experiment
 	if len(ids) == 1 && ids[0] == "all" {
 		exps = harness.All()
@@ -289,6 +319,9 @@ func run(ids []string, csv bool, cfg harness.RunConfig, storeDir string) int {
 
 	results := harness.SuperviseAll(exps, cfg)
 	fmt.Print(harness.RenderResults(results, csv, engine.Default()))
+	if verbose {
+		fmt.Fprintf(os.Stderr, "spectrebench: engine: %s\n", engine.Default().StatsDetail())
+	}
 	if harness.Failed(results) > 0 {
 		return 1
 	}

@@ -1,0 +1,190 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"spectrebench/internal/simscope"
+)
+
+// foldConfig canonicalises test keys: any Config with a "v=" prefix
+// folds to the part before the first comma, so "v=1,extra" and "v=1"
+// are one equivalence class.
+func foldConfig(k Key) Key {
+	if rest, ok := strings.CutPrefix(k.Config, "v="); ok {
+		k.Config = "v=" + strings.SplitN(rest, ",", 2)[0]
+	}
+	return k
+}
+
+// TestDedupFoldsEquivalenceClasses: display keys with equal canonical
+// keys share one execution, every submitter sees the class result, and
+// the stats ledger adds up (misses = first sights, classHits = folds).
+func TestDedupFoldsEquivalenceClasses(t *testing.T) {
+	e := New(2)
+	defer e.Close()
+	e.SetCanonicalizer(foldConfig)
+	if !e.DedupEnabled() {
+		t.Fatal("dedup should default on")
+	}
+
+	var runs atomic.Int64
+	fn := func() (any, error) {
+		runs.Add(1)
+		return simscope.Current().FaultSeed, nil
+	}
+	// Three display keys, two classes: v=1 and v=1,extra fold together.
+	keys := []Key{
+		{Workload: "w", Uarch: "u", Config: "v=1"},
+		{Workload: "w", Uarch: "u", Config: "v=1,extra"},
+		{Workload: "w", Uarch: "u", Config: "v=2"},
+	}
+	var tasks []*Task
+	for _, k := range keys {
+		tasks = append(tasks, e.Submit(k, fn))
+	}
+	var vals []uint64
+	for i, tk := range tasks {
+		v, err := tk.Wait()
+		if err != nil {
+			t.Fatalf("key %d: %v", i, err)
+		}
+		vals = append(vals, v.(uint64))
+	}
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("ran %d simulations, want 2 (one per class)", got)
+	}
+	if vals[0] != vals[1] {
+		t.Errorf("same-class cells saw different values: %d vs %d", vals[0], vals[1])
+	}
+	if vals[0] == vals[2] {
+		t.Errorf("different classes aliased to one value")
+	}
+	// Scope seeds are canonical: the folded cell's seed is its CLASS
+	// key's hash, not its display key's.
+	if want := foldConfig(keys[1]).Hash(); vals[1] != want {
+		t.Errorf("folded cell seed = %d, want canonical hash %d", vals[1], want)
+	}
+	d := e.StatsDetail()
+	if d.Misses != 3 || d.ClassHits != 1 || d.Classes != 2 || d.Simulated != 2 {
+		t.Errorf("detail = %+v, want misses=3 classHits=1 classes=2 simulated=2", d)
+	}
+	// Re-submitting any display key is a plain memo hit.
+	if _, err := e.Submit(keys[1], fn).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if d := e.StatsDetail(); d.Hits != 1 {
+		t.Errorf("hits = %d after resubmit, want 1", d.Hits)
+	}
+}
+
+// TestDedupOffKeepsCanonicalSeeds: with dedup disabled every display
+// key runs its own simulation, but fault seeds still derive from the
+// canonical key — the property that makes -dedup an output-identical
+// ablation rather than a behaviour change.
+func TestDedupOffKeepsCanonicalSeeds(t *testing.T) {
+	SetDedupDefault(false)
+	defer SetDedupDefault(true)
+	e := New(2)
+	defer e.Close()
+	e.SetCanonicalizer(foldConfig)
+	if e.DedupEnabled() {
+		t.Fatal("dedup should be off")
+	}
+
+	var runs atomic.Int64
+	fn := func() (any, error) {
+		runs.Add(1)
+		return simscope.Current().FaultSeed, nil
+	}
+	a, err := e.Submit(Key{Workload: "w", Uarch: "u", Config: "v=1"}, fn).Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Submit(Key{Workload: "w", Uarch: "u", Config: "v=1,extra"}, fn).Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("ran %d simulations, want 2 (dedup off)", got)
+	}
+	if a.(uint64) != b.(uint64) {
+		t.Errorf("same-class cells drew different fault seeds with dedup off: %d vs %d", a, b)
+	}
+	if d := e.StatsDetail(); d.ClassHits != 0 || d.Simulated != 2 {
+		t.Errorf("detail = %+v, want classHits=0 simulated=2", d)
+	}
+}
+
+// TestDedupErrorsPropagateToFollowers: a failing class execution fails
+// every folded submitter with the same (deterministic) error.
+func TestDedupErrorsPropagateToFollowers(t *testing.T) {
+	e := New(2)
+	defer e.Close()
+	e.SetCanonicalizer(foldConfig)
+	fn := func() (any, error) { return nil, fmt.Errorf("deterministic failure") }
+	t1 := e.Submit(Key{Workload: "w", Uarch: "u", Config: "v=9"}, fn)
+	t2 := e.Submit(Key{Workload: "w", Uarch: "u", Config: "v=9,alias"}, fn)
+	_, err1 := t1.Wait()
+	_, err2 := t2.Wait()
+	if err1 == nil || err2 == nil {
+		t.Fatalf("errors = %v, %v; want both non-nil", err1, err2)
+	}
+	if err1.Error() != err2.Error() {
+		t.Errorf("class error %q != follower error %q", err1, err2)
+	}
+}
+
+// TestPlanOffMatchesPlanOn: the planner is a scheduling policy, not a
+// semantics change — a batch of interdependent cells completes with
+// identical values either way, including Waits issued from inside
+// cells (the helping path must reach planner buckets or deadlock).
+func TestPlanOffMatchesPlanOn(t *testing.T) {
+	run := func(t *testing.T, e *Engine) map[int]uint64 {
+		t.Helper()
+		defer e.Close()
+		out := map[int]uint64{}
+		var tasks []*Task
+		for i := 0; i < 32; i++ {
+			i := i
+			k := Key{Workload: fmt.Sprintf("w%d", i%4), Uarch: fmt.Sprintf("u%d", i%2), Config: fmt.Sprintf("c%d", i)}
+			tasks = append(tasks, e.Submit(k, func() (any, error) {
+				if i%5 == 0 {
+					// A cell that waits on another cell: exercises
+					// helping through the planner.
+					sub := Key{Workload: "sub", Uarch: "u", Config: fmt.Sprintf("s%d", i)}
+					if _, err := e.Submit(sub, func() (any, error) { return uint64(i), nil }).Wait(); err != nil {
+						return nil, err
+					}
+				}
+				return uint64(i) * 3, nil
+			}))
+		}
+		for i, tk := range tasks {
+			v, err := tk.Wait()
+			if err != nil {
+				t.Fatalf("cell %d: %v", i, err)
+			}
+			out[i] = v.(uint64)
+		}
+		return out
+	}
+
+	withPlan := run(t, New(4))
+
+	SetPlanDefault(false)
+	defer SetPlanDefault(true)
+	e := New(4)
+	if e.PlanEnabled() {
+		t.Fatal("plan should be off")
+	}
+	withoutPlan := run(t, e)
+
+	for i, v := range withPlan {
+		if withoutPlan[i] != v {
+			t.Errorf("cell %d: plan=on %d, plan=off %d", i, v, withoutPlan[i])
+		}
+	}
+}

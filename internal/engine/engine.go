@@ -23,6 +23,23 @@
 // by its hash — a hash collision therefore cannot alias two cells. The
 // hash only seeds the cell's deterministic fault-injection stream.
 //
+// # Canonical keys and dedup classes
+//
+// Many distinct configurations lower to identical effective behaviour
+// (a boot parameter requesting an unsupported mitigation is ignored;
+// mitigations=off collapses nearly everything). An installed
+// Canonicalizer maps each submitted (display) key to the canonical key
+// of its equivalence class. Cells in one class share a single
+// execution: the first display key to reach a class schedules the class
+// task; later display keys of the same class become followers that
+// receive the class result when it completes. Hit/miss totals stay
+// display-keyed (a display key's first sight is a miss even when it
+// folds onto an existing class), so rendered cache notes are identical
+// whether dedup is on or off; ClassHits counts the folds. When a
+// canonicalizer is installed the cell's fault seed and second-level
+// store key are the canonical key in BOTH dedup modes, so output and
+// persisted state are byte-identical across the dedup ablation.
+//
 // # Scheduling
 //
 // The pool is a sharded work-stealing design built so that no two
@@ -39,6 +56,17 @@
 //     global injection queue — its own shard — for submissions from
 //     non-worker goroutines. Submission, dequeue and memo lookup never
 //     serialize on a pool-wide lock.
+//   - With the sweep planner on (the default; see SetPlanDefault),
+//     keyed cells are not pushed to deques at all but topologically
+//     bucketed by their warmup prefix — (workload, uarch), the part of
+//     the key that decides which checkpoint snapshots, pooled cores and
+//     assembled programs a cell can reuse. Each worker claims one
+//     bucket and drains it before claiming the next, so cells sharing a
+//     prefix run back-to-back and PR 7's checkpointed warmup stays hot
+//     even on million-cell grids. Helping waits may steal from any
+//     bucket (claimed or not), so the liveness argument below is
+//     unchanged; cell purity makes the output byte-identical across
+//     plan on/off.
 //   - Idle workers park on a condition variable. Publication uses a
 //     store-buffer-proof handshake: a parking worker registers as a
 //     sleeper and then re-checks the push sequence counter; a submitter
@@ -115,6 +143,32 @@ type SecondLevel interface {
 	Get(key Key) (val any, cycles uint64, ok bool)
 	Put(key Key, val any, cycles uint64)
 }
+
+// Canonicalizer folds a display key down to the canonical key of its
+// equivalence class: two keys with the same canonical form are
+// guaranteed (by the caller) to denote behaviourally identical cells.
+// It must be pure and total — called on the Submit path for every first
+// sight of a display key.
+type Canonicalizer func(Key) Key
+
+// noPlanDefault / noDedupDefault invert the package defaults so the
+// zero value means "enabled": engines constructed by New bucket cells
+// by warmup prefix and fold canonical equivalence classes unless the
+// CLI ablation flags turned either off before construction.
+var (
+	noPlanDefault  atomic.Bool
+	noDedupDefault atomic.Bool
+)
+
+// SetPlanDefault controls whether engines constructed from now on use
+// the prefix-locality sweep planner (default on). The CLI's -plan flag
+// calls this while parsing flags, before any engine exists.
+func SetPlanDefault(on bool) { noPlanDefault.Store(!on) }
+
+// SetDedupDefault controls whether engines constructed from now on fold
+// canonical equivalence classes onto shared executions (default on; a
+// no-op until a Canonicalizer is installed). The -dedup ablation flag.
+func SetDedupDefault(on bool) { noDedupDefault.Store(!on) }
 
 // Key identifies one simulation cell. Two Submits with equal Keys share
 // one execution; every field therefore must capture everything the
@@ -202,6 +256,43 @@ type Task struct {
 	val    any
 	err    error
 	cycles uint64 // keyed tasks: simulated cycles attributed to the cell
+
+	// Followers are display-key tasks folded onto this class task; they
+	// receive the result when it completes, without a goroutine each.
+	fmu       sync.Mutex
+	finished  bool
+	followers []*Task
+}
+
+// finish publishes t's completion: closes its done channel and copies
+// the result to every folded follower. Must be called exactly once, and
+// only after val/err/cycles are final.
+func (t *Task) finish() {
+	t.fmu.Lock()
+	t.finished = true
+	fs := t.followers
+	t.followers = nil
+	t.fmu.Unlock()
+	close(t.done)
+	for _, f := range fs {
+		f.val, f.err, f.cycles = t.val, t.err, t.cycles
+		close(f.done)
+	}
+}
+
+// follow registers f to receive t's result; if t already finished the
+// result is copied immediately. The close of f.done orders the copies
+// before any reader.
+func (t *Task) follow(f *Task) {
+	t.fmu.Lock()
+	if !t.finished {
+		t.followers = append(t.followers, f)
+		t.fmu.Unlock()
+		return
+	}
+	t.fmu.Unlock()
+	f.val, f.err, f.cycles = t.val, t.err, t.cycles
+	close(f.done)
 }
 
 func (t *Task) describe() string {
@@ -254,16 +345,143 @@ func (s *shard) popHead() *Task {
 	return t
 }
 
+// pbucket is one warmup-prefix bucket of pending keyed tasks. All
+// fields are guarded by the owning planner's mutex.
+type pbucket struct {
+	tasks     []*Task
+	queued    bool // in the planner's ready queue
+	claimedBy int  // worker index draining this bucket, or -1
+}
+
+// pop removes the oldest pending task (submission order).
+func (b *pbucket) pop() *Task {
+	if len(b.tasks) == 0 {
+		return nil
+	}
+	t := b.tasks[0]
+	b.tasks[0] = nil
+	b.tasks = b.tasks[1:]
+	return t
+}
+
+// planner buckets pending cells by shared warmup prefix — (workload,
+// uarch), the fields that decide which checkpoints, pooled cores and
+// assembled programs a cell can reuse — and hands each worker one
+// bucket at a time. A single mutex guards it: operations are O(1)
+// appends and pops, and the cells behind them are many orders of
+// magnitude heavier.
+type planner struct {
+	mu      sync.Mutex
+	buckets map[string]*pbucket
+	order   []*pbucket // creation order, for stealing and draining
+	queue   []*pbucket // FIFO of buckets with unclaimed pending work
+	claims  []*pbucket // per-worker claimed bucket
+}
+
+func newPlanner(jobs int) *planner {
+	return &planner{
+		buckets: map[string]*pbucket{},
+		claims:  make([]*pbucket, jobs),
+	}
+}
+
+// add enqueues a keyed task into its prefix bucket, making the bucket
+// claimable if no worker is already draining it.
+func (p *planner) add(t *Task) {
+	prefix := t.key.Workload + "\x00" + t.key.Uarch
+	p.mu.Lock()
+	b := p.buckets[prefix]
+	if b == nil {
+		b = &pbucket{claimedBy: -1}
+		p.buckets[prefix] = b
+		p.order = append(p.order, b)
+	}
+	b.tasks = append(b.tasks, t)
+	if !b.queued && b.claimedBy < 0 {
+		b.queued = true
+		p.queue = append(p.queue, b)
+	}
+	p.mu.Unlock()
+}
+
+// next returns a task for worker w: the next cell of w's claimed bucket
+// while it lasts, then the oldest bucket nobody is draining.
+func (p *planner) next(w int) *Task {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if b := p.claims[w]; b != nil {
+		if t := b.pop(); t != nil {
+			return t
+		}
+		// Drained; later adds re-queue the bucket.
+		b.claimedBy = -1
+		p.claims[w] = nil
+	}
+	for len(p.queue) > 0 {
+		b := p.queue[0]
+		p.queue[0] = nil
+		p.queue = p.queue[1:]
+		b.queued = false
+		if len(b.tasks) == 0 || b.claimedBy >= 0 {
+			continue
+		}
+		b.claimedBy = w
+		p.claims[w] = b
+		return b.pop()
+	}
+	return nil
+}
+
+// steal takes pending work from any bucket, claimed or not — the
+// escape hatch that keeps helping waits live: every queued task stays
+// reachable from every worker, claimed buckets included.
+func (p *planner) steal() *Task {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, b := range p.order {
+		if t := b.pop(); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+// drain removes and returns every pending task (the Close path).
+func (p *planner) drain() []*Task {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []*Task
+	for _, b := range p.order {
+		for _, t := range b.tasks {
+			if t != nil {
+				out = append(out, t)
+			}
+		}
+		b.tasks = nil
+	}
+	return out
+}
+
 // Engine is a sharded work-stealing worker pool with a lock-free
 // memoizing cell cache.
 type Engine struct {
 	jobs int
 
-	cache        sync.Map // Key -> *Task
+	cache        sync.Map // display Key -> *Task
+	classes      sync.Map // canonical Key -> *Task (dedup on + canonicalizer set)
 	hits, misses atomic.Uint64
+	classHits    atomic.Uint64 // display first-sights folded onto an existing class
+	slHits       atomic.Uint64 // class executions replayed from the second level
+	dedup        bool          // fixed at construction (SetDedupDefault)
+
+	// canon is the optional display→canonical key mapping (atomic.Value
+	// of canonBox). Install with SetCanonicalizer before the first
+	// Submit.
+	canon atomic.Value
 
 	shards   []shard  // per-worker deques
 	global   shard    // injection queue for non-worker submitters
+	plan     *planner // prefix-locality cell buckets, nil when -plan=off
 	workerOf sync.Map // goroutine ID -> worker index
 
 	// second is the optional second-level cell cache (atomic.Value of
@@ -292,6 +510,10 @@ func New(n int) *Engine {
 	e := &Engine{
 		jobs:   n,
 		shards: make([]shard, n),
+		dedup:  !noDedupDefault.Load(),
+	}
+	if !noPlanDefault.Load() {
+		e.plan = newPlanner(n)
 	}
 	e.cond = sync.NewCond(&e.idleMu)
 	return e
@@ -319,12 +541,81 @@ func (e *Engine) secondLevel() SecondLevel {
 	return nil
 }
 
+// canonBox wraps a Canonicalizer for atomic.Value.
+type canonBox struct{ fn Canonicalizer }
+
+// SetCanonicalizer installs fn as the engine's display→canonical key
+// mapping. Call before the first Submit; keys already resolved through
+// the memo are not re-folded. Installing a canonicalizer switches cell
+// fault seeds and second-level keys to the canonical key (in both dedup
+// modes, so the dedup ablation cannot change a single output byte).
+func (e *Engine) SetCanonicalizer(fn Canonicalizer) {
+	e.canon.Store(canonBox{fn})
+}
+
+// canonicalizer returns the installed key canonicalizer, or nil.
+func (e *Engine) canonicalizer() Canonicalizer {
+	if v := e.canon.Load(); v != nil {
+		return v.(canonBox).fn
+	}
+	return nil
+}
+
+// DedupEnabled reports whether this engine folds equivalence classes.
+func (e *Engine) DedupEnabled() bool { return e.dedup }
+
+// PlanEnabled reports whether this engine buckets cells by warmup
+// prefix.
+func (e *Engine) PlanEnabled() bool { return e.plan != nil }
+
 // Stats returns the cache hit and miss totals: misses is the number of
 // distinct cells simulated, hits the number of Submits served from the
 // cache. Both depend only on what was submitted, so they are identical
 // across worker counts.
 func (e *Engine) Stats() (hits, misses uint64) {
 	return e.hits.Load(), e.misses.Load()
+}
+
+// StatsDetail breaks the cell cache down by level. All counters are
+// functions of the submitted key multiset and the installed
+// canonicalizer — identical across worker counts and scheduling.
+type StatsDetail struct {
+	// Hits / Misses are the display-keyed totals of Stats: repeats vs
+	// first sights of a display key.
+	Hits, Misses uint64
+	// ClassHits counts display first-sights folded onto an already
+	// scheduled equivalence class (dedup on + canonicalizer installed).
+	ClassHits uint64
+	// SecondLevelHits counts class executions replayed from the
+	// second-level store instead of simulated.
+	SecondLevelHits uint64
+	// Classes is the number of distinct class executions scheduled or
+	// replayed (Misses - ClassHits).
+	Classes uint64
+	// Simulated is the number of cells actually executed on the pool
+	// (Classes - SecondLevelHits).
+	Simulated uint64
+}
+
+// String renders the breakdown as the one-line summary `run all -v`
+// and gridbench print to stderr.
+func (d StatsDetail) String() string {
+	return fmt.Sprintf("cell cache: %d hits, %d misses; %d class hits, %d store hits, %d of %d classes simulated",
+		d.Hits, d.Misses, d.ClassHits, d.SecondLevelHits, d.Simulated, d.Classes)
+}
+
+// StatsDetail returns the full cache breakdown (Stats plus dedup-class
+// and second-level counters).
+func (e *Engine) StatsDetail() StatsDetail {
+	d := StatsDetail{
+		Hits:            e.hits.Load(),
+		Misses:          e.misses.Load(),
+		ClassHits:       e.classHits.Load(),
+		SecondLevelHits: e.slHits.Load(),
+	}
+	d.Classes = d.Misses - d.ClassHits
+	d.Simulated = d.Classes - d.SecondLevelHits
+	return d
 }
 
 // Submit schedules the cell identified by key, or returns the existing
@@ -341,7 +632,15 @@ func (e *Engine) Submit(key Key, fn func() (any, error)) *Task {
 	}
 	gid := gls.ID()
 	parent := simscope.CurrentG(gid)
-	sc := &simscope.Scope{FaultSeed: key.Hash()}
+	// With a canonicalizer installed, the cell's identity — fault seed,
+	// second-level key, profile labels — is its canonical key in BOTH
+	// dedup modes, so folding classes cannot change one output byte.
+	ckey := key
+	cz := e.canonicalizer()
+	if cz != nil {
+		ckey = cz(key)
+	}
+	sc := &simscope.Scope{FaultSeed: ckey.Hash()}
 	if parent != nil {
 		sc.Fault = parent.Fault
 		sc.Budget, sc.HasBudget = parent.Budget, parent.HasBudget
@@ -352,28 +651,41 @@ func (e *Engine) Submit(key Key, fn func() (any, error)) *Task {
 		sc.Fault = faultinject.Snapshot()
 		sc.Budget, sc.HasBudget = cpu.DefaultCycleBudget(), true
 	}
-	t := &Task{eng: e, key: key, keyed: true, fn: fn, scope: sc, done: make(chan struct{})}
+	t := &Task{eng: e, key: ckey, keyed: true, fn: fn, scope: sc, done: make(chan struct{})}
 	if v, loaded := e.cache.LoadOrStore(key, t); loaded {
 		// Another submitter raced us to the same key; its task is the
 		// cell. The scope built above is discarded — it was derived from
-		// the key and the same batch-wide activation/budget, so which
-		// racer wins is unobservable.
+		// the canonical key and the same batch-wide activation/budget,
+		// so which racer wins is unobservable.
 		e.hits.Add(1)
 		return v.(*Task)
 	}
+	// First sight of this display key: always a miss, even when it
+	// folds onto an existing class below — the memo statistics stay a
+	// function of the submitted key multiset alone.
 	e.misses.Add(1)
-	// Second-level (store) lookup. A hit completes the task in place —
-	// value and simulated-cycle cost replayed exactly as a fresh run
-	// would have produced them — without ever scheduling it. The hit
-	// still counts as a first-level miss: the memo statistics stay a
-	// function of the submitted key multiset, so rendered output is
-	// byte-identical between cold and warm stores; the store keeps its
-	// own hit counters for operational telemetry.
+	if e.dedup && cz != nil {
+		if v, loaded := e.classes.LoadOrStore(ckey, t); loaded {
+			// The class is already scheduled (or done): this display key
+			// becomes a follower of the class task and never runs.
+			e.classHits.Add(1)
+			v.(*Task).follow(t)
+			return t
+		}
+	}
+	// Second-level (store) lookup, keyed canonically. A hit completes
+	// the task in place — value and simulated-cycle cost replayed
+	// exactly as a fresh run would have produced them — without ever
+	// scheduling it. The hit still counts as a first-level miss (see
+	// above), so rendered output is byte-identical between cold and
+	// warm stores; the store keeps its own hit counters for
+	// operational telemetry.
 	if sl := e.secondLevel(); sl != nil {
-		if val, cycles, ok := sl.Get(key); ok {
+		if val, cycles, ok := sl.Get(ckey); ok {
+			e.slHits.Add(1)
 			t.val, t.cycles = val, cycles
 			t.scope.Release()
-			close(t.done)
+			t.finish()
 			return t
 		}
 	}
@@ -402,12 +714,16 @@ func (e *Engine) Go(label string, fn func() (any, error)) *Task {
 	return t
 }
 
-// enqueue places t on the submitting worker's own deque (tail =
-// hottest) or the global queue for outside submitters, starting the
-// workers on first use and waking a parked worker if there is one.
+// enqueue places t where its consumer will find it — the planner's
+// prefix bucket for keyed cells when planning is on, else the
+// submitting worker's own deque (tail = hottest) or the global queue
+// for outside submitters — starting the workers on first use and waking
+// a parked worker if there is one.
 func (e *Engine) enqueue(t *Task, gid uint64) {
 	e.startOnce.Do(e.start)
-	if w, ok := e.workerOf.Load(gid); ok {
+	if e.plan != nil && t.keyed {
+		e.plan.add(t)
+	} else if w, ok := e.workerOf.Load(gid); ok {
 		e.shards[w.(int)].push(t)
 	} else {
 		e.global.push(t)
@@ -436,16 +752,28 @@ func (e *Engine) start() {
 }
 
 // dequeue returns a runnable task for worker w: own deque tail first,
-// then the global queue head, then the head of any other deque.
+// then the worker's claimed prefix bucket (or a fresh claim), then the
+// global queue head, the head of any other deque, and finally — the
+// liveness escape hatch — a steal from any planner bucket.
 func (e *Engine) dequeue(w int) *Task {
 	if t := e.shards[w].popTail(); t != nil {
 		return t
+	}
+	if e.plan != nil {
+		if t := e.plan.next(w); t != nil {
+			return t
+		}
 	}
 	if t := e.global.popHead(); t != nil {
 		return t
 	}
 	for i := 1; i < len(e.shards); i++ {
 		if t := e.shards[(w+i)%len(e.shards)].popHead(); t != nil {
+			return t
+		}
+	}
+	if e.plan != nil {
+		if t := e.plan.steal(); t != nil {
 			return t
 		}
 	}
@@ -519,7 +847,7 @@ func (e *Engine) run(t *Task, gid uint64) {
 	if t.keyed {
 		t.cycles = t.scope.Cycles()
 	}
-	close(t.done)
+	t.finish()
 	if t.keyed {
 		// The cell owns its scope; unkeyed tasks borrow the submitter's.
 		t.scope.Release()
@@ -602,7 +930,7 @@ func (e *Engine) Close() {
 func (e *Engine) failPending() {
 	fail := func(t *Task) {
 		t.err = ErrClosed
-		close(t.done)
+		t.finish()
 		if t.keyed {
 			t.scope.Release()
 		}
@@ -612,6 +940,11 @@ func (e *Engine) failPending() {
 	}
 	for i := range e.shards {
 		for t := e.shards[i].popHead(); t != nil; t = e.shards[i].popHead() {
+			fail(t)
+		}
+	}
+	if e.plan != nil {
+		for _, t := range e.plan.drain() {
 			fail(t)
 		}
 	}

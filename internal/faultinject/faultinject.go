@@ -57,6 +57,11 @@ const (
 	// ProbeJitter perturbs timestamp reads (rdtsc) by a few cycles —
 	// the measurement noise a real machine's probes must absorb.
 	ProbeJitter
+	// StoreWrite fails a cell-store segment append partway through — the
+	// short write a full or failing disk produces. The store must repair
+	// its log tail, count the error, and degrade to a smaller cache; it
+	// must never fail the run or perturb simulated state.
+	StoreWrite
 
 	numPoints
 )
@@ -73,6 +78,8 @@ func (p Point) String() string {
 		return "syscall-eintr"
 	case ProbeJitter:
 		return "probe-jitter"
+	case StoreWrite:
+		return "store-write"
 	}
 	return fmt.Sprintf("point(%d)", int(p))
 }
@@ -96,6 +103,7 @@ var defaultRates = [numPoints]float64{
 	FBDrainDelay: 1.0 / 32,
 	SyscallEINTR: 1.0 / 256,
 	ProbeJitter:  1.0 / 16,
+	StoreWrite:   1.0 / 64,
 }
 
 // Config describes one fault-injection activation.

@@ -1,0 +1,198 @@
+// Package grid generates the synthetic boot-parameter configuration
+// grids the million-cell sweep machinery is exercised with — the
+// scaling stand-in for the "Beyond Over-Protection" config-search
+// space. A grid cell is (boot-param combo × uarch) running a fixed
+// one-benchmark workload; the full space is 21504 combos × 8 uarchs =
+// 172032 cells, enumerated deterministically so a prefix of any length
+// names the same cells in the same order on every run.
+//
+// The interesting property of the space — and the reason the engine
+// grew canonical keys — is that most of it is redundant: boot-param
+// requests the hardware cannot honor are inert (spectre_v2=ibrs on a
+// part without the MSR), mitigations=off erases every other toggle,
+// and nospectre_v2 makes the IBPB/RSB toggles dead. Lowering each
+// combo through kernel.Defaults + BootParams.Apply (which consult
+// model.MitigationSupport) yields the cell's effective mitigation set;
+// cells with equal effective sets are one equivalence class and need
+// one simulation. Canonicalizer exposes that fold to the engine.
+package grid
+
+import (
+	"strings"
+
+	"spectrebench/internal/cpu"
+	"spectrebench/internal/engine"
+	"spectrebench/internal/kernel"
+	"spectrebench/internal/model"
+	"spectrebench/internal/workloads/lebench"
+)
+
+// Workload names the grid's cell workload in engine keys.
+const Workload = "grid/lebench/getpid"
+
+// boolParams are the ten independent boot-parameter toggles the grid
+// sweeps (bit i of the combo's flag field). Order is part of the
+// enumeration contract.
+var boolParams = []struct {
+	token string
+	set   func(*kernel.BootParams)
+}{
+	{"mitigations=off", func(bp *kernel.BootParams) { bp.MitigationsOff = true }},
+	{"nopti", func(bp *kernel.BootParams) { bp.NoPTI = true }},
+	{"pti=on", func(bp *kernel.BootParams) { bp.ForcePTI = true }},
+	{"nospectre_v1", func(bp *kernel.BootParams) { bp.NoSpectreV1 = true }},
+	{"nospectre_v2", func(bp *kernel.BootParams) { bp.NoSpectreV2 = true }},
+	{"mds=off", func(bp *kernel.BootParams) { bp.MDSOff = true }},
+	{"eagerfpu=off", func(bp *kernel.BootParams) { bp.LazyFPU = true }},
+	{"l1tf=off", func(bp *kernel.BootParams) { bp.L1TFOff = true }},
+	{"noibpb", func(bp *kernel.BootParams) { bp.NoIBPB = true }},
+	{"norsb", func(bp *kernel.BootParams) { bp.NoRSBStuff = true }},
+}
+
+// v2Values are the spectre_v2= request values swept ("" = not passed).
+// "retpoline" and "retpoline,generic" are distinct requests that lower
+// identically — deliberate dedup fodder.
+var v2Values = []string{"", "off", "retpoline", "retpoline,generic", "retpoline,amd", "ibrs", "eibrs"}
+
+// ssbd modes: not passed / =off / =on.
+const ssbdModes = 3
+
+// CombosPerUarch is the boot-param combo count: 2^10 flag patterns × 7
+// spectre_v2 values × 3 SSBD modes = 21504.
+const CombosPerUarch = (1 << 10) * 7 * ssbdModes
+
+// MaxCells is the full grid size across every simulated uarch.
+func MaxCells() int { return CombosPerUarch * len(model.All()) }
+
+func init() {
+	if got := (1 << len(boolParams)) * len(v2Values) * ssbdModes; got != CombosPerUarch {
+		panic("grid: CombosPerUarch out of sync with the parameter tables")
+	}
+}
+
+// Cell is one grid cell: a display identity (the raw boot-param
+// request), its canonical identity (the effective mitigation set the
+// request lowers to), and what to run.
+type Cell struct {
+	// Display is the cell's submission key: Config holds the raw
+	// boot-param string, so rendered output is a function of what was
+	// asked for, not of how it folded.
+	Display engine.Key
+	// Canon is the equivalence-class key: Config holds the effective
+	// kernel.Mitigations rendering. Cells with equal Canon simulate
+	// once.
+	Canon engine.Key
+	// CPU and Mit are the lowered machine configuration the cell runs.
+	CPU *model.CPU
+	Mit kernel.Mitigations
+}
+
+// combo reconstructs boot params and the display token string for one
+// combo index in [0, CombosPerUarch).
+func combo(i int) (kernel.BootParams, string) {
+	var bp kernel.BootParams
+	var tokens []string
+	bp.SpectreV2 = v2Values[i%len(v2Values)]
+	if bp.SpectreV2 != "" {
+		tokens = append(tokens, "spectre_v2="+bp.SpectreV2)
+	}
+	switch (i / len(v2Values)) % ssbdModes {
+	case 1:
+		bp.NoSSBSD = true
+		tokens = append(tokens, "spec_store_bypass_disable=off")
+	case 2:
+		bp.SSBDOn = true
+		tokens = append(tokens, "spec_store_bypass_disable=on")
+	}
+	flags := i / (len(v2Values) * ssbdModes)
+	for bit, p := range boolParams {
+		if flags&(1<<bit) != 0 {
+			p.set(&bp)
+			tokens = append(tokens, p.token)
+		}
+	}
+	if len(tokens) == 0 {
+		return bp, "defaults"
+	}
+	return bp, strings.Join(tokens, " ")
+}
+
+// Cells enumerates the first n grid cells. The order is combo-major
+// with the uarchs interleaved inside each combo, so any prefix spreads
+// across every uarch (the prefix-locality planner has real work to do)
+// and -cells N names the same set at every jobs/plan/dedup setting.
+// seed is the fault seed stamped into every key (0 when faults are
+// off), keeping fault-run cells distinct from clean ones in the memo
+// and the store.
+func Cells(n int, seed uint64) []Cell {
+	if max := MaxCells(); n > max {
+		n = max
+	}
+	if n < 0 {
+		n = 0
+	}
+	cpus := model.All()
+	out := make([]Cell, 0, n)
+	for ci := 0; len(out) < n; ci++ {
+		bp, display := combo(ci)
+		for _, m := range cpus {
+			if len(out) >= n {
+				break
+			}
+			mit := bp.Apply(m, kernel.Defaults(m))
+			out = append(out, Cell{
+				Display: engine.Key{Workload: Workload, Uarch: m.Uarch, Config: display, Seed: seed},
+				Canon:   engine.Key{Workload: Workload, Uarch: m.Uarch, Config: "canon|" + mit.CanonicalKey(), Seed: seed},
+				CPU:     m,
+				Mit:     mit,
+			})
+		}
+	}
+	return out
+}
+
+// Classes counts the distinct equivalence classes in a cell set — the
+// number of simulations a fully deduped sweep performs, and the
+// denominator of the dedup ratio.
+func Classes(cells []Cell) int {
+	seen := make(map[engine.Key]struct{}, len(cells))
+	for _, c := range cells {
+		seen[c.Canon] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Canonicalizer builds the engine's display-key → class-key fold for a
+// cell set. Keys outside the set (other experiments sharing the
+// engine) pass through unchanged.
+func Canonicalizer(cells []Cell) engine.Canonicalizer {
+	fold := make(map[engine.Key]engine.Key, len(cells))
+	for _, c := range cells {
+		fold[c.Display] = c.Canon
+	}
+	return func(k engine.Key) engine.Key {
+		if ck, ok := fold[k]; ok {
+			return ck
+		}
+		return k
+	}
+}
+
+// bench is the grid's fixed workload: the suite's cheapest syscall
+// benchmark, so grid throughput measures sweep machinery, not workload
+// weight.
+var bench = lebench.Suite()[0]
+
+// Run simulates the cell: a fresh machine with the cell's lowered
+// mitigation set, running the fixed benchmark. Pure with respect to
+// the cell's canonical key, as engine.Submit requires.
+func (c Cell) Run() (any, error) {
+	core := cpu.New(c.CPU)
+	defer core.Recycle()
+	k := kernel.New(core, c.Mit)
+	cyc, err := lebench.RunOn(core, k, bench)
+	if err != nil {
+		return nil, err
+	}
+	return cyc, nil
+}

@@ -84,22 +84,25 @@ type Mitigations struct {
 }
 
 // Defaults returns the mitigation set Linux enables by default on the
-// given CPU — the checkmarks of Table 1.
+// given CPU — the checkmarks of Table 1. All per-uarch facts come
+// through model.MitigationSupport, the same view the sweep
+// canonicaliser folds configs with.
 func Defaults(m *model.CPU) Mitigations {
+	sup := m.Support()
 	mit := Mitigations{
 		EagerFPU:    true, // "Always save FPU": every CPU
 		SpectreV1:   true, // index masking + lfence after swapgs: every CPU
 		SSBDSeccomp: true, // kernels up to 5.15
 	}
-	mit.PTI = m.Vulns.Meltdown
-	mit.PTEInversion = m.Vulns.L1TF
-	mit.L1TFFlushOnVMEntry = m.Vulns.L1TF
-	mit.MDSClear = m.Vulns.MDS
-	if m.Vulns.SpectreV2 {
+	mit.PTI = sup.NeedsPTI
+	mit.PTEInversion = sup.NeedsL1TF
+	mit.L1TFFlushOnVMEntry = sup.NeedsL1TF
+	mit.MDSClear = sup.NeedsMDS
+	if sup.NeedsSpectreV2 {
 		switch {
-		case m.Spec.EIBRS:
+		case sup.PreferEIBRS:
 			mit.SpectreV2 = V2EIBRS
-		case m.Vendor == model.AMD && m.Costs.RetpolineAMDOK:
+		case sup.PreferRetpolineAMD:
 			// The paper-era default; Linux 5.15.28 later switched AMD
 			// to generic retpolines (§5.3).
 			mit.SpectreV2 = V2RetpolineAMD
@@ -134,8 +137,10 @@ type BootParams struct {
 }
 
 // Apply folds boot parameters over a default mitigation set, mimicking
-// the kernel's parameter handling.
+// the kernel's parameter handling: requests the hardware cannot honor
+// (per model.MitigationSupport) are inert, exactly as on Linux.
 func (bp BootParams) Apply(m *model.CPU, mit Mitigations) Mitigations {
+	sup := m.Support()
 	if bp.MitigationsOff {
 		return Mitigations{EagerFPU: mit.EagerFPU} // eager FPU is not a "mitigation=off" casualty
 	}
@@ -164,11 +169,11 @@ func (bp BootParams) Apply(m *model.CPU, mit Mitigations) Mitigations {
 	case "retpoline,amd":
 		mit.SpectreV2 = V2RetpolineAMD
 	case "ibrs":
-		if m.Spec.IBRS {
+		if sup.HasIBRS {
 			mit.SpectreV2 = V2IBRS
 		}
 	case "eibrs":
-		if m.Spec.EIBRS {
+		if sup.HasEIBRS {
 			mit.SpectreV2 = V2EIBRS
 		}
 	}
@@ -184,7 +189,7 @@ func (bp BootParams) Apply(m *model.CPU, mit Mitigations) Mitigations {
 	if bp.NoSSBSD {
 		mit.SSBDSeccomp = false
 	}
-	if bp.SSBDOn && m.Spec.SSBDImplemented {
+	if bp.SSBDOn && sup.HasSSBD {
 		mit.SSBDAlways = true
 	}
 	if bp.LazyFPU {
@@ -198,6 +203,25 @@ func (bp BootParams) Apply(m *model.CPU, mit Mitigations) Mitigations {
 		mit.NoSMT = true
 	}
 	return mit
+}
+
+// CanonicalKey renders the mitigation set as a compact, stable string:
+// the equivalence-class label the sweep canonicaliser keys dedup on.
+// Distinct boot-param configs that Apply to equal Mitigations have
+// equal CanonicalKeys and simulate identically on the same
+// uarch/workload — the fold that turns a combinatorial boot-param grid
+// into its much smaller set of effective behaviours.
+func (m Mitigations) CanonicalKey() string {
+	b := func(v bool) byte {
+		if v {
+			return '1'
+		}
+		return '0'
+	}
+	return fmt.Sprintf("pti=%c ptei=%c l1tf=%c fpu=%c v1=%c v2=%s ibpb=%c rsb=%c mds=%c ssbds=%c ssbda=%c nosmt=%c",
+		b(m.PTI), b(m.PTEInversion), b(m.L1TFFlushOnVMEntry), b(m.EagerFPU),
+		b(m.SpectreV1), m.SpectreV2, b(m.IBPB), b(m.RSBStuff),
+		b(m.MDSClear), b(m.SSBDSeccomp), b(m.SSBDAlways), b(m.NoSMT))
 }
 
 // Enabled returns a human-readable list of active mitigations, used by

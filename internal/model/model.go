@@ -146,6 +146,51 @@ type CPU struct {
 // Key returns the canonical lookup key (the microarchitecture name).
 func (c *CPU) Key() string { return c.Uarch }
 
+// MitigationSupport summarises which mitigation mechanisms a CPU needs
+// and which requests it can actually honor — the per-uarch facts the
+// kernel's Table-1 auto-selection and boot-parameter lowering consult.
+// It exists as a first-class view because the sweep canonicaliser needs
+// the same facts: a boot-param request the hardware cannot honor (ibrs
+// on a part without the MSR, SSBD where it is unimplemented) lowers to
+// the same effective mitigation set as not asking, so the two configs
+// are one simulation cell.
+type MitigationSupport struct {
+	// NeedsPTI / NeedsL1TF / NeedsMDS / NeedsSpectreV2 report the
+	// vulnerabilities the kernel mitigates by default on this part
+	// (Table 1's checkmarks).
+	NeedsPTI       bool
+	NeedsL1TF      bool
+	NeedsMDS       bool
+	NeedsSpectreV2 bool
+	// PreferEIBRS: the default Spectre-V2 strategy is eIBRS (set-once)
+	// rather than retpolines.
+	PreferEIBRS bool
+	// PreferRetpolineAMD: the paper-era AMD default, lfence+jmp.
+	PreferRetpolineAMD bool
+	// HasIBRS / HasEIBRS / HasSSBD report whether an explicit
+	// spectre_v2=ibrs / spectre_v2=eibrs / spec_store_bypass_disable=on
+	// request can be honored at all; an unhonorable request is inert.
+	HasIBRS  bool
+	HasEIBRS bool
+	HasSSBD  bool
+}
+
+// Support derives the CPU's mitigation-support summary from its
+// vulnerability flags, speculation capabilities and cost model.
+func (c *CPU) Support() MitigationSupport {
+	return MitigationSupport{
+		NeedsPTI:           c.Vulns.Meltdown,
+		NeedsL1TF:          c.Vulns.L1TF,
+		NeedsMDS:           c.Vulns.MDS,
+		NeedsSpectreV2:     c.Vulns.SpectreV2,
+		PreferEIBRS:        c.Spec.EIBRS,
+		PreferRetpolineAMD: c.Vendor == AMD && c.Costs.RetpolineAMDOK,
+		HasIBRS:            c.Spec.IBRS,
+		HasEIBRS:           c.Spec.EIBRS,
+		HasSSBD:            c.Spec.SSBDImplemented,
+	}
+}
+
 func (c *CPU) String() string {
 	return fmt.Sprintf("%s %s (%s, %d)", c.Vendor, c.Model, c.Uarch, c.Year)
 }

@@ -136,12 +136,24 @@ type StoreStats struct {
 	PutErrors   uint64 `json:"putErrors"`
 	Quarantined uint64 `json:"quarantined"`
 	TmpSwept    int    `json:"tmpSwept"`
+	Segments    int    `json:"segments"`
+	Migrated    int    `json:"migrated"`
+	TornTail    int    `json:"tornTail"`
+	DeadRecords int    `json:"deadRecords"`
+	Compactions uint64 `json:"compactions"`
 }
 
-// EngineStats reports the first-level memo cache.
+// EngineStats reports the cell cache, level by level: display-keyed
+// memo hits/misses, first-sights folded onto an equivalence class,
+// class executions replayed from the second-level store, and the
+// residue actually simulated. classHits/misses gives the dedup ratio.
 type EngineStats struct {
-	Hits   uint64 `json:"hits"`
-	Misses uint64 `json:"misses"`
+	Hits            uint64 `json:"hits"`
+	Misses          uint64 `json:"misses"`
+	ClassHits       uint64 `json:"classHits"`
+	SecondLevelHits uint64 `json:"secondLevelHits"`
+	Classes         uint64 `json:"classes"`
+	Simulated       uint64 `json:"simulated"`
 }
 
 // ServerStats reports sweep admission outcomes.
@@ -235,7 +247,15 @@ func (s *Server) Stats() StatsSnapshot {
 			Draining:  s.draining.Load(),
 		},
 	}
-	snap.Engine.Hits, snap.Engine.Misses = s.cfg.Engine.Stats()
+	d := s.cfg.Engine.StatsDetail()
+	snap.Engine = EngineStats{
+		Hits:            d.Hits,
+		Misses:          d.Misses,
+		ClassHits:       d.ClassHits,
+		SecondLevelHits: d.SecondLevelHits,
+		Classes:         d.Classes,
+		Simulated:       d.Simulated,
+	}
 	if s.cfg.Store != nil {
 		st := s.cfg.Store.Stats()
 		snap.Store = &StoreStats{
@@ -246,6 +266,11 @@ func (s *Server) Stats() StatsSnapshot {
 			PutErrors:   st.PutErrors,
 			Quarantined: st.Quarantined,
 			TmpSwept:    st.TmpSwept,
+			Segments:    st.Segments,
+			Migrated:    st.Migrated,
+			TornTail:    st.TornTail,
+			DeadRecords: st.DeadRecords,
+			Compactions: st.Compactions,
 		}
 	}
 	return snap

@@ -7,50 +7,76 @@
 // cost are a pure function of its engine.Key (PR 2/4/5's byte-identity
 // guarantees), so a stored result replayed into a later run renders the
 // exact bytes a fresh simulation would. The store's own job is to make
-// that cache survive crashes:
-//
-//   - Writes are atomic. An entry is encoded to a temporary file in the
-//     same directory, synced, and renamed into place. A crash — up to
-//     and including kill -9 mid-write — leaves either the complete new
-//     entry or no entry, never a torn one visible under a committed
-//     name. Stale *.tmp files are swept on the next open.
-//   - Every entry carries a CRC32 checksum over its payload, plus a
-//     magic/version header and an exact length. Get re-verifies the
-//     checksum on every read, so a flipped bit on disk is detected, not
-//     replayed into results.
-//   - Open runs a recovery scan instead of trusting the directory:
-//     entries that are truncated, zero-length, bit-flipped or otherwise
-//     undecodable are moved to quarantine/ (preserved for forensics,
-//     never deleted) and the rest of the store keeps serving. A damaged
-//     entry costs a re-simulation, not an outage.
-//   - An exclusive lock file (flock) makes a store single-writer: a
-//     second daemon opening the same directory gets ErrLocked
-//     immediately instead of silently interleaving writes. The kernel
-//     releases the lock when the owner dies, however it dies.
+// that cache survive crashes while absorbing million-cell sweeps: v1
+// wrote one fsynced file per cell, which means a million files and a
+// million fsyncs for a million-cell grid; v2 appends records to a small
+// number of segment logs with group-committed fsyncs and an in-memory
+// index.
 //
 // # Layout
 //
-//	<dir>/LOCK             flock'd while the store is open; holds the owner pid
-//	<dir>/cells/<key-hash>[-n].cell   one entry per cell (n disambiguates hash collisions)
-//	<dir>/quarantine/      damaged entries moved aside by the recovery scan
+//	<dir>/LOCK                     flock'd while the store is open; holds the owner pid
+//	<dir>/segments/seg-NNNNNN.log  append-only record logs (~4 MB each)
+//	<dir>/quarantine/              damaged bytes set aside by recovery, never deleted
+//	<dir>/cells/                   v1 file-per-entry layout; migrated and removed on open
 //
-// An entry file is:
+// A segment is a sequence of framed records:
 //
-//	"SBC1" | crc32(payload) BE | len(payload) BE | payload
+//	offset    size  field
+//	------    ----  -----------------------------------------------
+//	+0        4     magic "SBS2"
+//	+4        4     crc32(payload), big endian
+//	+8        4     len(payload), big endian
+//	+12       len   payload: gob(engine.Key) gob(cycles) gob(value)
 //
-// where the payload is three gob values — the full engine.Key (the
-// content address; the file name is only its 64-bit hash, so a hash
-// collision degrades to a probe sequence, never aliases), the cell's
-// simulated-cycle cost, and the cell value. The key and cycles decode
-// cheaply during the open scan; the value is decoded only on Get, after
-// the checksum has been verified.
+// The payload encoding is byte-identical to v1's, so migration re-frames
+// each old entry without decoding its value. The full engine.Key in the
+// payload is the content address — the in-memory index is keyed by the
+// struct itself, so a hash collision cannot alias two cells.
+//
+// # Crash safety
+//
+//   - Appends are tail-only. A crash — up to and including kill -9
+//     mid-write — can only tear the last record of the newest segment.
+//     The open scan truncates a torn tail (counted in Stats.TornTail,
+//     logged, nothing quarantined: it is the expected debris of a
+//     crash, exactly like v1's swept *.tmp files) and every record
+//     before it stays committed.
+//   - Every record carries a CRC32 over its payload. Get re-verifies it
+//     on every read, so a flipped bit on disk is detected, not replayed
+//     into results; the damaged record is set aside in quarantine/ and
+//     the entry re-simulates (self-healing).
+//   - Mid-segment corruption (bit rot, overwritten spans) is found by
+//     the open scan: the scan resynchronises on the next valid record
+//     boundary, copies the damaged span to quarantine/ (preserved for
+//     forensics, never deleted), and rewrites the segment without it —
+//     every undamaged record keeps serving.
+//   - Group commit: appends are fsynced every few records, on segment
+//     rotation, by a background flusher, and at Close. A power cut can
+//     cost the last unsynced group (they re-simulate); it cannot
+//     corrupt committed records. Options.NoSync skips fsyncs entirely
+//     for tests (atomicity against process death does not need them).
+//   - An exclusive lock file (flock) makes a store single-writer: a
+//     second daemon opening the same directory gets ErrLocked
+//     immediately. The kernel releases the lock when the owner dies,
+//     however it dies.
+//
+// # Compaction
+//
+// Records die when a duplicate key is found at scan, when Get
+// quarantines a corrupt record, or when migration/compaction rewrites
+// supersede them. Sealed segments whose records are mostly dead are
+// compacted — live records re-appended to the current segment, the old
+// file deleted — by Compact (called periodically by the background
+// flusher, and available to tests and tools).
 //
 // Cell values cross the gob boundary as interfaces, so every concrete
 // cell value type must be registered with encoding/gob (the harness
 // registers its types in an init; see internal/harness). A value whose
 // type is not registered is skipped on Put and counted in
 // Stats.PutErrors — the store degrades to a smaller cache, it never
-// fails a run.
+// fails a run. The same degradation applies to write errors (see
+// Options.Fault for the injectable disk-full fault point).
 package store
 
 import (
@@ -67,35 +93,64 @@ import (
 	"sync"
 	"sync/atomic"
 	"syscall"
+	"time"
 
 	"spectrebench/internal/engine"
+	"spectrebench/internal/faultinject"
 )
 
 // ErrLocked reports that another process holds the store's exclusive
 // lock (a second daemon pointed at a live store directory).
 var ErrLocked = errors.New("store: directory is locked by another process")
 
-var magic = [4]byte{'S', 'B', 'C', '1'}
+var (
+	magic   = [4]byte{'S', 'B', 'S', '2'} // segment record frame
+	magicV1 = [4]byte{'S', 'B', 'C', '1'} // v1 file-per-entry header
+)
 
 const (
 	lockName       = "LOCK"
-	cellsDirName   = "cells"
+	segsDirName    = "segments"
+	cellsDirName   = "cells" // v1 layout, migrated on open
 	quarantineName = "quarantine"
+	segPrefix      = "seg-"
+	segExt         = ".log"
 	cellExt        = ".cell"
 	tmpExt         = ".tmp"
 	headerLen      = 12 // magic + crc32 + payload length
+
+	// groupCommitEvery fsyncs the current segment after this many
+	// unsynced appends (plus rotation, the background flusher and
+	// Close).
+	groupCommitEvery = 64
+	// flushInterval is the background flusher's tick.
+	flushInterval = 200 * time.Millisecond
+	// compactEvery runs Compact every this many flusher ticks.
+	compactEvery = 16
 )
+
+// segMaxBytes rotates the current segment once it grows past this. A
+// variable so tests can exercise rotation and compaction without
+// writing megabytes.
+var segMaxBytes int64 = 4 << 20
 
 // Options configures Open.
 type Options struct {
-	// NoSync skips the fsync before each rename. Committed entries are
-	// then atomic against process death (kill -9) but not against power
-	// loss. Tests and benchmarks use it; daemons should not.
+	// NoSync skips every fsync. Committed entries are then atomic
+	// against process death (kill -9) but not against power loss; the
+	// background flusher and compactor are not started. Tests and
+	// benchmarks use it; daemons should not.
 	NoSync bool
 	// Logf, when non-nil, receives recovery and degradation notices
-	// (quarantined entries, skipped writes). The store never logs to a
-	// default destination on its own.
+	// (quarantined spans, truncated tails, skipped writes). The store
+	// never logs to a default destination on its own.
 	Logf func(format string, args ...any)
+	// Fault, when non-nil, is consulted at the StoreWrite fault point
+	// before each segment append: a fired fault simulates a disk-full
+	// short write (half the record lands, the tail is rolled back, the
+	// put is counted in Stats.PutErrors). The store serializes appends,
+	// so the injector needs no locking of its own.
+	Fault *faultinject.Injector
 }
 
 // Stats is a snapshot of the store's counters. The scan fields are
@@ -108,58 +163,90 @@ type Stats struct {
 	Hits, Misses uint64
 	// Puts counts entries committed by this process; PutErrors counts
 	// Put attempts skipped or failed (unregistered value type, I/O
-	// error).
+	// error, injected disk-full).
 	Puts, PutErrors uint64
-	// Quarantined counts entries moved to quarantine/ — by the open
-	// recovery scan and by Get checksum failures since.
+	// Quarantined counts damage events whose bytes were moved to
+	// quarantine/ — corrupt spans found by the open scan, damaged v1
+	// entries found by migration, and Get checksum failures since.
 	Quarantined uint64
 	// TmpSwept counts abandoned temporary files removed at Open (the
-	// debris of a crash mid-write).
+	// debris of a crash mid-write: v1 put temporaries, interrupted
+	// segment rewrites).
 	TmpSwept int
+	// TornTail counts segment tails truncated at Open — the partial
+	// record a crash mid-append leaves. Expected debris, not damage.
+	TornTail int
+	// Segments is the number of live segment files.
+	Segments int
+	// Migrated counts v1 entries re-framed into segments by this Open.
+	Migrated int
+	// DeadRecords counts records still occupying segment bytes whose
+	// key has been superseded or quarantined (reclaimed by Compact).
+	DeadRecords int
+	// Compactions counts segments removed or rewritten by Compact.
+	Compactions uint64
+}
+
+// segment is one open segment log. size is guarded by the writer mutex;
+// live/dead by the index mutex.
+type segment struct {
+	seq  uint64
+	name string // base name under segments/
+	f    *os.File
+	size int64
+	live int
+	dead int
+}
+
+// ref locates one committed cell inside a segment.
+type ref struct {
+	seg    *segment
+	off    int64 // offset of the record frame
+	plen   uint32
+	cycles uint64
 }
 
 // Store is an open cell store. It is safe for concurrent use by the
 // engine's workers.
 type Store struct {
-	dir      string
-	cellsDir string
-	opts     Options
+	dir    string
+	segDir string
+	opts   Options
+
 	lockFile *os.File
 
-	mu     sync.RWMutex
-	index  map[engine.Key]indexEntry
-	names  map[string]bool // committed file base names, for collision probing
-	tmpSeq atomic.Uint64
+	// mu guards the index and every segment's live/dead counters.
+	mu    sync.RWMutex
+	index map[engine.Key]ref
 
-	closed atomic.Bool
+	// wmu serializes writers: appends, rotation, migration, compaction.
+	// Lock order: wmu before mu, never the reverse.
+	wmu      sync.Mutex
+	segs     []*segment // ascending seq; the last is the append target
+	unsynced int
+
+	closed  atomic.Bool
+	stopCh  chan struct{}
+	flushWG sync.WaitGroup
 
 	hits, misses, puts, putErrors, quarantined atomic.Uint64
-	tmpSwept                                   int
+	compactions                                atomic.Uint64
+	tmpSwept, tornTail, migrated               int
 }
-
-// indexEntry locates one committed cell on disk.
-type indexEntry struct {
-	file   string // base name under cells/
-	cycles uint64
-}
-
-// diskKey mirrors engine.Key in the payload so the full key string is
-// stored alongside the hash-derived file name (the content address).
-// It is engine.Key itself: the struct has only exported fields.
 
 // Open opens (creating if necessary) the store rooted at dir, acquires
-// its exclusive lock, and runs the recovery scan. The returned store
+// its exclusive lock, runs the recovery scan over the segment logs, and
+// migrates any v1 (file-per-entry) layout it finds. The returned store
 // must be closed to release the lock (the kernel also releases it if
 // the process dies).
 func Open(dir string, opts Options) (*Store, error) {
 	s := &Store{
-		dir:      dir,
-		cellsDir: filepath.Join(dir, cellsDirName),
-		opts:     opts,
-		index:    map[engine.Key]indexEntry{},
-		names:    map[string]bool{},
+		dir:    dir,
+		segDir: filepath.Join(dir, segsDirName),
+		opts:   opts,
+		index:  map[engine.Key]ref{},
 	}
-	for _, d := range []string{dir, s.cellsDir, filepath.Join(dir, quarantineName)} {
+	for _, d := range []string{dir, s.segDir, filepath.Join(dir, quarantineName)} {
 		if err := os.MkdirAll(d, 0o777); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
@@ -170,6 +257,21 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := s.recoverScan(); err != nil {
 		s.releaseLock()
 		return nil, err
+	}
+	if err := s.migrateV1(); err != nil {
+		s.releaseLock()
+		return nil, err
+	}
+	if len(s.segs) == 0 {
+		if err := s.addSegmentLocked(1); err != nil {
+			s.releaseLock()
+			return nil, err
+		}
+	}
+	if !s.opts.NoSync {
+		s.stopCh = make(chan struct{})
+		s.flushWG.Add(1)
+		go s.flusher()
 	}
 	return s, nil
 }
@@ -203,25 +305,289 @@ func (s *Store) releaseLock() {
 	}
 }
 
-// recoverScan walks cells/: abandoned *.tmp files are removed, every
-// *.cell file is validated (header, length, checksum, key decode) and
-// either indexed or quarantined. The scan order is sorted so collision
-// chains resolve deterministically.
+func (s *Store) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// recoverScan walks segments/: abandoned *.tmp files (interrupted
+// rewrites) are removed, every seg-*.log is validated record by record
+// and either indexed, truncated at a torn tail, or — for mid-segment
+// corruption — resynchronised with the damaged span quarantined and the
+// file rewritten without it.
 func (s *Store) recoverScan() error {
-	entries, err := os.ReadDir(s.cellsDir)
+	entries, err := os.ReadDir(s.segDir)
 	if err != nil {
 		return fmt.Errorf("store: scan: %w", err)
 	}
-	names := make([]string, 0, len(entries))
+	var names []string
 	for _, de := range entries {
 		if de.IsDir() {
 			continue
 		}
-		names = append(names, de.Name())
+		name := de.Name()
+		if strings.HasSuffix(name, tmpExt) {
+			os.Remove(filepath.Join(s.segDir, name))
+			s.tmpSwept++
+			s.logf("store: swept abandoned temp file %s", name)
+			continue
+		}
+		if strings.HasPrefix(name, segPrefix) && strings.HasSuffix(name, segExt) {
+			names = append(names, name)
+		}
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		path := filepath.Join(s.cellsDir, name)
+		if err := s.scanSegment(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// errTorn distinguishes a record torn at end-of-file (expected crash
+// debris) from in-place corruption.
+var errTorn = errors.New("record torn at end of segment")
+
+// parseRecord validates the record framed at data[off:] and decodes its
+// key and cycle count (the value stays encoded). n is the full frame
+// length.
+func parseRecord(data []byte, off int) (key engine.Key, cycles uint64, plen uint32, n int, err error) {
+	if len(data)-off < headerLen {
+		return key, 0, 0, 0, errTorn
+	}
+	if !bytes.Equal(data[off:off+4], magic[:]) {
+		return key, 0, 0, 0, fmt.Errorf("bad magic %q", data[off:off+4])
+	}
+	wantCRC := binary.BigEndian.Uint32(data[off+4 : off+8])
+	plen = binary.BigEndian.Uint32(data[off+8 : off+12])
+	if uint64(len(data)-off-headerLen) < uint64(plen) {
+		return key, 0, 0, 0, errTorn
+	}
+	payload := data[off+headerLen : off+headerLen+int(plen)]
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return key, 0, 0, 0, fmt.Errorf("checksum mismatch (stored %08x, computed %08x)", wantCRC, got)
+	}
+	dec := gob.NewDecoder(bytes.NewReader(payload))
+	if err := dec.Decode(&key); err != nil {
+		return key, 0, 0, 0, fmt.Errorf("key decode: %w", err)
+	}
+	if err := dec.Decode(&cycles); err != nil {
+		return key, 0, 0, 0, fmt.Errorf("cycles decode: %w", err)
+	}
+	return key, cycles, plen, headerLen + int(plen), nil
+}
+
+// resyncOffset finds the next offset >= from at which a fully valid
+// record is framed, or len(data) when the rest of the segment is
+// unsalvageable. CRC validation makes a payload byte that happens to
+// spell the magic a non-issue.
+func resyncOffset(data []byte, from int) int {
+	for from < len(data) {
+		i := bytes.Index(data[from:], magic[:])
+		if i < 0 {
+			return len(data)
+		}
+		cand := from + i
+		if _, _, _, _, err := parseRecord(data, cand); err == nil {
+			return cand
+		}
+		from = cand + 1
+	}
+	return len(data)
+}
+
+// scanRec is one valid record located by the segment scan.
+type scanRec struct {
+	key    engine.Key
+	cycles uint64
+	off    int
+	n      int
+}
+
+// scanSegment validates one segment log, repairing it in place: torn
+// tails are truncated, corrupt spans quarantined and the file rewritten
+// without them. Valid records are indexed (first writer of a key wins).
+func (s *Store) scanSegment(name string) error {
+	path := filepath.Join(s.segDir, name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("store: scan %s: %w", name, err)
+	}
+	var recs []scanRec
+	damaged := false
+	off := 0
+	end := len(data)
+	for off < len(data) {
+		key, cycles, _, n, err := parseRecord(data, off)
+		if err == nil {
+			recs = append(recs, scanRec{key: key, cycles: cycles, off: off, n: n})
+			off += n
+			continue
+		}
+		if errors.Is(err, errTorn) {
+			// The partial record a crash mid-append leaves: expected
+			// debris, truncated without ceremony.
+			s.tornTail++
+			s.logf("store: %s: truncated torn tail at offset %d (%d bytes)", name, off, len(data)-off)
+			end = off
+			break
+		}
+		// In-place corruption: set the damaged span aside and resume at
+		// the next record boundary.
+		next := resyncOffset(data, off+1)
+		s.quarantineBytes(fmt.Sprintf("%s@%d", name, off), data[off:next])
+		s.quarantined.Add(1)
+		s.logf("store: %s: quarantined %d corrupt bytes at offset %d: %v", name, next-off, off, err)
+		damaged = true
+		off = next
+	}
+
+	seq := segSeq(name)
+	seg := &segment{seq: seq, name: name}
+	if damaged {
+		// Rewrite the segment from its valid records so the next open
+		// does not re-quarantine the same span. The rewrite is atomic
+		// (tmp + rename); a crash mid-rewrite leaves the original.
+		var buf bytes.Buffer
+		newRecs := make([]scanRec, len(recs))
+		for i, r := range recs {
+			newRecs[i] = scanRec{key: r.key, cycles: r.cycles, off: buf.Len(), n: r.n}
+			buf.Write(data[r.off : r.off+r.n])
+		}
+		tmp := path + tmpExt
+		if err := os.WriteFile(tmp, buf.Bytes(), 0o666); err != nil {
+			return fmt.Errorf("store: rewrite %s: %w", name, err)
+		}
+		if !s.opts.NoSync {
+			if err := syncFile(tmp); err != nil {
+				return fmt.Errorf("store: rewrite %s: %w", name, err)
+			}
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			return fmt.Errorf("store: rewrite %s: %w", name, err)
+		}
+		recs = newRecs
+		end = buf.Len()
+	} else if end < len(data) {
+		if err := os.Truncate(path, int64(end)); err != nil {
+			return fmt.Errorf("store: truncate %s: %w", name, err)
+		}
+	}
+
+	f, err := os.OpenFile(path, os.O_RDWR, 0o666)
+	if err != nil {
+		return fmt.Errorf("store: open %s: %w", name, err)
+	}
+	seg.f = f
+	seg.size = int64(end)
+	for _, r := range recs {
+		if _, dup := s.index[r.key]; dup {
+			// Two records claim one key (a crash between a migration
+			// append and the v1 removal, or a healed re-put): the first
+			// stays authoritative, the second is dead weight for
+			// Compact.
+			seg.dead++
+			continue
+		}
+		s.index[r.key] = ref{seg: seg, off: int64(r.off), plen: uint32(r.n - headerLen), cycles: r.cycles}
+		seg.live++
+	}
+	s.segs = append(s.segs, seg)
+	return nil
+}
+
+// segSeq parses the sequence number out of a segment file name; 0 for
+// foreign names (which sort first and are never the append target).
+func segSeq(name string) uint64 {
+	var seq uint64
+	fmt.Sscanf(name, segPrefix+"%d"+segExt, &seq)
+	return seq
+}
+
+func syncFile(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o666)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// addSegmentLocked creates and appends a fresh segment log. Caller
+// holds wmu (or is the single-threaded Open path).
+func (s *Store) addSegmentLocked(seq uint64) error {
+	name := fmt.Sprintf("%s%06d%s", segPrefix, seq, segExt)
+	f, err := os.OpenFile(filepath.Join(s.segDir, name), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o666)
+	if err != nil {
+		return fmt.Errorf("store: segment %s: %w", name, err)
+	}
+	s.segs = append(s.segs, &segment{seq: seq, name: name, f: f})
+	return nil
+}
+
+// readV1Entry reads and validates one v1 (file-per-entry) cell file,
+// returning its key, cycle count and still-encoded payload.
+func readV1Entry(path string) (key engine.Key, cycles uint64, payload []byte, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return key, 0, nil, err
+	}
+	if len(raw) == 0 {
+		return key, 0, nil, errors.New("zero-length entry")
+	}
+	if len(raw) < headerLen {
+		return key, 0, nil, fmt.Errorf("truncated header (%d bytes)", len(raw))
+	}
+	if !bytes.Equal(raw[:4], magicV1[:]) {
+		return key, 0, nil, fmt.Errorf("bad magic %q", raw[:4])
+	}
+	wantCRC := binary.BigEndian.Uint32(raw[4:8])
+	plen := binary.BigEndian.Uint32(raw[8:12])
+	payload = raw[headerLen:]
+	if uint32(len(payload)) != plen {
+		return key, 0, nil, fmt.Errorf("payload length %d, header says %d", len(payload), plen)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return key, 0, nil, fmt.Errorf("checksum mismatch (stored %08x, computed %08x)", wantCRC, got)
+	}
+	dec := gob.NewDecoder(bytes.NewReader(payload))
+	if err := dec.Decode(&key); err != nil {
+		return key, 0, nil, fmt.Errorf("key decode: %w", err)
+	}
+	if err := dec.Decode(&cycles); err != nil {
+		return key, 0, nil, fmt.Errorf("cycles decode: %w", err)
+	}
+	return key, cycles, payload, nil
+}
+
+// migrateV1 re-frames a v1 file-per-entry layout into the segment logs:
+// valid entries append (payload bytes unchanged — the value is never
+// decoded), damaged entries quarantine exactly as the v1 recovery scan
+// did, stale temporaries are swept. The v1 files are removed only after
+// the appends are synced, so a crash anywhere leaves a layout the next
+// open migrates idempotently (an entry present in both places is
+// recognised by its indexed key and the file simply removed).
+func (s *Store) migrateV1() error {
+	cellsDir := filepath.Join(s.dir, cellsDirName)
+	entries, err := os.ReadDir(cellsDir)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: migrate: %w", err)
+	}
+	var names []string
+	for _, de := range entries {
+		if !de.IsDir() {
+			names = append(names, de.Name())
+		}
+	}
+	sort.Strings(names)
+	var migratedFiles []string
+	for _, name := range names {
+		path := filepath.Join(cellsDir, name)
 		if strings.HasSuffix(name, tmpExt) {
 			os.Remove(path)
 			s.tmpSwept++
@@ -231,29 +597,47 @@ func (s *Store) recoverScan() error {
 		if !strings.HasSuffix(name, cellExt) {
 			continue
 		}
-		key, cycles, _, err := readEntry(path, false)
+		key, cycles, payload, err := readV1Entry(path)
 		if err != nil {
-			s.quarantine(name, err)
+			s.quarantineMove(cellsDir, name, err)
 			continue
 		}
 		if _, dup := s.index[key]; dup {
-			// Two committed files claim one key (should be impossible;
-			// defensive): keep the first, set the second aside.
-			s.quarantine(name, errors.New("duplicate key"))
+			// Already in a segment: a previous migration crashed after
+			// the append but before this remove.
+			migratedFiles = append(migratedFiles, path)
 			continue
 		}
-		s.index[key] = indexEntry{file: name, cycles: cycles}
-		s.names[name] = true
+		seg, off, err := s.appendLocked(payload)
+		if err != nil {
+			return fmt.Errorf("store: migrate %s: %w", name, err)
+		}
+		s.index[key] = ref{seg: seg, off: off, plen: uint32(len(payload)), cycles: cycles}
+		seg.live++
+		s.migrated++
+		migratedFiles = append(migratedFiles, path)
 	}
+	if s.migrated > 0 {
+		s.logf("store: migrated %d v1 entries into segment logs", s.migrated)
+	}
+	if len(migratedFiles) > 0 {
+		if err := s.syncCurrentLocked(); err != nil {
+			return fmt.Errorf("store: migrate sync: %w", err)
+		}
+		for _, p := range migratedFiles {
+			os.Remove(p)
+		}
+	}
+	// Remove the empty v1 directory; harmless to leave if stragglers
+	// (quarantine-move failures) remain.
+	os.Remove(cellsDir)
 	return nil
 }
 
-// quarantine moves a damaged entry into quarantine/ under a
-// non-clobbering name. Removal of the source is the one thing that must
-// succeed; if even the rename fails the file is left in place and the
-// entry simply stays unindexed.
-func (s *Store) quarantine(name string, cause error) {
-	src := filepath.Join(s.cellsDir, name)
+// quarantineMove moves a damaged v1 entry file into quarantine/ under a
+// non-clobbering name.
+func (s *Store) quarantineMove(srcDir, name string, cause error) {
+	src := filepath.Join(srcDir, name)
 	dst := filepath.Join(s.dir, quarantineName, name)
 	for i := 1; ; i++ {
 		if _, err := os.Lstat(dst); os.IsNotExist(err) {
@@ -268,93 +652,190 @@ func (s *Store) quarantine(name string, cause error) {
 	s.logf("store: quarantined %s: %v", name, cause)
 }
 
-func (s *Store) logf(format string, args ...any) {
-	if s.opts.Logf != nil {
-		s.opts.Logf(format, args...)
+// quarantineBytes preserves a damaged byte span under quarantine/ with
+// a non-clobbering name. Failure to write is logged, never fatal — the
+// span is already dropped from the live store either way.
+func (s *Store) quarantineBytes(name string, data []byte) {
+	dst := filepath.Join(s.dir, quarantineName, name)
+	for i := 1; ; i++ {
+		if _, err := os.Lstat(dst); os.IsNotExist(err) {
+			break
+		}
+		dst = filepath.Join(s.dir, quarantineName, fmt.Sprintf("%s.%d", name, i))
+	}
+	if err := os.WriteFile(dst, data, 0o666); err != nil {
+		s.logf("store: quarantine write %s failed: %v", name, err)
 	}
 }
 
-// readEntry reads and validates one entry file: magic, exact length,
-// CRC32 over the payload, then gob-decodes the key and cycle count, and
-// — only when wantValue is set — the value itself.
-func readEntry(path string, wantValue bool) (key engine.Key, cycles uint64, val any, err error) {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return key, 0, nil, err
-	}
-	if len(raw) == 0 {
-		return key, 0, nil, errors.New("zero-length entry")
-	}
-	if len(raw) < headerLen {
-		return key, 0, nil, fmt.Errorf("truncated header (%d bytes)", len(raw))
-	}
-	if !bytes.Equal(raw[:4], magic[:]) {
-		return key, 0, nil, fmt.Errorf("bad magic %q", raw[:4])
-	}
-	wantCRC := binary.BigEndian.Uint32(raw[4:8])
-	plen := binary.BigEndian.Uint32(raw[8:12])
-	payload := raw[headerLen:]
-	if uint32(len(payload)) != plen {
-		return key, 0, nil, fmt.Errorf("payload length %d, header says %d", len(payload), plen)
-	}
-	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
-		return key, 0, nil, fmt.Errorf("checksum mismatch (stored %08x, computed %08x)", wantCRC, got)
-	}
-	dec := gob.NewDecoder(bytes.NewReader(payload))
-	if err := dec.Decode(&key); err != nil {
-		return key, 0, nil, fmt.Errorf("key decode: %w", err)
-	}
-	if err := dec.Decode(&cycles); err != nil {
-		return key, 0, nil, fmt.Errorf("cycles decode: %w", err)
-	}
-	if wantValue {
-		if err := dec.Decode(&val); err != nil {
-			return key, 0, nil, fmt.Errorf("value decode: %w", err)
+// appendLocked frames payload and appends it to the current segment,
+// rotating first if it is full. Caller holds wmu (or is the
+// single-threaded Open path). On any failure — including the injected
+// StoreWrite disk-full fault — the segment tail is rolled back to the
+// record boundary so the log stays clean for the next append.
+func (s *Store) appendLocked(payload []byte) (*segment, int64, error) {
+	if len(s.segs) == 0 {
+		if err := s.addSegmentLocked(1); err != nil {
+			return nil, 0, err
 		}
 	}
-	return key, cycles, val, nil
+	seg := s.segs[len(s.segs)-1]
+	if seg.size >= segMaxBytes {
+		if err := s.rotateLocked(); err != nil {
+			return nil, 0, err
+		}
+		seg = s.segs[len(s.segs)-1]
+	}
+	buf := make([]byte, headerLen+len(payload))
+	copy(buf, magic[:])
+	binary.BigEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	binary.BigEndian.PutUint32(buf[8:12], uint32(len(payload)))
+	copy(buf[headerLen:], payload)
+	start := seg.size
+	if s.opts.Fault.Fire(faultinject.StoreWrite) {
+		// Simulated disk-full: half the record lands — the torn write a
+		// failing disk produces — then the tail is rolled back.
+		seg.f.WriteAt(buf[:len(buf)/2], start)
+		seg.f.Truncate(start)
+		return nil, 0, fmt.Errorf("injected disk-full short write (%d of %d bytes)", len(buf)/2, len(buf))
+	}
+	n, err := seg.f.WriteAt(buf, start)
+	if err != nil || n < len(buf) {
+		seg.f.Truncate(start)
+		if err == nil {
+			err = fmt.Errorf("short write (%d of %d bytes)", n, len(buf))
+		}
+		return nil, 0, err
+	}
+	seg.size += int64(len(buf))
+	s.unsynced++
+	if !s.opts.NoSync && s.unsynced >= groupCommitEvery {
+		if err := seg.f.Sync(); err != nil {
+			return nil, 0, err
+		}
+		s.unsynced = 0
+	}
+	return seg, start, nil
+}
+
+// rotateLocked seals the current segment (final fsync) and opens the
+// next. Caller holds wmu.
+func (s *Store) rotateLocked() error {
+	cur := s.segs[len(s.segs)-1]
+	if !s.opts.NoSync {
+		if err := cur.f.Sync(); err != nil {
+			return err
+		}
+		s.unsynced = 0
+	}
+	return s.addSegmentLocked(cur.seq + 1)
+}
+
+// syncCurrentLocked flushes the current segment if anything is
+// unsynced. Caller holds wmu.
+func (s *Store) syncCurrentLocked() error {
+	if s.opts.NoSync || len(s.segs) == 0 || s.unsynced == 0 {
+		return nil
+	}
+	if err := s.segs[len(s.segs)-1].f.Sync(); err != nil {
+		return err
+	}
+	s.unsynced = 0
+	return nil
+}
+
+// flusher is the background group-commit and compaction loop (daemons
+// only; NoSync stores never start it).
+func (s *Store) flusher() {
+	defer s.flushWG.Done()
+	tick := time.NewTicker(flushInterval)
+	defer tick.Stop()
+	n := 0
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-tick.C:
+			s.wmu.Lock()
+			if err := s.syncCurrentLocked(); err != nil {
+				s.logf("store: background sync: %v", err)
+			}
+			s.wmu.Unlock()
+			if n++; n%compactEvery == 0 {
+				s.Compact()
+			}
+		}
+	}
 }
 
 // Get returns the stored value and simulated-cycle cost for key. It
 // satisfies engine.SecondLevel: a miss — including a read or decode
-// failure, which also quarantines the damaged file — is (nil, 0,
+// failure, which also quarantines the damaged record — is (nil, 0,
 // false), never an error. The checksum is re-verified on every read.
 func (s *Store) Get(key engine.Key) (val any, cycles uint64, ok bool) {
-	if s.closed.Load() {
-		return nil, 0, false
-	}
-	s.mu.RLock()
-	ent, found := s.index[key]
-	s.mu.RUnlock()
-	if !found {
-		s.misses.Add(1)
-		return nil, 0, false
-	}
-	gotKey, cycles, val, err := readEntry(filepath.Join(s.cellsDir, ent.file), true)
-	if err == nil && gotKey != key {
-		err = fmt.Errorf("entry holds key %v", gotKey)
-	}
-	if err != nil {
-		// Self-healing read path: drop the entry and set the file aside
-		// so the cell re-simulates from here on.
+	for attempt := 0; attempt < 2; attempt++ {
+		if s.closed.Load() {
+			return nil, 0, false
+		}
+		s.mu.RLock()
+		ent, found := s.index[key]
+		s.mu.RUnlock()
+		if !found {
+			s.misses.Add(1)
+			return nil, 0, false
+		}
+		raw := make([]byte, headerLen+int(ent.plen))
+		_, rerr := ent.seg.f.ReadAt(raw, ent.off)
+		var gotKey engine.Key
+		var gotCycles uint64
+		if rerr == nil {
+			gotKey, gotCycles, _, _, rerr = parseRecord(raw, 0)
+			if rerr == nil {
+				dec := gob.NewDecoder(bytes.NewReader(raw[headerLen:]))
+				var k engine.Key
+				dec.Decode(&k)
+				dec.Decode(&gotCycles)
+				if derr := dec.Decode(&val); derr != nil {
+					rerr = fmt.Errorf("value decode: %w", derr)
+				}
+			}
+		}
+		if rerr == nil && gotKey != key {
+			rerr = fmt.Errorf("record holds key %v", gotKey)
+		}
+		if rerr == nil {
+			s.hits.Add(1)
+			return val, gotCycles, true
+		}
+		// Self-healing read path: if the index still points at the bytes
+		// we just failed to read, drop the entry and set the bytes aside
+		// so the cell re-simulates from here on. If the index moved
+		// (compaction relocated the record), retry once at the new home.
 		s.mu.Lock()
-		if cur, still := s.index[key]; still && cur.file == ent.file {
+		cur, still := s.index[key]
+		if still && cur == ent {
 			delete(s.index, key)
-			delete(s.names, ent.file)
-			s.quarantine(ent.file, err)
+			ent.seg.live--
+			ent.seg.dead++
+			s.mu.Unlock()
+			if !s.closed.Load() {
+				s.quarantineBytes(fmt.Sprintf("%s@%d", ent.seg.name, ent.off), raw)
+				s.quarantined.Add(1)
+				s.logf("store: quarantined record %s@%d for %s: %v", ent.seg.name, ent.off, key.String(), rerr)
+			}
+			s.misses.Add(1)
+			return nil, 0, false
 		}
 		s.mu.Unlock()
-		s.misses.Add(1)
-		return nil, 0, false
 	}
-	s.hits.Add(1)
-	return val, cycles, true
+	s.misses.Add(1)
+	return nil, 0, false
 }
 
-// Put commits (key, val, cycles) atomically: encode, write to a
-// temporary file, sync (unless Options.NoSync), rename into place. It
-// satisfies engine.SecondLevel; failures are counted and logged, never
-// returned — a broken disk degrades the cache, not the run.
+// Put commits (key, val, cycles): encode, append to the current segment
+// log, group-commit. It satisfies engine.SecondLevel; failures are
+// counted and logged, never returned — a broken disk degrades the
+// cache, not the run.
 func (s *Store) Put(key engine.Key, val any, cycles uint64) {
 	if err := s.put(key, val, cycles); err != nil {
 		s.putErrors.Add(1)
@@ -374,7 +855,7 @@ func (s *Store) put(key engine.Key, val any, cycles uint64) error {
 	s.mu.RUnlock()
 	if dup {
 		// Deterministic cells make re-puts value-identical; skip the
-		// write instead of churning the file.
+		// write instead of churning the log.
 		return nil
 	}
 
@@ -389,63 +870,127 @@ func (s *Store) put(key engine.Key, val any, cycles uint64) error {
 	if err := enc.Encode(&val); err != nil {
 		return err // typically: concrete type not registered with gob
 	}
-	buf := make([]byte, headerLen+payload.Len())
-	copy(buf, magic[:])
-	binary.BigEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload.Bytes()))
-	binary.BigEndian.PutUint32(buf[8:12], uint32(payload.Len()))
-	copy(buf[headerLen:], payload.Bytes())
 
-	tmp := filepath.Join(s.cellsDir, fmt.Sprintf("put-%d-%d%s", os.Getpid(), s.tmpSeq.Add(1), tmpExt))
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o666)
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if s.closed.Load() {
+		return errors.New("store closed")
+	}
+	// Re-check under the writer lock: all index inserts happen with wmu
+	// held, so this is the authoritative duplicate test.
+	s.mu.RLock()
+	_, dup = s.index[key]
+	s.mu.RUnlock()
+	if dup {
+		return nil
+	}
+	seg, off, err := s.appendLocked(payload.Bytes())
 	if err != nil {
 		return err
 	}
-	if _, err := f.Write(buf); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if !s.opts.NoSync {
-		if err := f.Sync(); err != nil {
-			f.Close()
-			os.Remove(tmp)
-			return err
-		}
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-
 	s.mu.Lock()
-	if _, dup := s.index[key]; dup {
-		s.mu.Unlock()
-		os.Remove(tmp)
-		return nil
-	}
-	name := s.pickNameLocked(key)
-	if err := os.Rename(tmp, filepath.Join(s.cellsDir, name)); err != nil {
-		s.mu.Unlock()
-		os.Remove(tmp)
-		return err
-	}
-	s.index[key] = indexEntry{file: name, cycles: cycles}
-	s.names[name] = true
+	s.index[key] = ref{seg: seg, off: off, plen: uint32(payload.Len()), cycles: cycles}
+	seg.live++
 	s.mu.Unlock()
 	s.puts.Add(1)
 	return nil
 }
 
-// pickNameLocked chooses the entry file name for key: the key hash,
-// with a probe suffix in the (astronomically unlikely) event two
-// distinct keys share a 64-bit hash. Caller holds mu.
-func (s *Store) pickNameLocked(key engine.Key) string {
-	base := fmt.Sprintf("%016x", key.Hash())
-	name := base + cellExt
-	for i := 1; s.names[name]; i++ {
-		name = fmt.Sprintf("%s-%d%s", base, i, cellExt)
+// Compact reclaims dead segment bytes: a sealed segment none of whose
+// records are live is deleted outright; one with more dead records than
+// live has its live records re-appended to the current segment before
+// the file is deleted. Safe to call any time; the background flusher
+// calls it periodically on syncing stores.
+func (s *Store) Compact() {
+	if s.closed.Load() {
+		return
 	}
-	return name
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if s.closed.Load() || len(s.segs) == 0 {
+		return
+	}
+	sealed := s.segs[:len(s.segs)-1]
+	for _, seg := range append([]*segment(nil), sealed...) {
+		s.mu.RLock()
+		live, dead := seg.live, seg.dead
+		s.mu.RUnlock()
+		if dead == 0 || dead <= live {
+			continue
+		}
+		if live > 0 {
+			if err := s.relocateLocked(seg); err != nil {
+				s.logf("store: compact %s: %v", seg.name, err)
+				continue
+			}
+		}
+		s.dropSegmentLocked(seg)
+		s.compactions.Add(1)
+		s.logf("store: compacted %s (%d live, %d dead)", seg.name, live, dead)
+	}
+}
+
+// relocateLocked re-appends every live record of seg to the current
+// segment and repoints the index. Caller holds wmu.
+func (s *Store) relocateLocked(seg *segment) error {
+	s.mu.RLock()
+	var keys []engine.Key
+	for k, r := range s.index {
+		if r.seg == seg {
+			keys = append(keys, k)
+		}
+	}
+	s.mu.RUnlock()
+	for _, k := range keys {
+		s.mu.RLock()
+		r, ok := s.index[k]
+		s.mu.RUnlock()
+		if !ok || r.seg != seg {
+			continue
+		}
+		raw := make([]byte, headerLen+int(r.plen))
+		if _, err := seg.f.ReadAt(raw, r.off); err != nil {
+			return err
+		}
+		if _, _, _, _, err := parseRecord(raw, 0); err != nil {
+			// Rot discovered during compaction: treat it like a Get
+			// self-heal — quarantine, drop, move on.
+			s.mu.Lock()
+			delete(s.index, k)
+			seg.live--
+			seg.dead++
+			s.mu.Unlock()
+			s.quarantineBytes(fmt.Sprintf("%s@%d", seg.name, r.off), raw)
+			s.quarantined.Add(1)
+			continue
+		}
+		dst, off, err := s.appendLocked(raw[headerLen:])
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.index[k] = ref{seg: dst, off: off, plen: r.plen, cycles: r.cycles}
+		seg.live--
+		dst.live++
+		s.mu.Unlock()
+	}
+	if err := s.syncCurrentLocked(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// dropSegmentLocked closes and deletes a fully dead segment. Caller
+// holds wmu.
+func (s *Store) dropSegmentLocked(seg *segment) {
+	for i, sg := range s.segs {
+		if sg == seg {
+			s.segs = append(s.segs[:i], s.segs[i+1:]...)
+			break
+		}
+	}
+	seg.f.Close()
+	os.Remove(filepath.Join(s.segDir, seg.name))
 }
 
 // Len returns the number of committed entries currently indexed.
@@ -457,28 +1002,55 @@ func (s *Store) Len() int {
 
 // Stats returns a snapshot of the store's counters.
 func (s *Store) Stats() Stats {
-	return Stats{
-		Entries:     s.Len(),
+	st := Stats{
 		Hits:        s.hits.Load(),
 		Misses:      s.misses.Load(),
 		Puts:        s.puts.Load(),
 		PutErrors:   s.putErrors.Load(),
 		Quarantined: s.quarantined.Load(),
+		Compactions: s.compactions.Load(),
 		TmpSwept:    s.tmpSwept,
+		TornTail:    s.tornTail,
+		Migrated:    s.migrated,
 	}
+	s.mu.RLock()
+	st.Entries = len(s.index)
+	st.Segments = len(s.segs)
+	for _, seg := range s.segs {
+		st.DeadRecords += seg.dead
+	}
+	s.mu.RUnlock()
+	return st
 }
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
-// Close releases the exclusive lock and marks the store closed.
-// Idempotent; Get/Put after Close are misses/no-ops, matching the
-// engine's drain-then-close shutdown order.
+// Close flushes the current segment, stops the background flusher,
+// releases the exclusive lock and marks the store closed. Idempotent;
+// Get/Put after Close are misses/no-ops, matching the engine's
+// drain-then-close shutdown order.
 func (s *Store) Close() error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	if s.stopCh != nil {
+		close(s.stopCh)
+		s.flushWG.Wait()
+	}
+	s.wmu.Lock()
+	var err error
+	if !s.opts.NoSync && len(s.segs) > 0 && s.unsynced > 0 {
+		err = s.segs[len(s.segs)-1].f.Sync()
+	}
+	for _, seg := range s.segs {
+		seg.f.Close()
+	}
+	s.wmu.Unlock()
 	s.releaseLock()
+	if err != nil {
+		return fmt.Errorf("store: close sync: %w", err)
+	}
 	return nil
 }
 
@@ -487,6 +1059,6 @@ func (s *Store) Close() error {
 // so stdout stays byte-identical between cold and warm runs.
 func (s *Store) Note() string {
 	st := s.Stats()
-	return fmt.Sprintf("cell store: %d entries, %d hits, %d misses, %d written, %d quarantined (dir %s)",
-		st.Entries, st.Hits, st.Misses, st.Puts, st.Quarantined, s.dir)
+	return fmt.Sprintf("cell store: %d entries, %d hits, %d misses, %d written, %d quarantined, %d segments (dir %s)",
+		st.Entries, st.Hits, st.Misses, st.Puts, st.Quarantined, st.Segments, s.dir)
 }

@@ -1,9 +1,12 @@
 package store
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -13,6 +16,7 @@ import (
 	"time"
 
 	"spectrebench/internal/engine"
+	"spectrebench/internal/faultinject"
 )
 
 // structVal is a registered structured cell value for round-trip tests.
@@ -36,14 +40,38 @@ func openT(t *testing.T, dir string) *Store {
 	return s
 }
 
-// cellFile returns the on-disk path of key's committed entry.
-func cellFile(t *testing.T, dir string, key engine.Key) string {
+// segFiles returns the store's segment log paths in name order.
+func segFiles(t *testing.T, dir string) []string {
 	t.Helper()
-	path := filepath.Join(dir, cellsDirName, fmt.Sprintf("%016x%s", key.Hash(), cellExt))
-	if _, err := os.Stat(path); err != nil {
-		t.Fatalf("entry file for %s: %v", key.String(), err)
+	paths, err := filepath.Glob(filepath.Join(dir, segsDirName, segPrefix+"*"+segExt))
+	if err != nil {
+		t.Fatal(err)
 	}
-	return path
+	if len(paths) == 0 {
+		t.Fatalf("no segment logs under %s", dir)
+	}
+	return paths
+}
+
+// recordOffsets scans a segment file and returns the frame offset and
+// length of every record in it (the test-side mirror of the scan).
+func recordOffsets(t *testing.T, path string) [][2]int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out [][2]int
+	off := 0
+	for off < len(data) {
+		_, _, _, n, err := parseRecord(data, off)
+		if err != nil {
+			t.Fatalf("%s: record at %d: %v", path, off, err)
+		}
+		out = append(out, [2]int{off, n})
+		off += n
+	}
+	return out
 }
 
 // TestRoundTripAcrossReopen pins the basic contract: heterogeneous
@@ -87,136 +115,325 @@ func TestRoundTripAcrossReopen(t *testing.T) {
 	}
 }
 
-// TestRecoveryQuarantinesExactlyTheDamagedEntries is the crash-safety
-// core: after every damage mode the issue names — truncation, bit
-// flips, zero-length files, plus bad magic and abandoned temp files —
-// a fresh Open must quarantine exactly the damaged entries and serve
-// every undamaged one.
-func TestRecoveryQuarantinesExactlyTheDamagedEntries(t *testing.T) {
+// TestWarmRePutSkipsDuplicate pins the warm-run contract `run`/serve
+// depend on: re-putting a committed key writes nothing (Puts stays 0 on
+// a fully warm sweep) and the stored value is untouched.
+func TestWarmRePutSkipsDuplicate(t *testing.T) {
 	dir := t.TempDir()
-	const n = 8
+	s := openT(t, dir)
+	s.Put(testKey(0), 1.5, 10)
+	s.Close()
+
+	s2 := openT(t, dir)
+	defer s2.Close()
+	s2.Put(testKey(0), 999.0, 999)
+	if st := s2.Stats(); st.Puts != 0 || st.PutErrors != 0 {
+		t.Errorf("puts=%d putErrors=%d after warm re-put, want 0/0", st.Puts, st.PutErrors)
+	}
+	if val, cycles, ok := s2.Get(testKey(0)); !ok || val != 1.5 || cycles != 10 {
+		t.Errorf("got (%v, %d, %v), want (1.5, 10, true)", val, cycles, ok)
+	}
+}
+
+// TestTornTailIsTruncatedNotQuarantined: the partial record a crash
+// mid-append leaves is expected debris — the scan truncates it,
+// counts it in TornTail, and quarantines nothing.
+func TestTornTailIsTruncatedNotQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	const n = 5
 	s := openT(t, dir)
 	for i := 0; i < n; i++ {
-		s.Put(testKey(i), float64(i)*1.5, uint64(100+i))
+		s.Put(testKey(i), float64(i), uint64(i))
 	}
-	files := make([]string, n)
-	for i := 0; i < n; i++ {
-		files[i] = cellFile(t, dir, testKey(i))
-	}
-	if err := s.Close(); err != nil {
-		t.Fatalf("Close: %v", err)
-	}
+	s.Close()
 
-	damaged := map[int]string{1: "truncated", 2: "bit-flipped", 3: "zero-length", 4: "bad-magic"}
-	// Truncate entry 1 mid-payload.
-	fi, err := os.Stat(files[1])
-	if err != nil {
-		t.Fatal(err)
+	seg := segFiles(t, dir)[0]
+	recs := recordOffsets(t, seg)
+	if len(recs) != n {
+		t.Fatalf("%d records, want %d", len(recs), n)
 	}
-	if err := os.Truncate(files[1], fi.Size()/2); err != nil {
-		t.Fatal(err)
-	}
-	// Flip one payload bit of entry 2.
-	raw, err := os.ReadFile(files[2])
-	if err != nil {
-		t.Fatal(err)
-	}
-	raw[len(raw)-1] ^= 0x40
-	if err := os.WriteFile(files[2], raw, 0o666); err != nil {
-		t.Fatal(err)
-	}
-	// Zero out entry 3 (crash before any byte reached the file).
-	if err := os.Truncate(files[3], 0); err != nil {
-		t.Fatal(err)
-	}
-	// Corrupt entry 4's magic.
-	raw4, err := os.ReadFile(files[4])
-	if err != nil {
-		t.Fatal(err)
-	}
-	raw4[0] = 'X'
-	if err := os.WriteFile(files[4], raw4, 0o666); err != nil {
-		t.Fatal(err)
-	}
-	// Leave an abandoned temp file (crash mid-write) and a stray
-	// non-entry file (must be ignored, not quarantined).
-	if err := os.WriteFile(filepath.Join(dir, cellsDirName, "put-999-1.tmp"), []byte("partial"), 0o666); err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(filepath.Join(dir, cellsDirName, "README"), []byte("not a cell"), 0o666); err != nil {
+	last := recs[n-1]
+	// Tear the last record mid-payload.
+	if err := os.Truncate(seg, int64(last[0]+last[1]/2)); err != nil {
 		t.Fatal(err)
 	}
 
 	s2 := openT(t, dir)
 	defer s2.Close()
 	st := s2.Stats()
-	if st.Quarantined != uint64(len(damaged)) {
-		t.Errorf("quarantined=%d, want %d", st.Quarantined, len(damaged))
+	if st.TornTail != 1 {
+		t.Errorf("tornTail=%d, want 1", st.TornTail)
 	}
-	if st.TmpSwept != 1 {
-		t.Errorf("tmpSwept=%d, want 1", st.TmpSwept)
+	if st.Quarantined != 0 {
+		t.Errorf("quarantined=%d, want 0 (a torn tail is not damage)", st.Quarantined)
 	}
-	if s2.Len() != n-len(damaged) {
-		t.Errorf("Len=%d, want %d", s2.Len(), n-len(damaged))
+	if s2.Len() != n-1 {
+		t.Errorf("Len=%d, want %d", s2.Len(), n-1)
+	}
+	for i := 0; i < n-1; i++ {
+		if val, _, ok := s2.Get(testKey(i)); !ok || val != float64(i) {
+			t.Errorf("key %d: got (%v, %v), want (%v, true)", i, val, ok, float64(i))
+		}
+	}
+}
+
+// TestMidSegmentCorruptionQuarantinesAndResyncs is the crash-safety
+// core for the segmented layout: a corrupt span in the middle of a log
+// must cost exactly the damaged record — the scan resynchronises on the
+// next valid record, sets the damaged bytes aside in quarantine/, and
+// rewrites the segment so a second open finds nothing left to repair.
+func TestMidSegmentCorruptionQuarantinesAndResyncs(t *testing.T) {
+	dir := t.TempDir()
+	const n = 6
+	s := openT(t, dir)
+	for i := 0; i < n; i++ {
+		s.Put(testKey(i), float64(i)*1.5, uint64(100+i))
+	}
+	s.Close()
+
+	seg := segFiles(t, dir)[0]
+	recs := recordOffsets(t, seg)
+	// Flip a payload bit of record 2 and destroy record 4's magic —
+	// one checksum failure and one framing failure, with an intact
+	// record between them that must keep serving.
+	f, err := os.OpenFile(seg, os.O_RDWR, 0o666)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteAt([]byte{0xFF}, int64(recs[2][0]+headerLen+1))
+	f.WriteAt([]byte("XXXX"), int64(recs[4][0]))
+	f.Close()
+
+	s2 := openT(t, dir)
+	st := s2.Stats()
+	if st.Quarantined != 2 {
+		t.Errorf("quarantined=%d, want 2", st.Quarantined)
+	}
+	if s2.Len() != n-2 {
+		t.Errorf("Len=%d, want %d", s2.Len(), n-2)
 	}
 	for i := 0; i < n; i++ {
 		val, cycles, ok := s2.Get(testKey(i))
-		if _, bad := damaged[i]; bad {
+		if i == 2 || i == 4 {
 			if ok {
-				t.Errorf("key %d (%s): served despite damage", i, damaged[i])
+				t.Errorf("key %d: served despite damage", i)
 			}
 			continue
 		}
-		if !ok {
-			t.Errorf("key %d: undamaged entry not served", i)
-			continue
-		}
-		if val != float64(i)*1.5 || cycles != uint64(100+i) {
-			t.Errorf("key %d: got (%v, %d), want (%v, %d)", i, val, cycles, float64(i)*1.5, 100+i)
+		if !ok || val != float64(i)*1.5 || cycles != uint64(100+i) {
+			t.Errorf("key %d: got (%v, %d, %v), want (%v, %d, true)", i, val, cycles, ok, float64(i)*1.5, 100+i)
 		}
 	}
-
-	// The damaged files are set aside, not deleted: operators can
+	// The damaged bytes are set aside, not deleted: operators can
 	// inspect them.
 	qents, err := os.ReadDir(filepath.Join(dir, quarantineName))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(qents) != len(damaged) {
-		t.Errorf("quarantine/ holds %d files, want %d", len(qents), len(damaged))
+	if len(qents) != 2 {
+		t.Errorf("quarantine/ holds %d files, want 2", len(qents))
+	}
+	s2.Close()
+
+	// The scan rewrote the segment without the damaged span, so a
+	// third open converges: nothing new quarantined, same entries.
+	s3 := openT(t, dir)
+	defer s3.Close()
+	st3 := s3.Stats()
+	if st3.Quarantined != 0 || st3.TornTail != 0 {
+		t.Errorf("second reopen: quarantined=%d tornTail=%d, want 0/0 (repair did not converge)", st3.Quarantined, st3.TornTail)
+	}
+	if s3.Len() != n-2 {
+		t.Errorf("second reopen: Len=%d, want %d", s3.Len(), n-2)
+	}
+}
+
+// TestAbandonedTempFilesAreSwept: interrupted segment rewrites leave
+// *.tmp debris that the next open removes without quarantining.
+func TestAbandonedTempFilesAreSwept(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	s.Put(testKey(0), 1.0, 1)
+	s.Close()
+	if err := os.WriteFile(filepath.Join(dir, segsDirName, "seg-000009.log.tmp"), []byte("partial"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openT(t, dir)
+	defer s2.Close()
+	if st := s2.Stats(); st.TmpSwept != 1 || st.Quarantined != 0 {
+		t.Errorf("tmpSwept=%d quarantined=%d, want 1/0", st.TmpSwept, st.Quarantined)
+	}
+	if s2.Len() != 1 {
+		t.Errorf("Len=%d, want 1", s2.Len())
 	}
 }
 
 // TestGetSelfHealsCorruptionDiscoveredOnRead covers rot that appears
 // after the open scan: a Get that fails the checksum quarantines the
-// entry and degrades to a miss instead of returning garbage.
+// record and degrades to a miss instead of returning garbage.
 func TestGetSelfHealsCorruptionDiscoveredOnRead(t *testing.T) {
 	dir := t.TempDir()
 	s := openT(t, dir)
 	defer s.Close()
 	s.Put(testKey(0), 42.0, 7)
-	path := cellFile(t, dir, testKey(0))
 
-	raw, err := os.ReadFile(path)
+	seg := segFiles(t, dir)[0]
+	f, err := os.OpenFile(seg, os.O_RDWR, 0o666)
 	if err != nil {
 		t.Fatal(err)
 	}
-	raw[headerLen+2] ^= 0x01
-	if err := os.WriteFile(path, raw, 0o666); err != nil {
-		t.Fatal(err)
-	}
+	f.WriteAt([]byte{0xAA}, int64(headerLen+2))
+	f.Close()
 
 	if _, _, ok := s.Get(testKey(0)); ok {
-		t.Fatal("corrupt entry served")
+		t.Fatal("corrupt record served")
 	}
-	if st := s.Stats(); st.Quarantined != 1 {
-		t.Errorf("quarantined=%d, want 1", st.Quarantined)
+	if st := s.Stats(); st.Quarantined != 1 || st.DeadRecords != 1 {
+		t.Errorf("quarantined=%d deadRecords=%d, want 1/1", st.Quarantined, st.DeadRecords)
 	}
 	if s.Len() != 0 {
 		t.Errorf("Len=%d after self-heal, want 0", s.Len())
 	}
-	if _, err := os.Stat(path); !os.IsNotExist(err) {
-		t.Errorf("damaged file still present at %s", path)
+	// The cell re-simulates and re-puts cleanly from here on.
+	s.Put(testKey(0), 42.0, 7)
+	if val, _, ok := s.Get(testKey(0)); !ok || val != 42.0 {
+		t.Errorf("re-put after self-heal: got (%v, %v), want (42, true)", val, ok)
+	}
+}
+
+// TestRotationAndCompaction exercises segment rotation and the
+// compactor: dead records (superseded by self-heals) make a sealed
+// segment mostly dead, Compact rewrites its live records forward and
+// deletes the file, and every live entry survives — across a reopen.
+func TestRotationAndCompaction(t *testing.T) {
+	old := segMaxBytes
+	segMaxBytes = 256 // rotate every few records
+	defer func() { segMaxBytes = old }()
+
+	dir := t.TempDir()
+	const n = 24
+	s := openT(t, dir)
+	for i := 0; i < n; i++ {
+		s.Put(testKey(i), float64(i), uint64(i))
+	}
+	st := s.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("segments=%d, want rotation to have produced several", st.Segments)
+	}
+
+	// Kill most of the first sealed segment's records via self-heal:
+	// corrupt them on disk and Get them.
+	first := segFiles(t, dir)[0]
+	recs := recordOffsets(t, first)
+	f, err := os.OpenFile(first, os.O_RDWR, 0o666)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := map[int]bool{}
+	for _, r := range recs[:len(recs)-1] { // leave one live
+		f.WriteAt([]byte{0xFF}, int64(r[0]+headerLen+1))
+	}
+	f.Close()
+	for i := 0; i < n; i++ {
+		if _, _, ok := s.Get(testKey(i)); !ok {
+			dead[i] = true
+		}
+	}
+	if len(dead) != len(recs)-1 {
+		t.Fatalf("self-healed %d records, want %d", len(dead), len(recs)-1)
+	}
+
+	s.Compact()
+	st = s.Stats()
+	if st.Compactions == 0 {
+		t.Errorf("compactions=%d, want > 0", st.Compactions)
+	}
+	if _, err := os.Stat(first); !os.IsNotExist(err) {
+		t.Errorf("compacted segment %s still on disk", first)
+	}
+	for i := 0; i < n; i++ {
+		val, cycles, ok := s.Get(testKey(i))
+		if dead[i] {
+			if ok {
+				t.Errorf("key %d: resurrected by compaction", i)
+			}
+			continue
+		}
+		if !ok || val != float64(i) || cycles != uint64(i) {
+			t.Errorf("key %d: got (%v, %d, %v), want (%v, %d, true)", i, val, cycles, ok, float64(i), i)
+		}
+	}
+	s.Close()
+
+	// The compacted layout reopens clean with the same live set.
+	s2 := openT(t, dir)
+	defer s2.Close()
+	if s2.Len() != n-len(dead) {
+		t.Errorf("reopened Len=%d, want %d", s2.Len(), n-len(dead))
+	}
+	for i := 0; i < n; i++ {
+		if _, _, ok := s2.Get(testKey(i)); ok == dead[i] {
+			t.Errorf("key %d: ok=%v after reopen, want %v", i, ok, !dead[i])
+		}
+	}
+}
+
+// TestStoreWriteFaultDegradesCleanly drives the StoreWrite disk-full
+// fault point (satellite of the segmented-store work): injected short
+// writes must be rolled back — counted in PutErrors, the failed key
+// absent but re-puttable, the log tail clean enough that a reopen
+// finds no damage at all.
+func TestStoreWriteFaultDegradesCleanly(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{NoSync: true, Logf: t.Logf, Fault: faultinject.New(42)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 512 // rate is 1/64: expect several fires
+	for i := 0; i < n; i++ {
+		s.Put(testKey(i), float64(i), uint64(i))
+	}
+	st := s.Stats()
+	if st.PutErrors == 0 {
+		t.Fatal("no injected put errors in 512 puts at rate 1/64")
+	}
+	if st.Puts+st.PutErrors != n {
+		t.Errorf("puts=%d + putErrors=%d != %d", st.Puts, st.PutErrors, n)
+	}
+	// A failed put degrades to a miss; the key can be re-put later
+	// (the engine simply re-publishes next cold run).
+	missing := -1
+	for i := 0; i < n; i++ {
+		if _, _, ok := s.Get(testKey(i)); !ok {
+			missing = i
+			break
+		}
+	}
+	if missing < 0 {
+		t.Fatal("every key present despite put errors")
+	}
+	s.Put(testKey(missing), float64(missing), uint64(missing))
+	if _, _, ok := s.Get(testKey(missing)); !ok {
+		t.Errorf("re-put of key %d after injected failure still missing", missing)
+	}
+	s.Close()
+
+	// The rollback kept the log clean: reopening finds no torn tails,
+	// no quarantines, and every committed entry.
+	s2 := openT(t, dir)
+	defer s2.Close()
+	st2 := s2.Stats()
+	if st2.TornTail != 0 || st2.Quarantined != 0 {
+		t.Errorf("reopen after injected faults: tornTail=%d quarantined=%d, want 0/0", st2.TornTail, st2.Quarantined)
+	}
+	for i := 0; i < n; i++ {
+		val, _, ok := s2.Get(testKey(i))
+		if !ok {
+			continue // lost to an injected failure and never re-put
+		}
+		if val != float64(i) {
+			t.Errorf("key %d: value %v corrupted, want %v", i, val, float64(i))
+		}
 	}
 }
 
@@ -281,9 +498,10 @@ const killHelperEnv = "SPECTREBENCH_STORE_KILL_HELPER"
 // TestKillNineMidWriteNeverCorruptsCommittedEntries re-executes the
 // test binary as a writer child that puts entries as fast as it can,
 // SIGKILLs it mid-stream, and reopens the directory: every committed
-// entry must read back intact, nothing may be quarantined, and the
-// only debris allowed is swept temp files. Repeated for several
-// kill/reopen rounds on the same directory.
+// entry must read back intact, nothing may be quarantined (a torn log
+// tail is truncated, not quarantined), and the committed set must be a
+// clean prefix of the append order. Repeated for several kill/reopen
+// rounds on the same directory.
 func TestKillNineMidWriteNeverCorruptsCommittedEntries(t *testing.T) {
 	if dir := os.Getenv(killHelperEnv); dir != "" {
 		killHelperMain(dir)
@@ -350,7 +568,7 @@ func killVal(i int) float64 { return float64(i)*2.5 + 0.25 }
 // killHelperMain is the writer child: it opens the store and puts
 // sequential entries until SIGKILLed. NoSync keeps the write rate high
 // (the contract under test is atomicity against process death, which
-// rename gives with or without the fsync).
+// tail-only appends give with or without the fsync).
 func killHelperMain(dir string) {
 	s, err := Open(dir, Options{NoSync: true})
 	if err != nil {
@@ -360,4 +578,168 @@ func killHelperMain(dir string) {
 	for i := 0; ; i++ {
 		s.Put(killKey(i), killVal(i), uint64(i))
 	}
+}
+
+// ---- v1 migration coverage ----
+
+// writeV1Entry builds a v1 (file-per-entry) cell file byte-for-byte the
+// way PR 6's store did: SBC1 magic, CRC32, payload length, then
+// gob(key) gob(cycles) gob(value), under cells/<hash>.cell.
+func writeV1Entry(t *testing.T, dir string, key engine.Key, val any, cycles uint64) string {
+	t.Helper()
+	var payload bytes.Buffer
+	enc := gob.NewEncoder(&payload)
+	if err := enc.Encode(&key); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(cycles); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(&val); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, headerLen+payload.Len())
+	copy(buf, magicV1[:])
+	binary.BigEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload.Bytes()))
+	binary.BigEndian.PutUint32(buf[8:12], uint32(payload.Len()))
+	copy(buf[headerLen:], payload.Bytes())
+
+	cells := filepath.Join(dir, cellsDirName)
+	if err := os.MkdirAll(cells, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(cells, fmt.Sprintf("%016x%s", key.Hash(), cellExt))
+	if err := os.WriteFile(path, buf, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestMigrationFromV1 opens a v1 file-per-entry directory with the
+// segmented store: every valid entry must survive into the segment
+// logs, damaged entries must quarantine exactly as v1 recovery did,
+// temp debris is swept, and the cells/ directory is gone afterwards.
+func TestMigrationFromV1(t *testing.T) {
+	dir := t.TempDir()
+	const n = 6
+	vals := map[int]any{
+		0: float64(0.5),
+		1: []string{"a", "b"},
+		2: structVal{Name: "m", Xs: []float64{9}},
+		3: float64(3.5),
+		4: float64(4.5),
+		5: float64(5.5),
+	}
+	files := make([]string, n)
+	for i := 0; i < n; i++ {
+		files[i] = writeV1Entry(t, dir, testKey(i), vals[i], uint64(10+i))
+	}
+	// Damage entry 1 (bit flip) and entry 4 (truncation); leave an
+	// abandoned v1 put temporary.
+	raw, err := os.ReadFile(files[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x40
+	if err := os.WriteFile(files[1], raw, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(files[4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(files[4], fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, cellsDirName, "put-7-1.tmp"), []byte("partial"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	damaged := map[int]bool{1: true, 4: true}
+
+	s := openT(t, dir)
+	st := s.Stats()
+	if st.Migrated != n-len(damaged) {
+		t.Errorf("migrated=%d, want %d", st.Migrated, n-len(damaged))
+	}
+	if st.Quarantined != uint64(len(damaged)) {
+		t.Errorf("quarantined=%d, want %d", st.Quarantined, len(damaged))
+	}
+	if st.TmpSwept != 1 {
+		t.Errorf("tmpSwept=%d, want 1", st.TmpSwept)
+	}
+	if s.Len() != n-len(damaged) {
+		t.Errorf("Len=%d, want %d", s.Len(), n-len(damaged))
+	}
+	for i := 0; i < n; i++ {
+		val, cycles, ok := s.Get(testKey(i))
+		if damaged[i] {
+			if ok {
+				t.Errorf("key %d: served despite v1 damage", i)
+			}
+			continue
+		}
+		if !ok {
+			t.Errorf("key %d: lost in migration", i)
+			continue
+		}
+		if !reflect.DeepEqual(val, vals[i]) || cycles != uint64(10+i) {
+			t.Errorf("key %d: got (%#v, %d), want (%#v, %d)", i, val, cycles, vals[i], 10+i)
+		}
+	}
+	// The old layout is gone; the damaged originals are preserved in
+	// quarantine/ for inspection.
+	if _, err := os.Stat(filepath.Join(dir, cellsDirName)); !os.IsNotExist(err) {
+		t.Errorf("cells/ still present after migration")
+	}
+	qents, err := os.ReadDir(filepath.Join(dir, quarantineName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qents) != len(damaged) {
+		t.Errorf("quarantine/ holds %d files, want %d", len(qents), len(damaged))
+	}
+	s.Close()
+}
+
+// TestMigrationIsIdempotent: a second open after migration finds a pure
+// v2 layout — nothing re-migrated, nothing re-quarantined, every entry
+// still served. It also covers the crash-mid-migration case: an entry
+// present in both a segment and a leftover v1 file is recognised and
+// the file simply removed.
+func TestMigrationIsIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	const n = 4
+	for i := 0; i < n; i++ {
+		writeV1Entry(t, dir, testKey(i), float64(i), uint64(i))
+	}
+	s := openT(t, dir)
+	if s.Stats().Migrated != n {
+		t.Fatalf("migrated=%d, want %d", s.Stats().Migrated, n)
+	}
+	s.Close()
+
+	// Simulate a crash between a migration append and the v1 remove: a
+	// v1 file re-appears for an already-migrated key.
+	writeV1Entry(t, dir, testKey(0), float64(0), 0)
+
+	s2 := openT(t, dir)
+	st := s2.Stats()
+	if st.Migrated != 0 {
+		t.Errorf("second open migrated=%d, want 0", st.Migrated)
+	}
+	if st.Quarantined != 0 || st.TornTail != 0 {
+		t.Errorf("second open quarantined=%d tornTail=%d, want 0/0", st.Quarantined, st.TornTail)
+	}
+	if s2.Len() != n {
+		t.Errorf("Len=%d, want %d", s2.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		if val, cycles, ok := s2.Get(testKey(i)); !ok || val != float64(i) || cycles != uint64(i) {
+			t.Errorf("key %d: got (%v, %d, %v), want (%v, %d, true)", i, val, cycles, ok, float64(i), i)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, cellsDirName)); !os.IsNotExist(err) {
+		t.Errorf("cells/ still present after second open")
+	}
+	s2.Close()
 }

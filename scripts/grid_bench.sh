@@ -1,0 +1,138 @@
+#!/bin/sh
+# grid_bench.sh — emit BENCH_PR8.json: the recorded performance baseline
+# for the million-cell sweep PR (canonical dedup + segmented store +
+# prefix-locality planning).
+#
+# Two phases:
+#
+#   1. Byte-identity matrix at ID_CELLS cells (default 10000): gridbench
+#      stdout must be identical across -dedup on/off x -plan on/off x
+#      -jobs 1/4, across -faults runs at a fixed seed (its own
+#      reference), and across store cold/warm runs — with the warm run
+#      writing zero entries. Any divergence is fatal.
+#   2. Headline timing at GRID_CELLS cells (default 100000): the 2x2
+#      -dedup x -plan matrix at -jobs 4. The headline number is
+#      dedup+plan versus the no-dedup/no-plan seed path.
+#
+# Wall clocks are only meaningful relative to the host; the JSON records
+# nproc. CI runs both phases at 10k cells (GRID_CELLS=10000) for time;
+# the committed BENCH_PR8.json is a 100k-cell run.
+#
+# Usage: scripts/grid_bench.sh [output.json]   (default BENCH_PR8.json)
+set -eu
+
+out=${1:-BENCH_PR8.json}
+go=${GO:-go}
+cells=${GRID_CELLS:-100000}
+id_cells=${ID_CELLS:-10000}
+reps=${BENCH_REPS:-3}
+bin=$(mktemp /tmp/spectrebench.XXXXXX)
+ref_txt=$(mktemp /tmp/sb_gridref.XXXXXX)
+got_txt=$(mktemp /tmp/sb_gridgot.XXXXXX)
+err_txt=$(mktemp /tmp/sb_griderr.XXXXXX)
+store_dir=$(mktemp -d /tmp/sb_gridstore.XXXXXX)
+trap 'rm -rf "$bin" "$ref_txt" "$got_txt" "$err_txt" "$store_dir"' EXIT
+
+$go build -o "$bin" ./cmd/spectrebench
+
+check_identical() { # check_identical <label>
+    if ! cmp -s "$ref_txt" "$got_txt"; then
+        echo "grid_bench.sh: FATAL: gridbench output for $1 differs from the reference" >&2
+        diff "$ref_txt" "$got_txt" | head -20 >&2 || true
+        exit 1
+    fi
+    echo "grid_bench.sh: $1: output identical" >&2
+}
+
+# ---- phase 1: byte-identity matrix ----
+"$bin" -cells "$id_cells" -jobs 1 gridbench >"$ref_txt"
+for d in on off; do
+    for p in on off; do
+        for j in 1 4; do
+            "$bin" -cells "$id_cells" -jobs "$j" -dedup "$d" -plan "$p" gridbench >"$got_txt" 2>/dev/null
+            check_identical "cells=$id_cells dedup=$d plan=$p jobs=$j"
+        done
+    done
+done
+
+# Fault runs compare against their own reference (fault-injected cells
+# legitimately differ from clean ones; the matrix must still agree).
+"$bin" -cells "$id_cells" -jobs 1 -faults -seed 7 gridbench >"$ref_txt"
+for d in on off; do
+    "$bin" -cells "$id_cells" -jobs 4 -faults -seed 7 -dedup "$d" gridbench >"$got_txt" 2>/dev/null
+    check_identical "faults seed=7 dedup=$d jobs=4"
+done
+
+# Store cold then warm: same bytes, and the warm run must replay every
+# class from the segment logs without writing anything.
+"$bin" -cells "$id_cells" -jobs 1 gridbench >"$ref_txt"
+"$bin" -cells "$id_cells" -jobs 4 -store "$store_dir" gridbench >"$got_txt" 2>"$err_txt"
+check_identical "store=cold jobs=4"
+"$bin" -cells "$id_cells" -jobs 4 -store "$store_dir" gridbench >"$got_txt" 2>"$err_txt"
+check_identical "store=warm jobs=4"
+warm_note=$(grep 'cell store:' "$err_txt")
+case "$warm_note" in
+*" 0 misses, 0 written,"*) ;;
+*)
+    echo "grid_bench.sh: FATAL: warm store run was not a pure replay: $warm_note" >&2
+    exit 1
+    ;;
+esac
+echo "grid_bench.sh: warm store replay clean: $warm_note" >&2
+
+# ---- phase 2: headline timing ----
+one_ns() { # one_ns <dedup> <plan>
+    start=$(date +%s%N)
+    "$bin" -cells "$cells" -jobs 4 -dedup "$1" -plan "$2" gridbench >"$got_txt" 2>/dev/null
+    end=$(date +%s%N)
+    echo $((end - start))
+}
+
+best_ns() { # best_ns <dedup> <plan> <reps>
+    best=0
+    for _rep in $(seq "$3"); do
+        ns=$(one_ns "$1" "$2")
+        if [ "$best" -eq 0 ] || [ "$ns" -lt "$best" ]; then best=$ns; fi
+    done
+    echo "$best"
+}
+
+# The slow (no-dedup) sides run once; the fast sides best-of-N.
+off_off_ns=$(best_ns off off 1)
+off_on_ns=$(best_ns off on 1)
+on_off_ns=$(best_ns on off "$reps")
+on_on_ns=$(best_ns on on "$reps")
+
+# Cells/classes from the deterministic trailer of the last run.
+trailer=$(tail -1 "$got_txt") # "grid: N cells, C classes, F failed"
+n_cells=$(echo "$trailer" | awk '{print $2}')
+n_classes=$(echo "$trailer" | awk '{print $4}')
+
+ratio() { awk -v a="$1" -v b="$2" 'BEGIN { printf "%.2f", a / b }'; }
+
+cat >"$out" <<EOF
+{
+  "pr": 8,
+  "description": "million-cell sweep baseline: wall-clock ns for 'spectrebench gridbench' across -dedup and -plan at -jobs 4, plus the dedup ratio of the synthetic boot-param grid",
+  "host": {
+    "nproc": $(nproc),
+    "note": "identity matrix verified at $id_cells cells (dedup x plan x jobs x faults x store-cold/warm); timings at $cells cells, slow sides best-of-1, fast sides best-of-$reps"
+  },
+  "grid": {
+    "cells": $n_cells,
+    "classes": $n_classes,
+    "dedup_ratio": $(ratio "$n_cells" "$n_classes")
+  },
+  "gridbench_wall_ns": {
+    "jobs4_dedup_off_plan_off": $off_off_ns,
+    "jobs4_dedup_off_plan_on": $off_on_ns,
+    "jobs4_dedup_on_plan_off": $on_off_ns,
+    "jobs4_dedup_on_plan_on": $on_on_ns,
+    "speedup_total": $(ratio "$off_off_ns" "$on_on_ns"),
+    "speedup_dedup_only": $(ratio "$off_off_ns" "$on_off_ns"),
+    "speedup_plan_only": $(ratio "$off_off_ns" "$off_on_ns"),
+    "output_identical_across_matrix": true
+  }
+}
+EOF
+echo "wrote $out (total speedup $(ratio "$off_off_ns" "$on_on_ns")x over no-dedup/no-plan at $cells cells)" >&2

@@ -12,11 +12,13 @@
 #                      its output must be byte-identical to the cold
 #                      sweep.
 #   3. kill -9       — fresh store dir, daemon SIGKILLed mid-sweep.
-#   4. recovery      — daemon restarted on the killed store dir; the
-#                      recovery scan must quarantine nothing (committed
-#                      entries survive kill -9 intact), and a full
-#                      sweep must again match the cold output byte for
-#                      byte.
+#   4. recovery      — daemon restarted on the killed store dir. The
+#                      store is an append-only segment log, so the only
+#                      damage kill -9 can leave is a torn record at the
+#                      tail of the newest segment; recovery truncates it
+#                      and must quarantine nothing (committed entries
+#                      survive intact in the segment logs). A full sweep
+#                      must again match the cold output byte for byte.
 #   5. drain         — final graceful SIGTERM must exit 0.
 #
 # Usage: scripts/serve_smoke.sh
@@ -125,6 +127,9 @@ curl -fsS "http://$addr/statsz" >"$work/statsz2.json"
 quarantined=$(grep -m1 '"quarantined"' "$work/statsz2.json" | tr -dc '0-9')
 [ "${quarantined:-0}" -eq 0 ] \
     || { log "recovery quarantined $quarantined entries after kill -9 (committed entries must survive intact)"; exit 1; }
+segments=$(grep -m1 '"segments"' "$work/statsz2.json" | tr -dc '0-9')
+[ "${segments:-0}" -ge 1 ] \
+    || { log "recovered store reports no segment logs (segmented layout missing)"; exit 1; }
 
 diff "$work/cold.txt" "$work/recovered.txt" \
     || { log "post-recovery sweep output differs from cold sweep"; exit 1; }
