@@ -33,12 +33,14 @@ bench:
 bench-json:
 	GO="$(GO)" sh scripts/bench_json.sh BENCH_PR7.json
 
-# Record the million-cell sweep baseline: verify gridbench output is
-# byte-identical across -dedup x -plan x -jobs x -faults x store
-# cold/warm, then time the 2x2 -dedup x -plan matrix at 100k cells
-# (override with GRID_CELLS=10000 for a quick run), as JSON.
+# Record the full-grid sweep baseline: verify gridbench output is
+# byte-identical across -batch x -codec x -dedup x -plan x -jobs x
+# -faults x store cold/warm (including a live v2->v3 migration), then
+# time the PR 9 fast path (batch+v3) against the PR 8 path (per-cell
+# submit, v2 store) cold and warm at 172k cells (override with
+# GRID_CELLS=10000 ID_CELLS=2000 for a quick run), as JSON.
 grid-bench:
-	GO="$(GO)" sh scripts/grid_bench.sh BENCH_PR8.json
+	GO="$(GO)" sh scripts/grid_bench.sh BENCH_PR9.json
 
 # Run the full experiment registry through the CLI.
 experiments:

@@ -1,35 +1,49 @@
 package main
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 	"time"
 
 	"spectrebench/internal/engine"
 	"spectrebench/internal/faultinject"
+	"spectrebench/internal/gls"
 	"spectrebench/internal/grid"
 	"spectrebench/internal/harness"
 	"spectrebench/internal/store"
 )
 
+// gridOptions carries the gridbench subcommand's flags.
+type gridOptions struct {
+	cells    int
+	cfg      harness.RunConfig
+	storeDir string
+	codec    string
+	batch    bool
+	verbose  bool
+}
+
 // gridbench runs the synthetic boot-param configuration grid — the
-// million-cell sweep throughput benchmark. One line per cell on stdout
-// in submission order plus a deterministic trailer, so output is
-// byte-identical across -jobs × -dedup × -plan × -store settings (and
-// across -faults runs at a fixed seed); timing and engine statistics
-// go to stderr.
-func gridbench(n int, cfg harness.RunConfig, storeDir string, verbose bool) int {
-	if n <= 0 {
+// million-cell sweep throughput benchmark — writing one line per cell
+// to w in submission order plus a deterministic trailer, so output is
+// byte-identical across -jobs × -dedup × -plan × -batch × -codec ×
+// -store settings (and across -faults runs at a fixed seed); timing and
+// engine statistics go to stderr only, keeping w pipe-clean.
+func gridbench(w io.Writer, opts gridOptions) int {
+	if opts.cells <= 0 {
 		fmt.Fprintln(os.Stderr, "spectrebench: gridbench: -cells must be positive")
 		return 2
 	}
 	var seed uint64
-	if cfg.Faults {
-		seed = cfg.Seed
-		faultinject.Activate(faultinject.Config{Seed: cfg.Seed})
+	if opts.cfg.Faults {
+		seed = opts.cfg.Seed
+		faultinject.Activate(faultinject.Config{Seed: opts.cfg.Seed})
 		defer faultinject.Deactivate()
 	}
-	cells := grid.Cells(n, seed)
+	cells := grid.Cells(opts.cells, seed)
 
 	eng := engine.Default()
 	// The canonicalizer is installed in every mode: with -dedup off it
@@ -38,8 +52,9 @@ func gridbench(n int, cfg harness.RunConfig, storeDir string, verbose bool) int 
 	// what keeps the ablation byte-identical.
 	eng.SetCanonicalizer(grid.Canonicalizer(cells))
 
-	if storeDir != "" {
-		st, err := store.Open(storeDir, store.Options{
+	if opts.storeDir != "" {
+		st, err := store.Open(opts.storeDir, store.Options{
+			Codec: opts.codec,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "spectrebench: "+format+"\n", args...)
 			},
@@ -58,33 +73,69 @@ func gridbench(n int, cfg harness.RunConfig, storeDir string, verbose bool) int 
 	}
 
 	start := time.Now()
-	tasks := make([]*engine.Task, len(cells))
-	for i, c := range cells {
-		c := c
-		tasks[i] = eng.Submit(c.Display, c.Run)
+	var tasks []*engine.Task
+	if opts.batch {
+		bcells := make([]engine.BatchCell, len(cells))
+		for i, c := range cells {
+			c := c
+			bcells[i] = engine.BatchCell{Key: c.Display, Fn: c.Run}
+		}
+		tasks = eng.SubmitBatch(bcells)
+	} else {
+		tasks = make([]*engine.Task, len(cells))
+		for i, c := range cells {
+			c := c
+			tasks[i] = eng.Submit(c.Display, c.Run)
+		}
 	}
+	// Buffered result drain: per-cell Printf syscalls dominate warm
+	// sweeps otherwise. Flushed once before the trailer-bearing return.
+	// The batch path also drains batched: one goroutine-identity parse
+	// (WaitG) and hand-rolled float formatting for the whole slice; the
+	// -batch off path keeps the per-cell Wait round-trip it is the
+	// ablation of. Both produce identical bytes (AppendFloat 'f'/2 is
+	// %.2f).
+	bw := bufio.NewWriterSize(w, 1<<16)
 	failed := 0
+	gid := gls.ID() // one parse for the whole drain loop
+	line := make([]byte, 0, 128)
 	for i, t := range tasks {
 		c := cells[i]
-		v, err := t.Wait()
+		var v any
+		var err error
+		if opts.batch {
+			v, err = t.WaitG(gid)
+		} else {
+			v, err = t.Wait()
+		}
 		if err != nil {
 			failed++
-			fmt.Printf("%s %s error: %v\n", c.Display.Uarch, c.Display.Config, err)
+			fmt.Fprintf(bw, "%s %s error: %v\n", c.Display.Uarch, c.Display.Config, err)
 			continue
 		}
-		fmt.Printf("%s %s = %.2f cyc\n", c.Display.Uarch, c.Display.Config, v.(float64))
+		line = append(line[:0], c.Display.Uarch...)
+		line = append(line, ' ')
+		line = append(line, c.Display.Config...)
+		line = append(line, " = "...)
+		line = strconv.AppendFloat(line, v.(float64), 'f', 2, 64)
+		line = append(line, " cyc\n"...)
+		bw.Write(line)
 	}
 	elapsed := time.Since(start)
 	classes := grid.Classes(cells)
-	fmt.Printf("grid: %d cells, %d classes, %d failed\n", len(cells), classes, failed)
+	fmt.Fprintf(bw, "grid: %d cells, %d classes, %d failed\n", len(cells), classes, failed)
+	if err := bw.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "spectrebench: gridbench: write: %v\n", err)
+		return 1
+	}
 
 	d := eng.StatsDetail()
 	fmt.Fprintf(os.Stderr,
-		"spectrebench: gridbench: %d cells in %.2fs (%.0f cells/sec, jobs=%d, dedup=%v, plan=%v, dedup ratio %.1fx)\n",
+		"spectrebench: gridbench: %d cells in %.2fs (%.0f cells/sec, jobs=%d, dedup=%v, plan=%v, batch=%v, dedup ratio %.1fx)\n",
 		len(cells), elapsed.Seconds(), float64(len(cells))/elapsed.Seconds(),
-		eng.Jobs(), eng.DedupEnabled(), eng.PlanEnabled(),
+		eng.Jobs(), eng.DedupEnabled(), eng.PlanEnabled(), opts.batch,
 		float64(len(cells))/float64(classes))
-	if verbose {
+	if opts.verbose {
 		fmt.Fprintf(os.Stderr, "spectrebench: engine: %s\n", d)
 	}
 	if failed > 0 {

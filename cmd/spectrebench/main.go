@@ -39,6 +39,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -87,6 +88,12 @@ func mainExitCode() int {
 	plan := flag.String("plan", "on",
 		"prefix-locality planner: bucket pending cells by shared warmup prefix so workers drain one bucket at a time: on|off (ablation; output is byte-identical either way)")
 	cells := flag.Int("cells", 10000, "gridbench: number of synthetic grid cells to sweep")
+	batch := flag.String("batch", "on",
+		"batch submission: enqueue each grid slice as one planner unit with inline fan-out of finished classes: on|off (ablation; output is byte-identical either way)")
+	codec := flag.String("codec", "v3",
+		"store record codec: v3 (binary records, sidecar links, manifest) or v2 (legacy gob replay ablation; output is byte-identical either way)")
+	gzipHTTP := flag.String("gzip", "on",
+		"client: request gzip-compressed sweep streams from the daemon: on|off (transport only; output is byte-identical either way)")
 	verbose := flag.Bool("v", false, "print the engine's cell-cache breakdown to stderr after run/gridbench")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -168,6 +175,18 @@ func mainExitCode() int {
 		fmt.Fprintf(os.Stderr, "spectrebench: -checkpoint must be on or off, got %q\n", *checkpoint)
 		return 2
 	}
+	if *batch != "on" && *batch != "off" {
+		fmt.Fprintf(os.Stderr, "spectrebench: -batch must be on or off, got %q\n", *batch)
+		return 2
+	}
+	if *codec != store.CodecV3 && *codec != store.CodecV2 {
+		fmt.Fprintf(os.Stderr, "spectrebench: -codec must be %s or %s, got %q\n", store.CodecV3, store.CodecV2, *codec)
+		return 2
+	}
+	if *gzipHTTP != "on" && *gzipHTTP != "off" {
+		fmt.Fprintf(os.Stderr, "spectrebench: -gzip must be on or off, got %q\n", *gzipHTTP)
+		return 2
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -223,12 +242,20 @@ func mainExitCode() int {
 			fmt.Fprintln(os.Stderr, "run: need at least one experiment id (or 'all')")
 			return 2
 		}
-		return run(args[1:], *csv, cfg, *storeDir, *verbose)
+		return run(os.Stdout, args[1:], *csv, cfg, *storeDir, *codec, *verbose)
 	case "gridbench":
-		return gridbench(*cells, cfg, *storeDir, *verbose)
+		return gridbench(os.Stdout, gridOptions{
+			cells:    *cells,
+			cfg:      cfg,
+			storeDir: *storeDir,
+			codec:    *codec,
+			batch:    *batch == "on",
+			verbose:  *verbose,
+		})
 	case "serve":
 		return serve(serveOptions{
 			storeDir:       *storeDir,
+			codec:          *codec,
 			addr:           *addr,
 			maxInflight:    *maxInflight,
 			requestTimeout: *requestTimeout,
@@ -239,7 +266,7 @@ func mainExitCode() int {
 			fmt.Fprintln(os.Stderr, "client: usage: spectrebench [-addr HOST:PORT] client run <experiment-id>... | all")
 			return 2
 		}
-		return clientRun(args[2:], *csv, cfg, *addr, *httpRetries, *requestTimeout)
+		return clientRun(args[2:], *csv, cfg, *addr, *httpRetries, *requestTimeout, *gzipHTTP == "on")
 	default:
 		usage()
 		return 2
@@ -255,14 +282,15 @@ usage:
                [-blockcache on|off] [-corepool on|off] [-memfast on|off]
                [-superblock on|off] [-checkpoint on|off] [-dedup on|off]
                [-plan on|off] [-cpuprofile FILE] [-memprofile FILE] [-store DIR]
-               [-v] run <experiment-id>... | all
+               [-codec v3|v2] [-v] run <experiment-id>... | all
   spectrebench [-cells N] [-faults] [-seed N] [-jobs N] [-dedup on|off]
-               [-plan on|off] [-store DIR] [-v] gridbench
-  spectrebench [-store DIR] [-addr HOST:PORT] [-max-inflight N]
+               [-plan on|off] [-batch on|off] [-store DIR] [-codec v3|v2]
+               [-v] gridbench
+  spectrebench [-store DIR] [-codec v3|v2] [-addr HOST:PORT] [-max-inflight N]
                [-request-timeout D] [-drain-timeout D] [-jobs N] serve
   spectrebench [-addr HOST:PORT] [-http-retries N] [-request-timeout D]
                [-csv] [-faults] [-seed N] [-cycle-budget N] [-retries N]
-               client run <experiment-id>... | all
+               [-gzip on|off] client run <experiment-id>... | all
 
 experiments:
 `)
@@ -277,13 +305,14 @@ func list() {
 	}
 }
 
-// run supervises the selected experiments on the worker pool and
-// returns the process exit code: 0 when every experiment completed ok,
-// 1 otherwise (after all of them have run), 2 on a usage error. With a
-// store directory, completed cells persist across invocations; store
-// bookkeeping goes to stderr so stdout stays byte-identical to a
-// store-less run.
-func run(ids []string, csv bool, cfg harness.RunConfig, storeDir string, verbose bool) int {
+// run supervises the selected experiments on the worker pool, writes
+// the rendered results to w, and returns the process exit code: 0 when
+// every experiment completed ok, 1 otherwise (after all of them have
+// run), 2 on a usage error. All statistics and bookkeeping — the cell
+// cache note, store notes, -v breakdowns — go to stderr, so w carries
+// exactly the result tables: pipe-clean, and byte-identical to a
+// store-less run, an HTTP-fetched sweep, or any ablation flag setting.
+func run(w io.Writer, ids []string, csv bool, cfg harness.RunConfig, storeDir, codec string, verbose bool) int {
 	var exps []harness.Experiment
 	if len(ids) == 1 && ids[0] == "all" {
 		exps = harness.All()
@@ -300,6 +329,7 @@ func run(ids []string, csv bool, cfg harness.RunConfig, storeDir string, verbose
 
 	if storeDir != "" {
 		st, err := store.Open(storeDir, store.Options{
+			Codec: codec,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "spectrebench: "+format+"\n", args...)
 			},
@@ -318,7 +348,10 @@ func run(ids []string, csv bool, cfg harness.RunConfig, storeDir string, verbose
 	}
 
 	results := harness.SuperviseAll(exps, cfg)
-	fmt.Print(harness.RenderResults(results, csv, engine.Default()))
+	// Rendered with a nil engine — the same bytes the HTTP serving path
+	// streams — and the cache note on stderr with the other stats.
+	io.WriteString(w, harness.RenderResults(results, csv, nil))
+	fmt.Fprintf(os.Stderr, "spectrebench: %s\n", harness.CacheNote(engine.Default()))
 	if verbose {
 		fmt.Fprintf(os.Stderr, "spectrebench: engine: %s\n", engine.Default().StatsDetail())
 	}
@@ -331,6 +364,7 @@ func run(ids []string, csv bool, cfg harness.RunConfig, storeDir string, verbose
 // serveOptions carries the serve subcommand's flags.
 type serveOptions struct {
 	storeDir       string
+	codec          string
 	addr           string
 	maxInflight    int
 	requestTimeout time.Duration
@@ -349,7 +383,7 @@ func serve(opts serveOptions) int {
 	var st *store.Store
 	if opts.storeDir != "" {
 		var err error
-		st, err = store.Open(opts.storeDir, store.Options{Logf: logf})
+		st, err = store.Open(opts.storeDir, store.Options{Codec: opts.codec, Logf: logf})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "spectrebench: -store: %v\n", err)
 			return 2
@@ -429,7 +463,7 @@ func closeStore(st *store.Store, logf func(string, ...any)) {
 // order on stdout, the server-rendered summary after them, transport
 // chatter on stderr. Transient failures (daemon restarting, admission
 // control) are retried with exponential backoff.
-func clientRun(ids []string, csv bool, cfg harness.RunConfig, addr string, retries int, timeout time.Duration) int {
+func clientRun(ids []string, csv bool, cfg harness.RunConfig, addr string, retries int, timeout time.Duration, gzipOK bool) int {
 	req := server.SweepRequest{
 		Experiments: ids,
 		Seed:        cfg.Seed,
@@ -445,6 +479,7 @@ func clientRun(ids []string, csv bool, cfg harness.RunConfig, addr string, retri
 	cl := &server.Client{
 		BaseURL:    "http://" + addr,
 		MaxRetries: retries,
+		Gzip:       gzipOK,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "spectrebench: "+format+"\n", args...)
 		},

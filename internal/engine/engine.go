@@ -264,25 +264,35 @@ type Task struct {
 	followers []*Task
 }
 
-// finish publishes t's completion: closes its done channel and copies
-// the result to every folded follower. Must be called exactly once, and
-// only after val/err/cycles are final.
+// finish publishes t's completion: copies the result to every folded
+// follower, then closes the done channels. Must be called exactly once,
+// and only after val/err/cycles are final. Followers created by a batch
+// submission share t's own done channel (they were registered before t
+// could finish, so their values are always copied here, before the
+// single close); conventional followers have their own channel, closed
+// after their copy.
 func (t *Task) finish() {
 	t.fmu.Lock()
 	t.finished = true
 	fs := t.followers
 	t.followers = nil
 	t.fmu.Unlock()
-	close(t.done)
 	for _, f := range fs {
 		f.val, f.err, f.cycles = t.val, t.err, t.cycles
-		close(f.done)
+	}
+	close(t.done)
+	for _, f := range fs {
+		if f.done != t.done {
+			close(f.done)
+		}
 	}
 }
 
 // follow registers f to receive t's result; if t already finished the
 // result is copied immediately. The close of f.done orders the copies
-// before any reader.
+// before any reader. A follower sharing t's done channel (batch-local
+// fold) never reaches the finished branch: it only attaches while t is
+// provably unscheduled.
 func (t *Task) follow(f *Task) {
 	t.fmu.Lock()
 	if !t.finished {
@@ -292,7 +302,9 @@ func (t *Task) follow(f *Task) {
 	}
 	t.fmu.Unlock()
 	f.val, f.err, f.cycles = t.val, t.err, t.cycles
-	close(f.done)
+	if f.done != t.done {
+		close(f.done)
+	}
 }
 
 func (t *Task) describe() string {
@@ -404,6 +416,29 @@ func (p *planner) add(t *Task) {
 	p.mu.Unlock()
 }
 
+// addBatch enqueues a whole slice of keyed tasks under one lock
+// acquisition, bucketing each by its prefix exactly as add does. The
+// batch submission path uses it so a grid slice becomes one planner
+// unit instead of len(ts) lock round-trips.
+func (p *planner) addBatch(ts []*Task) {
+	p.mu.Lock()
+	for _, t := range ts {
+		prefix := t.key.Workload + "\x00" + t.key.Uarch
+		b := p.buckets[prefix]
+		if b == nil {
+			b = &pbucket{claimedBy: -1}
+			p.buckets[prefix] = b
+			p.order = append(p.order, b)
+		}
+		b.tasks = append(b.tasks, t)
+		if !b.queued && b.claimedBy < 0 {
+			b.queued = true
+			p.queue = append(p.queue, b)
+		}
+	}
+	p.mu.Unlock()
+}
+
 // next returns a task for worker w: the next cell of w's claimed bucket
 // while it lasts, then the oldest bucket nobody is draining.
 func (p *planner) next(w int) *Task {
@@ -467,12 +502,14 @@ func (p *planner) drain() []*Task {
 type Engine struct {
 	jobs int
 
-	cache        sync.Map // display Key -> *Task
-	classes      sync.Map // canonical Key -> *Task (dedup on + canonicalizer set)
-	hits, misses atomic.Uint64
-	classHits    atomic.Uint64 // display first-sights folded onto an existing class
-	slHits       atomic.Uint64 // class executions replayed from the second level
-	dedup        bool          // fixed at construction (SetDedupDefault)
+	cache         sync.Map // display Key -> *Task
+	classes       sync.Map // canonical Key -> *Task (dedup on + canonicalizer set)
+	hits, misses  atomic.Uint64
+	classHits     atomic.Uint64 // display first-sights folded onto an existing class
+	slHits        atomic.Uint64 // class executions replayed from the second level
+	inlineFanouts atomic.Uint64 // class hits resolved inline at submit time (SubmitBatch)
+	batchedCells  atomic.Uint64 // cells that entered through SubmitBatch
+	dedup         bool          // fixed at construction (SetDedupDefault)
 
 	// canon is the optional display→canonical key mapping (atomic.Value
 	// of canonBox). Install with SetCanonicalizer before the first
@@ -595,13 +632,27 @@ type StatsDetail struct {
 	// Simulated is the number of cells actually executed on the pool
 	// (Classes - SecondLevelHits).
 	Simulated uint64
+	// InlineFanouts counts class hits resolved inline at SubmitBatch
+	// time — the display key received a finished class's value during
+	// submission instead of taking a task/park/wake round-trip. A subset
+	// of ClassHits; scheduling-dependent (how many classes are already
+	// finished when their followers are submitted varies with timing),
+	// so it is reported on stderr//statsz only, never in output.
+	InlineFanouts uint64
+	// BatchedCells counts cells that entered through SubmitBatch rather
+	// than per-cell Submit.
+	BatchedCells uint64
 }
 
 // String renders the breakdown as the one-line summary `run all -v`
 // and gridbench print to stderr.
 func (d StatsDetail) String() string {
-	return fmt.Sprintf("cell cache: %d hits, %d misses; %d class hits, %d store hits, %d of %d classes simulated",
+	s := fmt.Sprintf("cell cache: %d hits, %d misses; %d class hits, %d store hits, %d of %d classes simulated",
 		d.Hits, d.Misses, d.ClassHits, d.SecondLevelHits, d.Simulated, d.Classes)
+	if d.BatchedCells > 0 {
+		s += fmt.Sprintf("; %d batched cells, %d inline fanouts", d.BatchedCells, d.InlineFanouts)
+	}
+	return s
 }
 
 // StatsDetail returns the full cache breakdown (Stats plus dedup-class
@@ -612,6 +663,8 @@ func (e *Engine) StatsDetail() StatsDetail {
 		Misses:          e.misses.Load(),
 		ClassHits:       e.classHits.Load(),
 		SecondLevelHits: e.slHits.Load(),
+		InlineFanouts:   e.inlineFanouts.Load(),
+		BatchedCells:    e.batchedCells.Load(),
 	}
 	d.Classes = d.Misses - d.ClassHits
 	d.Simulated = d.Classes - d.SecondLevelHits
@@ -871,19 +924,23 @@ func (e *Engine) run(t *Task, gid uint64) {
 // serial engine-less code did, and the sum is independent of execution
 // order.
 func (t *Task) Wait() (any, error) {
+	return t.WaitG(gls.ID())
+}
+
+// WaitG is Wait for a caller that drains many tasks from one goroutine:
+// it takes the caller's gls.ID so the goroutine identity is parsed once
+// per drain loop instead of once per task — on a full-grid sweep that
+// parse is the single largest per-cell cost. Semantics are identical to
+// Wait; gid must be the calling goroutine's own ID.
+func (t *Task) WaitG(gid uint64) (any, error) {
 	select {
 	case <-t.done:
-		if t.keyed {
-			simscope.Current().AddCycles(t.cycles)
-		}
-		return t.val, t.err
 	default:
+		if w, ok := t.eng.workerOf.Load(gid); ok {
+			t.eng.help(t, w.(int), gid)
+		}
+		<-t.done
 	}
-	gid := gls.ID()
-	if w, ok := t.eng.workerOf.Load(gid); ok {
-		t.eng.help(t, w.(int), gid)
-	}
-	<-t.done
 	if t.keyed {
 		simscope.CurrentG(gid).AddCycles(t.cycles)
 	}

@@ -50,7 +50,7 @@ func RenderResult(res Result, csv bool) string {
 func RenderSummary(results []Result, csv bool, eng *engine.Engine) string {
 	summary := SummaryTable(results)
 	if eng != nil {
-		summary.Notes = append(summary.Notes, cacheNote(eng))
+		summary.Notes = append(summary.Notes, CacheNote(eng))
 	}
 	if csv {
 		return summary.CSV()
@@ -58,9 +58,11 @@ func RenderSummary(results []Result, csv bool, eng *engine.Engine) string {
 	return summary.Render()
 }
 
-// cacheNote summarizes the engine's cell cache. The worker count is
-// deliberately omitted: output must not vary with -jobs.
-func cacheNote(eng *engine.Engine) string {
+// CacheNote summarizes the engine's cell cache in one line. The worker
+// count is deliberately omitted: the note must not vary with -jobs. The
+// CLI prints it to stderr; passing a non-nil engine to RenderSummary
+// embeds it in the summary table instead (the determinism tests do).
+func CacheNote(eng *engine.Engine) string {
 	hits, misses := eng.Stats()
 	total := hits + misses
 	if total == 0 {

@@ -300,17 +300,18 @@ func SuperviseEach(exps []Experiment, cfg RunConfig, done func(int, Result)) []R
 // output byte-identical for any worker count).
 func superviseBatch(exps []Experiment, cfg RunConfig, snap any, done func(int, Result)) []Result {
 	eng := cfg.engine()
-	tasks := make([]*engine.Task, len(exps))
+	items := make([]engine.BatchGo, len(exps))
 	for i, e := range exps {
 		i, e := i, e
-		tasks[i] = eng.Go("experiment/"+e.ID, func() (any, error) {
+		items[i] = engine.BatchGo{Label: "experiment/" + e.ID, Fn: func() (any, error) {
 			r := supervise(e, cfg, eng, snap)
 			if done != nil {
 				done(i, r)
 			}
 			return r, nil
-		})
+		}}
 	}
+	tasks := eng.GoBatch(items)
 	out := make([]Result, len(exps))
 	for i, t := range tasks {
 		v, err := t.Wait()

@@ -218,10 +218,35 @@ func (m Mitigations) CanonicalKey() string {
 		}
 		return '0'
 	}
-	return fmt.Sprintf("pti=%c ptei=%c l1tf=%c fpu=%c v1=%c v2=%s ibpb=%c rsb=%c mds=%c ssbds=%c ssbda=%c nosmt=%c",
-		b(m.PTI), b(m.PTEInversion), b(m.L1TFFlushOnVMEntry), b(m.EagerFPU),
-		b(m.SpectreV1), m.SpectreV2, b(m.IBPB), b(m.RSBStuff),
-		b(m.MDSClear), b(m.SSBDSeccomp), b(m.SSBDAlways), b(m.NoSMT))
+	// Hand-rolled append, not Sprintf: grid enumeration calls this once
+	// per cell, and the formatter was visible in full-grid profiles.
+	buf := make([]byte, 0, 96)
+	buf = append(buf, "pti="...)
+	buf = append(buf, b(m.PTI), ' ')
+	buf = append(buf, "ptei="...)
+	buf = append(buf, b(m.PTEInversion), ' ')
+	buf = append(buf, "l1tf="...)
+	buf = append(buf, b(m.L1TFFlushOnVMEntry), ' ')
+	buf = append(buf, "fpu="...)
+	buf = append(buf, b(m.EagerFPU), ' ')
+	buf = append(buf, "v1="...)
+	buf = append(buf, b(m.SpectreV1), ' ')
+	buf = append(buf, "v2="...)
+	buf = append(buf, m.SpectreV2.String()...)
+	buf = append(buf, ' ')
+	buf = append(buf, "ibpb="...)
+	buf = append(buf, b(m.IBPB), ' ')
+	buf = append(buf, "rsb="...)
+	buf = append(buf, b(m.RSBStuff), ' ')
+	buf = append(buf, "mds="...)
+	buf = append(buf, b(m.MDSClear), ' ')
+	buf = append(buf, "ssbds="...)
+	buf = append(buf, b(m.SSBDSeccomp), ' ')
+	buf = append(buf, "ssbda="...)
+	buf = append(buf, b(m.SSBDAlways), ' ')
+	buf = append(buf, "nosmt="...)
+	buf = append(buf, b(m.NoSMT))
+	return string(buf)
 }
 
 // Enabled returns a human-readable list of active mitigations, used by

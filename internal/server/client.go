@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"errors"
@@ -30,6 +31,9 @@ type Client struct {
 	// BaseDelay seeds the exponential backoff (default 250ms); MaxDelay
 	// caps it (default 5s).
 	BaseDelay, MaxDelay time.Duration
+	// Gzip requests a gzip-compressed sweep stream. Transport-only: the
+	// decoded records are byte-identical either way.
+	Gzip bool
 	// Logf, when non-nil, receives one line per retry.
 	Logf func(format string, args ...any)
 
@@ -120,6 +124,13 @@ func (c *Client) sweepOnce(ctx context.Context, body []byte) (*SweepResponse, er
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if c.Gzip {
+		hreq.Header.Set("Accept-Encoding", "gzip")
+	} else {
+		// Explicit identity: without it Go's transport would negotiate
+		// gzip on its own and the flag would mean nothing.
+		hreq.Header.Set("Accept-Encoding", "identity")
+	}
 	resp, err := httpc.Do(hreq)
 	if err != nil {
 		// Connection-level failure: daemon not up yet or restarting.
@@ -142,9 +153,18 @@ func (c *Client) sweepOnce(ctx context.Context, body []byte) (*SweepResponse, er
 		return nil, fmt.Errorf("server %s: %s", resp.Status, bytes.TrimSpace(msg))
 	}
 
+	var stream io.Reader = resp.Body
+	if resp.Header.Get("Content-Encoding") == "gzip" {
+		gz, err := gzip.NewReader(resp.Body)
+		if err != nil {
+			return nil, &transientError{err: fmt.Errorf("gzip response: %w", err)}
+		}
+		defer gz.Close()
+		stream = gz
+	}
 	out := &SweepResponse{}
 	sawSummary := false
-	sc := bufio.NewScanner(resp.Body)
+	sc := bufio.NewScanner(stream)
 	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
 	for sc.Scan() {
 		line := bytes.TrimSpace(sc.Bytes())

@@ -35,12 +35,15 @@
 package server
 
 import (
+	"bufio"
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -129,18 +132,24 @@ type StatsSnapshot struct {
 
 // StoreStats mirrors store.Stats for JSON.
 type StoreStats struct {
-	Entries     int    `json:"entries"`
-	Hits        uint64 `json:"hits"`
-	Misses      uint64 `json:"misses"`
-	Puts        uint64 `json:"puts"`
-	PutErrors   uint64 `json:"putErrors"`
-	Quarantined uint64 `json:"quarantined"`
-	TmpSwept    int    `json:"tmpSwept"`
-	Segments    int    `json:"segments"`
-	Migrated    int    `json:"migrated"`
-	TornTail    int    `json:"tornTail"`
-	DeadRecords int    `json:"deadRecords"`
-	Compactions uint64 `json:"compactions"`
+	Entries          int    `json:"entries"`
+	Hits             uint64 `json:"hits"`
+	Misses           uint64 `json:"misses"`
+	Puts             uint64 `json:"puts"`
+	PutErrors        uint64 `json:"putErrors"`
+	Quarantined      uint64 `json:"quarantined"`
+	TmpSwept         int    `json:"tmpSwept"`
+	Segments         int    `json:"segments"`
+	Migrated         int    `json:"migrated"`
+	MigratedV2       int    `json:"migratedV2"`
+	ManifestSegments int    `json:"manifestSegments"`
+	TornTail         int    `json:"tornTail"`
+	DeadRecords      int    `json:"deadRecords"`
+	Compactions      uint64 `json:"compactions"`
+	GetBatches       uint64 `json:"getBatches"`
+	SidecarLinks     int    `json:"sidecarLinks"`
+	SidecarHits      uint64 `json:"sidecarHits"`
+	SidecarMisses    uint64 `json:"sidecarMisses"`
 }
 
 // EngineStats reports the cell cache, level by level: display-keyed
@@ -154,6 +163,8 @@ type EngineStats struct {
 	SecondLevelHits uint64 `json:"secondLevelHits"`
 	Classes         uint64 `json:"classes"`
 	Simulated       uint64 `json:"simulated"`
+	InlineFanouts   uint64 `json:"inlineFanouts"`
+	BatchedCells    uint64 `json:"batchedCells"`
 }
 
 // ServerStats reports sweep admission outcomes.
@@ -255,22 +266,30 @@ func (s *Server) Stats() StatsSnapshot {
 		SecondLevelHits: d.SecondLevelHits,
 		Classes:         d.Classes,
 		Simulated:       d.Simulated,
+		InlineFanouts:   d.InlineFanouts,
+		BatchedCells:    d.BatchedCells,
 	}
 	if s.cfg.Store != nil {
 		st := s.cfg.Store.Stats()
 		snap.Store = &StoreStats{
-			Entries:     st.Entries,
-			Hits:        st.Hits,
-			Misses:      st.Misses,
-			Puts:        st.Puts,
-			PutErrors:   st.PutErrors,
-			Quarantined: st.Quarantined,
-			TmpSwept:    st.TmpSwept,
-			Segments:    st.Segments,
-			Migrated:    st.Migrated,
-			TornTail:    st.TornTail,
-			DeadRecords: st.DeadRecords,
-			Compactions: st.Compactions,
+			Entries:          st.Entries,
+			Hits:             st.Hits,
+			Misses:           st.Misses,
+			Puts:             st.Puts,
+			PutErrors:        st.PutErrors,
+			Quarantined:      st.Quarantined,
+			TmpSwept:         st.TmpSwept,
+			Segments:         st.Segments,
+			Migrated:         st.Migrated,
+			MigratedV2:       st.MigratedV2,
+			ManifestSegments: st.ManifestSegments,
+			TornTail:         st.TornTail,
+			DeadRecords:      st.DeadRecords,
+			Compactions:      st.Compactions,
+			GetBatches:       st.GetBatches,
+			SidecarLinks:     st.SidecarLinks,
+			SidecarHits:      st.SidecarHits,
+			SidecarMisses:    st.SidecarMisses,
 		}
 	}
 	return snap
@@ -376,14 +395,40 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		})
 	}()
 
+	// Buffered response stack with explicit flush points: records
+	// accumulate in a bufio layer (one write syscall per flush instead
+	// of per JSON fragment), optionally gzip-compressed when the client
+	// negotiated it. Flushes happen per record and at the end — the
+	// stream stays incremental, the writes stop dominating warm sweeps.
 	w.Header().Set("Content-Type", "application/x-ndjson")
+	var sink = struct {
+		bw *bufio.Writer
+		gz *gzip.Writer
+	}{}
+	if acceptsGzip(r) {
+		w.Header().Set("Content-Encoding", "gzip")
+		sink.gz = gzip.NewWriter(w)
+		sink.bw = bufio.NewWriterSize(sink.gz, 32<<10)
+	} else {
+		sink.bw = bufio.NewWriterSize(w, 32<<10)
+	}
 	w.WriteHeader(http.StatusOK)
-	enc := json.NewEncoder(w)
+	enc := json.NewEncoder(sink.bw)
 	flush := func() {
+		sink.bw.Flush()
+		if sink.gz != nil {
+			sink.gz.Flush()
+		}
 		if f, ok := w.(http.Flusher); ok {
 			f.Flush()
 		}
 	}
+	defer func() {
+		sink.bw.Flush()
+		if sink.gz != nil {
+			sink.gz.Close()
+		}
+	}()
 
 	seen := make([]bool, len(exps))
 	results := make([]harness.Result, len(exps))
@@ -458,6 +503,24 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // ErrDeadline is the error recorded for experiments still in flight
 // when a sweep's wall-clock deadline expires.
 var ErrDeadline = errors.New("request deadline exceeded before experiment completed")
+
+// acceptsGzip reports whether the request negotiated a gzip response
+// (an Accept-Encoding member "gzip", possibly q-weighted, not q=0).
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		enc, q, hasQ := strings.Cut(strings.TrimSpace(part), ";")
+		if strings.TrimSpace(enc) != "gzip" {
+			continue
+		}
+		if hasQ {
+			if v, ok := strings.CutPrefix(strings.TrimSpace(q), "q="); ok && strings.TrimSpace(v) == "0" {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
 
 // resolve expands and validates the requested experiment IDs.
 func (s *Server) resolve(ids []string) ([]harness.Experiment, error) {

@@ -103,8 +103,31 @@ import (
 // lock (a second daemon pointed at a live store directory).
 var ErrLocked = errors.New("store: directory is locked by another process")
 
+// ErrMixedSegments reports a segments directory containing both v2 and
+// v3 record formats — a state no crash window of the one-shot v2→v3
+// migration can produce, so it means two stores were spliced together
+// by hand. The store refuses to guess which half is authoritative.
+var ErrMixedSegments = errors.New("store: segments directory mixes v2 and v3 record formats")
+
+// ErrCodecMismatch reports that the on-disk layout is newer than the
+// requested codec (Options.Codec "v2" pointed at a v3 store). Reopen
+// with the v3 codec; the legacy codec never downgrades a store.
+var ErrCodecMismatch = errors.New("store: on-disk format is newer than the requested codec")
+
+// Codec names for Options.Codec.
+const (
+	// CodecV3 (the default) reads and writes the v3 record layout:
+	// fixed-header binary records, display→canonical sidecar, open-time
+	// manifest. Opening a v2 or v1 store migrates it forward once.
+	CodecV3 = "v3"
+	// CodecV2 is the legacy gob-record codec, kept for the
+	// codec-v2-replay ablation: it reads and writes exactly the PR 8
+	// format and performs no migration.
+	CodecV2 = "v2"
+)
+
 var (
-	magic   = [4]byte{'S', 'B', 'S', '2'} // segment record frame
+	magic   = [4]byte{'S', 'B', 'S', '2'} // v2 segment record frame
 	magicV1 = [4]byte{'S', 'B', 'C', '1'} // v1 file-per-entry header
 )
 
@@ -151,6 +174,9 @@ type Options struct {
 	// put is counted in Stats.PutErrors). The store serializes appends,
 	// so the injector needs no locking of its own.
 	Fault *faultinject.Injector
+	// Codec selects the record layout: CodecV3 (default, "" means v3)
+	// or CodecV2 (legacy replay ablation). See the codec constants.
+	Codec string
 }
 
 // Stats is a snapshot of the store's counters. The scan fields are
@@ -185,6 +211,21 @@ type Stats struct {
 	DeadRecords int
 	// Compactions counts segments removed or rewritten by Compact.
 	Compactions uint64
+	// MigratedV2 counts v2 records re-encoded into v3 segments by this
+	// Open (0 on every later open: the migration is one-shot).
+	MigratedV2 int
+	// ManifestSegments counts sealed segments indexed straight from the
+	// open-time manifest, without scanning their bytes.
+	ManifestSegments int
+	// GetBatches counts GetBatch calls (each resolves many keys under
+	// one index lock).
+	GetBatches uint64
+	// SidecarLinks is the number of display→canonical links currently
+	// held; SidecarHits/SidecarMisses count reads resolved through a
+	// link and Resolve calls that found none.
+	SidecarLinks  int
+	SidecarHits   uint64
+	SidecarMisses uint64
 }
 
 // segment is one open segment log. size is guarded by the writer mutex;
@@ -212,26 +253,44 @@ type Store struct {
 	dir    string
 	segDir string
 	opts   Options
+	codec  string // CodecV2 or CodecV3
 
 	lockFile *os.File
 
-	// mu guards the index and every segment's live/dead counters.
+	// mu guards the index, the sidecar link map and every segment's
+	// live/dead counters.
 	mu    sync.RWMutex
 	index map[engine.Key]ref
+	// links resolves a display key's fingerprint to its canonical key
+	// (v3 sidecar; empty under the v2 codec).
+	links map[[2]uint64]engine.Key
 
-	// wmu serializes writers: appends, rotation, migration, compaction.
-	// Lock order: wmu before mu, never the reverse.
+	// wmu serializes writers: appends, rotation, migration, compaction,
+	// sidecar and manifest writes. Lock order: wmu before mu, never the
+	// reverse.
 	wmu      sync.Mutex
 	segs     []*segment // ascending seq; the last is the append target
 	unsynced int
+	// Sidecar write state (v3): links buffer in memory and flush in
+	// batches to the side log — they are replay hints, not committed
+	// data, so losing a tail of them in a crash only costs future
+	// lookups a fallback.
+	canonIDs  map[engine.Key]uint32
+	canonByID []engine.Key
+	side      *os.File
+	sideName  string
+	sideSize  int64
+	sideBuf   []byte
 
 	closed  atomic.Bool
 	stopCh  chan struct{}
 	flushWG sync.WaitGroup
 
 	hits, misses, puts, putErrors, quarantined atomic.Uint64
-	compactions                                atomic.Uint64
+	compactions, getBatches                    atomic.Uint64
+	sideHits, sideMisses                       atomic.Uint64
 	tmpSwept, tornTail, migrated               int
+	migratedV2, manifestSegs                   int
 }
 
 // Open opens (creating if necessary) the store rooted at dir, acquires
@@ -240,32 +299,76 @@ type Store struct {
 // must be closed to release the lock (the kernel also releases it if
 // the process dies).
 func Open(dir string, opts Options) (*Store, error) {
-	s := &Store{
-		dir:    dir,
-		segDir: filepath.Join(dir, segsDirName),
-		opts:   opts,
-		index:  map[engine.Key]ref{},
+	codec := opts.Codec
+	switch codec {
+	case "", CodecV3:
+		codec = CodecV3
+	case CodecV2:
+	default:
+		return nil, fmt.Errorf("store: unknown codec %q (want %q or %q)", opts.Codec, CodecV3, CodecV2)
 	}
-	for _, d := range []string{dir, s.segDir, filepath.Join(dir, quarantineName)} {
-		if err := os.MkdirAll(d, 0o777); err != nil {
-			return nil, fmt.Errorf("store: %w", err)
-		}
+	s := &Store{
+		dir:      dir,
+		segDir:   filepath.Join(dir, segsDirName),
+		opts:     opts,
+		codec:    codec,
+		index:    map[engine.Key]ref{},
+		links:    map[[2]uint64]engine.Key{},
+		canonIDs: map[engine.Key]uint32{},
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
 	}
 	if err := s.acquireLock(); err != nil {
 		return nil, err
 	}
-	if err := s.recoverScan(); err != nil {
+	fail := func(err error) (*Store, error) {
 		s.releaseLock()
 		return nil, err
 	}
+	if s.codec == CodecV3 {
+		// Settle any crash window of a previous v2→v3 migration before
+		// the segments directory is (re)created below.
+		if err := s.finishSwap(); err != nil {
+			return fail(err)
+		}
+	}
+	for _, d := range []string{s.segDir, filepath.Join(dir, quarantineName)} {
+		if err := os.MkdirAll(d, 0o777); err != nil {
+			return fail(fmt.Errorf("store: %w", err))
+		}
+	}
+	// Sniff the record format before scanning: mixed directories are
+	// refused, the legacy codec refuses to open a v3 layout, and the v3
+	// codec migrates a v2 layout forward exactly once.
+	ver, err := s.sniffSegments()
+	if err != nil {
+		return fail(err)
+	}
+	switch {
+	case ver == 2 && s.codec == CodecV2:
+		// Legacy store under the legacy codec: nothing to do.
+	case ver == 3 && s.codec == CodecV2:
+		return fail(fmt.Errorf("%w (dir %s holds v3 segments)", ErrCodecMismatch, dir))
+	case ver == 2 && s.codec == CodecV3:
+		if err := s.migrateV2(); err != nil {
+			return fail(err)
+		}
+	}
+	if err := s.recoverScan(); err != nil {
+		return fail(err)
+	}
 	if err := s.migrateV1(); err != nil {
-		s.releaseLock()
-		return nil, err
+		return fail(err)
+	}
+	if s.codec == CodecV3 {
+		if err := s.scanSideLogs(); err != nil {
+			return fail(err)
+		}
 	}
 	if len(s.segs) == 0 {
 		if err := s.addSegmentLocked(1); err != nil {
-			s.releaseLock()
-			return nil, err
+			return fail(err)
 		}
 	}
 	if !s.opts.NoSync {
@@ -315,7 +418,9 @@ func (s *Store) logf(format string, args ...any) {
 // rewrites) are removed, every seg-*.log is validated record by record
 // and either indexed, truncated at a torn tail, or — for mid-segment
 // corruption — resynchronised with the damaged span quarantined and the
-// file rewritten without it.
+// file rewritten without it. Under the v3 codec, sealed segments whose
+// size matches the open-time manifest are indexed straight from it,
+// without reading their bytes.
 func (s *Store) recoverScan() error {
 	entries, err := os.ReadDir(s.segDir)
 	if err != nil {
@@ -338,12 +443,33 @@ func (s *Store) recoverScan() error {
 		}
 	}
 	sort.Strings(names)
+	manifest := s.loadManifest()
 	for _, name := range names {
+		if m, ok := manifest[name]; ok && s.indexFromManifest(name, m) {
+			continue
+		}
 		if err := s.scanSegment(name); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// parseRec validates the record framed at data[off:] under the store's
+// codec.
+func (s *Store) parseRec(data []byte, off int) (key engine.Key, cycles uint64, plen uint32, n int, err error) {
+	if s.codec == CodecV3 {
+		return parseRecordV3(data, off)
+	}
+	return parseRecord(data, off)
+}
+
+// recMagic is the record frame magic the store writes and scans for.
+func (s *Store) recMagic() []byte {
+	if s.codec == CodecV3 {
+		return magicV3[:]
+	}
+	return magic[:]
 }
 
 // errTorn distinguishes a record torn at end-of-file (expected crash
@@ -383,14 +509,15 @@ func parseRecord(data []byte, off int) (key engine.Key, cycles uint64, plen uint
 // record is framed, or len(data) when the rest of the segment is
 // unsalvageable. CRC validation makes a payload byte that happens to
 // spell the magic a non-issue.
-func resyncOffset(data []byte, from int) int {
+func (s *Store) resyncOffset(data []byte, from int) int {
+	want := s.recMagic()
 	for from < len(data) {
-		i := bytes.Index(data[from:], magic[:])
+		i := bytes.Index(data[from:], want)
 		if i < 0 {
 			return len(data)
 		}
 		cand := from + i
-		if _, _, _, _, err := parseRecord(data, cand); err == nil {
+		if _, _, _, _, err := s.parseRec(data, cand); err == nil {
 			return cand
 		}
 		from = cand + 1
@@ -420,7 +547,7 @@ func (s *Store) scanSegment(name string) error {
 	off := 0
 	end := len(data)
 	for off < len(data) {
-		key, cycles, _, n, err := parseRecord(data, off)
+		key, cycles, _, n, err := s.parseRec(data, off)
 		if err == nil {
 			recs = append(recs, scanRec{key: key, cycles: cycles, off: off, n: n})
 			off += n
@@ -436,7 +563,7 @@ func (s *Store) scanSegment(name string) error {
 		}
 		// In-place corruption: set the damaged span aside and resume at
 		// the next record boundary.
-		next := resyncOffset(data, off+1)
+		next := s.resyncOffset(data, off+1)
 		s.quarantineBytes(fmt.Sprintf("%s@%d", name, off), data[off:next])
 		s.quarantined.Add(1)
 		s.logf("store: %s: quarantined %d corrupt bytes at offset %d: %v", name, next-off, off, err)
@@ -608,6 +735,11 @@ func (s *Store) migrateV1() error {
 			migratedFiles = append(migratedFiles, path)
 			continue
 		}
+		if s.codec == CodecV3 {
+			// Re-head the v1 gob triple as a v3 record; the gob stream is
+			// carried whole (value codec 0), still never decoded.
+			payload = encodeV3Payload(key, cycles, vcodecGobTriple, payload)
+		}
 		seg, off, err := s.appendLocked(payload)
 		if err != nil {
 			return fmt.Errorf("store: migrate %s: %w", name, err)
@@ -687,7 +819,7 @@ func (s *Store) appendLocked(payload []byte) (*segment, int64, error) {
 		seg = s.segs[len(s.segs)-1]
 	}
 	buf := make([]byte, headerLen+len(payload))
-	copy(buf, magic[:])
+	copy(buf, s.recMagic())
 	binary.BigEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
 	binary.BigEndian.PutUint32(buf[8:12], uint32(len(payload)))
 	copy(buf[headerLen:], payload)
@@ -719,7 +851,8 @@ func (s *Store) appendLocked(payload []byte) (*segment, int64, error) {
 }
 
 // rotateLocked seals the current segment (final fsync) and opens the
-// next. Caller holds wmu.
+// next, refreshing the manifest so the next open can skip scanning the
+// newly sealed file. Caller holds wmu.
 func (s *Store) rotateLocked() error {
 	cur := s.segs[len(s.segs)-1]
 	if !s.opts.NoSync {
@@ -728,7 +861,13 @@ func (s *Store) rotateLocked() error {
 		}
 		s.unsynced = 0
 	}
-	return s.addSegmentLocked(cur.seq + 1)
+	if err := s.addSegmentLocked(cur.seq + 1); err != nil {
+		return err
+	}
+	if s.codec == CodecV3 {
+		s.writeManifestLocked()
+	}
+	return nil
 }
 
 // syncCurrentLocked flushes the current segment if anything is
@@ -760,12 +899,62 @@ func (s *Store) flusher() {
 			if err := s.syncCurrentLocked(); err != nil {
 				s.logf("store: background sync: %v", err)
 			}
+			s.flushSideLocked(false)
 			s.wmu.Unlock()
 			if n++; n%compactEvery == 0 {
 				s.Compact()
 			}
 		}
 	}
+}
+
+// lookup resolves key to its record ref under one read lock. A key
+// absent from the index may still resolve through the v3 sidecar: the
+// link redirects the read to the canonical class record, whose embedded
+// key (want) then differs from the requested one.
+func (s *Store) lookup(key engine.Key) (ent ref, want engine.Key, found, viaLink bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if ent, ok := s.index[key]; ok {
+		return ent, key, true, false
+	}
+	if len(s.links) > 0 {
+		if ck, ok := s.links[fingerprint(key)]; ok && ck != key {
+			if ent, ok2 := s.index[ck]; ok2 {
+				return ent, ck, true, true
+			}
+		}
+		s.sideMisses.Add(1)
+	}
+	return ref{}, key, false, false
+}
+
+// readRecord reads and fully validates the record at ent, expecting it
+// to hold want's key, and decodes its value under the store's codec.
+func (s *Store) readRecord(ent ref, want engine.Key) (raw []byte, val any, cycles uint64, err error) {
+	raw = make([]byte, headerLen+int(ent.plen))
+	if _, err = ent.seg.f.ReadAt(raw, ent.off); err != nil {
+		return raw, nil, 0, err
+	}
+	if s.codec == CodecV3 {
+		val, cycles, err = decodeRecordV3(raw, want)
+		return raw, val, cycles, err
+	}
+	var gotKey engine.Key
+	gotKey, cycles, _, _, err = parseRecord(raw, 0)
+	if err == nil {
+		dec := gob.NewDecoder(bytes.NewReader(raw[headerLen:]))
+		var k engine.Key
+		dec.Decode(&k)
+		dec.Decode(&cycles)
+		if derr := dec.Decode(&val); derr != nil {
+			err = fmt.Errorf("value decode: %w", derr)
+		}
+	}
+	if err == nil && gotKey != want {
+		err = fmt.Errorf("record holds key %v", gotKey)
+	}
+	return raw, val, cycles, err
 }
 
 // Get returns the stored value and simulated-cycle cost for key. It
@@ -777,33 +966,16 @@ func (s *Store) Get(key engine.Key) (val any, cycles uint64, ok bool) {
 		if s.closed.Load() {
 			return nil, 0, false
 		}
-		s.mu.RLock()
-		ent, found := s.index[key]
-		s.mu.RUnlock()
+		ent, want, found, viaLink := s.lookup(key)
 		if !found {
 			s.misses.Add(1)
 			return nil, 0, false
 		}
-		raw := make([]byte, headerLen+int(ent.plen))
-		_, rerr := ent.seg.f.ReadAt(raw, ent.off)
-		var gotKey engine.Key
-		var gotCycles uint64
+		raw, val, gotCycles, rerr := s.readRecord(ent, want)
 		if rerr == nil {
-			gotKey, gotCycles, _, _, rerr = parseRecord(raw, 0)
-			if rerr == nil {
-				dec := gob.NewDecoder(bytes.NewReader(raw[headerLen:]))
-				var k engine.Key
-				dec.Decode(&k)
-				dec.Decode(&gotCycles)
-				if derr := dec.Decode(&val); derr != nil {
-					rerr = fmt.Errorf("value decode: %w", derr)
-				}
+			if viaLink {
+				s.sideHits.Add(1)
 			}
-		}
-		if rerr == nil && gotKey != key {
-			rerr = fmt.Errorf("record holds key %v", gotKey)
-		}
-		if rerr == nil {
 			s.hits.Add(1)
 			return val, gotCycles, true
 		}
@@ -812,16 +984,16 @@ func (s *Store) Get(key engine.Key) (val any, cycles uint64, ok bool) {
 		// so the cell re-simulates from here on. If the index moved
 		// (compaction relocated the record), retry once at the new home.
 		s.mu.Lock()
-		cur, still := s.index[key]
+		cur, still := s.index[want]
 		if still && cur == ent {
-			delete(s.index, key)
+			delete(s.index, want)
 			ent.seg.live--
 			ent.seg.dead++
 			s.mu.Unlock()
 			if !s.closed.Load() {
 				s.quarantineBytes(fmt.Sprintf("%s@%d", ent.seg.name, ent.off), raw)
 				s.quarantined.Add(1)
-				s.logf("store: quarantined record %s@%d for %s: %v", ent.seg.name, ent.off, key.String(), rerr)
+				s.logf("store: quarantined record %s@%d for %s: %v", ent.seg.name, ent.off, want.String(), rerr)
 			}
 			s.misses.Add(1)
 			return nil, 0, false
@@ -859,15 +1031,8 @@ func (s *Store) put(key engine.Key, val any, cycles uint64) error {
 		return nil
 	}
 
-	var payload bytes.Buffer
-	enc := gob.NewEncoder(&payload)
-	if err := enc.Encode(&key); err != nil {
-		return err
-	}
-	if err := enc.Encode(cycles); err != nil {
-		return err
-	}
-	if err := enc.Encode(&val); err != nil {
+	payload, err := s.encodePayload(key, cycles, val)
+	if err != nil {
 		return err // typically: concrete type not registered with gob
 	}
 
@@ -884,16 +1049,37 @@ func (s *Store) put(key engine.Key, val any, cycles uint64) error {
 	if dup {
 		return nil
 	}
-	seg, off, err := s.appendLocked(payload.Bytes())
+	seg, off, err := s.appendLocked(payload)
 	if err != nil {
 		return err
 	}
 	s.mu.Lock()
-	s.index[key] = ref{seg: seg, off: off, plen: uint32(payload.Len()), cycles: cycles}
+	s.index[key] = ref{seg: seg, off: off, plen: uint32(len(payload)), cycles: cycles}
 	seg.live++
 	s.mu.Unlock()
 	s.puts.Add(1)
 	return nil
+}
+
+// encodePayload builds a record payload for (key, cycles, val) under
+// the store's codec: the v3 fixed-header binary layout (gob only for
+// value types that need it), or the legacy v2 gob triple.
+func (s *Store) encodePayload(key engine.Key, cycles uint64, val any) ([]byte, error) {
+	if s.codec == CodecV3 {
+		return encodeV3Record(key, cycles, val)
+	}
+	var payload bytes.Buffer
+	enc := gob.NewEncoder(&payload)
+	if err := enc.Encode(&key); err != nil {
+		return nil, err
+	}
+	if err := enc.Encode(cycles); err != nil {
+		return nil, err
+	}
+	if err := enc.Encode(&val); err != nil {
+		return nil, err
+	}
+	return payload.Bytes(), nil
 }
 
 // Compact reclaims dead segment bytes: a sealed segment none of whose
@@ -952,7 +1138,7 @@ func (s *Store) relocateLocked(seg *segment) error {
 		if _, err := seg.f.ReadAt(raw, r.off); err != nil {
 			return err
 		}
-		if _, _, _, _, err := parseRecord(raw, 0); err != nil {
+		if _, _, _, _, err := s.parseRec(raw, 0); err != nil {
 			// Rot discovered during compaction: treat it like a Get
 			// self-heal — quarantine, drop, move on.
 			s.mu.Lock()
@@ -1003,19 +1189,25 @@ func (s *Store) Len() int {
 // Stats returns a snapshot of the store's counters.
 func (s *Store) Stats() Stats {
 	st := Stats{
-		Hits:        s.hits.Load(),
-		Misses:      s.misses.Load(),
-		Puts:        s.puts.Load(),
-		PutErrors:   s.putErrors.Load(),
-		Quarantined: s.quarantined.Load(),
-		Compactions: s.compactions.Load(),
-		TmpSwept:    s.tmpSwept,
-		TornTail:    s.tornTail,
-		Migrated:    s.migrated,
+		Hits:             s.hits.Load(),
+		Misses:           s.misses.Load(),
+		Puts:             s.puts.Load(),
+		PutErrors:        s.putErrors.Load(),
+		Quarantined:      s.quarantined.Load(),
+		Compactions:      s.compactions.Load(),
+		GetBatches:       s.getBatches.Load(),
+		SidecarHits:      s.sideHits.Load(),
+		SidecarMisses:    s.sideMisses.Load(),
+		TmpSwept:         s.tmpSwept,
+		TornTail:         s.tornTail,
+		Migrated:         s.migrated,
+		MigratedV2:       s.migratedV2,
+		ManifestSegments: s.manifestSegs,
 	}
 	s.mu.RLock()
 	st.Entries = len(s.index)
 	st.Segments = len(s.segs)
+	st.SidecarLinks = len(s.links)
 	for _, seg := range s.segs {
 		st.DeadRecords += seg.dead
 	}
@@ -1042,6 +1234,14 @@ func (s *Store) Close() error {
 	var err error
 	if !s.opts.NoSync && len(s.segs) > 0 && s.unsynced > 0 {
 		err = s.segs[len(s.segs)-1].f.Sync()
+	}
+	if s.codec == CodecV3 {
+		s.flushSideLocked(!s.opts.NoSync)
+		s.writeManifestLocked()
+	}
+	if s.side != nil {
+		s.side.Close()
+		s.side = nil
 	}
 	for _, seg := range s.segs {
 		seg.f.Close()

@@ -61,10 +61,14 @@ func recordOffsets(t *testing.T, path string) [][2]int {
 	if err != nil {
 		t.Fatal(err)
 	}
+	parse := parseRecord
+	if len(data) >= 4 && string(data[:4]) == string(magicV3[:]) {
+		parse = parseRecordV3
+	}
 	var out [][2]int
 	off := 0
 	for off < len(data) {
-		_, _, _, n, err := parseRecord(data, off)
+		_, _, _, n, err := parse(data, off)
 		if err != nil {
 			t.Fatalf("%s: record at %d: %v", path, off, err)
 		}

@@ -1,37 +1,40 @@
 #!/bin/sh
-# grid_bench.sh — emit BENCH_PR8.json: the recorded performance baseline
-# for the million-cell sweep PR (canonical dedup + segmented store +
-# prefix-locality planning).
+# grid_bench.sh — emit BENCH_PR9.json: the recorded performance baseline
+# for the replay & fan-out fast path PR (batch submission + inline
+# fan-out, v3 canonical-keyed store records, sidecar links, manifest).
 #
 # Two phases:
 #
 #   1. Byte-identity matrix at ID_CELLS cells (default 10000): gridbench
-#      stdout must be identical across -dedup on/off x -plan on/off x
-#      -jobs 1/4, across -faults runs at a fixed seed (its own
-#      reference), and across store cold/warm runs — with the warm run
-#      writing zero entries. Any divergence is fatal.
-#   2. Headline timing at GRID_CELLS cells (default 100000): the 2x2
-#      -dedup x -plan matrix at -jobs 4. The headline number is
-#      dedup+plan versus the no-dedup/no-plan seed path.
+#      stdout must be identical across -batch on/off x -dedup on/off x
+#      -jobs 1/4, across -plan off, across -faults runs at a fixed seed
+#      (their own reference), and across store cold/warm runs for both
+#      -codec v3 and -codec v2 — including a live v2→v3 migration open —
+#      with every warm run replaying 100% from the store and writing
+#      nothing. Any divergence is fatal.
+#   2. Headline timing at GRID_CELLS cells (default 172000, the full
+#      grid): store-backed cold and warm sweeps on the PR 9 fast path
+#      (-batch on -codec v3) versus the PR 8 path (-batch off
+#      -codec v2). The headline numbers are the cold and warm speedups.
 #
 # Wall clocks are only meaningful relative to the host; the JSON records
 # nproc. CI runs both phases at 10k cells (GRID_CELLS=10000) for time;
-# the committed BENCH_PR8.json is a 100k-cell run.
+# the committed BENCH_PR9.json is a full-grid 172k-cell run.
 #
-# Usage: scripts/grid_bench.sh [output.json]   (default BENCH_PR8.json)
+# Usage: scripts/grid_bench.sh [output.json]   (default BENCH_PR9.json)
 set -eu
 
-out=${1:-BENCH_PR8.json}
+out=${1:-BENCH_PR9.json}
 go=${GO:-go}
-cells=${GRID_CELLS:-100000}
+cells=${GRID_CELLS:-172000}
 id_cells=${ID_CELLS:-10000}
 reps=${BENCH_REPS:-3}
 bin=$(mktemp /tmp/spectrebench.XXXXXX)
 ref_txt=$(mktemp /tmp/sb_gridref.XXXXXX)
 got_txt=$(mktemp /tmp/sb_gridgot.XXXXXX)
 err_txt=$(mktemp /tmp/sb_griderr.XXXXXX)
-store_dir=$(mktemp -d /tmp/sb_gridstore.XXXXXX)
-trap 'rm -rf "$bin" "$ref_txt" "$got_txt" "$err_txt" "$store_dir"' EXIT
+store_root=$(mktemp -d /tmp/sb_gridstore.XXXXXX)
+trap 'rm -rf "$bin" "$ref_txt" "$got_txt" "$err_txt" "$store_root"' EXIT
 
 $go build -o "$bin" ./cmd/spectrebench
 
@@ -44,64 +47,109 @@ check_identical() { # check_identical <label>
     echo "grid_bench.sh: $1: output identical" >&2
 }
 
+check_pure_replay() { # check_pure_replay <label> (reads $err_txt)
+    warm_note=$(grep 'cell store:' "$err_txt")
+    case "$warm_note" in
+    *" 0 misses, 0 written,"*) ;;
+    *)
+        echo "grid_bench.sh: FATAL: $1 was not a pure replay: $warm_note" >&2
+        exit 1
+        ;;
+    esac
+    echo "grid_bench.sh: $1 replay clean: $warm_note" >&2
+}
+
 # ---- phase 1: byte-identity matrix ----
 "$bin" -cells "$id_cells" -jobs 1 gridbench >"$ref_txt"
-for d in on off; do
-    for p in on off; do
+for b in on off; do
+    for d in on off; do
         for j in 1 4; do
-            "$bin" -cells "$id_cells" -jobs "$j" -dedup "$d" -plan "$p" gridbench >"$got_txt" 2>/dev/null
-            check_identical "cells=$id_cells dedup=$d plan=$p jobs=$j"
+            [ "$b-$d-$j" = "on-on-1" ] && continue
+            "$bin" -cells "$id_cells" -jobs "$j" -batch "$b" -dedup "$d" gridbench >"$got_txt" 2>/dev/null
+            check_identical "cells=$id_cells batch=$b dedup=$d jobs=$j"
         done
     done
+done
+for b in on off; do
+    "$bin" -cells "$id_cells" -jobs 4 -batch "$b" -plan off gridbench >"$got_txt" 2>/dev/null
+    check_identical "cells=$id_cells batch=$b plan=off jobs=4"
 done
 
 # Fault runs compare against their own reference (fault-injected cells
 # legitimately differ from clean ones; the matrix must still agree).
-"$bin" -cells "$id_cells" -jobs 1 -faults -seed 7 gridbench >"$ref_txt"
-for d in on off; do
-    "$bin" -cells "$id_cells" -jobs 4 -faults -seed 7 -dedup "$d" gridbench >"$got_txt" 2>/dev/null
-    check_identical "faults seed=7 dedup=$d jobs=4"
+"$bin" -cells "$id_cells" -jobs 1 -faults -seed 7 gridbench >"$got_txt"
+cp "$got_txt" "$err_txt" # reuse as the fault reference
+for b in on off; do
+    for d in on off; do
+        "$bin" -cells "$id_cells" -jobs 4 -faults -seed 7 -batch "$b" -dedup "$d" gridbench >"$got_txt" 2>/dev/null
+        if ! cmp -s "$err_txt" "$got_txt"; then
+            echo "grid_bench.sh: FATAL: faulted batch=$b dedup=$d diverged" >&2
+            exit 1
+        fi
+        echo "grid_bench.sh: faults seed=7 batch=$b dedup=$d jobs=4: output identical" >&2
+    done
 done
 
-# Store cold then warm: same bytes, and the warm run must replay every
-# class from the segment logs without writing anything.
+# Store cold/warm for both codecs: same bytes as the store-less
+# reference, every warm run a pure replay. The v2 directory is then
+# reopened with the default codec to exercise the live v2→v3 migration.
 "$bin" -cells "$id_cells" -jobs 1 gridbench >"$ref_txt"
-"$bin" -cells "$id_cells" -jobs 4 -store "$store_dir" gridbench >"$got_txt" 2>"$err_txt"
-check_identical "store=cold jobs=4"
-"$bin" -cells "$id_cells" -jobs 4 -store "$store_dir" gridbench >"$got_txt" 2>"$err_txt"
-check_identical "store=warm jobs=4"
-warm_note=$(grep 'cell store:' "$err_txt")
-case "$warm_note" in
-*" 0 misses, 0 written,"*) ;;
-*)
-    echo "grid_bench.sh: FATAL: warm store run was not a pure replay: $warm_note" >&2
-    exit 1
-    ;;
-esac
-echo "grid_bench.sh: warm store replay clean: $warm_note" >&2
+"$bin" -cells "$id_cells" -jobs 4 -store "$store_root/v3" gridbench >"$got_txt" 2>/dev/null
+check_identical "store=cold codec=v3 batch=on"
+"$bin" -cells "$id_cells" -jobs 4 -store "$store_root/v3" gridbench >"$got_txt" 2>"$err_txt"
+check_identical "store=warm codec=v3 batch=on"
+check_pure_replay "warm v3"
+"$bin" -cells "$id_cells" -jobs 4 -batch off -store "$store_root/v3" gridbench >"$got_txt" 2>"$err_txt"
+check_identical "store=warm codec=v3 batch=off"
+check_pure_replay "warm v3 batch=off"
+
+"$bin" -cells "$id_cells" -jobs 4 -batch off -codec v2 -store "$store_root/v2" gridbench >"$got_txt" 2>/dev/null
+check_identical "store=cold codec=v2 batch=off"
+"$bin" -cells "$id_cells" -jobs 4 -batch off -codec v2 -store "$store_root/v2" gridbench >"$got_txt" 2>"$err_txt"
+check_identical "store=warm codec=v2 batch=off"
+check_pure_replay "warm v2"
+
+"$bin" -cells "$id_cells" -jobs 4 -store "$store_root/v2" gridbench >"$got_txt" 2>"$err_txt"
+check_identical "store=warm after v2->v3 migration"
+check_pure_replay "migrated warm"
+grep -q 'migrated .* v2 records' "$err_txt" \
+    || { echo "grid_bench.sh: FATAL: reopening the v2 dir did not migrate" >&2; exit 1; }
+echo "grid_bench.sh: v2->v3 migration replayed clean" >&2
 
 # ---- phase 2: headline timing ----
-one_ns() { # one_ns <dedup> <plan>
+one_ns() { # one_ns <batch> <codec> <store-dir>
     start=$(date +%s%N)
-    "$bin" -cells "$cells" -jobs 4 -dedup "$1" -plan "$2" gridbench >"$got_txt" 2>/dev/null
+    "$bin" -cells "$cells" -jobs 4 -batch "$1" -codec "$2" -store "$3" gridbench >"$got_txt" 2>/dev/null
     end=$(date +%s%N)
     echo $((end - start))
 }
 
-best_ns() { # best_ns <dedup> <plan> <reps>
+# cold_ns recreates the store dir each rep so every run is cold;
+# warm_ns reuses a dir primed by the cold runs.
+cold_ns() { # cold_ns <batch> <codec> <store-dir> <reps>
     best=0
-    for _rep in $(seq "$3"); do
-        ns=$(one_ns "$1" "$2")
+    for _rep in $(seq "$4"); do
+        rm -rf "$3"
+        ns=$(one_ns "$1" "$2" "$3")
         if [ "$best" -eq 0 ] || [ "$ns" -lt "$best" ]; then best=$ns; fi
     done
     echo "$best"
 }
 
-# The slow (no-dedup) sides run once; the fast sides best-of-N.
-off_off_ns=$(best_ns off off 1)
-off_on_ns=$(best_ns off on 1)
-on_off_ns=$(best_ns on off "$reps")
-on_on_ns=$(best_ns on on "$reps")
+warm_ns() { # warm_ns <batch> <codec> <store-dir> <reps>
+    best=0
+    for _rep in $(seq "$4"); do
+        ns=$(one_ns "$1" "$2" "$3")
+        if [ "$best" -eq 0 ] || [ "$ns" -lt "$best" ]; then best=$ns; fi
+    done
+    echo "$best"
+}
+
+# The slow PR 8 sides run once; the PR 9 fast sides best-of-N.
+pr8_cold=$(cold_ns off v2 "$store_root/bench_v2" 1)
+pr8_warm=$(warm_ns off v2 "$store_root/bench_v2" 1)
+pr9_cold=$(cold_ns on v3 "$store_root/bench_v3" "$reps")
+pr9_warm=$(warm_ns on v3 "$store_root/bench_v3" "$reps")
 
 # Cells/classes from the deterministic trailer of the last run.
 trailer=$(tail -1 "$got_txt") # "grid: N cells, C classes, F failed"
@@ -112,11 +160,11 @@ ratio() { awk -v a="$1" -v b="$2" 'BEGIN { printf "%.2f", a / b }'; }
 
 cat >"$out" <<EOF
 {
-  "pr": 8,
-  "description": "million-cell sweep baseline: wall-clock ns for 'spectrebench gridbench' across -dedup and -plan at -jobs 4, plus the dedup ratio of the synthetic boot-param grid",
+  "pr": 9,
+  "description": "replay & fan-out fast path: wall-clock ns for store-backed 'spectrebench gridbench' cold and warm sweeps, PR 9 path (-batch on -codec v3) vs PR 8 path (-batch off -codec v2) at -jobs 4",
   "host": {
     "nproc": $(nproc),
-    "note": "identity matrix verified at $id_cells cells (dedup x plan x jobs x faults x store-cold/warm); timings at $cells cells, slow sides best-of-1, fast sides best-of-$reps"
+    "note": "identity matrix verified at $id_cells cells (batch x dedup x jobs x plan x faults x store cold/warm x codec v3/v2 x v2->v3 migration); timings at $cells cells, PR 8 sides best-of-1, PR 9 sides best-of-$reps"
   },
   "grid": {
     "cells": $n_cells,
@@ -124,15 +172,14 @@ cat >"$out" <<EOF
     "dedup_ratio": $(ratio "$n_cells" "$n_classes")
   },
   "gridbench_wall_ns": {
-    "jobs4_dedup_off_plan_off": $off_off_ns,
-    "jobs4_dedup_off_plan_on": $off_on_ns,
-    "jobs4_dedup_on_plan_off": $on_off_ns,
-    "jobs4_dedup_on_plan_on": $on_on_ns,
-    "speedup_total": $(ratio "$off_off_ns" "$on_on_ns"),
-    "speedup_dedup_only": $(ratio "$off_off_ns" "$on_off_ns"),
-    "speedup_plan_only": $(ratio "$off_off_ns" "$off_on_ns"),
+    "cold_pr8_path_nobatch_v2": $pr8_cold,
+    "warm_pr8_path_nobatch_v2": $pr8_warm,
+    "cold_pr9_path_batch_v3": $pr9_cold,
+    "warm_pr9_path_batch_v3": $pr9_warm,
+    "speedup_cold": $(ratio "$pr8_cold" "$pr9_cold"),
+    "speedup_warm": $(ratio "$pr8_warm" "$pr9_warm"),
     "output_identical_across_matrix": true
   }
 }
 EOF
-echo "wrote $out (total speedup $(ratio "$off_off_ns" "$on_on_ns")x over no-dedup/no-plan at $cells cells)" >&2
+echo "wrote $out (cold $(ratio "$pr8_cold" "$pr9_cold")x, warm $(ratio "$pr8_warm" "$pr9_warm")x over the PR 8 path at $cells cells)" >&2
