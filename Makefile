@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race bench bench-json grid-bench experiments faults-smoke serve-smoke examples vet cover clean
+.PHONY: all build test test-short test-race bench bench-json grid-bench optimize-bench experiments faults-smoke serve-smoke examples vet cover clean
 
 all: vet test
 
@@ -41,6 +41,14 @@ bench-json:
 # GRID_CELLS=10000 ID_CELLS=2000 for a quick run), as JSON.
 grid-bench:
 	GO="$(GO)" sh scripts/grid_bench.sh BENCH_PR9.json
+
+# Record the config-optimizer baseline: verify 'spectrebench optimize'
+# prints identical optima across -prune on/off x -jobs x -faults x
+# store cold/warm (warm = pure replay), then time the pruned
+# full-lattice search against brute force and against the full deduped
+# gridbench sweep of the same lattice, as JSON.
+optimize-bench:
+	GO="$(GO)" sh scripts/optimize_bench.sh BENCH_PR10.json
 
 # Run the full experiment registry through the CLI.
 experiments:

@@ -137,6 +137,9 @@ func gridbench(w io.Writer, opts gridOptions) int {
 		float64(len(cells))/float64(classes))
 	if opts.verbose {
 		fmt.Fprintf(os.Stderr, "spectrebench: engine: %s\n", d)
+		fmt.Fprintf(os.Stderr,
+			"spectrebench: gridbench: examined %d configs -> %d classes; %d simulated, %d replayed from store\n",
+			len(cells), d.Classes, d.Simulated, d.SecondLevelHits)
 	}
 	if failed > 0 {
 		return 1

@@ -17,6 +17,8 @@
 //	spectrebench client run all      run a sweep against a daemon
 //	spectrebench -cells 100000 gridbench
 //	                                  sweep a synthetic boot-param config grid
+//	spectrebench -require default optimize
+//	                                  find the cheapest secure mitigation config per uarch
 //
 // Every experiment runs under a crash-safe supervisor: panics are
 // caught, runaway experiments are stopped by a simulated-cycle
@@ -88,6 +90,16 @@ func mainExitCode() int {
 	plan := flag.String("plan", "on",
 		"prefix-locality planner: bucket pending cells by shared warmup prefix so workers drain one bucket at a time: on|off (ablation; output is byte-identical either way)")
 	cells := flag.Int("cells", 10000, "gridbench: number of synthetic grid cells to sweep")
+	require := flag.String("require", "default",
+		"optimize: attack set to block — comma-separated taxonomy IDs, \"default\" (default threat model) or \"all\"")
+	workloads := flag.String("workloads", "",
+		"optimize: comma-separated cost-objective workloads (empty = the grid default workload)")
+	uarch := flag.String("uarch", "",
+		"optimize: comma-separated uarch names to search (empty = all models)")
+	prune := flag.String("prune", "on",
+		"optimize: dominance pruning on|off (ablation; the optima are byte-identical either way)")
+	combos := flag.Int("combos", 0,
+		"optimize: restrict the lattice to the first N boot-param combos per uarch (0 = full lattice)")
 	batch := flag.String("batch", "on",
 		"batch submission: enqueue each grid slice as one planner unit with inline fan-out of finished classes: on|off (ablation; output is byte-identical either way)")
 	codec := flag.String("codec", "v3",
@@ -175,6 +187,10 @@ func mainExitCode() int {
 		fmt.Fprintf(os.Stderr, "spectrebench: -checkpoint must be on or off, got %q\n", *checkpoint)
 		return 2
 	}
+	if *prune != "on" && *prune != "off" {
+		fmt.Fprintf(os.Stderr, "spectrebench: -prune must be on or off, got %q\n", *prune)
+		return 2
+	}
 	if *batch != "on" && *batch != "off" {
 		fmt.Fprintf(os.Stderr, "spectrebench: -batch must be on or off, got %q\n", *batch)
 		return 2
@@ -252,6 +268,18 @@ func mainExitCode() int {
 			batch:    *batch == "on",
 			verbose:  *verbose,
 		})
+	case "optimize":
+		return optimizeCmd(os.Stdout, optimizeOptions{
+			require:   *require,
+			workloads: *workloads,
+			uarchs:    *uarch,
+			combos:    *combos,
+			prune:     *prune == "on",
+			cfg:       cfg,
+			storeDir:  *storeDir,
+			codec:     *codec,
+			verbose:   *verbose,
+		})
 	case "serve":
 		return serve(serveOptions{
 			storeDir:       *storeDir,
@@ -286,6 +314,9 @@ usage:
   spectrebench [-cells N] [-faults] [-seed N] [-jobs N] [-dedup on|off]
                [-plan on|off] [-batch on|off] [-store DIR] [-codec v3|v2]
                [-v] gridbench
+  spectrebench [-require IDS] [-workloads W,...] [-uarch U,...] [-prune on|off]
+               [-combos N] [-faults] [-seed N] [-jobs N] [-store DIR]
+               [-codec v3|v2] [-v] optimize
   spectrebench [-store DIR] [-codec v3|v2] [-addr HOST:PORT] [-max-inflight N]
                [-request-timeout D] [-drain-timeout D] [-jobs N] serve
   spectrebench [-addr HOST:PORT] [-http-retries N] [-request-timeout D]

@@ -1,0 +1,123 @@
+package attacks
+
+import (
+	"testing"
+
+	"spectrebench/internal/kernel"
+	"spectrebench/internal/model"
+)
+
+// TestDefaultsBlockDefaultModel asserts, for every simulated uarch,
+// that the kernel's Defaults auto-selection blocks every default-model
+// attack the model marks the part vulnerable to. This is the
+// predicate/model drift tripwire: a new vulnerability flag without a
+// matching default mitigation (or vice versa) fails here.
+func TestDefaultsBlockDefaultModel(t *testing.T) {
+	for _, m := range model.All() {
+		mit := kernel.Defaults(m)
+		for _, a := range DefaultModel() {
+			if !a.Vulnerable(m) {
+				continue
+			}
+			if !a.Blocked(m, mit) {
+				t.Errorf("%s: Defaults leaves %s open", m.Uarch, a.ID)
+			}
+		}
+		ok, open := Secure(m, mit, DefaultModel())
+		if !ok {
+			t.Errorf("%s: Secure(Defaults, default model) = false, open: %v", m.Uarch, open)
+		}
+	}
+}
+
+// TestNoMitigationsBlocksNothing asserts the zero mitigation set blocks
+// no attack on any vulnerable part.
+func TestNoMitigationsBlocksNothing(t *testing.T) {
+	for _, m := range model.All() {
+		for _, a := range Taxonomy {
+			if !a.Vulnerable(m) {
+				continue
+			}
+			if a.Blocked(m, kernel.Mitigations{}) {
+				t.Errorf("%s: zero mitigation set claims to block %s", m.Uarch, a.ID)
+			}
+		}
+	}
+}
+
+// TestMitigationsOffBlocksOnlyLazyFP pins the mitigations=off lowering:
+// Apply deliberately keeps eager FPU (it is not a "mitigation" casualty
+// on Linux), so lazyfp stays blocked while everything else opens up.
+func TestMitigationsOffBlocksOnlyLazyFP(t *testing.T) {
+	bp := kernel.BootParams{MitigationsOff: true}
+	for _, m := range model.All() {
+		mit := bp.Apply(m, kernel.Defaults(m))
+		for _, a := range Taxonomy {
+			if !a.Vulnerable(m) {
+				continue
+			}
+			blocked := a.Blocked(m, mit)
+			if a.ID == "lazyfp" {
+				if !blocked {
+					t.Errorf("%s: mitigations=off should keep eager FPU and block lazyfp", m.Uarch)
+				}
+				continue
+			}
+			if blocked {
+				t.Errorf("%s: mitigations=off still blocks %s", m.Uarch, a.ID)
+			}
+		}
+	}
+}
+
+// TestBeyondDefaultAttacksNeedExtraMitigations asserts the non-default
+// entries are genuinely beyond the auto-selection: wherever a part is
+// vulnerable, Defaults alone leaves them open.
+func TestBeyondDefaultAttacksNeedExtraMitigations(t *testing.T) {
+	anyVulnerable := false
+	for _, m := range model.All() {
+		mit := kernel.Defaults(m)
+		for _, a := range Taxonomy {
+			if a.Default || !a.Vulnerable(m) {
+				continue
+			}
+			anyVulnerable = true
+			if a.Blocked(m, mit) {
+				t.Errorf("%s: %s marked beyond-default but Defaults blocks it", m.Uarch, a.ID)
+			}
+		}
+	}
+	if !anyVulnerable {
+		t.Fatal("no part vulnerable to any beyond-default attack; matrix degenerate")
+	}
+}
+
+func TestParseRequirement(t *testing.T) {
+	def, err := ParseRequirement("default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(def) != len(DefaultModel()) {
+		t.Fatalf("default expanded to %d attacks, want %d", len(def), len(DefaultModel()))
+	}
+	all, err := ParseRequirement("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(Taxonomy) {
+		t.Fatalf("all expanded to %d attacks, want %d", len(all), len(Taxonomy))
+	}
+	dup, err := ParseRequirement("meltdown, default,meltdown")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dup) != len(DefaultModel()) {
+		t.Fatalf("deduplicated spec expanded to %d attacks, want %d", len(dup), len(DefaultModel()))
+	}
+	if _, err := ParseRequirement("meltdownn"); err == nil {
+		t.Fatal("expected error for unknown attack ID")
+	}
+	if _, err := ParseRequirement(" , "); err == nil {
+		t.Fatal("expected error for empty requirement")
+	}
+}

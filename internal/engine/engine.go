@@ -671,6 +671,25 @@ func (e *Engine) StatsDetail() StatsDetail {
 	return d
 }
 
+// Sub returns the counter delta d - prev. Every StatsDetail field is a
+// monotone counter (the derived Classes/Simulated are differences of
+// monotone counters that never go negative per submission), so callers
+// bracket a phase with two StatsDetail() reads and Sub to attribute
+// simulate-vs-replay work to that phase — how the optimizer reports
+// cells simulated against a shared engine/store without a profiler.
+func (d StatsDetail) Sub(prev StatsDetail) StatsDetail {
+	return StatsDetail{
+		Hits:            d.Hits - prev.Hits,
+		Misses:          d.Misses - prev.Misses,
+		ClassHits:       d.ClassHits - prev.ClassHits,
+		SecondLevelHits: d.SecondLevelHits - prev.SecondLevelHits,
+		Classes:         d.Classes - prev.Classes,
+		Simulated:       d.Simulated - prev.Simulated,
+		InlineFanouts:   d.InlineFanouts - prev.InlineFanouts,
+		BatchedCells:    d.BatchedCells - prev.BatchedCells,
+	}
+}
+
 // Submit schedules the cell identified by key, or returns the existing
 // task when the key was already submitted. fn must be pure with respect
 // to key. The cell's fault seed, activation snapshot and cycle budget

@@ -20,14 +20,13 @@ package grid
 import (
 	"strings"
 
-	"spectrebench/internal/cpu"
 	"spectrebench/internal/engine"
 	"spectrebench/internal/kernel"
 	"spectrebench/internal/model"
-	"spectrebench/internal/workloads/lebench"
 )
 
-// Workload names the grid's cell workload in engine keys.
+// Workload names the grid's default cell workload in engine keys (the
+// fixed PR 8 objective; see workloads.go for the full registry).
 const Workload = "grid/lebench/getpid"
 
 // boolParams are the ten independent boot-parameter toggles the grid
@@ -117,6 +116,11 @@ func combo(i int) (kernel.BootParams, string) {
 	return bp, strings.Join(tokens, " ")
 }
 
+// ComboAt exposes the enumeration to other packages (the optimizer
+// walks the same combo space the sweep does): the boot params and
+// display token string for combo index i in [0, CombosPerUarch).
+func ComboAt(i int) (kernel.BootParams, string) { return combo(i) }
+
 // Cells enumerates the first n grid cells. The order is combo-major
 // with the uarchs interleaved inside each combo, so any prefix spreads
 // across every uarch (the prefix-locality planner has real work to do)
@@ -178,19 +182,11 @@ func Canonicalizer(cells []Cell) engine.Canonicalizer {
 	}
 }
 
-// bench is the grid's fixed workload: the suite's cheapest syscall
-// benchmark, so grid throughput measures sweep machinery, not workload
-// weight.
-var bench = lebench.Suite()[0]
-
 // Run simulates the cell: a fresh machine with the cell's lowered
-// mitigation set, running the fixed benchmark. Pure with respect to
+// mitigation set, running the default workload. Pure with respect to
 // the cell's canonical key, as engine.Submit requires.
 func (c Cell) Run() (any, error) {
-	core := cpu.New(c.CPU)
-	defer core.Recycle()
-	k := kernel.New(core, c.Mit)
-	cyc, err := lebench.RunOn(core, k, bench)
+	cyc, err := DefaultWorkload().Run(c.CPU, c.Mit)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,116 @@
+// Workload registry: the cost objectives a grid/optimizer cell can run.
+// PR 8 fixed every cell to LEBench-getpid so gridbench throughput
+// measured sweep machinery; the optimizer needs real objectives, so the
+// workload is now a parameter. Two families are registered:
+//
+//   - grid/lebench/<bench>: every LEBench syscall benchmark, run on a
+//     fresh machine with the cell's lowered mitigation set (the PR 8
+//     cell body, generalised from getpid to the whole suite).
+//   - grid/vm/lfs/<name>: the LFS filesystem workloads run inside a
+//     guest VM with the swept mitigation set applied on both host and
+//     guest sides — the only family where L1TFFlushOnVMEntry has a
+//     price, so "cheapest secure config" answers differ from the
+//     syscall family.
+//
+// Every Run is a pure function of (uarch, effective mitigation set),
+// exactly like Cell.Run, so results memoise under the same canonical
+// keys.
+package grid
+
+import (
+	"fmt"
+	"sort"
+
+	"spectrebench/internal/cpu"
+	"spectrebench/internal/kernel"
+	"spectrebench/internal/model"
+	"spectrebench/internal/workloads/lebench"
+	"spectrebench/internal/workloads/lfs"
+)
+
+// WorkloadSpec is one runnable cost objective.
+type WorkloadSpec struct {
+	// Name is the engine-key Workload field for cells of this
+	// objective (e.g. "grid/lebench/getpid").
+	Name string
+	// Run simulates the objective on a fresh machine with the given
+	// lowered mitigation set and returns the cycle cost.
+	Run func(m *model.CPU, mit kernel.Mitigations) (float64, error)
+}
+
+func lebenchSpec(b lebench.Benchmark) WorkloadSpec {
+	return WorkloadSpec{
+		Name: "grid/lebench/" + b.Name,
+		Run: func(m *model.CPU, mit kernel.Mitigations) (float64, error) {
+			core := cpu.New(m)
+			defer core.Recycle()
+			k := kernel.New(core, mit)
+			return lebench.RunOn(core, k, b)
+		},
+	}
+}
+
+func lfsSpec(name string) WorkloadSpec {
+	return WorkloadSpec{
+		Name: "grid/vm/lfs/" + name,
+		Run: func(m *model.CPU, mit kernel.Mitigations) (float64, error) {
+			res, err := lfs.Run(m, mit, mit, name)
+			if err != nil {
+				return 0, err
+			}
+			return res.Cycles, nil
+		},
+	}
+}
+
+// workloadRegistry maps workload names to specs, built once at init.
+var workloadRegistry = func() map[string]WorkloadSpec {
+	reg := make(map[string]WorkloadSpec)
+	for _, b := range lebench.Suite() {
+		s := lebenchSpec(b)
+		reg[s.Name] = s
+	}
+	for _, name := range []string{lfs.Smallfile, lfs.Largefile} {
+		s := lfsSpec(name)
+		reg[s.Name] = s
+	}
+	if _, ok := reg[Workload]; !ok {
+		panic("grid: default workload " + Workload + " missing from registry")
+	}
+	return reg
+}()
+
+// LookupWorkload resolves a workload name to its spec. Besides full
+// names, it accepts the bare suffix of either family ("getpid",
+// "smallfile") as shorthand.
+func LookupWorkload(name string) (WorkloadSpec, error) {
+	if s, ok := workloadRegistry[name]; ok {
+		return s, nil
+	}
+	for _, prefix := range []string{"grid/lebench/", "grid/vm/lfs/"} {
+		if s, ok := workloadRegistry[prefix+name]; ok {
+			return s, nil
+		}
+	}
+	return WorkloadSpec{}, fmt.Errorf("unknown workload %q (known: %v)", name, WorkloadNames())
+}
+
+// WorkloadNames lists every registered workload name, sorted.
+func WorkloadNames() []string {
+	out := make([]string, 0, len(workloadRegistry))
+	for name := range workloadRegistry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DefaultWorkload is the registry entry for the grid's fixed PR 8
+// workload (LEBench getpid).
+func DefaultWorkload() WorkloadSpec {
+	s, ok := workloadRegistry[Workload]
+	if !ok {
+		panic("grid: default workload missing")
+	}
+	return s
+}

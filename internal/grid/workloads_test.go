@@ -1,0 +1,78 @@
+package grid
+
+import (
+	"testing"
+
+	"spectrebench/internal/kernel"
+	"spectrebench/internal/model"
+)
+
+func TestLookupWorkload(t *testing.T) {
+	for _, name := range []string{Workload, "getpid", "grid/vm/lfs/smallfile", "smallfile"} {
+		if _, err := LookupWorkload(name); err != nil {
+			t.Errorf("LookupWorkload(%q): %v", name, err)
+		}
+	}
+	if _, err := LookupWorkload("no-such-workload"); err == nil {
+		t.Error("expected error for unknown workload")
+	}
+	names := WorkloadNames()
+	if len(names) < 17 { // 16 LEBench benchmarks + 2 LFS workloads
+		t.Fatalf("registry too small: %v", names)
+	}
+}
+
+// TestDefaultWorkloadMatchesCellRun pins Cell.Run to the registry's
+// default entry so gridbench results cannot drift when workloads are
+// added.
+func TestDefaultWorkloadMatchesCellRun(t *testing.T) {
+	m := model.All()[0]
+	mit := kernel.Defaults(m)
+	c := Cells(1, 0)[0]
+	got, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := DefaultWorkload().Run(m, mit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(float64) != want {
+		t.Fatalf("Cell.Run = %v, DefaultWorkload().Run = %v", got, want)
+	}
+}
+
+// TestLFSFamilyPricesVMFlush asserts the VM workload family actually
+// charges for L1TFFlushOnVMEntry on a vulnerable part — the property
+// that makes it a distinct cost objective from the syscall family.
+func TestLFSFamilyPricesVMFlush(t *testing.T) {
+	var vuln *model.CPU
+	for _, m := range model.All() {
+		if m.Vulns.L1TF {
+			vuln = m
+			break
+		}
+	}
+	if vuln == nil {
+		t.Skip("no L1TF-vulnerable part in the model set")
+	}
+	spec, err := LookupWorkload("grid/vm/lfs/smallfile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	with := kernel.Defaults(vuln)
+	with.L1TFFlushOnVMEntry = true
+	without := with
+	without.L1TFFlushOnVMEntry = false
+	cWith, err := spec.Run(vuln, with)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cWithout, err := spec.Run(vuln, without)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cWith <= cWithout {
+		t.Fatalf("L1TF flush should cost cycles in the VM family: with=%v without=%v", cWith, cWithout)
+	}
+}

@@ -1,0 +1,66 @@
+package kernel
+
+import "testing"
+
+// allMitigations enumerates the full Mitigations value space: every
+// combination of the eleven bool fields crossed with every SpectreV2
+// mode (2^11 × 5 = 10240 values).
+func allMitigations() []Mitigations {
+	setters := []func(m *Mitigations, v bool){
+		func(m *Mitigations, v bool) { m.PTI = v },
+		func(m *Mitigations, v bool) { m.PTEInversion = v },
+		func(m *Mitigations, v bool) { m.L1TFFlushOnVMEntry = v },
+		func(m *Mitigations, v bool) { m.EagerFPU = v },
+		func(m *Mitigations, v bool) { m.SpectreV1 = v },
+		func(m *Mitigations, v bool) { m.IBPB = v },
+		func(m *Mitigations, v bool) { m.RSBStuff = v },
+		func(m *Mitigations, v bool) { m.MDSClear = v },
+		func(m *Mitigations, v bool) { m.SSBDSeccomp = v },
+		func(m *Mitigations, v bool) { m.SSBDAlways = v },
+		func(m *Mitigations, v bool) { m.NoSMT = v },
+	}
+	modes := []SpectreV2Mode{V2Off, V2RetpolineGeneric, V2RetpolineAMD, V2IBRS, V2EIBRS}
+	out := make([]Mitigations, 0, (1<<len(setters))*len(modes))
+	for bits := 0; bits < 1<<len(setters); bits++ {
+		var base Mitigations
+		for i, set := range setters {
+			set(&base, bits&(1<<i) != 0)
+		}
+		for _, mode := range modes {
+			m := base
+			m.SpectreV2 = mode
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// TestCanonicalKeyInjective asserts CanonicalKey is collision-free over
+// the entire Mitigations value space: distinct mitigation sets must map
+// to distinct keys, or checkpoint lookups (and sweep dedup classes)
+// would silently alias unrelated configurations.
+func TestCanonicalKeyInjective(t *testing.T) {
+	all := allMitigations()
+	seen := make(map[string]Mitigations, len(all))
+	for _, m := range all {
+		k := m.CanonicalKey()
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("CanonicalKey collision: %+v and %+v both map to %q", prev, m, k)
+		}
+		seen[k] = m
+	}
+	if len(seen) != len(all) {
+		t.Fatalf("expected %d distinct keys, got %d", len(all), len(seen))
+	}
+}
+
+// TestMitKeyMatchesCanonicalKey pins the checkpoint fingerprint to the
+// canonical builder so the stub-image cache and the sweep dedup fold
+// cannot drift apart.
+func TestMitKeyMatchesCanonicalKey(t *testing.T) {
+	for _, m := range allMitigations()[:64] {
+		if mitKey(m) != m.CanonicalKey() {
+			t.Fatalf("mitKey diverges from CanonicalKey for %+v", m)
+		}
+	}
+}

@@ -28,10 +28,12 @@ type stubImage struct {
 	entryPC, exitPC, kcallPC, kfuncPC uint64
 }
 
-// mitKey fingerprints a mitigation set for checkpoint keys. Mitigations
-// is a flat value struct, so %+v enumerates every field; any new field
-// automatically lands in the key.
-func mitKey(mit Mitigations) string { return fmt.Sprintf("%+v", mit) }
+// mitKey fingerprints a mitigation set for checkpoint keys. It reuses
+// the hand-rolled CanonicalKey builder — injective over every
+// Mitigations field (see TestCanonicalKeyInjective) — instead of the
+// reflective %+v formatter, which showed up in boot-heavy sweep
+// profiles on every checkpoint lookup.
+func mitKey(mit Mitigations) string { return mit.CanonicalKey() }
 
 // loadStubs installs the entry/exit stub program and entry points,
 // reusing the frozen image when a kernel with the same mitigation set

@@ -1,0 +1,78 @@
+package optimize
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+func pct(p *float64) string {
+	if p == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", *p)
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
+// Render writes the human-readable optimizer report: one row per uarch
+// with the cheapest secure configuration, its overhead over the
+// mitigations=off baseline, the Defaults overhead, and the share of
+// the default mitigation cost recovered. verbose adds per-uarch
+// counters, the effective mitigation list, per-workload costs and
+// evaluation errors.
+func (r *Result) Render(w io.Writer, verbose bool) {
+	fmt.Fprintf(w, "optimize: require=%s workloads=%s prune=%s combos/uarch=%d seed=%d\n",
+		strings.Join(r.Require, ","), strings.Join(r.Workloads, ","),
+		onOff(r.Prune), r.Combos, r.Seed)
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "uarch\tbest configuration\tcost\toverhead\tdefaults\trecovered")
+	for i := range r.PerUarch {
+		u := &r.PerUarch[i]
+		if u.Best == nil {
+			reason := "requirement unsatisfiable in lattice"
+			if u.Counters.Secure > 0 {
+				reason = "every secure evaluation errored"
+			}
+			fmt.Fprintf(tw, "%s\t(%s)\t-\t-\t%s\t-\n", u.Uarch, reason, pct(u.OverheadDefaultsPct))
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%s\t%s\t%s\n",
+			u.Uarch, u.Best.Display, u.Best.Cost,
+			pct(u.OverheadBestPct), pct(u.OverheadDefaultsPct), pct(u.RecoveredPct))
+	}
+	tw.Flush()
+	if verbose {
+		for i := range r.PerUarch {
+			u := &r.PerUarch[i]
+			c := u.Counters
+			fmt.Fprintf(w, "%s: %d combos -> %d classes, %d secure; evaluated %d, pruned %d, errored %d\n",
+				u.Uarch, c.Examined, c.Classes, c.Secure, c.Evaluated, c.Pruned, c.Errored)
+			if u.Best != nil {
+				fmt.Fprintf(w, "  mitigations: %s\n", strings.Join(u.Best.Mit.Enabled(), " "))
+				for _, name := range r.Workloads {
+					fmt.Fprintf(w, "  %s: %.2f cycles\n", name, u.Best.PerWorkload[name])
+				}
+			}
+			for _, e := range u.Errors {
+				fmt.Fprintf(w, "  error: %s\n", e)
+			}
+		}
+	}
+	t := r.Totals
+	fmt.Fprintf(w, "search: %d combos -> %d classes (%d secure); evaluated %d, pruned %d, errored %d, rounds %d\n",
+		t.Examined, t.Classes, t.Secure, t.Evaluated, t.Pruned, t.Errored, t.Rounds)
+	touched := r.Engine.Simulated + r.Engine.SecondLevelHits
+	line := fmt.Sprintf("engine: %d cells simulated, %d replayed from store; deduped sweep = %d cells",
+		r.Engine.Simulated, r.Engine.SecondLevelHits, r.SweepCells)
+	if touched > 0 && uint64(r.SweepCells) > touched {
+		line += fmt.Sprintf(" (%.1fx fewer)", float64(r.SweepCells)/float64(touched))
+	}
+	fmt.Fprintln(w, line)
+}

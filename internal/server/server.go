@@ -125,9 +125,10 @@ type Record struct {
 // StatsSnapshot is the /statsz payload (also attached to sweep
 // summaries).
 type StatsSnapshot struct {
-	Store  *StoreStats `json:"store,omitempty"`
-	Engine EngineStats `json:"engine"`
-	Server ServerStats `json:"server"`
+	Store    *StoreStats    `json:"store,omitempty"`
+	Engine   EngineStats    `json:"engine"`
+	Server   ServerStats    `json:"server"`
+	Optimize *OptimizeStats `json:"optimize,omitempty"`
 }
 
 // StoreStats mirrors store.Stats for JSON.
@@ -187,6 +188,7 @@ type Server struct {
 	work     sync.WaitGroup // one unit per admitted sweep's batch
 
 	accepted, rejected, completed, timedOut atomic.Uint64
+	opt                                     optCounters
 }
 
 // New returns a Server with cfg's zero fields defaulted.
@@ -216,6 +218,7 @@ func New(cfg Config) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/sweep", s.handleSweep)
+	mux.HandleFunc("/optimize", s.handleOptimize)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statsz", s.handleStatsz)
 	return mux
@@ -257,6 +260,9 @@ func (s *Server) Stats() StatsSnapshot {
 			Inflight:  len(s.sem),
 			Draining:  s.draining.Load(),
 		},
+	}
+	if s.opt.searches.Load() > 0 {
+		snap.Optimize = s.opt.snapshot()
 	}
 	d := s.cfg.Engine.StatsDetail()
 	snap.Engine = EngineStats{
